@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Ablation study of the timing-model design choices DESIGN.md calls out:
+ * the next-line prefetcher, the MSHR count (memory-level parallelism),
+ * the L2/LLC fill-bandwidth queues and the DRAM bandwidth. Run on two
+ * memory-sensitive kernels (a streaming one and a blocked one) to show
+ * which modeling choice moves which result — and that the headline
+ * Neon-vs-Scalar *ratios* are stable across them.
+ */
+
+#include "bench_common.hh"
+
+#include "sim/core_model.hh"
+
+using namespace swan;
+
+namespace
+{
+
+struct Variant
+{
+    const char *name;
+    sim::CoreConfig cfg;
+};
+
+std::vector<Variant>
+variants()
+{
+    std::vector<Variant> out;
+    out.push_back({"baseline (Table 3)", sim::primeConfig()});
+
+    auto no_pf = sim::primeConfig();
+    no_pf.l1d.nextLinePrefetch = false;
+    no_pf.l2.nextLinePrefetch = false;
+    out.push_back({"no next-line prefetch", no_pf});
+
+    auto one_mshr = sim::primeConfig();
+    one_mshr.mshrs = 1;
+    out.push_back({"1 MSHR (no MLP)", one_mshr});
+
+    auto wide_l2 = sim::primeConfig();
+    wide_l2.l2ServiceCycles = 1.0;
+    wide_l2.llcServiceCycles = 2.0;
+    out.push_back({"4x L2/LLC fill bandwidth", wide_l2});
+
+    auto slow_dram = sim::primeConfig();
+    slow_dram.dramGBs = 3.5;
+    out.push_back({"1/4 DRAM bandwidth", slow_dram});
+
+    auto far_dram = sim::primeConfig();
+    far_dram.dramLatencyNs = 400.0;
+    out.push_back({"4x DRAM latency", far_dram});
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    core::Runner runner;
+    const char *kernels[] = {"LP/defilter_up", "LV/sad16x16"};
+
+    for (const char *name : kernels) {
+        const auto *spec = core::Registry::instance().find(name);
+        if (!spec) {
+            std::cerr << "missing kernel " << name << "\n";
+            return 1;
+        }
+        core::banner(std::cout, std::string("Ablation on ") + name);
+        // The dynamic trace is configuration-independent: capture the
+        // Scalar and Neon streams once and replay them per variant.
+        auto w = spec->make(runner.options());
+        const auto scalarTrace =
+            core::Runner::capture(*w, core::Impl::Scalar);
+        const auto neonTrace = core::Runner::capture(*w, core::Impl::Neon);
+        core::Table t({"Model variant", "Scalar cycles", "Neon cycles",
+                       "Neon speedup", "Neon DRAM acc/kcycle"});
+        for (const auto &v : variants()) {
+            auto sres = sim::simulateTrace(scalarTrace, v.cfg);
+            auto nres = sim::simulateTrace(neonTrace, v.cfg);
+            t.addRow({v.name, std::to_string(sres.cycles),
+                      std::to_string(nres.cycles),
+                      core::fmtX(double(sres.cycles) /
+                                 double(nres.cycles)),
+                      core::fmt(nres.dramAccessPerKCycle, 2)});
+        }
+        t.print(std::cout);
+    }
+    std::cout << "\nReading guide: prefetch and MSHRs mostly move the "
+                 "absolute cycle counts; the Neon-vs-Scalar ratio - the "
+                 "quantity every paper claim rests on - shifts far "
+                 "less.\n";
+    return 0;
+}

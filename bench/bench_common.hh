@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Shared helpers for the per-table/per-figure bench binaries.
+ */
+
+#ifndef SWAN_BENCH_BENCH_COMMON_HH
+#define SWAN_BENCH_BENCH_COMMON_HH
+
+#include <algorithm>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/metrics.hh"
+#include "core/registry.hh"
+#include "core/report.hh"
+#include "core/runner.hh"
+#include "sim/configs.hh"
+
+namespace swan::bench
+{
+
+/** Headline kernels (the paper's 59; DES-style study kernels excluded). */
+inline std::vector<const core::KernelSpec *>
+headlineKernels()
+{
+    std::vector<const core::KernelSpec *> out;
+    for (const auto &k : core::Registry::instance().kernels())
+        if (!k.info.excluded)
+            out.push_back(&k);
+    return out;
+}
+
+/**
+ * Input sizes for the Section 7 scalability studies (Figure 5). The
+ * paper minimizes memory stalls (Section 4.3 warms caches before each
+ * iteration) so that register-width and issue-width effects are not
+ * masked by DRAM bandwidth; the equivalent here is clamping the swept
+ * kernels' working sets to stay LLC-resident.
+ */
+inline core::Options
+scalabilityOptions()
+{
+    core::Options o = core::Options::fromEnv();
+    // Image kernels use up to 8 B/px across input+output, so 96x48
+    // stays inside the 64 KiB L1 once warmed.
+    o.imageWidth = std::min(o.imageWidth, 96);
+    o.imageHeight = std::min(o.imageHeight, 48);
+    o.bufferBytes = std::min(o.bufferBytes, 16 * 1024);
+    o.audioSamples = std::min(o.audioSamples, 4096);
+    o.videoBlocks = std::min(o.videoBlocks, 16);
+    return o;
+}
+
+/** Library symbols in Table 2 order of registration. */
+inline std::vector<std::string>
+librarySymbols()
+{
+    return core::Registry::instance().symbols();
+}
+
+} // namespace swan::bench
+
+#endif // SWAN_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Extension study (Section 9): porting Swan kernels to WebAssembly
+ * SIMD128. The paper plans WASM-SIMD versions of the suite because the
+ * V8 engine executes a large share of mobile browser time; this bench
+ * quantifies what each missing Neon feature costs when four
+ * representative kernels are ported to the proposal's instruction set:
+ *
+ *  - rgb_to_y: VLD3 de-interleave -> 3 loads + 6 shuffles per 16 px,
+ *    VMLAL -> extmul + add;
+ *  - adler32: VPADAL/ADDV reductions -> extadd+add and shuffle folds;
+ *  - fir_filter: FMLA -> mul + add, until relaxed-simd restores it;
+ *  - sha256: crypto extension -> scalar rounds.
+ *
+ * Cost model assumes an ideal 1:1 wasm-to-ASIMD JIT (see
+ * simd/vec_wasm.hh), so the gaps below are lower bounds.
+ */
+
+#include "bench_common.hh"
+
+#include "trace/stats.hh"
+#include "workloads/ext/ext.hh"
+
+using namespace swan;
+using workloads::ext::WasmIsa;
+
+namespace
+{
+
+struct Port
+{
+    const char *name;
+    std::unique_ptr<core::Workload> (*make)(const core::Options &,
+                                            WasmIsa);
+    const char *gap;
+};
+
+const Port kPorts[] = {
+    {"rgb_to_y", &workloads::ext::makeWasmRgbToY,
+     "no VLD3 / no VMLAL"},
+    {"adler32", &workloads::ext::makeWasmAdler32,
+     "no VPADAL / no ADDV"},
+    {"fir_filter", &workloads::ext::makeWasmFirFilter,
+     "no FMA (base proposal)"},
+    {"sha256", &workloads::ext::makeWasmSha256,
+     "no crypto extension"},
+};
+
+const WasmIsa kIsas[] = {WasmIsa::NeonNative, WasmIsa::Simd128,
+                         WasmIsa::Relaxed};
+const char *kIsaNames[] = {"Neon", "WASM SIMD128", "WASM relaxed"};
+
+} // namespace
+
+int
+main()
+{
+    core::Runner runner;
+    const auto cfg = sim::primeConfig();
+
+    core::banner(std::cout,
+                 "Extension: WebAssembly SIMD ports (Section 9 future "
+                 "work)");
+
+    core::Table t({"Kernel", "ISA", "Speedup vs Scalar", "Instr reduction",
+                   "V-Misc / V-instr", "Missing feature"});
+
+    bool all_ok = true;
+    for (const auto &port : kPorts) {
+        for (size_t i = 0; i < 3; ++i) {
+            auto w = port.make(runner.options(), kIsas[i]);
+            auto s = runner.run(*w, core::Impl::Scalar, cfg);
+            auto n = runner.run(*w, core::Impl::Neon, cfg);
+            all_ok = all_ok && w->verify();
+            const double vecShare =
+                n.mix.vectorInstrs() > 0
+                    ? double(n.mix.count(trace::InstrClass::VMisc)) /
+                          double(n.mix.vectorInstrs())
+                    : 0.0;
+            t.addRow({i == 0 ? port.name : "",
+                      kIsaNames[i],
+                      core::fmtX(double(s.sim.cycles) /
+                                 double(n.sim.cycles)),
+                      core::fmtX(double(s.mix.total()) /
+                                 double(n.mix.total())),
+                      core::fmtPct(100.0 * vecShare),
+                      i == 0 ? "-" : port.gap});
+        }
+    }
+    t.print(std::cout);
+
+    std::cout
+        << "\nPaper anchors (gap measurements this study remedies or "
+           "recreates):\n"
+           "  - Section 6.3: structured loads beyond what shuffles "
+           "compose cheaply;\n"
+           "  - Section 6.1: reductions need across-vector sums;\n"
+           "  - Section 6.5: portable APIs without fused ops inflate "
+           "the budget\n"
+           "    (relaxed-simd's f32x4.relaxed_madd restores FMLA "
+           "parity);\n"
+           "  - Section 5.1: ZL/BS's standout speedup is the crypto "
+           "extension, which\n"
+           "    wasm lacks entirely (the port falls back to scalar "
+           "rounds).\n"
+        << "Outputs verified: " << (all_ok ? "yes" : "NO") << "\n";
+    return all_ok ? 0 : 1;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Figure 4 reproduction: Neon performance and energy improvement over
+ * Scalar on the three big.LITTLE core types — Silver (in-order
+ * Cortex-A55-like, one ASIMD unit, 1.8 GHz), Gold (A76, 2.4 GHz) and
+ * Prime (A76, 2.8 GHz).
+ */
+
+#include "bench_common.hh"
+
+using namespace swan;
+
+int
+main()
+{
+    core::Runner runner;
+    const sim::CoreConfig cfgs[3] = {sim::silverConfig(),
+                                     sim::goldConfig(),
+                                     sim::primeConfig()};
+
+    core::banner(std::cout,
+                 "Figure 4: Neon performance / energy improvement per "
+                 "core type");
+    core::Table t({"Lib", "Silver perf", "Gold perf", "Prime perf",
+                   "Silver energy", "Gold energy", "Prime energy"});
+
+    for (const auto &sym : bench::librarySymbols()) {
+        std::vector<double> perf[3], energy[3];
+        for (const auto *spec : bench::headlineKernels()) {
+            if (spec->info.symbol != sym)
+                continue;
+            for (int i = 0; i < 3; ++i) {
+                auto c = runner.compareScalarNeon(*spec, cfgs[i]);
+                perf[i].push_back(c.neonSpeedup());
+                energy[i].push_back(c.neonEnergyImprovement());
+            }
+        }
+        t.addRow({sym, core::fmtX(core::geomean(perf[0])),
+                  core::fmtX(core::geomean(perf[1])),
+                  core::fmtX(core::geomean(perf[2])),
+                  core::fmtX(core::geomean(energy[0])),
+                  core::fmtX(core::geomean(energy[1])),
+                  core::fmtX(core::geomean(energy[2]))});
+    }
+    t.print(std::cout);
+    std::cout << "\nPaper anchors: more ASIMD units (Gold/Prime vs "
+                 "Silver) do not substantially raise Neon's relative "
+                 "benefit for low-ILP kernels; unrolled XP benefits "
+                 "most; Prime achieves the highest energy savings in "
+                 "nearly all workloads.\n";
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figure 5(a) reproduction: Neon performance scalability with wider
+ * vector registers (128/256/512/1024 bits) for the eight representative
+ * kernels, plus the SIMD lane utilization that explains the plateaus
+ * (Section 7.1). Speedups are relative to the 128-bit implementation.
+ */
+
+#include "bench_common.hh"
+
+using namespace swan;
+
+int
+main()
+{
+    core::Runner runner(bench::scalabilityOptions());
+    const int widths[4] = {128, 256, 512, 1024};
+
+    core::banner(std::cout,
+                 "Figure 5(a): speedup vs 128-bit with wider vector "
+                 "registers (SIMD lane utilization in parentheses)");
+    core::Table t({"Kernel", "128-bit", "256-bit", "512-bit",
+                   "1024-bit"});
+
+    for (const auto *spec : bench::headlineKernels()) {
+        if (!spec->info.widerWidths)
+            continue;
+        std::vector<std::string> row = {spec->info.qualifiedName()};
+        uint64_t base_cycles = 0;
+        for (int wi = 0; wi < 4; ++wi) {
+            auto w = spec->make(runner.options());
+            auto instrs = core::Runner::capture(*w, core::Impl::Neon,
+                                                widths[wi]);
+            trace::MixStats mix;
+            mix.addTrace(instrs);
+            auto cfg = sim::widerVectorConfig(widths[wi]);
+            auto res = sim::simulateTrace(instrs, cfg);
+            if (wi == 0)
+                base_cycles = res.cycles;
+            const double speedup =
+                double(base_cycles) / double(res.cycles);
+            row.push_back(core::fmtX(speedup) + " (" +
+                          core::fmtPct(100.0 * mix.laneUtilization(), 0) +
+                          ")");
+        }
+        t.addRow(row);
+    }
+    t.print(std::cout);
+    std::cout << "\nPaper anchors: streaming kernels (LJ rgb_to_ycbcr, "
+                 "SK convolve) scale to ~7-8x at 1024-bit with ~98% "
+                 "utilization; GEMM drops to ~89% utilization "
+                 "(indivisible columns); WA audible drops to ~74% "
+                 "(stepwise reduction); LV sad16x16 and LW predict_tm "
+                 "barely scale (2-D packing overhead).\n";
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Figure 5(b) reproduction: Neon performance scalability with more
+ * 128-bit ASIMD execution units (V) and wider decode/commit (W) on the
+ * eight representative kernels: 4W-2V (baseline) through 8W-8V.
+ * Speedups are relative to the 4W-2V Cortex-A76 baseline.
+ */
+
+#include "bench_common.hh"
+
+using namespace swan;
+
+int
+main()
+{
+    core::Runner runner(bench::scalabilityOptions());
+    const std::pair<int, int> configs[] = {{4, 2}, {4, 4}, {4, 6},
+                                           {6, 6}, {4, 8}, {8, 8}};
+
+    core::banner(std::cout,
+                 "Figure 5(b): speedup vs 4W-2V with more ASIMD units "
+                 "and wider decode");
+    std::vector<std::string> headers = {"Kernel"};
+    for (auto [w, v] : configs)
+        headers.push_back(std::to_string(w) + "W-" + std::to_string(v) +
+                          "V");
+    core::Table t(headers);
+
+    for (const auto *spec : bench::headlineKernels()) {
+        if (!spec->info.widerWidths)
+            continue;
+        auto w = spec->make(runner.options());
+        auto instrs = core::Runner::capture(*w, core::Impl::Neon, 128);
+        std::vector<std::string> row = {spec->info.qualifiedName()};
+        uint64_t base_cycles = 0;
+        for (auto [ways, vunits] : configs) {
+            auto cfg = sim::scalabilityConfig(ways, vunits);
+            auto res = sim::simulateTrace(instrs, cfg);
+            if (base_cycles == 0)
+                base_cycles = res.cycles;
+            row.push_back(core::fmtX(double(base_cycles) /
+                                     double(res.cycles)));
+        }
+        t.addRow(row);
+    }
+    t.print(std::cout);
+    std::cout << "\nPaper anchors: more ASIMD units than decode ways "
+                 "(4W-6V, 4W-8V) barely help; with enough ways, the "
+                 "manually-unrolled high-ILP kernels (XP gemm, LV sad) "
+                 "reach ~1.9x at 8W-8V while the register-pressure-"
+                 "limited ones (LJ rgb_to_ycbcr) stay near ~1.2x.\n";
+    return 0;
+}

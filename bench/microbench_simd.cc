@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Host-side google-benchmark microbenchmark of the Neon emulation layer
+ * itself: how fast the functional simulator executes vector intrinsics
+ * with tracing off and on. Useful for sizing full-input (SWAN_FULL=1)
+ * runs; not a paper experiment.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "simd/simd.hh"
+#include "trace/recorder.hh"
+
+using namespace swan;
+using namespace swan::simd;
+
+namespace
+{
+
+void
+BM_VaddU8Untraced(benchmark::State &state)
+{
+    uint8_t buf[32];
+    for (int i = 0; i < 32; ++i)
+        buf[i] = uint8_t(i * 7);
+    for (auto _ : state) {
+        auto a = vld1<128>(buf);
+        auto b = vld1<128>(buf + 16);
+        benchmark::DoNotOptimize(vadd(a, b));
+    }
+}
+BENCHMARK(BM_VaddU8Untraced);
+
+void
+BM_VaddU8Traced(benchmark::State &state)
+{
+    uint8_t buf[32];
+    for (int i = 0; i < 32; ++i)
+        buf[i] = uint8_t(i * 7);
+    trace::Recorder rec;
+    trace::ScopedRecorder scoped(&rec);
+    for (auto _ : state) {
+        auto a = vld1<128>(buf);
+        auto b = vld1<128>(buf + 16);
+        benchmark::DoNotOptimize(vadd(a, b));
+        if (rec.instrs().size() > (1u << 20))
+            rec.clear();
+    }
+}
+BENCHMARK(BM_VaddU8Traced);
+
+void
+BM_WasmShuffleUntraced(benchmark::State &state)
+{
+    namespace ws = swan::simd::wasm;
+    uint8_t buf[32];
+    for (int i = 0; i < 32; ++i)
+        buf[i] = uint8_t(i * 3);
+    for (auto _ : state) {
+        auto a = ws::v128_load(buf);
+        auto b = ws::v128_load(buf + 16);
+        benchmark::DoNotOptimize(
+            ws::i8x16_shuffle<0, 3, 6, 9, 12, 15, 18, 21, 24, 27, 30, 0,
+                              0, 0, 0, 0>(a, b));
+    }
+}
+BENCHMARK(BM_WasmShuffleUntraced);
+
+void
+BM_WasmHsumU32Untraced(benchmark::State &state)
+{
+    namespace ws = swan::simd::wasm;
+    auto v = ws::splat(uint32_t(7));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ws::hsum_u32x4(v));
+}
+BENCHMARK(BM_WasmHsumU32Untraced);
+
+
+void
+BM_MlalF32Wide(benchmark::State &state)
+{
+    const int bits = int(state.range(0));
+    float buf[32];
+    for (int i = 0; i < 32; ++i)
+        buf[i] = float(i) * 0.25f;
+    for (auto _ : state) {
+        switch (bits) {
+          case 256: {
+            auto a = vld1<256>(buf);
+            benchmark::DoNotOptimize(vmla(a, a, a));
+            break;
+          }
+          case 1024: {
+            auto a = vld1<1024>(buf);
+            benchmark::DoNotOptimize(vmla(a, a, a));
+            break;
+          }
+          default: {
+            auto a = vld1<128>(buf);
+            benchmark::DoNotOptimize(vmla(a, a, a));
+            break;
+          }
+        }
+    }
+}
+BENCHMARK(BM_MlalF32Wide)->Arg(128)->Arg(256)->Arg(1024);
+
+void
+BM_Aese(benchmark::State &state)
+{
+    auto st = vdup<uint8_t, 128>(uint8_t(0x3c));
+    auto key = vdup<uint8_t, 128>(uint8_t(0xa5));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(vaese(st, key));
+}
+BENCHMARK(BM_Aese);
+
+} // namespace

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Table 2 reproduction: accelerated libraries, their domains, application
+ * usage matrix and Chromium execution-time shares (static metadata from
+ * the paper), plus the per-library kernel counts of this suite.
+ */
+
+#include "bench_common.hh"
+
+using namespace swan;
+
+int
+main()
+{
+    auto &reg = core::Registry::instance();
+    core::banner(std::cout,
+                 "Table 2: accelerated libraries (domain, usage, "
+                 "Chromium exec. time)");
+
+    core::Table t({"Library", "Domain", "Sym", "Chromium", "Android",
+                   "WebRTC", "PDFium", "Max(%)", "Avg(%)", "Kernels"});
+    int total = 0;
+    for (const auto &lib : reg.libraries()) {
+        auto kernels = reg.bySymbol(lib.symbol);
+        int count = 0;
+        for (const auto *k : kernels)
+            if (!k->info.excluded)
+                ++count;
+        total += count;
+        auto mark = [](bool b) { return b ? std::string("yes")
+                                          : std::string("-"); };
+        t.addRow({lib.library, std::string(core::name(lib.domain)),
+                  lib.symbol, mark(lib.chromium), mark(lib.android),
+                  mark(lib.webrtc), mark(lib.pdfium),
+                  lib.chromiumMaxPct > 0 ? core::fmt(lib.chromiumMaxPct, 1)
+                                         : "-",
+                  lib.chromiumAvgPct > 0 ? core::fmt(lib.chromiumAvgPct, 1)
+                                         : "-",
+                  std::to_string(count)});
+    }
+    t.print(std::cout);
+    std::cout << "\nTotal data-parallel kernels: " << total
+              << " (paper: 59)\n";
+    return total == 59 ? 0 : 1;
+}

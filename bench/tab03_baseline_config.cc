@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Table 3 reproduction: the simulated Snapdragon 855 Cortex-A76 Prime
+ * core baseline configuration (what the trace-driven model implements).
+ */
+
+#include "bench_common.hh"
+
+using namespace swan;
+
+int
+main()
+{
+    auto print = [](const sim::CoreConfig &c) {
+        core::banner(std::cout, "Core configuration: " + c.name);
+        core::Table t({"Component", "Detail"});
+        t.addRow({"Scalar core",
+                  core::fmt(c.freqGHz, 1) + " GHz, " +
+                      std::to_string(c.robSize) + " entry ROB, " +
+                      (c.outOfOrder ? "out-of-order" : "in-order")});
+        t.addRow({"Width", std::to_string(c.decodeWidth) +
+                               "-way decode, " +
+                               std::to_string(c.issueWidth) +
+                               "-way issue, " +
+                               std::to_string(c.commitWidth) +
+                               "-way commit"});
+        t.addRow({"Vector engine",
+                  std::to_string(c.vunits()) + " x " +
+                      std::to_string(c.vecBits) +
+                      "-bit ASIMD units + crypto ext"});
+        auto cache = [](const sim::CacheConfig &cc) {
+            return std::to_string(cc.sizeBytes / 1024) + " KiB, " +
+                   std::to_string(cc.ways) + "-way, " +
+                   std::to_string(cc.latency) + " cycle latency";
+        };
+        t.addRow({"L1-D cache", cache(c.l1d)});
+        t.addRow({"L2 cache", cache(c.l2)});
+        t.addRow({"LLC", cache(c.llc)});
+        t.addRow({"DRAM", core::fmt(c.dramLatencyNs, 0) + " ns, " +
+                              core::fmt(c.dramGBs, 1) + " GB/s"});
+        t.print(std::cout);
+    };
+
+    print(sim::primeConfig());
+    print(sim::goldConfig());
+    print(sim::silverConfig());
+    return 0;
+}

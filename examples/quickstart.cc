@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Quickstart: run one Swan kernel (ZL/adler32) end to end — capture the
+ * Scalar and Neon dynamic instruction traces, simulate both on the
+ * Table 3 Prime core, and print speedup, instruction reduction, power
+ * and energy. Pass a qualified kernel name (e.g. "SK/convolve_vertically"
+ * or "memcpy") to measure a different kernel.
+ */
+
+#include <iostream>
+
+#include "core/metrics.hh"
+#include "core/registry.hh"
+#include "core/report.hh"
+#include "core/runner.hh"
+#include "sim/configs.hh"
+
+using namespace swan;
+
+int
+main(int argc, char **argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "ZL/adler32";
+    const auto *spec = core::Registry::instance().find(name);
+    if (!spec) {
+        std::cerr << "unknown kernel '" << name << "'; available:\n";
+        for (const auto &k : core::Registry::instance().kernels())
+            std::cerr << "  " << k.info.qualifiedName() << "\n";
+        return 1;
+    }
+
+    core::Runner runner;
+    auto comparison = runner.compare(*spec, sim::primeConfig());
+
+    core::banner(std::cout, "Swan quickstart: " + name);
+    core::Table t({"Metric", "Scalar", "Auto", "Neon"});
+    auto row = [&](const std::string &label, auto get) {
+        t.addRow({label, get(comparison.scalar), get(comparison.autovec),
+                  get(comparison.neon)});
+    };
+    row("Dynamic instructions", [](const core::KernelRun &r) {
+        return std::to_string(r.mix.total());
+    });
+    row("Cycles (Prime)", [](const core::KernelRun &r) {
+        return std::to_string(r.sim.cycles);
+    });
+    row("IPC", [](const core::KernelRun &r) {
+        return core::fmt(r.sim.ipc, 2);
+    });
+    row("Power (W)", [](const core::KernelRun &r) {
+        return core::fmt(r.sim.powerW, 2);
+    });
+    row("Energy (uJ)", [](const core::KernelRun &r) {
+        return core::fmt(r.sim.energyJ * 1e6, 2);
+    });
+    t.print(std::cout);
+
+    std::cout << "\nNeon speedup:          "
+              << core::fmtX(comparison.neonSpeedup())
+              << "\nInstruction reduction: "
+              << core::fmtX(comparison.instrReduction())
+              << "\nEnergy improvement:    "
+              << core::fmtX(comparison.neonEnergyImprovement())
+              << "\nOutputs verified:      "
+              << (comparison.verified ? "yes" : "NO") << "\n";
+    return comparison.verified ? 0 : 1;
+}

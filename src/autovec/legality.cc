@@ -1,0 +1,43 @@
+#include "autovec/legality.hh"
+
+namespace swan::autovec
+{
+
+std::string_view
+name(Fail f)
+{
+    switch (f) {
+      case Fail::Uncountable: return "uncountable-loop";
+      case Fail::IndirectMemory: return "indirect-memory";
+      case Fail::ComplexPhi: return "complex-phi";
+      case Fail::OtherLegality: return "other-legality";
+      case Fail::CostModel: return "cost-model";
+      default: return "none";
+    }
+}
+
+Table4
+census(const std::vector<SpeedupPair> &pairs, double tolerance)
+{
+    Table4 t;
+    for (const auto &p : pairs) {
+        const double rel_scalar = p.autoSpeedup;
+        if (rel_scalar > 1.0 + tolerance) {
+            ++t.autoAboveScalar;
+            const double rel_neon = p.autoSpeedup / p.neonSpeedup;
+            if (rel_neon > 1.0 + tolerance)
+                ++t.autoAboveNeon;
+            else if (rel_neon < 1.0 - tolerance)
+                ++t.autoBelowNeon;
+            else
+                ++t.autoApproxNeon;
+        } else if (rel_scalar < 1.0 - tolerance) {
+            ++t.autoBelowScalar;
+        } else {
+            ++t.autoApproxScalar;
+        }
+    }
+    return t;
+}
+
+} // namespace swan::autovec

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Compiler auto-vectorization legality/cost model. Encodes the Section 5.2
+ * failure taxonomy the paper derives from LLVM's loop vectorizer, and the
+ * Table 4 census machinery that buckets each kernel's Auto implementation
+ * against its Scalar and Neon implementations by measured speedup.
+ */
+
+#ifndef SWAN_AUTOVEC_LEGALITY_HH
+#define SWAN_AUTOVEC_LEGALITY_HH
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace swan::autovec
+{
+
+/**
+ * Reasons LLVM fails to vectorize a loop (bitmask; a kernel can trip
+ * several). Matches the paper's Examples 1-3 plus the other-legality and
+ * cost-model buckets.
+ */
+enum class Fail : uint32_t
+{
+    None = 0,
+    Uncountable = 1u << 0,      //!< loop trip count not computable
+    IndirectMemory = 1u << 1,   //!< A[B[i]] defeats aliasing checks
+    ComplexPhi = 1u << 2,       //!< loop-carried dependence via PHI nodes
+    OtherLegality = 1u << 3,    //!< FP reorder, calls, switches, unsafe mem
+    CostModel = 1u << 4,        //!< legal but judged unprofitable
+};
+
+inline uint32_t
+operator|(Fail a, Fail b)
+{
+    return uint32_t(a) | uint32_t(b);
+}
+inline uint32_t
+operator|(uint32_t a, Fail b)
+{
+    return a | uint32_t(b);
+}
+inline bool
+has(uint32_t mask, Fail f)
+{
+    return (mask & uint32_t(f)) != 0;
+}
+
+std::string_view name(Fail f);
+
+/** Per-kernel auto-vectorization verdict. */
+struct Verdict
+{
+    bool vectorizes = false;    //!< LLVM vectorizes the scalar loop
+    uint32_t failReasons = 0;   //!< Fail bitmask when !vectorizes
+};
+
+/** Table 4 census buckets. */
+struct Table4
+{
+    int autoApproxScalar = 0;
+    int autoBelowScalar = 0;
+    int autoAboveScalar = 0;    //!< "#Boosted kernels"
+    // Of the boosted kernels:
+    int autoApproxNeon = 0;
+    int autoBelowNeon = 0;
+    int autoAboveNeon = 0;
+};
+
+/** One kernel's measured speedups relative to Scalar. */
+struct SpeedupPair
+{
+    double autoSpeedup = 1.0;
+    double neonSpeedup = 1.0;
+};
+
+/**
+ * Bucket kernels like Table 4: "approximately equal" means within
+ * @p tolerance (default 5%).
+ */
+Table4 census(const std::vector<SpeedupPair> &pairs,
+              double tolerance = 0.05);
+
+} // namespace swan::autovec
+
+#endif // SWAN_AUTOVEC_LEGALITY_HH

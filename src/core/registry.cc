@@ -1,0 +1,58 @@
+#include "core/registry.hh"
+
+#include <algorithm>
+
+namespace swan::core
+{
+
+Registry &
+Registry::instance()
+{
+    static Registry reg;
+    return reg;
+}
+
+void
+Registry::add(KernelSpec spec)
+{
+    kernels_.push_back(std::move(spec));
+}
+
+void
+Registry::addLibrary(LibraryUsage usage)
+{
+    libs_.push_back(std::move(usage));
+}
+
+std::vector<const KernelSpec *>
+Registry::bySymbol(const std::string &sym) const
+{
+    std::vector<const KernelSpec *> out;
+    for (const auto &k : kernels_)
+        if (k.info.symbol == sym)
+            out.push_back(&k);
+    return out;
+}
+
+const KernelSpec *
+Registry::find(const std::string &qualified) const
+{
+    for (const auto &k : kernels_) {
+        if (k.info.qualifiedName() == qualified ||
+            k.info.name == qualified)
+            return &k;
+    }
+    return nullptr;
+}
+
+std::vector<std::string>
+Registry::symbols() const
+{
+    std::vector<std::string> out;
+    for (const auto &k : kernels_)
+        if (std::find(out.begin(), out.end(), k.info.symbol) == out.end())
+            out.push_back(k.info.symbol);
+    return out;
+}
+
+} // namespace swan::core

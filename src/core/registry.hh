@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Global kernel registry. Workload libraries register their kernels at
+ * static-initialization time via SWAN_REGISTER_KERNEL; benches, tests and
+ * examples enumerate them here. Table 2's library inventory is derived
+ * from the registered metadata.
+ */
+
+#ifndef SWAN_CORE_REGISTRY_HH
+#define SWAN_CORE_REGISTRY_HH
+
+#include <string>
+#include <vector>
+
+#include "core/kernel.hh"
+
+namespace swan::core
+{
+
+/** Application usage of a library (the checkmark matrix of Table 2). */
+struct LibraryUsage
+{
+    std::string library;
+    std::string symbol;
+    Domain domain;
+    bool chromium = false;
+    bool android = false;
+    bool webrtc = false;
+    bool pdfium = false;
+    double chromiumMaxPct = 0.0; //!< max % of Chrome time (Table 2)
+    double chromiumAvgPct = 0.0;
+};
+
+/** Singleton registry of all kernels and library metadata. */
+class Registry
+{
+  public:
+    static Registry &instance();
+
+    void add(KernelSpec spec);
+    void addLibrary(LibraryUsage usage);
+
+    const std::vector<KernelSpec> &kernels() const { return kernels_; }
+    const std::vector<LibraryUsage> &libraries() const { return libs_; }
+
+    /** Kernels of one library symbol (e.g. "ZL"). */
+    std::vector<const KernelSpec *> bySymbol(const std::string &sym) const;
+
+    /** Find one kernel ("ZL/adler32" or plain name); null if absent. */
+    const KernelSpec *find(const std::string &qualified) const;
+
+    /** Distinct library symbols in registration order. */
+    std::vector<std::string> symbols() const;
+
+  private:
+    Registry() = default;
+    std::vector<KernelSpec> kernels_;
+    std::vector<LibraryUsage> libs_;
+};
+
+/** Static registration helper. */
+struct Registrar
+{
+    explicit Registrar(KernelSpec spec)
+    {
+        Registry::instance().add(std::move(spec));
+    }
+};
+
+struct LibraryRegistrar
+{
+    explicit LibraryRegistrar(LibraryUsage usage)
+    {
+        Registry::instance().addLibrary(std::move(usage));
+    }
+};
+
+#define SWAN_CONCAT_INNER(a, b) a##b
+#define SWAN_CONCAT(a, b) SWAN_CONCAT_INNER(a, b)
+
+/** Register a kernel; use at namespace scope in workload libraries. */
+#define SWAN_REGISTER_KERNEL(spec)                                          \
+    static ::swan::core::Registrar SWAN_CONCAT(swan_reg_, __COUNTER__)(spec)
+
+/** Register a library's Table 2 metadata. */
+#define SWAN_REGISTER_LIBRARY(usage)                                       \
+    static ::swan::core::LibraryRegistrar SWAN_CONCAT(                      \
+        swan_lib_, __COUNTER__)(usage)
+
+} // namespace swan::core
+
+#endif // SWAN_CORE_REGISTRY_HH

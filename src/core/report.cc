@@ -1,0 +1,75 @@
+#include "core/report.hh"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace swan::core
+{
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<size_t> width(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto line = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c) {
+            os << (c == 0 ? "| " : " | ") << std::left
+               << std::setw(int(width[c])) << cells[c];
+        }
+        os << " |\n";
+    };
+
+    line(headers_);
+    os << "|";
+    for (size_t c = 0; c < headers_.size(); ++c)
+        os << std::string(width[c] + 2, '-') << "|";
+    os << "\n";
+    for (const auto &row : rows_)
+        line(row);
+}
+
+std::string
+fmt(double x, int prec)
+{
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(prec) << x;
+    return ss.str();
+}
+
+std::string
+fmtX(double x, int prec)
+{
+    return fmt(x, prec) + "x";
+}
+
+std::string
+fmtPct(double x, int prec)
+{
+    return fmt(x, prec) + "%";
+}
+
+void
+banner(std::ostream &os, const std::string &title)
+{
+    os << "\n=== " << title << " ===\n\n";
+}
+
+} // namespace swan::core

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Fixed-width console table printer used by the bench binaries to emit
+ * paper-style rows.
+ */
+
+#ifndef SWAN_CORE_REPORT_HH
+#define SWAN_CORE_REPORT_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace swan::core
+{
+
+/** Minimal console table. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with @p prec decimals. */
+std::string fmt(double x, int prec = 2);
+
+/** Format as a multiplier, e.g. "3.3x". */
+std::string fmtX(double x, int prec = 1);
+
+/** Format as a percentage, e.g. "41.9%". */
+std::string fmtPct(double x, int prec = 1);
+
+/** Print a section banner. */
+void banner(std::ostream &os, const std::string &title);
+
+} // namespace swan::core
+
+#endif // SWAN_CORE_REPORT_HH

@@ -1,0 +1,77 @@
+#include "core/runner.hh"
+
+namespace swan::core
+{
+
+std::string_view
+name(Impl impl)
+{
+    switch (impl) {
+      case Impl::Scalar: return "Scalar";
+      case Impl::Auto: return "Auto";
+      case Impl::Neon: return "Neon";
+      default: return "?";
+    }
+}
+
+std::vector<trace::Instr>
+Runner::capture(Workload &w, Impl impl, int vec_bits)
+{
+    trace::Recorder rec;
+    {
+        trace::ScopedRecorder scoped(&rec);
+        switch (impl) {
+          case Impl::Scalar:
+            w.runScalar();
+            break;
+          case Impl::Auto:
+            w.runAuto();
+            break;
+          case Impl::Neon:
+            w.runNeon(vec_bits);
+            break;
+        }
+    }
+    return rec.take();
+}
+
+KernelRun
+Runner::run(Workload &w, Impl impl, const sim::CoreConfig &cfg,
+            int vec_bits, int warmup_passes) const
+{
+    KernelRun out;
+    auto instrs = capture(w, impl, vec_bits);
+    out.mix.addTrace(instrs);
+    out.sim = sim::simulateTrace(instrs, cfg, warmup_passes);
+    sim::applyPowerModel(out.sim, sim::PowerParams::forConfig(cfg));
+    return out;
+}
+
+Comparison
+Runner::compare(const KernelSpec &spec, const sim::CoreConfig &cfg) const
+{
+    Comparison c;
+    c.info = spec.info;
+    auto w = spec.make(opts_);
+    c.scalar = run(*w, Impl::Scalar, cfg);
+    c.autovec = run(*w, Impl::Auto, cfg);
+    c.neon = run(*w, Impl::Neon, cfg);
+    c.verified = w->verify();
+    return c;
+}
+
+Comparison
+Runner::compareScalarNeon(const KernelSpec &spec,
+                          const sim::CoreConfig &cfg, int vec_bits) const
+{
+    Comparison c;
+    c.info = spec.info;
+    auto w = spec.make(opts_);
+    c.scalar = run(*w, Impl::Scalar, cfg);
+    c.neon = run(*w, Impl::Neon, cfg, vec_bits);
+    c.autovec = c.scalar;
+    c.verified = w->verify();
+    return c;
+}
+
+} // namespace swan::core

@@ -1,0 +1,23 @@
+#include "gpu/offload_model.hh"
+
+#include <algorithm>
+
+namespace swan::gpu
+{
+
+double
+gpuComputeTimeSec(uint64_t macs, bool sparse, const OffloadParams &p)
+{
+    const double eff = sparse ? p.spmmEfficiency : p.gemmEfficiency;
+    const double rate = p.gpuGmacPerSec * 1e9 * eff;
+    const double compute = double(macs) / rate;
+    return std::max(compute, p.minKernelUs * 1e-6);
+}
+
+double
+gpuTimeSec(uint64_t macs, bool sparse, const OffloadParams &p)
+{
+    return p.gpuLaunchUs * 1e-6 + gpuComputeTimeSec(macs, sparse, p);
+}
+
+} // namespace swan::gpu

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Analytical model of domain-specific accelerator offload (Section 8):
+ * kernel-launch overheads of the Adreno 640 GPU (OpenCL) and Hexagon 690
+ * DSP (fastRPC), and a throughput model for GPU GEMM/SpMM used to
+ * reproduce the Figure 6 crossover against Neon. The paper's unified
+ * memory assumption removes copy costs; launch overhead and achievable
+ * throughput drive the comparison.
+ */
+
+#ifndef SWAN_GPU_OFFLOAD_MODEL_HH
+#define SWAN_GPU_OFFLOAD_MODEL_HH
+
+#include <cstdint>
+
+namespace swan::gpu
+{
+
+/** Offload model parameters (Table 7 / Figure 6 constants). */
+struct OffloadParams
+{
+    double gpuLaunchUs = 230.0;     //!< Adreno 640 OpenCL launch
+    double dspLaunchUs = 20.0;      //!< Hexagon 690 fastRPC launch
+    /**
+     * Peak GPU FP32 MAC throughput. The paper states Neon has 96x less
+     * compute throughput than the GPU; with Neon at 2 x 128-bit FMA units
+     * at 2.8 GHz (22.4 GMAC/s) this is ~2.15 TMAC/s.
+     */
+    double gpuGmacPerSec = 96.0 * 22.4;
+    /** Achievable fraction of peak for dense GEMM. */
+    double gemmEfficiency = 0.55;
+    /** Achievable fraction of peak for SpMM (irregular access). */
+    double spmmEfficiency = 0.18;
+    /**
+     * Work-group ramp: problems smaller than this many MACs cannot fill
+     * the GPU, modeled as a minimum execution time floor.
+     */
+    double minKernelUs = 12.0;
+};
+
+/** GPU execution time (seconds) including launch overhead. */
+double gpuTimeSec(uint64_t macs, bool sparse,
+                  const OffloadParams &params = {});
+
+/** GPU time without launch overhead (the dashed line of Figure 6). */
+double gpuComputeTimeSec(uint64_t macs, bool sparse,
+                         const OffloadParams &params = {});
+
+} // namespace swan::gpu
+
+#endif // SWAN_GPU_OFFLOAD_MODEL_HH

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Set-associative cache model with LRU replacement and write-back
+ * write-allocate policy, plus the three-level hierarchy + MSHR + DRAM
+ * timing used by the trace-driven core models (the cache parameters of
+ * Table 3).
+ */
+
+#ifndef SWAN_SIM_CACHE_HH
+#define SWAN_SIM_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/configs.hh"
+#include "sim/dram.hh"
+
+namespace swan::sim
+{
+
+/** One set-associative cache level. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &cfg);
+
+    struct Result
+    {
+        bool hit = false;
+        bool writeback = false;     //!< a dirty line was evicted
+        uint64_t wbLineAddr = 0;
+    };
+
+    /** Look up (and on miss, fill) the line containing @p addr. */
+    Result access(uint64_t addr, bool is_write);
+
+    /** Look up without filling or updating stats (used by prefetch). */
+    bool probe(uint64_t addr) const;
+
+    void reset();
+    void resetStats();
+
+    uint64_t accesses() const { return accesses_; }
+    uint64_t misses() const { return misses_; }
+    double
+    missRate() const
+    {
+        return accesses_ ? double(misses_) / double(accesses_) : 0.0;
+    }
+
+    int lineBytes() const { return cfg_.lineBytes; }
+    int latency() const { return cfg_.latency; }
+
+  private:
+    struct Line
+    {
+        uint64_t tag = 0;
+        uint64_t lru = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    uint64_t lineAddr(uint64_t addr) const
+    {
+        return addr / uint64_t(cfg_.lineBytes);
+    }
+
+    CacheConfig cfg_;
+    int numSets_;
+    std::vector<Line> lines_;   // numSets_ * ways, row-major by set
+    uint64_t tick_ = 0;
+    uint64_t accesses_ = 0;
+    uint64_t misses_ = 0;
+};
+
+/**
+ * Three-level hierarchy with MSHR-limited misses and a bandwidth-limited
+ * DRAM behind the LLC. Returns load-to-use latencies; keeps the per-level
+ * access/miss statistics the paper reports as MPKI (Table 5).
+ */
+class MemHierarchy
+{
+  public:
+    explicit MemHierarchy(const CoreConfig &cfg);
+
+    /** Which level serviced an access. */
+    enum class Level { L1, L2, Llc, Dram };
+
+    struct Result
+    {
+        uint64_t latency = 0;   //!< load-to-use latency in cycles
+        Level level = Level::L1;
+    };
+
+    /**
+     * Timed load at @p cycle. Accesses spanning multiple lines pay the
+     * slowest line. MSHRs bound the number of overlapping misses.
+     */
+    Result load(uint64_t addr, uint32_t size, uint64_t cycle);
+
+    /**
+     * Store: updates cache state and traffic counters. Store latency is
+     * hidden by the store buffer; the returned latency is the commit-side
+     * latency (1 cycle).
+     */
+    Result store(uint64_t addr, uint32_t size, uint64_t cycle);
+
+    void reset();
+    void resetStats();
+
+    const Cache &l1() const { return l1_; }
+    const Cache &l2() const { return l2_; }
+    const Cache &llc() const { return llc_; }
+    uint64_t dramReads() const { return dramReads_; }
+    uint64_t dramWrites() const { return dramWrites_; }
+    uint64_t dramAccesses() const { return dramReads_ + dramWrites_; }
+
+  private:
+    struct FillResult
+    {
+        Level level = Level::L2;
+        uint64_t extra = 0; //!< bandwidth queueing beyond the hit latency
+    };
+
+    /** Fill below L1 at @p cycle; models L2/LLC/DRAM bandwidth queues. */
+    FillResult fillFrom(uint64_t addr, uint64_t cycle);
+
+    CoreConfig cfg_;
+    Cache l1_, l2_, llc_;
+    Dram dram_;
+    std::vector<uint64_t> mshrFree_;
+    double l2Free_ = 0.0;
+    double llcFree_ = 0.0;
+    uint64_t dramReads_ = 0;
+    uint64_t dramWrites_ = 0;
+};
+
+} // namespace swan::sim
+
+#endif // SWAN_SIM_CACHE_HH

@@ -1,0 +1,123 @@
+#include "sim/configs.hh"
+
+#include <algorithm>
+
+namespace swan::sim
+{
+
+using trace::Fu;
+
+namespace
+{
+
+CacheConfig
+l1dDefault()
+{
+    return {64 * 1024, 4, 64, 4, true};
+}
+
+CacheConfig
+l2Default()
+{
+    return {512 * 1024, 8, 64, 9, true};
+}
+
+CacheConfig
+llcDefault()
+{
+    return {2 * 1024 * 1024, 8, 64, 31, false};
+}
+
+} // namespace
+
+CoreConfig
+primeConfig()
+{
+    CoreConfig c;
+    c.name = "prime";
+    c.freqGHz = 2.8;
+    c.outOfOrder = true;
+    c.robSize = 128;
+    c.decodeWidth = 4;
+    c.issueWidth = 8;
+    c.commitWidth = 4;
+    c.fuCount[size_t(Fu::SAlu)] = 3;
+    c.fuCount[size_t(Fu::SMul)] = 1;
+    c.fuCount[size_t(Fu::SFp)] = 2;
+    c.fuCount[size_t(Fu::Branch)] = 1;
+    c.fuCount[size_t(Fu::Load)] = 2;
+    c.fuCount[size_t(Fu::Store)] = 1;
+    c.fuCount[size_t(Fu::VUnit)] = 2;
+    c.l1d = l1dDefault();
+    c.l2 = l2Default();
+    c.llc = llcDefault();
+    return c;
+}
+
+CoreConfig
+goldConfig()
+{
+    CoreConfig c = primeConfig();
+    c.name = "gold";
+    c.freqGHz = 2.4;
+    return c;
+}
+
+CoreConfig
+silverConfig()
+{
+    CoreConfig c;
+    c.name = "silver";
+    c.freqGHz = 1.8;
+    c.outOfOrder = false;
+    c.robSize = 16; // in-flight window of the in-order pipe
+    c.decodeWidth = 2;
+    c.issueWidth = 2;
+    c.commitWidth = 2;
+    c.fuCount[size_t(Fu::SAlu)] = 2;
+    c.fuCount[size_t(Fu::SMul)] = 1;
+    c.fuCount[size_t(Fu::SFp)] = 1;
+    c.fuCount[size_t(Fu::Branch)] = 1;
+    c.fuCount[size_t(Fu::Load)] = 1;
+    c.fuCount[size_t(Fu::Store)] = 1;
+    c.fuCount[size_t(Fu::VUnit)] = 1;
+    c.mshrs = 6;
+    c.l1d = {32 * 1024, 4, 64, 3, true};
+    c.l2 = {128 * 1024, 4, 64, 8, true};
+    c.llc = llcDefault();
+    c.branchPenalty = 8;
+    return c;
+}
+
+CoreConfig
+scalabilityConfig(int ways, int vunits)
+{
+    CoreConfig c = primeConfig();
+    c.name = std::to_string(ways) + "W-" + std::to_string(vunits) + "V";
+    c.decodeWidth = ways;
+    c.commitWidth = ways;
+    c.issueWidth = 2 * ways;
+    c.fuCount[size_t(Fu::VUnit)] = vunits;
+    // Scale the in-flight window and the LSU with the front end like
+    // the paper's simulated cores: the study isolates vector-unit ILP,
+    // so neither a starved decoder nor a fixed pair of load ports may
+    // become the bottleneck (XP's GEMM issues one B-panel load per
+    // multiply-accumulate and would otherwise saturate the AGUs).
+    c.robSize = 128 * ways / 4;
+    c.fuCount[size_t(Fu::Load)] =
+        std::max(c.fuCount[size_t(Fu::Load)], ways / 2);
+    c.fuCount[size_t(Fu::Store)] =
+        std::max(c.fuCount[size_t(Fu::Store)], ways / 4);
+    return c;
+}
+
+CoreConfig
+widerVectorConfig(int vecBits)
+{
+    CoreConfig c = primeConfig();
+    c.name = "prime-" + std::to_string(vecBits) + "b";
+    c.vecBits = vecBits;
+    return c;
+}
+
+} // namespace swan::sim

@@ -1,0 +1,356 @@
+#include "sim/core_model.hh"
+
+#include <algorithm>
+
+namespace swan::sim
+{
+
+using trace::Fu;
+using trace::Instr;
+using trace::InstrClass;
+
+/** Latencies at or above this occupy their unit (divides, unpipelined). */
+constexpr int kUnpipelinedLat = 10;
+
+CoreModel::CoreModel(const CoreConfig &cfg)
+    : cfg_(cfg), mem_(cfg), readyRing_(kWindow, 0),
+      robRing_(size_t(std::max(cfg.robSize, 1)), 0)
+{
+    for (size_t f = 0; f < fuFree_.size(); ++f) {
+        int count = std::max(cfg_.fuCount[f], 1);
+        fuFree_[f].assign(size_t(count), 0);
+        fuSlots_[f].assign(kSlots, IssueSlot{});
+    }
+}
+
+uint64_t
+CoreModel::findIssueSlot(trace::Fu fu, uint64_t ready, int occupancy)
+{
+    auto &ring = fuSlots_[size_t(fu)];
+    const uint8_t limit = uint8_t(std::max(cfg_.fuCount[size_t(fu)], 1));
+    uint64_t c = ready;
+    while (true) {
+        bool fits = true;
+        for (int k = 0; k < occupancy && fits; ++k) {
+            const auto &slot = ring[(c + uint64_t(k)) & (kSlots - 1)];
+            const uint8_t used =
+                slot.cycle == c + uint64_t(k) ? slot.used : 0;
+            fits = used < limit;
+        }
+        if (fits)
+            break;
+        ++c;
+    }
+    // One unit is busy for `occupancy` consecutive cycles.
+    for (int k = 0; k < occupancy; ++k) {
+        auto &slot = ring[(c + uint64_t(k)) & (kSlots - 1)];
+        if (slot.cycle != c + uint64_t(k)) {
+            slot.cycle = c + uint64_t(k);
+            slot.used = 0;
+        }
+        slot.used = uint8_t(std::min<int>(slot.used + 1, 255));
+    }
+    return c;
+}
+
+void
+CoreModel::onInstr(const Instr &instr)
+{
+    if (instr.id <= lastSeenId_) {
+        // A new replayed pass started: re-base ids.
+        idOffset_ = n_;
+    }
+    lastSeenId_ = instr.id;
+
+    if (cfg_.outOfOrder)
+        stepOoO(instr);
+    else
+        stepInOrder(instr);
+}
+
+uint64_t
+CoreModel::readyOf(uint64_t dep) const
+{
+    if (dep == 0)
+        return 0;
+    const uint64_t eff = dep + idOffset_;
+    if (eff + kWindow <= n_)
+        return 0; // long since completed
+    return readyRing_[eff & (kWindow - 1)];
+}
+
+uint64_t
+CoreModel::reserveFu(Fu fu, uint64_t ready, int occupancy)
+{
+    auto &pool = fuFree_[size_t(fu)];
+    auto it = std::min_element(pool.begin(), pool.end());
+    const uint64_t start = std::max(ready, *it);
+    *it = start + uint64_t(occupancy);
+    return start;
+}
+
+uint64_t
+CoreModel::memComplete(const Instr &instr, uint64_t start)
+{
+    if (instr.isMultiAddress())
+        return memCompleteMulti(instr, start);
+    if (instr.isLoad()) {
+        auto r = mem_.load(instr.addr, instr.size, start);
+        return start + std::max<uint64_t>(instr.latency, r.latency);
+    }
+    if (instr.isStore()) {
+        mem_.store(instr.addr, instr.size, start);
+        return start + instr.latency;
+    }
+    return start + instr.latency;
+}
+
+uint64_t
+CoreModel::memCompleteMulti(const Instr &instr, uint64_t start)
+{
+    // SVE/RVV-style gather/scatter and arbitrary-stride accesses crack
+    // into per-element cache accesses in the LSU, lsuCrackPerCycle at a
+    // time. LdS/StS element addresses are exact (addr + i*elemStride);
+    // gather/scatter addresses are data-dependent, so the elements are
+    // spread evenly across the touched region [addr, addr2] recorded at
+    // emit time — the right cache-line footprint for the uniform LUT
+    // keys the Section 6.2 kernels generate.
+    const uint64_t crack = uint64_t(std::max(cfg_.lsuCrackPerCycle, 1));
+    const int elems = std::max<int>(instr.activeLanes, 1);
+    const uint32_t elemBytes = std::max<uint32_t>(
+        instr.size / uint32_t(elems), 1);
+    const bool isLoad = instr.isLoad();
+    int64_t stride = instr.elemStride;
+    if (!stride) {
+        stride = elems > 1
+                     ? (int64_t(instr.addr2) - int64_t(instr.addr)) /
+                           (elems - 1)
+                     : 0;
+    }
+    uint64_t complete = start + instr.latency;
+    for (int i = 0; i < elems; ++i) {
+        const uint64_t a = uint64_t(int64_t(instr.addr) + i * stride);
+        const uint64_t issue = start + uint64_t(i) / crack;
+        if (isLoad) {
+            auto r = mem_.load(a, elemBytes, issue);
+            complete = std::max(complete,
+                                issue + std::max<uint64_t>(instr.latency,
+                                                           r.latency));
+        } else {
+            mem_.store(a, elemBytes, issue);
+            complete = std::max(complete, issue + instr.latency);
+        }
+    }
+    return complete;
+}
+
+void
+CoreModel::retire(const Instr &instr, uint64_t complete)
+{
+    // In-order commit, commitWidth per cycle.
+    uint64_t c = std::max(complete, commitCycle_);
+    if (c > commitCycle_) {
+        commitCycle_ = c;
+        commitCount_ = 0;
+    }
+    ++commitCount_;
+    if (commitCount_ > cfg_.commitWidth) {
+        ++commitCycle_;
+        commitCount_ = 1;
+    }
+    robRing_[n_ % robRing_.size()] = commitCycle_;
+    readyRing_[n_ & (kWindow - 1)] = complete;
+
+    ++byClass_[size_t(instr.cls)];
+    vecBytes_ += instr.vecBytes;
+}
+
+void
+CoreModel::stepOoO(const Instr &instr)
+{
+    ++n_;
+
+    // Dispatch: bounded by decode width and a free ROB slot.
+    uint64_t d = dispCycle_;
+    if (n_ > robRing_.size())
+        d = std::max(d, robRing_[n_ % robRing_.size()]);
+    if (d > dispCycle_) {
+        dispCycle_ = d;
+        dispCount_ = 0;
+    }
+    ++dispCount_;
+    if (dispCount_ > cfg_.decodeWidth) {
+        ++dispCycle_;
+        dispCount_ = 1;
+    }
+    d = dispCycle_;
+
+    // Operand readiness (dataflow).
+    uint64_t ready = d;
+    ready = std::max(ready, readyOf(instr.dep0));
+    ready = std::max(ready, readyOf(instr.dep1));
+    ready = std::max(ready, readyOf(instr.dep2));
+
+    // Functional unit (divides occupy the unit for their full latency).
+    // Issue is out of order: younger ready instructions may take earlier
+    // cycles than stalled older ones.
+    int occ = instr.latency >= kUnpipelinedLat ? instr.latency : 1;
+    if (instr.isMultiAddress()) {
+        const int crack = std::max(cfg_.lsuCrackPerCycle, 1);
+        occ = std::max(occ, (std::max<int>(instr.activeLanes, 1) +
+                             crack - 1) / crack);
+    }
+    const uint64_t start = findIssueSlot(instr.fu, ready, occ);
+
+    const uint64_t complete = memComplete(instr, start);
+
+    // Branch handling: a fixed fraction mispredicts and redirects the
+    // front-end after resolution (front-end stall attribution).
+    if (instr.cls == InstrClass::Branch) {
+        ++branches_;
+        const uint64_t interval =
+            uint64_t(1.0 / std::max(cfg_.branchMispredictRate, 1e-6));
+        if (interval && branches_ % interval == 0) {
+            const uint64_t redirect =
+                complete + uint64_t(cfg_.branchPenalty);
+            if (redirect > dispCycle_) {
+                feStallCycles_ += redirect - dispCycle_;
+                dispCycle_ = redirect;
+                dispCount_ = 0;
+            }
+        }
+    }
+
+    retire(instr, complete);
+}
+
+void
+CoreModel::stepInOrder(const Instr &instr)
+{
+    ++n_;
+
+    // Dispatch bound by decode width (no rename; small in-flight window
+    // enforced through robRing_ like a scoreboard).
+    uint64_t d = dispCycle_;
+    if (n_ > robRing_.size())
+        d = std::max(d, robRing_[n_ % robRing_.size()]);
+    if (d > dispCycle_) {
+        dispCycle_ = d;
+        dispCount_ = 0;
+    }
+    ++dispCount_;
+    if (dispCount_ > cfg_.decodeWidth) {
+        ++dispCycle_;
+        dispCount_ = 1;
+    }
+    d = dispCycle_;
+
+    uint64_t ready = std::max(d, lastIssue_);
+    ready = std::max(ready, readyOf(instr.dep0));
+    ready = std::max(ready, readyOf(instr.dep1));
+    ready = std::max(ready, readyOf(instr.dep2));
+
+    int occ = instr.latency >= kUnpipelinedLat ? instr.latency : 1;
+    if (instr.isMultiAddress()) {
+        const int crack = std::max(cfg_.lsuCrackPerCycle, 1);
+        occ = std::max(occ, (std::max<int>(instr.activeLanes, 1) +
+                             crack - 1) / crack);
+    }
+    uint64_t start = reserveFu(instr.fu, ready, occ);
+
+    // Program-order issue, at most issueWidth per cycle.
+    if (start > lastIssue_) {
+        lastIssue_ = start;
+        issueCount_ = 0;
+    }
+    ++issueCount_;
+    if (issueCount_ > cfg_.issueWidth) {
+        ++lastIssue_;
+        issueCount_ = 1;
+        start = lastIssue_;
+    }
+
+    const uint64_t complete = memComplete(instr, start);
+
+    if (instr.cls == InstrClass::Branch) {
+        ++branches_;
+        const uint64_t interval =
+            uint64_t(1.0 / std::max(cfg_.branchMispredictRate, 1e-6));
+        if (interval && branches_ % interval == 0) {
+            const uint64_t redirect =
+                complete + uint64_t(cfg_.branchPenalty);
+            if (redirect > dispCycle_) {
+                feStallCycles_ += redirect - dispCycle_;
+                dispCycle_ = redirect;
+                dispCount_ = 0;
+            }
+        }
+    }
+
+    retire(instr, complete);
+}
+
+void
+CoreModel::beginMeasurement()
+{
+    instr0_ = n_;
+    cycle0_ = commitCycle_;
+    feStall0_ = feStallCycles_;
+    mem_.resetStats();
+    byClass_.fill(0);
+    vecBytes_ = 0;
+}
+
+SimResult
+CoreModel::finish()
+{
+    SimResult r;
+    r.config = cfg_.name;
+    r.instrs = n_ - instr0_;
+    r.cycles = commitCycle_ > cycle0_ ? commitCycle_ - cycle0_ : 1;
+    r.ipc = double(r.instrs) / double(r.cycles);
+    r.timeSec = double(r.cycles) / (cfg_.freqGHz * 1e9);
+
+    const double kilo = double(r.instrs) / 1000.0;
+    r.l1Accesses = mem_.l1().accesses();
+    r.l2Accesses = mem_.l2().accesses();
+    r.llcAccesses = mem_.llc().accesses();
+    if (kilo > 0) {
+        r.l1Mpki = double(mem_.l1().misses()) / kilo;
+        r.l2Mpki = double(mem_.l2().misses()) / kilo;
+        r.llcMpki = double(mem_.llc().misses()) / kilo;
+    }
+    r.l1HitRate = 1.0 - mem_.l1().missRate();
+
+    const uint64_t fe = feStallCycles_ - feStall0_;
+    r.feStallPct = 100.0 * double(fe) / double(r.cycles);
+    const double slots = double(r.cycles) * double(cfg_.decodeWidth);
+    const double lost =
+        slots - double(r.instrs) - double(fe) * double(cfg_.decodeWidth);
+    r.beStallPct = std::max(0.0, 100.0 * lost / slots);
+
+    r.dramReads = mem_.dramReads();
+    r.dramWrites = mem_.dramWrites();
+    r.dramAccessPerKCycle =
+        1000.0 * double(mem_.dramAccesses()) / double(r.cycles);
+
+    r.byClass = byClass_;
+    r.vecBytes = vecBytes_;
+    return r;
+}
+
+SimResult
+simulateTrace(const std::vector<Instr> &instrs, const CoreConfig &cfg,
+              int warmup_passes)
+{
+    CoreModel model(cfg);
+    for (int p = 0; p < warmup_passes; ++p)
+        for (const auto &i : instrs)
+            model.onInstr(i);
+    model.beginMeasurement();
+    for (const auto &i : instrs)
+        model.onInstr(i);
+    return model.finish();
+}
+
+} // namespace swan::sim

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Trace-driven core timing models. CoreModel consumes the dynamic
+ * instruction stream (as a trace::Sink, so it works buffered or streaming)
+ * and models either an out-of-order core (Cortex-A76-like Prime/Gold: ROB,
+ * W-wide dispatch/commit, functional-unit pools, MSHR-limited memory-level
+ * parallelism) or an in-order core (Cortex-A55-like Silver). This is the
+ * substitute for the paper's Ramulator-based trace-driven simulator plus
+ * the Simpleperf PMU measurements.
+ */
+
+#ifndef SWAN_SIM_CORE_MODEL_HH
+#define SWAN_SIM_CORE_MODEL_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/cache.hh"
+#include "sim/configs.hh"
+#include "trace/instr.hh"
+#include "trace/recorder.hh"
+
+namespace swan::sim
+{
+
+/** Metrics of one simulated run (the measured pass). */
+struct SimResult
+{
+    std::string config;
+    uint64_t instrs = 0;
+    uint64_t cycles = 0;
+    double ipc = 0.0;
+    double timeSec = 0.0;
+
+    double l1Mpki = 0.0;
+    double l2Mpki = 0.0;
+    double llcMpki = 0.0;
+    double l1HitRate = 0.0;
+    double feStallPct = 0.0;    //!< % cycles lost to the front-end
+    double beStallPct = 0.0;    //!< % issue slots lost to the back-end
+
+    uint64_t dramReads = 0;
+    uint64_t dramWrites = 0;
+    /** Main-memory accesses per kilo-cycle (the Section 5.3 rate). */
+    double dramAccessPerKCycle = 0.0;
+
+    // Event counts for the power model.
+    std::array<uint64_t, size_t(trace::InstrClass::NumClasses)> byClass{};
+    uint64_t vecBytes = 0;      //!< sum of vector datapath bytes
+    uint64_t l1Accesses = 0;
+    uint64_t l2Accesses = 0;
+    uint64_t llcAccesses = 0;
+
+    double energyJ = 0.0;       //!< filled by PowerModel
+    double powerW = 0.0;        //!< filled by PowerModel
+};
+
+/** Incremental trace-driven core model. */
+class CoreModel : public trace::Sink
+{
+  public:
+    explicit CoreModel(const CoreConfig &cfg);
+
+    void onInstr(const trace::Instr &instr) override;
+
+    /**
+     * Mark the start of the measured region: statistics reset, cache and
+     * pipeline state carry over (this is the paper's cache warm-up).
+     * Instruction ids restart at 1 on each replayed pass; the model
+     * re-bases them automatically.
+     */
+    void beginMeasurement();
+
+    /** Finalize and return the metrics of the measured region. */
+    SimResult finish();
+
+    const CoreConfig &config() const { return cfg_; }
+
+  private:
+    void stepOoO(const trace::Instr &instr);
+    void stepInOrder(const trace::Instr &instr);
+
+    /** Completion cycle of producer @p dep (0 = long retired). */
+    uint64_t readyOf(uint64_t dep) const;
+
+    /** Earliest cycle >= @p ready with a free unit; reserves it.
+     *  In-order issue: program-order head-of-line reservation. */
+    uint64_t reserveFu(trace::Fu fu, uint64_t ready, int occupancy);
+
+    /**
+     * Out-of-order issue: find the earliest cycle >= @p ready with a
+     * free slot in the pool's per-cycle issue table (younger
+     * instructions may claim earlier cycles than stalled older ones).
+     */
+    uint64_t findIssueSlot(trace::Fu fu, uint64_t ready, int occupancy);
+
+    /** Execute the memory side; returns the completion cycle. */
+    uint64_t memComplete(const trace::Instr &instr, uint64_t start);
+
+    /**
+     * Gather/scatter and arbitrary-stride accesses (StrideKind::Gather/
+     * Scatter/LdS/StS) crack into per-element cache accesses, two
+     * elements per cycle; the instruction completes with its slowest
+     * element.
+     */
+    uint64_t memCompleteMulti(const trace::Instr &instr, uint64_t start);
+
+    /** Common post-execute bookkeeping (commit, stats). */
+    void retire(const trace::Instr &instr, uint64_t complete);
+
+    static constexpr int kWindowBits = 17;
+    static constexpr uint64_t kWindow = uint64_t(1) << kWindowBits;
+
+    CoreConfig cfg_;
+    MemHierarchy mem_;
+
+    uint64_t n_ = 0;            //!< instructions consumed (all passes)
+    uint64_t idOffset_ = 0;     //!< re-bases per-pass instruction ids
+    uint64_t lastSeenId_ = 0;
+
+    static constexpr int kSlotBits = 14;
+    static constexpr uint64_t kSlots = uint64_t(1) << kSlotBits;
+
+    std::vector<uint64_t> readyRing_;
+    std::vector<uint64_t> robRing_;
+    std::array<std::vector<uint64_t>, size_t(trace::Fu::NumFus)> fuFree_;
+    /**
+     * Per-pool, per-cycle issued-op counts (OoO issue model). Slots are
+     * stamped with the cycle they describe, so a stale entry from a
+     * previous trip around the ring reads as zero without any clearing
+     * sweep — host cost stays O(1) per instruction even when stall-heavy
+     * variants advance the cycle frontier by thousands per instruction.
+     */
+    struct IssueSlot
+    {
+        uint64_t cycle = ~uint64_t(0);
+        uint8_t used = 0;
+    };
+    std::array<std::vector<IssueSlot>, size_t(trace::Fu::NumFus)> fuSlots_;
+
+    uint64_t dispCycle_ = 0;
+    int dispCount_ = 0;
+    uint64_t commitCycle_ = 0;
+    int commitCount_ = 0;
+    uint64_t lastIssue_ = 0;    //!< in-order program-order issue point
+    int issueCount_ = 0;
+    uint64_t branches_ = 0;
+    uint64_t feStallCycles_ = 0;
+
+    // Measurement snapshot.
+    uint64_t instr0_ = 0;
+    uint64_t cycle0_ = 0;
+    uint64_t feStall0_ = 0;
+    std::array<uint64_t, size_t(trace::InstrClass::NumClasses)> byClass_{};
+    uint64_t vecBytes_ = 0;
+};
+
+/**
+ * Simulate a buffered trace on @p cfg with @p warmup_passes cache-warming
+ * replays before the measured pass (the paper warms caches before each
+ * measured iteration).
+ */
+SimResult simulateTrace(const std::vector<trace::Instr> &instrs,
+                        const CoreConfig &cfg, int warmup_passes = 1);
+
+} // namespace swan::sim
+
+#endif // SWAN_SIM_CORE_MODEL_HH

@@ -1,0 +1,3 @@
+#include "sim/dram.hh"
+
+// Dram is header-inline; this translation unit anchors the target.

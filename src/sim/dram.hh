@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Bandwidth/latency DRAM model (Ramulator-inspired, simplified): a fixed
+ * access latency plus a single-channel service queue that bounds sustained
+ * bandwidth. Substitutes for the Ramulator CPU-model back-end of the
+ * paper's trace-driven simulator.
+ */
+
+#ifndef SWAN_SIM_DRAM_HH
+#define SWAN_SIM_DRAM_HH
+
+#include <algorithm>
+#include <cstdint>
+
+namespace swan::sim
+{
+
+/** Single-channel LPDDR4X-like DRAM timing model. */
+class Dram
+{
+  public:
+    /**
+     * @param latency_cycles idle-access latency (row activate + CAS + bus)
+     * @param service_cycles channel occupancy per 64-byte transfer
+     */
+    Dram(uint64_t latency_cycles, double service_cycles)
+        : latency_(latency_cycles), service_(service_cycles)
+    {
+    }
+
+    /**
+     * Issue one line transfer at @p cycle; returns the data-ready cycle.
+     * Back-to-back transfers queue behind each other (bandwidth bound).
+     */
+    uint64_t
+    access(uint64_t cycle)
+    {
+        const double start = std::max(double(cycle), nextFree_);
+        nextFree_ = start + service_;
+        ++accesses_;
+        return uint64_t(start) + latency_;
+    }
+
+    void
+    reset()
+    {
+        nextFree_ = 0.0;
+        accesses_ = 0;
+    }
+
+    uint64_t accesses() const { return accesses_; }
+
+  private:
+    uint64_t latency_;
+    double service_;
+    double nextFree_ = 0.0;
+    uint64_t accesses_ = 0;
+};
+
+} // namespace swan::sim
+
+#endif // SWAN_SIM_DRAM_HH

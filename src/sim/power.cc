@@ -1,0 +1,61 @@
+#include "sim/power.hh"
+
+namespace swan::sim
+{
+
+using trace::InstrClass;
+
+PowerParams
+PowerParams::forConfig(const CoreConfig &cfg)
+{
+    PowerParams p;
+    if (!cfg.outOfOrder) {
+        // Silver: in-order pipe, lower voltage/frequency point.
+        p.eScalarInstr = 35e-12;
+        p.eBranch = 25e-12;
+        p.eVecInstr = 80e-12;
+        p.eVecPerByte = 4e-12;
+        p.staticW = 0.45;
+    } else if (cfg.freqGHz < 2.6) {
+        // Gold: same core, lower V/f point.
+        p.eScalarInstr = 75e-12;
+        p.eVecInstr = 120e-12;
+        p.staticW = 0.70;
+    }
+    return p;
+}
+
+void
+applyPowerModel(SimResult &r, const PowerParams &p)
+{
+    auto count = [&](InstrClass c) {
+        return double(r.byClass[size_t(c)]);
+    };
+    const double scalar = count(InstrClass::SInt) +
+                          count(InstrClass::SFloat) +
+                          count(InstrClass::SLoad) +
+                          count(InstrClass::SStore);
+    const double branch = count(InstrClass::Branch);
+    const double vec = count(InstrClass::VLoad) +
+                       count(InstrClass::VStore) +
+                       count(InstrClass::VInt) +
+                       count(InstrClass::VFloat) +
+                       count(InstrClass::VCrypto) +
+                       count(InstrClass::VMisc);
+
+    double e = 0.0;
+    e += scalar * p.eScalarInstr;
+    e += branch * p.eBranch;
+    e += vec * p.eVecInstr;
+    e += double(r.vecBytes) * p.eVecPerByte;
+    e += double(r.l1Accesses) * p.eL1Access;
+    e += double(r.l2Accesses) * p.eL2Access;
+    e += double(r.llcAccesses) * p.eLlcAccess;
+    e += double(r.dramReads + r.dramWrites) * p.eDramLine;
+    e += p.staticW * r.timeSec;
+
+    r.energyJ = e;
+    r.powerW = r.timeSec > 0 ? e / r.timeSec : 0.0;
+}
+
+} // namespace swan::sim

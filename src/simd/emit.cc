@@ -1,0 +1,4 @@
+#include "simd/emit.hh"
+
+// Emission helpers are header-inline; this translation unit intentionally
+// only anchors the target.

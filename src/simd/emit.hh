@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Emission helpers shared by the scalar instrumentation and the vector
+ * emulation: they append instruction records to the thread-local
+ * trace::Recorder (if any) and return the new instruction id so values can
+ * carry dataflow provenance.
+ *
+ * Execution latencies follow the Arm Cortex-A76 Software Optimization
+ * Guide in spirit (integer ALU 1, multiply 3, FP 3-4, ASIMD 2-4, loads 4
+ * cycles L1-hit, across-vector reductions 5).
+ */
+
+#ifndef SWAN_SIMD_EMIT_HH
+#define SWAN_SIMD_EMIT_HH
+
+#include <cstdint>
+
+#include "trace/instr.hh"
+#include "trace/recorder.hh"
+
+namespace swan::simd
+{
+
+using trace::Fu;
+using trace::Instr;
+using trace::InstrClass;
+using trace::StrideKind;
+
+/** Latency classes (cycles) used when emitting instructions. */
+struct Lat
+{
+    static constexpr int sAlu = 1;      //!< scalar integer ALU op
+    static constexpr int sMul = 3;      //!< scalar integer multiply
+    static constexpr int sDiv = 12;     //!< scalar integer divide
+    static constexpr int sFp = 3;       //!< scalar FP add/mul
+    static constexpr int sFma = 4;      //!< scalar fused multiply-add
+    static constexpr int sFdiv = 10;    //!< scalar FP divide
+    static constexpr int branch = 1;
+    static constexpr int load = 4;      //!< L1-hit load-to-use
+    static constexpr int store = 1;
+    static constexpr int vAlu = 2;      //!< ASIMD integer add/logic/compare
+    static constexpr int vMul = 4;      //!< ASIMD integer multiply / MLA
+    static constexpr int vFp = 3;       //!< ASIMD FP add/mul
+    static constexpr int vFma = 4;      //!< ASIMD FP fused multiply-add
+    /**
+     * Accumulating multiply forms (MLA/MLAL/FMLA): the Cortex-A76
+     * forwards the accumulator between back-to-back multiply-accumulates
+     * (SOG "multiply-accumulate pipeline" forwarding), so a MAC chain
+     * sees ~2-cycle effective latency rather than the full multiply
+     * latency. Applied as the op latency — the accumulation chain is
+     * the overwhelmingly common consumer in the Swan kernels (GEMM,
+     * convolution, autocorrelation), and this forwarding is what lets
+     * the paper's 8-accumulator GEMM scale with more ASIMD units
+     * (Figure 5(b)).
+     */
+    static constexpr int vMacFwd = 2;
+    static constexpr int vFdiv = 10;    //!< ASIMD FP divide (unpipelined)
+    static constexpr int vPerm = 2;     //!< permute/duplicate/extract
+    static constexpr int vCrypto = 2;   //!< AES/SHA/PMULL
+    static constexpr int vAcross = 5;   //!< across-vector reduction
+    static constexpr int vLoad = 4;     //!< vector load, L1 hit
+    static constexpr int vLoadN = 6;    //!< de-interleaving ld2/ld3/ld4
+    static constexpr int vStore = 1;
+    static constexpr int vStoreN = 2;   //!< interleaving st2/st3/st4
+    static constexpr int laneMove = 4;  //!< vector-lane <-> scalar transfer
+    // Future-ISA extension ops (vec_sve.hh); elements additionally crack
+    // at two per cycle in the timing model's LSU.
+    static constexpr int vGather = 6;   //!< indexed vector load, L1 hit
+    static constexpr int vScatter = 2;  //!< indexed vector store
+    static constexpr int vStrided = 6;  //!< arbitrary-stride load, L1 hit
+    static constexpr int vPred = 1;     //!< predicate-generating ops
+    static constexpr int vCmla = 2;     //!< FCMLA/FCADD (Cortex-A710 SOG)
+};
+
+/** Append a non-memory instruction; returns its id (0 when not tracing). */
+inline uint64_t
+emitOp(InstrClass cls, Fu fu, int lat, uint64_t d0 = 0, uint64_t d1 = 0,
+       uint64_t d2 = 0, int vec_bytes = 0, int lanes = 0, int active = 0,
+       StrideKind stride = StrideKind::None)
+{
+    auto *rec = trace::currentRecorder();
+    if (!rec)
+        return 0;
+    Instr instr;
+    instr.cls = cls;
+    instr.fu = fu;
+    instr.latency = uint8_t(lat);
+    instr.dep0 = d0;
+    instr.dep1 = d1;
+    instr.dep2 = d2;
+    instr.vecBytes = uint8_t(vec_bytes);
+    instr.lanes = uint8_t(lanes);
+    instr.activeLanes = uint8_t(active);
+    instr.stride = stride;
+    return rec->emit(instr);
+}
+
+/** Append a memory instruction; returns its id (0 when not tracing). */
+inline uint64_t
+emitMem(InstrClass cls, const void *addr, uint32_t size, int lat,
+        uint64_t d0 = 0, uint64_t d1 = 0, int vec_bytes = 0, int lanes = 0,
+        int active = 0, StrideKind stride = StrideKind::None)
+{
+    auto *rec = trace::currentRecorder();
+    if (!rec)
+        return 0;
+    Instr instr;
+    instr.cls = cls;
+    instr.fu = (cls == InstrClass::SStore || cls == InstrClass::VStore)
+                   ? Fu::Store : Fu::Load;
+    instr.latency = uint8_t(lat);
+    instr.dep0 = d0;
+    instr.dep1 = d1;
+    instr.addr = reinterpret_cast<uint64_t>(addr);
+    instr.size = size;
+    instr.vecBytes = uint8_t(vec_bytes);
+    instr.lanes = uint8_t(lanes);
+    instr.activeLanes = uint8_t(active);
+    instr.stride = stride;
+    return rec->emit(instr);
+}
+
+/** True when tracing is active on this thread. */
+inline bool
+tracing()
+{
+    return trace::currentRecorder() != nullptr;
+}
+
+} // namespace swan::simd
+
+#endif // SWAN_SIMD_EMIT_HH

@@ -1,0 +1,84 @@
+#include "simd/half.hh"
+
+#include <bit>
+#include <cmath>
+
+namespace swan::simd
+{
+
+float
+Half::toFloat() const
+{
+    const uint32_t sign = uint32_t(bits >> 15) & 1;
+    const uint32_t exp = uint32_t(bits >> 10) & 0x1f;
+    const uint32_t frac = uint32_t(bits) & 0x3ff;
+
+    uint32_t out;
+    if (exp == 0) {
+        if (frac == 0) {
+            out = sign << 31; // signed zero
+        } else {
+            // Subnormal: normalize into float.
+            int e = -1;
+            uint32_t f = frac;
+            do {
+                ++e;
+                f <<= 1;
+            } while ((f & 0x400) == 0);
+            out = (sign << 31) | uint32_t(127 - 15 - e) << 23 |
+                  ((f & 0x3ff) << 13);
+        }
+    } else if (exp == 0x1f) {
+        out = (sign << 31) | 0x7f800000u | (frac << 13); // inf / NaN
+    } else {
+        out = (sign << 31) | ((exp - 15 + 127) << 23) | (frac << 13);
+    }
+    return std::bit_cast<float>(out);
+}
+
+uint16_t
+Half::fromFloat(float f)
+{
+    const uint32_t in = std::bit_cast<uint32_t>(f);
+    const uint32_t sign = (in >> 31) & 1;
+    int32_t exp = int32_t((in >> 23) & 0xff) - 127 + 15;
+    uint32_t frac = in & 0x7fffff;
+
+    if (((in >> 23) & 0xff) == 0xff) {
+        // Inf or NaN; preserve NaN-ness.
+        uint16_t payload = frac ? uint16_t(0x200 | (frac >> 13)) : 0;
+        return uint16_t((sign << 15) | (0x1f << 10) | payload);
+    }
+    if (exp >= 0x1f)
+        return uint16_t((sign << 15) | (0x1f << 10)); // overflow -> inf
+    if (exp <= 0) {
+        if (exp < -10)
+            return uint16_t(sign << 15); // underflow -> signed zero
+        // Subnormal half: shift with round-to-nearest-even.
+        frac |= 0x800000;
+        const int shift = 14 - exp + 13 - 13; // bits to drop: 13 + (1-exp)
+        const int drop = 13 + 1 - exp;
+        const uint32_t kept = frac >> drop;
+        const uint32_t rem = frac & ((1u << drop) - 1);
+        const uint32_t halfway = 1u << (drop - 1);
+        uint32_t r = kept;
+        if (rem > halfway || (rem == halfway && (kept & 1)))
+            ++r;
+        (void)shift;
+        return uint16_t((sign << 15) | r);
+    }
+    // Normal: round 23-bit fraction to 10 bits, nearest-even.
+    uint32_t r = frac >> 13;
+    const uint32_t rem = frac & 0x1fff;
+    if (rem > 0x1000 || (rem == 0x1000 && (r & 1)))
+        ++r;
+    if (r == 0x400) {
+        r = 0;
+        ++exp;
+        if (exp >= 0x1f)
+            return uint16_t((sign << 15) | (0x1f << 10));
+    }
+    return uint16_t((sign << 15) | (uint32_t(exp) << 10) | r);
+}
+
+} // namespace swan::simd

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * IEEE 754 binary16 value type used to emulate the Arm FP16 extension
+ * (the XP GEMM/SpMM FP16 kernels). Arithmetic is performed in float and
+ * rounded back per operation, which matches hardware FP16 semantics up to
+ * double rounding (documented in DESIGN.md limitations).
+ */
+
+#ifndef SWAN_SIMD_HALF_HH
+#define SWAN_SIMD_HALF_HH
+
+#include <cstdint>
+
+namespace swan::simd
+{
+
+/** IEEE binary16 storage type with float-mediated arithmetic. */
+struct Half
+{
+    uint16_t bits = 0;
+
+    Half() = default;
+    explicit Half(float f) : bits(fromFloat(f)) {}
+
+    /** Convert to float (exact). */
+    float toFloat() const;
+    operator float() const { return toFloat(); }
+
+    /** Round-to-nearest-even conversion from float. */
+    static uint16_t fromFloat(float f);
+
+    friend Half operator+(Half a, Half b) { return Half(float(a)+float(b)); }
+    friend Half operator-(Half a, Half b) { return Half(float(a)-float(b)); }
+    friend Half operator*(Half a, Half b) { return Half(float(a)*float(b)); }
+    friend Half operator/(Half a, Half b) { return Half(float(a)/float(b)); }
+    friend Half operator-(Half a) { return Half(-float(a)); }
+    friend bool operator==(Half a, Half b) { return float(a) == float(b); }
+    friend bool operator!=(Half a, Half b) { return float(a) != float(b); }
+    friend bool operator<(Half a, Half b) { return float(a) < float(b); }
+    friend bool operator<=(Half a, Half b) { return float(a) <= float(b); }
+    friend bool operator>(Half a, Half b) { return float(a) > float(b); }
+    friend bool operator>=(Half a, Half b) { return float(a) >= float(b); }
+};
+
+static_assert(sizeof(Half) == 2, "Half must be 2 bytes");
+
+} // namespace swan::simd
+
+#endif // SWAN_SIMD_HALF_HH

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * ACLE-style compatibility layer: the familiar Arm Neon type and
+ * intrinsic names (uint8x16_t, vaddq_u8, vld1q_f32, ...) mapped onto the
+ * width-generic emulation. New kernels can be written verbatim against
+ * the 128-bit Neon API and still run (and be traced/simulated) anywhere.
+ * Only the families the Swan kernels use are aliased; the width-generic
+ * API in vec*.hh remains the primary interface.
+ */
+
+#ifndef SWAN_SIMD_NEON_COMPAT_HH
+#define SWAN_SIMD_NEON_COMPAT_HH
+
+#include "simd/simd.hh"
+
+namespace swan::simd::neon
+{
+
+// Vector types (quad-register forms).
+using uint8x16_t = Vec<uint8_t, 128>;
+using int8x16_t = Vec<int8_t, 128>;
+using uint16x8_t = Vec<uint16_t, 128>;
+using int16x8_t = Vec<int16_t, 128>;
+using uint32x4_t = Vec<uint32_t, 128>;
+using int32x4_t = Vec<int32_t, 128>;
+using uint64x2_t = Vec<uint64_t, 128>;
+using int64x2_t = Vec<int64_t, 128>;
+using float32x4_t = Vec<float, 128>;
+using float16x8_t = Vec<Half, 128>;
+
+// Multi-register aggregates (VLD2/3/4 results).
+using uint8x16x2_t = std::array<uint8x16_t, 2>;
+using uint8x16x3_t = std::array<uint8x16_t, 3>;
+using uint8x16x4_t = std::array<uint8x16_t, 4>;
+using float32x4x2_t = std::array<float32x4_t, 2>;
+
+#define SWAN_NEON_BINARY(neon_name, generic, ty)                           \
+    inline ty neon_name(const ty &a, const ty &b)                          \
+    {                                                                      \
+        return generic(a, b);                                              \
+    }
+
+SWAN_NEON_BINARY(vaddq_u8, vadd, uint8x16_t)
+SWAN_NEON_BINARY(vaddq_u16, vadd, uint16x8_t)
+SWAN_NEON_BINARY(vaddq_s16, vadd, int16x8_t)
+SWAN_NEON_BINARY(vaddq_u32, vadd, uint32x4_t)
+SWAN_NEON_BINARY(vaddq_s32, vadd, int32x4_t)
+SWAN_NEON_BINARY(vaddq_f32, vadd, float32x4_t)
+SWAN_NEON_BINARY(vsubq_u8, vsub, uint8x16_t)
+SWAN_NEON_BINARY(vsubq_s16, vsub, int16x8_t)
+SWAN_NEON_BINARY(vsubq_f32, vsub, float32x4_t)
+SWAN_NEON_BINARY(vmulq_s16, vmul, int16x8_t)
+SWAN_NEON_BINARY(vmulq_f32, vmul, float32x4_t)
+SWAN_NEON_BINARY(vminq_f32, vmin, float32x4_t)
+SWAN_NEON_BINARY(vmaxq_f32, vmax, float32x4_t)
+SWAN_NEON_BINARY(vminq_u8, vmin, uint8x16_t)
+SWAN_NEON_BINARY(vmaxq_u8, vmax, uint8x16_t)
+SWAN_NEON_BINARY(vabdq_u8, vabd, uint8x16_t)
+SWAN_NEON_BINARY(vqaddq_u8, vqadd, uint8x16_t)
+SWAN_NEON_BINARY(vqaddq_s16, vqadd, int16x8_t)
+SWAN_NEON_BINARY(vqsubq_s16, vqsub, int16x8_t)
+SWAN_NEON_BINARY(vhaddq_u8, vhadd, uint8x16_t)
+SWAN_NEON_BINARY(vrhaddq_u8, vrhadd, uint8x16_t)
+SWAN_NEON_BINARY(vandq_u32, vand, uint32x4_t)
+SWAN_NEON_BINARY(vorrq_u32, vorr, uint32x4_t)
+SWAN_NEON_BINARY(veorq_u8, veor, uint8x16_t)
+SWAN_NEON_BINARY(veorq_u32, veor, uint32x4_t)
+SWAN_NEON_BINARY(vbicq_u32, vbic, uint32x4_t)
+SWAN_NEON_BINARY(vzip1q_u8, vzip1, uint8x16_t)
+SWAN_NEON_BINARY(vzip2q_u8, vzip2, uint8x16_t)
+SWAN_NEON_BINARY(vuzp1q_u8, vuzp1, uint8x16_t)
+SWAN_NEON_BINARY(vuzp2q_u8, vuzp2, uint8x16_t)
+SWAN_NEON_BINARY(vtrn1q_s16, vtrn1, int16x8_t)
+SWAN_NEON_BINARY(vtrn2q_s16, vtrn2, int16x8_t)
+SWAN_NEON_BINARY(vqdmulhq_s16, vqdmulh, int16x8_t)
+
+#undef SWAN_NEON_BINARY
+
+// Fused / ternary forms.
+inline float32x4_t
+vmlaq_f32(const float32x4_t &acc, const float32x4_t &a,
+          const float32x4_t &b)
+{
+    return vmla(acc, a, b);
+}
+inline float32x4_t
+vfmaq_f32(const float32x4_t &acc, const float32x4_t &a,
+          const float32x4_t &b)
+{
+    return vmla(acc, a, b);
+}
+inline uint16x8_t
+vmlal_u8(const uint16x8_t &acc, const uint8x16_t &a, const uint8x16_t &b)
+{
+    return vmlal_lo(acc, a, b);
+}
+inline uint16x8_t
+vmlal_high_u8(const uint16x8_t &acc, const uint8x16_t &a,
+              const uint8x16_t &b)
+{
+    return vmlal_hi(acc, a, b);
+}
+
+// Broadcast / lanes.
+inline uint8x16_t vdupq_n_u8(uint8_t c) { return vdup<uint8_t, 128>(c); }
+inline int16x8_t vdupq_n_s16(int16_t c) { return vdup<int16_t, 128>(c); }
+inline uint32x4_t vdupq_n_u32(uint32_t c)
+{
+    return vdup<uint32_t, 128>(c);
+}
+inline float32x4_t vdupq_n_f32(float c) { return vdup<float, 128>(c); }
+
+// Memory.
+inline uint8x16_t vld1q_u8(const uint8_t *p) { return vld1<128>(p); }
+inline int16x8_t vld1q_s16(const int16_t *p) { return vld1<128>(p); }
+inline uint32x4_t vld1q_u32(const uint32_t *p) { return vld1<128>(p); }
+inline float32x4_t vld1q_f32(const float *p) { return vld1<128>(p); }
+inline void vst1q_u8(uint8_t *p, const uint8x16_t &v) { vst1(p, v); }
+inline void vst1q_s16(int16_t *p, const int16x8_t &v) { vst1(p, v); }
+inline void vst1q_u32(uint32_t *p, const uint32x4_t &v) { vst1(p, v); }
+inline void vst1q_f32(float *p, const float32x4_t &v) { vst1(p, v); }
+inline uint8x16x2_t vld2q_u8(const uint8_t *p) { return vld2<128>(p); }
+inline uint8x16x3_t vld3q_u8(const uint8_t *p) { return vld3<128>(p); }
+inline uint8x16x4_t vld4q_u8(const uint8_t *p) { return vld4<128>(p); }
+inline void vst2q_u8(uint8_t *p, const uint8x16x2_t &v) { vst2(p, v); }
+inline void vst4q_u8(uint8_t *p, const uint8x16x4_t &v) { vst4(p, v); }
+inline float32x4x2_t vld2q_f32(const float *p) { return vld2<128>(p); }
+
+// Widen / narrow (the AArch64 low/high-half forms).
+inline uint16x8_t vmovl_u8(const uint8x16_t &v) { return vmovl_lo(v); }
+inline uint16x8_t vmovl_high_u8(const uint8x16_t &v)
+{
+    return vmovl_hi(v);
+}
+inline uint16x8_t
+vmull_u8(const uint8x16_t &a, const uint8x16_t &b)
+{
+    return vmull_lo(a, b);
+}
+inline uint16x8_t
+vmull_high_u8(const uint8x16_t &a, const uint8x16_t &b)
+{
+    return vmull_hi(a, b);
+}
+
+// Pairwise / across.
+inline uint16x8_t vpaddlq_u8(const uint8x16_t &v) { return vpaddl(v); }
+inline uint16x8_t
+vpadalq_u8(const uint16x8_t &acc, const uint8x16_t &v)
+{
+    return vpadal(acc, v);
+}
+inline Sc<uint32_t> vaddlvq_u16(const uint16x8_t &v) { return vaddlv(v); }
+inline Sc<float> vaddvq_f32(const float32x4_t &v) { return vaddv(v); }
+inline Sc<uint8_t> vmaxvq_u8(const uint8x16_t &v) { return vmaxv(v); }
+inline Sc<uint8_t> vminvq_u8(const uint8x16_t &v) { return vminv(v); }
+
+// Crypto.
+inline uint8x16_t
+vaeseq_u8(const uint8x16_t &state, const uint8x16_t &key)
+{
+    return vaese(state, key);
+}
+inline uint8x16_t vaesmcq_u8(const uint8x16_t &state)
+{
+    return vaesmc(state);
+}
+
+} // namespace swan::simd::neon
+
+#endif // SWAN_SIMD_NEON_COMPAT_HH

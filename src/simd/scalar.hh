@@ -1,0 +1,368 @@
+/**
+ * @file
+ * Instrumented scalar value type. Scalar reference implementations of the
+ * Swan kernels are written against Sc<T> so that the same trace/timing
+ * machinery measures them (the paper compiles the scalar code with
+ * vectorization disabled and traces it with DynamoRIO; our substitute is
+ * this wrapper, which emits one instruction record per scalar operation).
+ *
+ * Conventions:
+ *  - constructing from a plain constant carries no provenance (constants
+ *    are materialized for free, like immediate operands);
+ *  - arithmetic/logic operators emit one S-Integer or S-Float instruction;
+ *  - relational operators emit a compare and a branch, since in the
+ *    benchmarked kernels scalar comparisons feed control flow;
+ *  - sload/sstore emit scalar memory instructions with real addresses;
+ *  - ctl::loop() accounts for the loop induction update and back-edge.
+ */
+
+#ifndef SWAN_SIMD_SCALAR_HH
+#define SWAN_SIMD_SCALAR_HH
+
+#include <cstdint>
+#include <type_traits>
+
+#include "simd/emit.hh"
+#include "simd/half.hh"
+
+namespace swan::simd
+{
+
+template <typename T>
+constexpr bool isFloatLike =
+    std::is_floating_point_v<T> || std::is_same_v<T, Half>;
+
+/** Instrumented scalar value: payload plus producer instruction id. */
+template <typename T>
+struct Sc
+{
+    T v{};
+    uint64_t src = 0;
+
+    Sc() = default;
+    Sc(T value) : v(value) {}
+    Sc(T value, uint64_t producer) : v(value), src(producer) {}
+
+    /** Reinterpret/convert to another scalar type (register move; free). */
+    template <typename U>
+    Sc<U>
+    to() const
+    {
+        if constexpr (isFloatLike<U> != isFloatLike<T>) {
+            // int<->float conversion occupies the FP pipe.
+            uint64_t id = emitOp(InstrClass::SFloat, Fu::SFp, Lat::sFp, src);
+            if constexpr (std::is_same_v<U, Half>)
+                return Sc<U>(U(float(v)), id);
+            else
+                return Sc<U>(U(v), id);
+        } else {
+            return Sc<U>(U(v), src);
+        }
+    }
+};
+
+namespace detail
+{
+
+template <typename T>
+inline uint64_t
+emitScalarArith(uint64_t d0, uint64_t d1, bool is_mul = false,
+                bool is_div = false)
+{
+    if constexpr (isFloatLike<T>) {
+        return emitOp(InstrClass::SFloat, Fu::SFp,
+                      is_div ? Lat::sFdiv : Lat::sFp, d0, d1);
+    } else {
+        if (is_div)
+            return emitOp(InstrClass::SInt, Fu::SMul, Lat::sDiv, d0, d1);
+        if (is_mul)
+            return emitOp(InstrClass::SInt, Fu::SMul, Lat::sMul, d0, d1);
+        return emitOp(InstrClass::SInt, Fu::SAlu, Lat::sAlu, d0, d1);
+    }
+}
+
+/** Wraparound arithmetic that avoids signed-overflow UB. */
+template <typename T>
+inline T
+wrapAdd(T a, T b)
+{
+    if constexpr (std::is_integral_v<T>)
+        return T(uint64_t(a) + uint64_t(b));
+    else
+        return a + b;
+}
+template <typename T>
+inline T
+wrapSub(T a, T b)
+{
+    if constexpr (std::is_integral_v<T>)
+        return T(uint64_t(a) - uint64_t(b));
+    else
+        return a - b;
+}
+template <typename T>
+inline T
+wrapMul(T a, T b)
+{
+    if constexpr (std::is_integral_v<T>)
+        return T(uint64_t(a) * uint64_t(b));
+    else
+        return a * b;
+}
+
+} // namespace detail
+
+template <typename T>
+inline Sc<T>
+operator+(Sc<T> a, Sc<T> b)
+{
+    return {detail::wrapAdd(a.v, b.v),
+            detail::emitScalarArith<T>(a.src, b.src)};
+}
+template <typename T>
+inline Sc<T>
+operator-(Sc<T> a, Sc<T> b)
+{
+    return {detail::wrapSub(a.v, b.v),
+            detail::emitScalarArith<T>(a.src, b.src)};
+}
+template <typename T>
+inline Sc<T>
+operator*(Sc<T> a, Sc<T> b)
+{
+    return {detail::wrapMul(a.v, b.v),
+            detail::emitScalarArith<T>(a.src, b.src, true)};
+}
+template <typename T>
+inline Sc<T>
+operator/(Sc<T> a, Sc<T> b)
+{
+    return {T(a.v / b.v),
+            detail::emitScalarArith<T>(a.src, b.src, false, true)};
+}
+template <typename T>
+inline Sc<T>
+operator%(Sc<T> a, Sc<T> b)
+{
+    static_assert(std::is_integral_v<T>);
+    return {T(a.v % b.v),
+            detail::emitScalarArith<T>(a.src, b.src, false, true)};
+}
+template <typename T>
+inline Sc<T>
+operator-(Sc<T> a)
+{
+    return {detail::wrapSub(T{}, a.v), detail::emitScalarArith<T>(a.src, 0)};
+}
+
+template <typename T>
+inline Sc<T>
+operator&(Sc<T> a, Sc<T> b)
+{
+    return {T(a.v & b.v), detail::emitScalarArith<T>(a.src, b.src)};
+}
+template <typename T>
+inline Sc<T>
+operator|(Sc<T> a, Sc<T> b)
+{
+    return {T(a.v | b.v), detail::emitScalarArith<T>(a.src, b.src)};
+}
+template <typename T>
+inline Sc<T>
+operator^(Sc<T> a, Sc<T> b)
+{
+    return {T(a.v ^ b.v), detail::emitScalarArith<T>(a.src, b.src)};
+}
+template <typename T>
+inline Sc<T>
+operator~(Sc<T> a)
+{
+    return {T(~a.v), detail::emitScalarArith<T>(a.src, 0)};
+}
+template <typename T>
+inline Sc<T>
+operator<<(Sc<T> a, int n)
+{
+    return {T(uint64_t(a.v) << n), detail::emitScalarArith<T>(a.src, 0)};
+}
+template <typename T>
+inline Sc<T>
+operator>>(Sc<T> a, int n)
+{
+    return {T(a.v >> n), detail::emitScalarArith<T>(a.src, 0)};
+}
+
+template <typename T> inline Sc<T> &operator+=(Sc<T> &a, Sc<T> b)
+{ a = a + b; return a; }
+template <typename T> inline Sc<T> &operator-=(Sc<T> &a, Sc<T> b)
+{ a = a - b; return a; }
+template <typename T> inline Sc<T> &operator*=(Sc<T> &a, Sc<T> b)
+{ a = a * b; return a; }
+template <typename T> inline Sc<T> &operator^=(Sc<T> &a, Sc<T> b)
+{ a = a ^ b; return a; }
+template <typename T> inline Sc<T> &operator|=(Sc<T> &a, Sc<T> b)
+{ a = a | b; return a; }
+template <typename T> inline Sc<T> &operator&=(Sc<T> &a, Sc<T> b)
+{ a = a & b; return a; }
+
+namespace detail
+{
+
+template <typename T>
+inline void
+emitCompareBranch(uint64_t d0, uint64_t d1)
+{
+    uint64_t cmp;
+    if constexpr (isFloatLike<T>)
+        cmp = emitOp(InstrClass::SFloat, Fu::SFp, Lat::sFp, d0, d1);
+    else
+        cmp = emitOp(InstrClass::SInt, Fu::SAlu, Lat::sAlu, d0, d1);
+    emitOp(InstrClass::Branch, Fu::Branch, Lat::branch, cmp);
+}
+
+} // namespace detail
+
+template <typename T>
+inline bool
+operator<(Sc<T> a, Sc<T> b)
+{
+    detail::emitCompareBranch<T>(a.src, b.src);
+    return a.v < b.v;
+}
+template <typename T>
+inline bool
+operator<=(Sc<T> a, Sc<T> b)
+{
+    detail::emitCompareBranch<T>(a.src, b.src);
+    return a.v <= b.v;
+}
+template <typename T>
+inline bool
+operator>(Sc<T> a, Sc<T> b)
+{
+    detail::emitCompareBranch<T>(a.src, b.src);
+    return a.v > b.v;
+}
+template <typename T>
+inline bool
+operator>=(Sc<T> a, Sc<T> b)
+{
+    detail::emitCompareBranch<T>(a.src, b.src);
+    return a.v >= b.v;
+}
+template <typename T>
+inline bool
+operator==(Sc<T> a, Sc<T> b)
+{
+    detail::emitCompareBranch<T>(a.src, b.src);
+    return a.v == b.v;
+}
+template <typename T>
+inline bool
+operator!=(Sc<T> a, Sc<T> b)
+{
+    detail::emitCompareBranch<T>(a.src, b.src);
+    return a.v != b.v;
+}
+
+/** Branch-free scalar select (CSEL): no branch emitted. */
+template <typename T>
+inline Sc<T>
+sselect(bool cond, Sc<T> a, Sc<T> b)
+{
+    uint64_t id = emitOp(InstrClass::SInt, Fu::SAlu, Lat::sAlu, a.src, b.src);
+    return {cond ? a.v : b.v, id};
+}
+
+/** Scalar min/max helpers (single compare-select instruction). */
+template <typename T>
+inline Sc<T>
+smin(Sc<T> a, Sc<T> b)
+{
+    return {a.v < b.v ? a.v : b.v,
+            detail::emitScalarArith<T>(a.src, b.src)};
+}
+template <typename T>
+inline Sc<T>
+smax(Sc<T> a, Sc<T> b)
+{
+    return {a.v > b.v ? a.v : b.v,
+            detail::emitScalarArith<T>(a.src, b.src)};
+}
+template <typename T>
+inline Sc<T>
+sabs(Sc<T> a)
+{
+    return {a.v < T{} ? detail::wrapSub(T{}, a.v) : a.v,
+            detail::emitScalarArith<T>(a.src, 0)};
+}
+
+/** Scalar fused multiply-add a*b+c (MADD / FMADD: one instruction). */
+template <typename T>
+inline Sc<T>
+smadd(Sc<T> a, Sc<T> b, Sc<T> c)
+{
+    uint64_t id;
+    if constexpr (isFloatLike<T>)
+        id = emitOp(InstrClass::SFloat, Fu::SFp, Lat::sFma,
+                    a.src, b.src, c.src);
+    else
+        id = emitOp(InstrClass::SInt, Fu::SMul, Lat::sMul,
+                    a.src, b.src, c.src);
+    return {detail::wrapAdd(detail::wrapMul(a.v, b.v), c.v), id};
+}
+
+/** Instrumented scalar load. */
+template <typename T>
+inline Sc<T>
+sload(const T *p)
+{
+    uint64_t id = emitMem(InstrClass::SLoad, p, sizeof(T), Lat::load);
+    return {*p, id};
+}
+
+/** Instrumented scalar store. */
+template <typename T>
+inline void
+sstore(T *p, Sc<T> x)
+{
+    emitMem(InstrClass::SStore, p, sizeof(T), Lat::store, x.src);
+    *p = x.v;
+}
+
+namespace ctl
+{
+
+/**
+ * Account for one loop iteration's control overhead: the induction
+ * variable update and the back-edge branch.
+ */
+inline void
+loop()
+{
+    uint64_t add = emitOp(InstrClass::SInt, Fu::SAlu, Lat::sAlu);
+    emitOp(InstrClass::Branch, Fu::Branch, Lat::branch, add);
+}
+
+/** Account for a standalone branch (e.g. an early-exit check). */
+inline void
+branch(uint64_t dep = 0)
+{
+    emitOp(InstrClass::Branch, Fu::Branch, Lat::branch, dep);
+}
+
+/** Account for n address-computation instructions (non-trivial indexing). */
+inline uint64_t
+addr(int n = 1, uint64_t dep = 0)
+{
+    uint64_t id = dep;
+    for (int i = 0; i < n; ++i)
+        id = emitOp(InstrClass::SInt, Fu::SAlu, Lat::sAlu, id);
+    return id;
+}
+
+} // namespace ctl
+
+} // namespace swan::simd
+
+#endif // SWAN_SIMD_SCALAR_HH

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Umbrella header for the Swan portable Neon emulation layer.
+ */
+
+#ifndef SWAN_SIMD_SIMD_HH
+#define SWAN_SIMD_SIMD_HH
+
+#include "simd/half.hh"       // IWYU pragma: export
+#include "simd/scalar.hh"     // IWYU pragma: export
+#include "simd/vec.hh"        // IWYU pragma: export
+#include "simd/vec_crypto.hh" // IWYU pragma: export
+#include "simd/vec_mem.hh"    // IWYU pragma: export
+#include "simd/vec_permute.hh"// IWYU pragma: export
+#include "simd/vec_sve.hh"    // IWYU pragma: export
+#include "simd/vec_wasm.hh"   // IWYU pragma: export
+#include "simd/vec_wide.hh"   // IWYU pragma: export
+
+#endif // SWAN_SIMD_SIMD_HH

@@ -1,0 +1,645 @@
+/**
+ * @file
+ * Width-generic functional emulation of Arm Neon vector registers and the
+ * arithmetic/logic intrinsic families. This is the "fake Arm Neon library"
+ * of the paper's Section 7 methodology, generalized to 128/256/512/1024-bit
+ * registers and instrumented so every intrinsic appends one dynamic
+ * instruction record (see trace/instr.hh).
+ *
+ * Values carry provenance: Vec::src is the id of the producing instruction,
+ * and Vec::active tracks how many lanes hold useful data (SIMD lane
+ * utilization, Section 7.1). Operations propagate both.
+ *
+ * Naming follows Neon without the type suffix (the element type and width
+ * are template parameters): vaddq_u8(a, b) is written vadd(a, b) on
+ * Vec<uint8_t, 128>.
+ */
+
+#ifndef SWAN_SIMD_VEC_HH
+#define SWAN_SIMD_VEC_HH
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <type_traits>
+
+#include "simd/emit.hh"
+#include "simd/half.hh"
+#include "simd/scalar.hh"
+
+namespace swan::simd
+{
+
+/** Supported emulated register widths in bits. */
+constexpr bool
+validWidth(int bits)
+{
+    return bits == 64 || bits == 128 || bits == 256 || bits == 512 ||
+           bits == 1024;
+}
+
+/**
+ * Emulated vector register: kBits wide, holding kBits/8/sizeof(T) lanes
+ * of element type T.
+ */
+template <typename T, int kBits = 128>
+struct Vec
+{
+    static_assert(validWidth(kBits), "unsupported vector width");
+    static constexpr int kLanes = kBits / int(8 * sizeof(T));
+    static constexpr int kBytes = kBits / 8;
+    static_assert(kLanes >= 1);
+
+    std::array<T, kLanes> lane{};
+    uint64_t src = 0;               //!< producer instruction id
+    uint8_t active = kLanes;        //!< lanes carrying useful data
+
+    T operator[](int i) const { return lane[size_t(i)]; }
+};
+
+// ---------------------------------------------------------------------
+// Element-type traits.
+// ---------------------------------------------------------------------
+
+template <typename T> struct WiderOf;
+template <> struct WiderOf<uint8_t> { using type = uint16_t; };
+template <> struct WiderOf<int8_t> { using type = int16_t; };
+template <> struct WiderOf<uint16_t> { using type = uint32_t; };
+template <> struct WiderOf<int16_t> { using type = int32_t; };
+template <> struct WiderOf<uint32_t> { using type = uint64_t; };
+template <> struct WiderOf<int32_t> { using type = int64_t; };
+template <> struct WiderOf<Half> { using type = float; };
+template <typename T> using Wider = typename WiderOf<T>::type;
+
+template <typename T> struct NarrowerOf;
+template <> struct NarrowerOf<uint16_t> { using type = uint8_t; };
+template <> struct NarrowerOf<int16_t> { using type = int8_t; };
+template <> struct NarrowerOf<uint32_t> { using type = uint16_t; };
+template <> struct NarrowerOf<int32_t> { using type = int16_t; };
+template <> struct NarrowerOf<uint64_t> { using type = uint32_t; };
+template <> struct NarrowerOf<int64_t> { using type = int32_t; };
+template <> struct NarrowerOf<float> { using type = Half; };
+template <typename T> using Narrower = typename NarrowerOf<T>::type;
+
+/** Same-size unsigned type used for comparison masks and bit-selects. */
+template <typename T> struct MaskOf { using type = std::make_unsigned_t<T>; };
+template <> struct MaskOf<float> { using type = uint32_t; };
+template <> struct MaskOf<double> { using type = uint64_t; };
+template <> struct MaskOf<Half> { using type = uint16_t; };
+template <typename T> using Mask = typename MaskOf<T>::type;
+
+namespace detail
+{
+
+template <typename T>
+inline InstrClass
+arithClass()
+{
+    return isFloatLike<T> ? InstrClass::VFloat : InstrClass::VInt;
+}
+
+template <typename T>
+inline int
+arithLat(bool is_mul = false, bool is_div = false)
+{
+    if constexpr (isFloatLike<T>)
+        return is_div ? Lat::vFdiv : (is_mul ? Lat::vFp : Lat::vFp);
+    else
+        return is_mul ? Lat::vMul : Lat::vAlu;
+}
+
+/** Elementwise unary op with one emitted instruction. */
+template <typename T, int B, typename F>
+inline Vec<T, B>
+map1(InstrClass cls, int lat, const Vec<T, B> &a, F &&f,
+     StrideKind sk = StrideKind::None)
+{
+    Vec<T, B> r;
+    for (int i = 0; i < Vec<T, B>::kLanes; ++i)
+        r.lane[size_t(i)] = f(a.lane[size_t(i)]);
+    r.active = a.active;
+    r.src = emitOp(cls, Fu::VUnit, lat, a.src, 0, 0, Vec<T, B>::kBytes,
+                   Vec<T, B>::kLanes, r.active, sk);
+    return r;
+}
+
+/** Elementwise binary op with one emitted instruction. */
+template <typename T, int B, typename F>
+inline Vec<T, B>
+map2(InstrClass cls, int lat, const Vec<T, B> &a, const Vec<T, B> &b, F &&f,
+     StrideKind sk = StrideKind::None)
+{
+    Vec<T, B> r;
+    for (int i = 0; i < Vec<T, B>::kLanes; ++i)
+        r.lane[size_t(i)] = f(a.lane[size_t(i)], b.lane[size_t(i)]);
+    r.active = std::min(a.active, b.active);
+    r.src = emitOp(cls, Fu::VUnit, lat, a.src, b.src, 0, Vec<T, B>::kBytes,
+                   Vec<T, B>::kLanes, r.active, sk);
+    return r;
+}
+
+/** Elementwise ternary op (accumulating forms) with one instruction. */
+template <typename T, int B, typename F>
+inline Vec<T, B>
+map3(InstrClass cls, int lat, const Vec<T, B> &acc, const Vec<T, B> &a,
+     const Vec<T, B> &b, F &&f)
+{
+    Vec<T, B> r;
+    for (int i = 0; i < Vec<T, B>::kLanes; ++i) {
+        r.lane[size_t(i)] =
+            f(acc.lane[size_t(i)], a.lane[size_t(i)], b.lane[size_t(i)]);
+    }
+    r.active = std::min({acc.active, a.active, b.active});
+    r.src = emitOp(cls, Fu::VUnit, lat, acc.src, a.src, b.src,
+                   Vec<T, B>::kBytes, Vec<T, B>::kLanes, r.active);
+    return r;
+}
+
+template <typename T>
+inline T
+saturate(int64_t x)
+{
+    constexpr int64_t lo = int64_t(std::numeric_limits<T>::min());
+    constexpr int64_t hi = int64_t(std::numeric_limits<T>::max());
+    return T(std::clamp<int64_t>(x, lo, hi));
+}
+
+} // namespace detail
+
+// ---------------------------------------------------------------------
+// Broadcast / lane access / reinterpret.
+// ---------------------------------------------------------------------
+
+/** Broadcast a compile-time/immediate constant (VDUP from immediate). */
+template <typename T, int B = 128>
+inline Vec<T, B>
+vdup(T c)
+{
+    Vec<T, B> r;
+    r.lane.fill(c);
+    r.src = emitOp(InstrClass::VMisc, Fu::VUnit, Lat::vPerm, 0, 0, 0,
+                   Vec<T, B>::kBytes, Vec<T, B>::kLanes, Vec<T, B>::kLanes);
+    return r;
+}
+
+/** Broadcast an instrumented scalar (VDUP from general register). */
+template <typename T, int B = 128>
+inline Vec<T, B>
+vdup(Sc<T> s)
+{
+    Vec<T, B> r;
+    r.lane.fill(s.v);
+    r.src = emitOp(InstrClass::VMisc, Fu::VUnit, Lat::laneMove, s.src, 0, 0,
+                   Vec<T, B>::kBytes, Vec<T, B>::kLanes, Vec<T, B>::kLanes);
+    return r;
+}
+
+/** Move one lane to a scalar register (UMOV/FMOV; costly, Section 6.2). */
+template <typename T, int B>
+inline Sc<T>
+vget_lane(const Vec<T, B> &v, int i)
+{
+    uint64_t id = emitOp(InstrClass::VMisc, Fu::VUnit, Lat::laneMove, v.src,
+                         0, 0, Vec<T, B>::kBytes, Vec<T, B>::kLanes, 1);
+    return {v.lane[size_t(i)], id};
+}
+
+/** Insert a scalar into one lane. */
+template <typename T, int B>
+inline Vec<T, B>
+vset_lane(const Vec<T, B> &v, int i, Sc<T> s)
+{
+    Vec<T, B> r = v;
+    r.lane[size_t(i)] = s.v;
+    r.src = emitOp(InstrClass::VMisc, Fu::VUnit, Lat::laneMove, v.src, s.src,
+                   0, Vec<T, B>::kBytes, Vec<T, B>::kLanes, v.active);
+    return r;
+}
+
+/** Broadcast lane @p i of @p v to all lanes (VDUP lane form). */
+template <typename T, int B>
+inline Vec<T, B>
+vdup_lane(const Vec<T, B> &v, int i)
+{
+    Vec<T, B> r;
+    r.lane.fill(v.lane[size_t(i)]);
+    r.src = emitOp(InstrClass::VMisc, Fu::VUnit, Lat::vPerm, v.src, 0, 0,
+                   Vec<T, B>::kBytes, Vec<T, B>::kLanes, Vec<T, B>::kLanes);
+    return r;
+}
+
+/**
+ * Reinterpret the register as another element type (free: register
+ * aliasing, no instruction emitted).
+ */
+template <typename U, typename T, int B>
+inline Vec<U, B>
+vreinterpret(const Vec<T, B> &v)
+{
+    Vec<U, B> r;
+    std::memcpy(r.lane.data(), v.lane.data(), size_t(Vec<T, B>::kBytes));
+    r.src = v.src;
+    r.active = uint8_t(Vec<U, B>::kLanes);
+    return r;
+}
+
+// ---------------------------------------------------------------------
+// Arithmetic.
+// ---------------------------------------------------------------------
+
+template <typename T, int B>
+inline Vec<T, B>
+vadd(const Vec<T, B> &a, const Vec<T, B> &b)
+{
+    return detail::map2(detail::arithClass<T>(), detail::arithLat<T>(), a, b,
+                        [](T x, T y) { return detail::wrapAdd(x, y); });
+}
+
+template <typename T, int B>
+inline Vec<T, B>
+vsub(const Vec<T, B> &a, const Vec<T, B> &b)
+{
+    return detail::map2(detail::arithClass<T>(), detail::arithLat<T>(), a, b,
+                        [](T x, T y) { return detail::wrapSub(x, y); });
+}
+
+template <typename T, int B>
+inline Vec<T, B>
+vmul(const Vec<T, B> &a, const Vec<T, B> &b)
+{
+    return detail::map2(detail::arithClass<T>(), detail::arithLat<T>(true),
+                        a, b,
+                        [](T x, T y) { return detail::wrapMul(x, y); });
+}
+
+/** Multiply by scalar (the *_n_* intrinsic forms). */
+template <typename T, int B>
+inline Vec<T, B>
+vmul_n(const Vec<T, B> &a, Sc<T> s)
+{
+    Vec<T, B> r;
+    for (int i = 0; i < Vec<T, B>::kLanes; ++i)
+        r.lane[size_t(i)] = detail::wrapMul(a.lane[size_t(i)], s.v);
+    r.active = a.active;
+    r.src = emitOp(detail::arithClass<T>(), Fu::VUnit,
+                   detail::arithLat<T>(true), a.src, s.src, 0,
+                   Vec<T, B>::kBytes, Vec<T, B>::kLanes, r.active);
+    return r;
+}
+
+template <typename T, int B>
+inline Vec<T, B>
+vdiv(const Vec<T, B> &a, const Vec<T, B> &b)
+{
+    static_assert(isFloatLike<T>, "vdiv is FP-only on Neon");
+    return detail::map2(InstrClass::VFloat, Lat::vFdiv, a, b,
+                        [](T x, T y) { return T(x / y); });
+}
+
+/** Fused/accumulating multiply-add: acc + a*b (VMLA / VFMA). */
+template <typename T, int B>
+inline Vec<T, B>
+vmla(const Vec<T, B> &acc, const Vec<T, B> &a, const Vec<T, B> &b)
+{
+    int lat = Lat::vMacFwd;
+    return detail::map3(detail::arithClass<T>(), lat, acc, a, b,
+                        [](T c, T x, T y) {
+                            return detail::wrapAdd(c, detail::wrapMul(x, y));
+                        });
+}
+
+/** acc - a*b (VMLS / VFMS). */
+template <typename T, int B>
+inline Vec<T, B>
+vmls(const Vec<T, B> &acc, const Vec<T, B> &a, const Vec<T, B> &b)
+{
+    int lat = Lat::vMacFwd;
+    return detail::map3(detail::arithClass<T>(), lat, acc, a, b,
+                        [](T c, T x, T y) {
+                            return detail::wrapSub(c, detail::wrapMul(x, y));
+                        });
+}
+
+/** acc + a*scalar (VMLA lane/scalar form). */
+template <typename T, int B>
+inline Vec<T, B>
+vmla_n(const Vec<T, B> &acc, const Vec<T, B> &a, Sc<T> s)
+{
+    Vec<T, B> r;
+    for (int i = 0; i < Vec<T, B>::kLanes; ++i) {
+        r.lane[size_t(i)] = detail::wrapAdd(
+            acc.lane[size_t(i)], detail::wrapMul(a.lane[size_t(i)], s.v));
+    }
+    r.active = std::min(acc.active, a.active);
+    r.src = emitOp(detail::arithClass<T>(), Fu::VUnit, Lat::vMacFwd,
+                   acc.src, a.src, s.src, Vec<T, B>::kBytes,
+                   Vec<T, B>::kLanes, r.active);
+    return r;
+}
+
+template <typename T, int B>
+inline Vec<T, B>
+vneg(const Vec<T, B> &a)
+{
+    return detail::map1(detail::arithClass<T>(), detail::arithLat<T>(), a,
+                        [](T x) { return detail::wrapSub(T{}, x); });
+}
+
+template <typename T, int B>
+inline Vec<T, B>
+vabs(const Vec<T, B> &a)
+{
+    return detail::map1(detail::arithClass<T>(), detail::arithLat<T>(), a,
+                        [](T x) {
+                            return x < T{} ? detail::wrapSub(T{}, x) : x;
+                        });
+}
+
+template <typename T, int B>
+inline Vec<T, B>
+vmin(const Vec<T, B> &a, const Vec<T, B> &b)
+{
+    return detail::map2(detail::arithClass<T>(), detail::arithLat<T>(), a, b,
+                        [](T x, T y) { return x < y ? x : y; });
+}
+
+template <typename T, int B>
+inline Vec<T, B>
+vmax(const Vec<T, B> &a, const Vec<T, B> &b)
+{
+    return detail::map2(detail::arithClass<T>(), detail::arithLat<T>(), a, b,
+                        [](T x, T y) { return x > y ? x : y; });
+}
+
+/** Absolute difference |a-b| (VABD). */
+template <typename T, int B>
+inline Vec<T, B>
+vabd(const Vec<T, B> &a, const Vec<T, B> &b)
+{
+    return detail::map2(detail::arithClass<T>(), detail::arithLat<T>(), a, b,
+                        [](T x, T y) {
+                            return x > y ? detail::wrapSub(x, y)
+                                         : detail::wrapSub(y, x);
+                        });
+}
+
+/** Absolute-difference accumulate acc + |a-b| (VABA). */
+template <typename T, int B>
+inline Vec<T, B>
+vaba(const Vec<T, B> &acc, const Vec<T, B> &a, const Vec<T, B> &b)
+{
+    return detail::map3(detail::arithClass<T>(), detail::arithLat<T>(), acc,
+                        a, b, [](T c, T x, T y) {
+                            T d = x > y ? detail::wrapSub(x, y)
+                                        : detail::wrapSub(y, x);
+                            return detail::wrapAdd(c, d);
+                        });
+}
+
+/** Halving add (a+b)>>1 without overflow (VHADD). */
+template <typename T, int B>
+inline Vec<T, B>
+vhadd(const Vec<T, B> &a, const Vec<T, B> &b)
+{
+    static_assert(std::is_integral_v<T>);
+    return detail::map2(InstrClass::VInt, Lat::vAlu, a, b, [](T x, T y) {
+        return T((int64_t(x) + int64_t(y)) >> 1);
+    });
+}
+
+/** Rounding halving add (a+b+1)>>1 (VRHADD). */
+template <typename T, int B>
+inline Vec<T, B>
+vrhadd(const Vec<T, B> &a, const Vec<T, B> &b)
+{
+    static_assert(std::is_integral_v<T>);
+    return detail::map2(InstrClass::VInt, Lat::vAlu, a, b, [](T x, T y) {
+        return T((int64_t(x) + int64_t(y) + 1) >> 1);
+    });
+}
+
+// Saturating arithmetic.
+
+template <typename T, int B>
+inline Vec<T, B>
+vqadd(const Vec<T, B> &a, const Vec<T, B> &b)
+{
+    static_assert(std::is_integral_v<T>);
+    return detail::map2(InstrClass::VInt, Lat::vAlu, a, b, [](T x, T y) {
+        return detail::saturate<T>(int64_t(x) + int64_t(y));
+    });
+}
+
+template <typename T, int B>
+inline Vec<T, B>
+vqsub(const Vec<T, B> &a, const Vec<T, B> &b)
+{
+    static_assert(std::is_integral_v<T>);
+    return detail::map2(InstrClass::VInt, Lat::vAlu, a, b, [](T x, T y) {
+        return detail::saturate<T>(int64_t(x) - int64_t(y));
+    });
+}
+
+/** Saturating doubling multiply returning high half (VQDMULH). */
+template <typename T, int B>
+inline Vec<T, B>
+vqdmulh(const Vec<T, B> &a, const Vec<T, B> &b)
+{
+    static_assert(std::is_same_v<T, int16_t> || std::is_same_v<T, int32_t>);
+    constexpr int kShift = sizeof(T) * 8;
+    return detail::map2(InstrClass::VInt, Lat::vMul, a, b, [](T x, T y) {
+        int64_t p = (int64_t(x) * int64_t(y)) * 2;
+        return detail::saturate<T>(p >> kShift);
+    });
+}
+
+/** Rounding saturating doubling multiply high (VQRDMULH). */
+template <typename T, int B>
+inline Vec<T, B>
+vqrdmulh(const Vec<T, B> &a, const Vec<T, B> &b)
+{
+    static_assert(std::is_same_v<T, int16_t> || std::is_same_v<T, int32_t>);
+    constexpr int kShift = sizeof(T) * 8;
+    return detail::map2(InstrClass::VInt, Lat::vMul, a, b, [](T x, T y) {
+        int64_t p = (int64_t(x) * int64_t(y)) * 2 + (int64_t(1) << (kShift - 1));
+        return detail::saturate<T>(p >> kShift);
+    });
+}
+
+// ---------------------------------------------------------------------
+// Logic and shifts.
+// ---------------------------------------------------------------------
+
+template <typename T, int B>
+inline Vec<T, B>
+vand(const Vec<T, B> &a, const Vec<T, B> &b)
+{
+    static_assert(std::is_integral_v<T>);
+    return detail::map2(InstrClass::VInt, Lat::vAlu, a, b,
+                        [](T x, T y) { return T(x & y); });
+}
+
+template <typename T, int B>
+inline Vec<T, B>
+vorr(const Vec<T, B> &a, const Vec<T, B> &b)
+{
+    static_assert(std::is_integral_v<T>);
+    return detail::map2(InstrClass::VInt, Lat::vAlu, a, b,
+                        [](T x, T y) { return T(x | y); });
+}
+
+template <typename T, int B>
+inline Vec<T, B>
+veor(const Vec<T, B> &a, const Vec<T, B> &b)
+{
+    static_assert(std::is_integral_v<T>);
+    return detail::map2(InstrClass::VInt, Lat::vAlu, a, b,
+                        [](T x, T y) { return T(x ^ y); });
+}
+
+/** a & ~b (VBIC). */
+template <typename T, int B>
+inline Vec<T, B>
+vbic(const Vec<T, B> &a, const Vec<T, B> &b)
+{
+    static_assert(std::is_integral_v<T>);
+    return detail::map2(InstrClass::VInt, Lat::vAlu, a, b,
+                        [](T x, T y) { return T(x & ~y); });
+}
+
+template <typename T, int B>
+inline Vec<T, B>
+vmvn(const Vec<T, B> &a)
+{
+    static_assert(std::is_integral_v<T>);
+    return detail::map1(InstrClass::VInt, Lat::vAlu, a,
+                        [](T x) { return T(~x); });
+}
+
+/** Left shift by immediate. */
+template <typename T, int B>
+inline Vec<T, B>
+vshl(const Vec<T, B> &a, int n)
+{
+    static_assert(std::is_integral_v<T>);
+    return detail::map1(InstrClass::VInt, Lat::vAlu, a, [n](T x) {
+        return T(uint64_t(std::make_unsigned_t<T>(x)) << n);
+    });
+}
+
+/** Right shift by immediate (arithmetic for signed T). */
+template <typename T, int B>
+inline Vec<T, B>
+vshr(const Vec<T, B> &a, int n)
+{
+    static_assert(std::is_integral_v<T>);
+    return detail::map1(InstrClass::VInt, Lat::vAlu, a,
+                        [n](T x) { return T(x >> n); });
+}
+
+/** Rounding right shift by immediate (VRSHR). */
+template <typename T, int B>
+inline Vec<T, B>
+vrshr(const Vec<T, B> &a, int n)
+{
+    static_assert(std::is_integral_v<T>);
+    return detail::map1(InstrClass::VInt, Lat::vAlu, a, [n](T x) {
+        int64_t v = int64_t(x) + (int64_t(1) << (n - 1));
+        return T(v >> n);
+    });
+}
+
+/** Shift-right accumulate acc + (a >> n) (VSRA). */
+template <typename T, int B>
+inline Vec<T, B>
+vsra(const Vec<T, B> &acc, const Vec<T, B> &a, int n)
+{
+    static_assert(std::is_integral_v<T>);
+    return detail::map2(InstrClass::VInt, Lat::vAlu, acc, a, [n](T c, T x) {
+        return detail::wrapAdd(c, T(x >> n));
+    });
+}
+
+// ---------------------------------------------------------------------
+// Comparisons and bit select.
+// ---------------------------------------------------------------------
+
+namespace detail
+{
+
+template <typename T, int B, typename F>
+inline Vec<Mask<T>, B>
+cmp(const Vec<T, B> &a, const Vec<T, B> &b, F &&f)
+{
+    Vec<Mask<T>, B> r;
+    for (int i = 0; i < Vec<T, B>::kLanes; ++i) {
+        r.lane[size_t(i)] =
+            f(a.lane[size_t(i)], b.lane[size_t(i)]) ? Mask<T>(~Mask<T>(0))
+                                                    : Mask<T>(0);
+    }
+    r.active = std::min(a.active, b.active);
+    r.src = emitOp(arithClass<T>(), Fu::VUnit, Lat::vAlu, a.src, b.src, 0,
+                   Vec<T, B>::kBytes, Vec<T, B>::kLanes, r.active);
+    return r;
+}
+
+} // namespace detail
+
+template <typename T, int B>
+inline Vec<Mask<T>, B>
+vceq(const Vec<T, B> &a, const Vec<T, B> &b)
+{
+    return detail::cmp(a, b, [](T x, T y) { return x == y; });
+}
+template <typename T, int B>
+inline Vec<Mask<T>, B>
+vcgt(const Vec<T, B> &a, const Vec<T, B> &b)
+{
+    return detail::cmp(a, b, [](T x, T y) { return x > y; });
+}
+template <typename T, int B>
+inline Vec<Mask<T>, B>
+vcge(const Vec<T, B> &a, const Vec<T, B> &b)
+{
+    return detail::cmp(a, b, [](T x, T y) { return x >= y; });
+}
+template <typename T, int B>
+inline Vec<Mask<T>, B>
+vclt(const Vec<T, B> &a, const Vec<T, B> &b)
+{
+    return detail::cmp(a, b, [](T x, T y) { return x < y; });
+}
+template <typename T, int B>
+inline Vec<Mask<T>, B>
+vcle(const Vec<T, B> &a, const Vec<T, B> &b)
+{
+    return detail::cmp(a, b, [](T x, T y) { return x <= y; });
+}
+
+/**
+ * Bitwise select (VBSL): for each bit, take @p a where the mask is 1 and
+ * @p b where it is 0. The If-Conversion primitive of Section 5.4.
+ */
+template <typename T, int B>
+inline Vec<T, B>
+vbsl(const Vec<Mask<T>, B> &mask, const Vec<T, B> &a, const Vec<T, B> &b)
+{
+    Vec<T, B> r;
+    for (int i = 0; i < Vec<T, B>::kLanes; ++i) {
+        Mask<T> m = mask.lane[size_t(i)];
+        Mask<T> x = std::bit_cast<Mask<T>>(a.lane[size_t(i)]);
+        Mask<T> y = std::bit_cast<Mask<T>>(b.lane[size_t(i)]);
+        r.lane[size_t(i)] = std::bit_cast<T>(Mask<T>((x & m) | (y & ~m)));
+    }
+    r.active = std::min({mask.active, a.active, b.active});
+    r.src = emitOp(InstrClass::VInt, Fu::VUnit, Lat::vAlu, mask.src, a.src,
+                   b.src, Vec<T, B>::kBytes, Vec<T, B>::kLanes, r.active);
+    return r;
+}
+
+} // namespace swan::simd
+
+#endif // SWAN_SIMD_VEC_HH

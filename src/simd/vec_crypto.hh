@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Emulated Armv8 Cryptography Extension instructions used by the ZL and BS
+ * libraries: AESE/AESMC (AES round acceleration), SHA256H/H2/SU0/SU1
+ * (SHA-256 rounds and message schedule), PMULL (carry-less multiply for
+ * GHASH), and the CRC32 ACLE instructions.
+ *
+ * SHA256H/H2 are implemented as the textbook four-round SHA-256 update for
+ * the canonical usage pattern (state halves ABCD/EFGH plus W+K); this is
+ * functionally equivalent to the Arm definition when used that way, which
+ * is how the kernels (and real boringssl) use them.
+ */
+
+#ifndef SWAN_SIMD_VEC_CRYPTO_HH
+#define SWAN_SIMD_VEC_CRYPTO_HH
+
+#include "simd/vec.hh"
+
+namespace swan::simd
+{
+
+namespace crypto
+{
+
+/** AES forward S-box. */
+extern const uint8_t kAesSbox[256];
+
+/** GF(2^8) multiply-by-2 used by MixColumns. */
+inline uint8_t
+xtime(uint8_t x)
+{
+    return uint8_t((x << 1) ^ ((x >> 7) * 0x1b));
+}
+
+inline uint32_t
+rotr32(uint32_t x, int n)
+{
+    return (x >> n) | (x << (32 - n));
+}
+
+} // namespace crypto
+
+/**
+ * AESE: AddRoundKey (state ^ key), then SubBytes and ShiftRows.
+ * State bytes use the standard AES column-major layout.
+ */
+inline Vec<uint8_t, 128>
+vaese(const Vec<uint8_t, 128> &state, const Vec<uint8_t, 128> &key)
+{
+    uint8_t tmp[16];
+    for (int i = 0; i < 16; ++i)
+        tmp[i] = crypto::kAesSbox[state.lane[size_t(i)] ^
+                                  key.lane[size_t(i)]];
+    Vec<uint8_t, 128> r;
+    // ShiftRows: out[row + 4*col] = in[row + 4*((col + row) % 4)].
+    for (int col = 0; col < 4; ++col)
+        for (int row = 0; row < 4; ++row)
+            r.lane[size_t(row + 4 * col)] = tmp[row + 4 * ((col + row) % 4)];
+    r.src = emitOp(InstrClass::VCrypto, Fu::VUnit, Lat::vCrypto, state.src,
+                   key.src, 0, 16, 16, 16);
+    return r;
+}
+
+/** AESMC: AES MixColumns. */
+inline Vec<uint8_t, 128>
+vaesmc(const Vec<uint8_t, 128> &state)
+{
+    Vec<uint8_t, 128> r;
+    for (int col = 0; col < 4; ++col) {
+        const uint8_t *s = &state.lane[size_t(4 * col)];
+        uint8_t t = uint8_t(s[0] ^ s[1] ^ s[2] ^ s[3]);
+        for (int row = 0; row < 4; ++row) {
+            uint8_t x = uint8_t(s[row] ^ s[(row + 1) % 4]);
+            r.lane[size_t(4 * col + row)] =
+                uint8_t(s[row] ^ t ^ crypto::xtime(x));
+        }
+    }
+    r.src = emitOp(InstrClass::VCrypto, Fu::VUnit, Lat::vCrypto, state.src,
+                   0, 0, 16, 16, 16);
+    return r;
+}
+
+namespace detail
+{
+
+inline void
+sha256Rounds4(uint32_t s[8], const uint32_t wk[4])
+{
+    using crypto::rotr32;
+    for (int i = 0; i < 4; ++i) {
+        uint32_t a = s[0], b = s[1], c = s[2], d = s[3];
+        uint32_t e = s[4], f = s[5], g = s[6], h = s[7];
+        uint32_t big1 = rotr32(e, 6) ^ rotr32(e, 11) ^ rotr32(e, 25);
+        uint32_t ch = (e & f) ^ (~e & g);
+        uint32_t t1 = h + big1 + ch + wk[i];
+        uint32_t big0 = rotr32(a, 2) ^ rotr32(a, 13) ^ rotr32(a, 22);
+        uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+        uint32_t t2 = big0 + maj;
+        s[7] = g; s[6] = f; s[5] = e; s[4] = d + t1;
+        s[3] = c; s[2] = b; s[1] = a; s[0] = t1 + t2;
+    }
+}
+
+} // namespace detail
+
+/**
+ * SHA256H: four SHA-256 rounds; returns the updated ABCD state half.
+ * Lane order: lane 0 = A (resp. E).
+ */
+inline Vec<uint32_t, 128>
+vsha256h(const Vec<uint32_t, 128> &abcd, const Vec<uint32_t, 128> &efgh,
+         const Vec<uint32_t, 128> &wk)
+{
+    uint32_t s[8] = {abcd.lane[0], abcd.lane[1], abcd.lane[2], abcd.lane[3],
+                     efgh.lane[0], efgh.lane[1], efgh.lane[2], efgh.lane[3]};
+    detail::sha256Rounds4(s, wk.lane.data());
+    Vec<uint32_t, 128> r;
+    for (int i = 0; i < 4; ++i)
+        r.lane[size_t(i)] = s[i];
+    r.src = emitOp(InstrClass::VCrypto, Fu::VUnit, 4, abcd.src, efgh.src,
+                   wk.src, 16, 4, 4);
+    return r;
+}
+
+/** SHA256H2: four SHA-256 rounds; returns the updated EFGH state half. */
+inline Vec<uint32_t, 128>
+vsha256h2(const Vec<uint32_t, 128> &efgh, const Vec<uint32_t, 128> &abcd,
+          const Vec<uint32_t, 128> &wk)
+{
+    uint32_t s[8] = {abcd.lane[0], abcd.lane[1], abcd.lane[2], abcd.lane[3],
+                     efgh.lane[0], efgh.lane[1], efgh.lane[2], efgh.lane[3]};
+    detail::sha256Rounds4(s, wk.lane.data());
+    Vec<uint32_t, 128> r;
+    for (int i = 0; i < 4; ++i)
+        r.lane[size_t(i)] = s[4 + i];
+    r.src = emitOp(InstrClass::VCrypto, Fu::VUnit, 4, efgh.src, abcd.src,
+                   wk.src, 16, 4, 4);
+    return r;
+}
+
+/**
+ * SHA256SU0: message-schedule part 1. With w0 = W[t-16..t-13] and
+ * w1 = W[t-12..t-9], returns w0[i] + sigma0(concat(w0,w1)[i+1]).
+ */
+inline Vec<uint32_t, 128>
+vsha256su0(const Vec<uint32_t, 128> &w0, const Vec<uint32_t, 128> &w1)
+{
+    using crypto::rotr32;
+    auto sig0 = [](uint32_t x) {
+        return rotr32(x, 7) ^ rotr32(x, 18) ^ (x >> 3);
+    };
+    Vec<uint32_t, 128> r;
+    for (int i = 0; i < 4; ++i) {
+        uint32_t next = i < 3 ? w0.lane[size_t(i + 1)] : w1.lane[0];
+        r.lane[size_t(i)] = w0.lane[size_t(i)] + sig0(next);
+    }
+    r.src = emitOp(InstrClass::VCrypto, Fu::VUnit, Lat::vCrypto, w0.src,
+                   w1.src, 0, 16, 4, 4);
+    return r;
+}
+
+/**
+ * SHA256SU1: message-schedule part 2. With x = SHA256SU0(W[t-16..],
+ * W[t-12..]), c = W[t-8..t-5], d = W[t-4..t-1], returns W[t..t+3].
+ */
+inline Vec<uint32_t, 128>
+vsha256su1(const Vec<uint32_t, 128> &x, const Vec<uint32_t, 128> &c,
+           const Vec<uint32_t, 128> &d)
+{
+    using crypto::rotr32;
+    auto sig1 = [](uint32_t v) {
+        return rotr32(v, 17) ^ rotr32(v, 19) ^ (v >> 10);
+    };
+    Vec<uint32_t, 128> r;
+    r.lane[0] = x.lane[0] + sig1(d.lane[2]) + c.lane[1];
+    r.lane[1] = x.lane[1] + sig1(d.lane[3]) + c.lane[2];
+    r.lane[2] = x.lane[2] + sig1(r.lane[0]) + c.lane[3];
+    r.lane[3] = x.lane[3] + sig1(r.lane[1]) + d.lane[0];
+    r.src = emitOp(InstrClass::VCrypto, Fu::VUnit, 4, x.src, c.src, d.src,
+                   16, 4, 4);
+    return r;
+}
+
+namespace detail
+{
+
+inline void
+clmul64(uint64_t a, uint64_t b, uint64_t &lo, uint64_t &hi)
+{
+    lo = 0;
+    hi = 0;
+    for (int i = 0; i < 64; ++i) {
+        if ((b >> i) & 1) {
+            lo ^= a << i;
+            if (i > 0)
+                hi ^= a >> (64 - i);
+        }
+    }
+}
+
+} // namespace detail
+
+/**
+ * PMULL: carry-less multiply of the low 64-bit lanes of a and b; the
+ * 128-bit product fills lanes {lo, hi} of the result.
+ */
+inline Vec<uint64_t, 128>
+vpmull_lo(const Vec<uint64_t, 128> &a, const Vec<uint64_t, 128> &b)
+{
+    Vec<uint64_t, 128> r;
+    detail::clmul64(a.lane[0], b.lane[0], r.lane[0], r.lane[1]);
+    r.src = emitOp(InstrClass::VCrypto, Fu::VUnit, Lat::vCrypto, a.src,
+                   b.src, 0, 16, 2, 2);
+    return r;
+}
+
+/** PMULL2: carry-less multiply of the high 64-bit lanes. */
+inline Vec<uint64_t, 128>
+vpmull_hi(const Vec<uint64_t, 128> &a, const Vec<uint64_t, 128> &b)
+{
+    Vec<uint64_t, 128> r;
+    detail::clmul64(a.lane[1], b.lane[1], r.lane[0], r.lane[1]);
+    r.src = emitOp(InstrClass::VCrypto, Fu::VUnit, Lat::vCrypto, a.src,
+                   b.src, 0, 16, 2, 2);
+    return r;
+}
+
+namespace detail
+{
+
+/** Reflected CRC-32 (polynomial 0xEDB88320), bit-serial reference. */
+inline uint32_t
+crc32Update(uint32_t crc, uint64_t data, int bytes)
+{
+    for (int b = 0; b < bytes; ++b) {
+        crc ^= uint32_t((data >> (8 * b)) & 0xff);
+        for (int i = 0; i < 8; ++i)
+            crc = (crc >> 1) ^ (0xEDB88320u & (0u - (crc & 1u)));
+    }
+    return crc;
+}
+
+} // namespace detail
+
+/** CRC32B/H/W/X: the Armv8 CRC32 instructions (one per data width). */
+inline Sc<uint32_t>
+vcrc32b(Sc<uint32_t> crc, Sc<uint8_t> data)
+{
+    uint64_t id = emitOp(InstrClass::VCrypto, Fu::SMul, 2, crc.src,
+                         data.src);
+    return {detail::crc32Update(crc.v, data.v, 1), id};
+}
+inline Sc<uint32_t>
+vcrc32h(Sc<uint32_t> crc, Sc<uint16_t> data)
+{
+    uint64_t id = emitOp(InstrClass::VCrypto, Fu::SMul, 2, crc.src,
+                         data.src);
+    return {detail::crc32Update(crc.v, data.v, 2), id};
+}
+inline Sc<uint32_t>
+vcrc32w(Sc<uint32_t> crc, Sc<uint32_t> data)
+{
+    uint64_t id = emitOp(InstrClass::VCrypto, Fu::SMul, 2, crc.src,
+                         data.src);
+    return {detail::crc32Update(crc.v, data.v, 4), id};
+}
+inline Sc<uint32_t>
+vcrc32x(Sc<uint32_t> crc, Sc<uint64_t> data)
+{
+    uint64_t id = emitOp(InstrClass::VCrypto, Fu::SMul, 2, crc.src,
+                         data.src);
+    return {detail::crc32Update(crc.v, data.v, 8), id};
+}
+
+} // namespace swan::simd
+
+#endif // SWAN_SIMD_VEC_CRYPTO_HH

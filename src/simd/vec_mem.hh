@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Emulated Neon vector memory operations: unit-stride loads/stores (VLD1/
+ * VST1, with partial-vector forms modelling tail handling) and the
+ * de-interleaving / interleaving multi-register accesses VLD2/3/4 and
+ * VST2/3/4 (the strided-access pattern of Section 6.3, censused by
+ * Table 6).
+ */
+
+#ifndef SWAN_SIMD_VEC_MEM_HH
+#define SWAN_SIMD_VEC_MEM_HH
+
+#include <array>
+
+#include "simd/vec.hh"
+
+namespace swan::simd
+{
+
+/** Unit-stride vector load of a full register from @p p. */
+template <int B = 128, typename T>
+inline Vec<T, B>
+vld1(const T *p)
+{
+    Vec<T, B> r;
+    for (int i = 0; i < Vec<T, B>::kLanes; ++i)
+        r.lane[size_t(i)] = p[i];
+    r.src = emitMem(InstrClass::VLoad, p, uint32_t(Vec<T, B>::kBytes),
+                    Lat::vLoad, 0, 0, Vec<T, B>::kBytes, Vec<T, B>::kLanes,
+                    Vec<T, B>::kLanes);
+    return r;
+}
+
+/**
+ * Partial vector load of @p n lanes (remaining lanes zeroed). Models the
+ * narrower-register tail handling that drops SIMD utilization when the
+ * trip count is not divisible by the lane count (Section 7.1).
+ */
+template <int B = 128, typename T>
+inline Vec<T, B>
+vld1_partial(const T *p, int n)
+{
+    Vec<T, B> r;
+    for (int i = 0; i < n; ++i)
+        r.lane[size_t(i)] = p[i];
+    r.active = uint8_t(n);
+    r.src = emitMem(InstrClass::VLoad, p, uint32_t(n * int(sizeof(T))),
+                    Lat::vLoad, 0, 0, Vec<T, B>::kBytes, Vec<T, B>::kLanes,
+                    n);
+    return r;
+}
+
+/** Unit-stride vector store of a full register to @p p. */
+template <typename T, int B>
+inline void
+vst1(T *p, const Vec<T, B> &v)
+{
+    for (int i = 0; i < Vec<T, B>::kLanes; ++i)
+        p[i] = v.lane[size_t(i)];
+    emitMem(InstrClass::VStore, p, uint32_t(Vec<T, B>::kBytes), Lat::vStore,
+            v.src, 0, Vec<T, B>::kBytes, Vec<T, B>::kLanes,
+            Vec<T, B>::kLanes);
+}
+
+/** Partial vector store of the first @p n lanes. */
+template <typename T, int B>
+inline void
+vst1_partial(T *p, const Vec<T, B> &v, int n)
+{
+    for (int i = 0; i < n; ++i)
+        p[i] = v.lane[size_t(i)];
+    emitMem(InstrClass::VStore, p, uint32_t(n * int(sizeof(T))), Lat::vStore,
+            v.src, 0, Vec<T, B>::kBytes, Vec<T, B>::kLanes, n);
+}
+
+namespace detail
+{
+
+template <int N, int B, typename T>
+inline std::array<Vec<T, B>, N>
+vldN(const T *p, StrideKind sk)
+{
+    std::array<Vec<T, B>, N> r;
+    const T *q = p;
+    for (int e = 0; e < Vec<T, B>::kLanes; ++e)
+        for (int reg = 0; reg < N; ++reg)
+            r[size_t(reg)].lane[size_t(e)] = *q++;
+    uint64_t id = emitMem(InstrClass::VLoad, p,
+                          uint32_t(N * Vec<T, B>::kBytes), Lat::vLoadN, 0, 0,
+                          Vec<T, B>::kBytes, Vec<T, B>::kLanes,
+                          Vec<T, B>::kLanes, sk);
+    for (auto &v : r)
+        v.src = id;
+    return r;
+}
+
+template <int N, typename T, int B>
+inline void
+vstN(T *p, const std::array<Vec<T, B>, N> &v, StrideKind sk)
+{
+    T *q = p;
+    for (int e = 0; e < Vec<T, B>::kLanes; ++e)
+        for (int reg = 0; reg < N; ++reg)
+            *q++ = v[size_t(reg)].lane[size_t(e)];
+    emitMem(InstrClass::VStore, p, uint32_t(N * Vec<T, B>::kBytes),
+            Lat::vStoreN, v[0].src, v[N - 1].src, Vec<T, B>::kBytes,
+            Vec<T, B>::kLanes, Vec<T, B>::kLanes, sk);
+}
+
+} // namespace detail
+
+/** De-interleaving stride-2 load (VLD2): r[0]=p[0,2,4..], r[1]=p[1,3,5..] */
+template <int B = 128, typename T>
+inline std::array<Vec<T, B>, 2>
+vld2(const T *p)
+{
+    return detail::vldN<2, B>(p, StrideKind::Ld2);
+}
+
+/** De-interleaving stride-3 load (VLD3), e.g. packed RGB pixels. */
+template <int B = 128, typename T>
+inline std::array<Vec<T, B>, 3>
+vld3(const T *p)
+{
+    return detail::vldN<3, B>(p, StrideKind::Ld3);
+}
+
+/** De-interleaving stride-4 load (VLD4), e.g. packed RGBA pixels. */
+template <int B = 128, typename T>
+inline std::array<Vec<T, B>, 4>
+vld4(const T *p)
+{
+    return detail::vldN<4, B>(p, StrideKind::Ld4);
+}
+
+/** Interleaving stride-2 store (VST2). */
+template <typename T, int B>
+inline void
+vst2(T *p, const std::array<Vec<T, B>, 2> &v)
+{
+    detail::vstN<2>(p, v, StrideKind::St2);
+}
+
+/** Interleaving stride-3 store (VST3). */
+template <typename T, int B>
+inline void
+vst3(T *p, const std::array<Vec<T, B>, 3> &v)
+{
+    detail::vstN<3>(p, v, StrideKind::St3);
+}
+
+/** Interleaving stride-4 store (VST4). */
+template <typename T, int B>
+inline void
+vst4(T *p, const std::array<Vec<T, B>, 4> &v)
+{
+    detail::vstN<4>(p, v, StrideKind::St4);
+}
+
+} // namespace swan::simd
+
+#endif // SWAN_SIMD_VEC_MEM_HH

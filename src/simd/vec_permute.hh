@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Emulated Neon permutation operations: interleave (ZIP1/ZIP2),
+ * de-interleave (UZP1/UZP2), transpose (TRN1/TRN2, the matrix-transposition
+ * primitive of Section 6.4), byte extract (EXT), element reversal (REV),
+ * and register table lookup (TBL, Section 6.2).
+ */
+
+#ifndef SWAN_SIMD_VEC_PERMUTE_HH
+#define SWAN_SIMD_VEC_PERMUTE_HH
+
+#include "simd/vec.hh"
+
+namespace swan::simd
+{
+
+namespace detail
+{
+
+template <typename T, int B, typename F>
+inline Vec<T, B>
+permute2(const Vec<T, B> &a, const Vec<T, B> &b, StrideKind sk, F &&fill)
+{
+    Vec<T, B> r;
+    fill(r);
+    r.active = std::min(a.active, b.active);
+    r.src = emitOp(InstrClass::VMisc, Fu::VUnit, Lat::vPerm, a.src, b.src, 0,
+                   Vec<T, B>::kBytes, Vec<T, B>::kLanes, r.active, sk);
+    return r;
+}
+
+} // namespace detail
+
+/** ZIP1: interleave the low halves of a and b. */
+template <typename T, int B>
+inline Vec<T, B>
+vzip1(const Vec<T, B> &a, const Vec<T, B> &b)
+{
+    return detail::permute2(a, b, StrideKind::Zip, [&](Vec<T, B> &r) {
+        for (int i = 0; i < Vec<T, B>::kLanes / 2; ++i) {
+            r.lane[size_t(2 * i)] = a.lane[size_t(i)];
+            r.lane[size_t(2 * i + 1)] = b.lane[size_t(i)];
+        }
+    });
+}
+
+/** ZIP2: interleave the high halves of a and b. */
+template <typename T, int B>
+inline Vec<T, B>
+vzip2(const Vec<T, B> &a, const Vec<T, B> &b)
+{
+    return detail::permute2(a, b, StrideKind::Zip, [&](Vec<T, B> &r) {
+        const int half = Vec<T, B>::kLanes / 2;
+        for (int i = 0; i < half; ++i) {
+            r.lane[size_t(2 * i)] = a.lane[size_t(half + i)];
+            r.lane[size_t(2 * i + 1)] = b.lane[size_t(half + i)];
+        }
+    });
+}
+
+/** UZP1: concatenate the even-indexed elements of a then b. */
+template <typename T, int B>
+inline Vec<T, B>
+vuzp1(const Vec<T, B> &a, const Vec<T, B> &b)
+{
+    return detail::permute2(a, b, StrideKind::Uzp, [&](Vec<T, B> &r) {
+        const int half = Vec<T, B>::kLanes / 2;
+        for (int i = 0; i < half; ++i) {
+            r.lane[size_t(i)] = a.lane[size_t(2 * i)];
+            r.lane[size_t(half + i)] = b.lane[size_t(2 * i)];
+        }
+    });
+}
+
+/** UZP2: concatenate the odd-indexed elements of a then b. */
+template <typename T, int B>
+inline Vec<T, B>
+vuzp2(const Vec<T, B> &a, const Vec<T, B> &b)
+{
+    return detail::permute2(a, b, StrideKind::Uzp, [&](Vec<T, B> &r) {
+        const int half = Vec<T, B>::kLanes / 2;
+        for (int i = 0; i < half; ++i) {
+            r.lane[size_t(i)] = a.lane[size_t(2 * i + 1)];
+            r.lane[size_t(half + i)] = b.lane[size_t(2 * i + 1)];
+        }
+    });
+}
+
+/** TRN1: even-indexed element pairs from a and b (transpose primitive). */
+template <typename T, int B>
+inline Vec<T, B>
+vtrn1(const Vec<T, B> &a, const Vec<T, B> &b)
+{
+    return detail::permute2(a, b, StrideKind::Trn, [&](Vec<T, B> &r) {
+        for (int i = 0; i < Vec<T, B>::kLanes / 2; ++i) {
+            r.lane[size_t(2 * i)] = a.lane[size_t(2 * i)];
+            r.lane[size_t(2 * i + 1)] = b.lane[size_t(2 * i)];
+        }
+    });
+}
+
+/** TRN2: odd-indexed element pairs from a and b. */
+template <typename T, int B>
+inline Vec<T, B>
+vtrn2(const Vec<T, B> &a, const Vec<T, B> &b)
+{
+    return detail::permute2(a, b, StrideKind::Trn, [&](Vec<T, B> &r) {
+        for (int i = 0; i < Vec<T, B>::kLanes / 2; ++i) {
+            r.lane[size_t(2 * i)] = a.lane[size_t(2 * i + 1)];
+            r.lane[size_t(2 * i + 1)] = b.lane[size_t(2 * i + 1)];
+        }
+    });
+}
+
+/** EXT: r = a[n..] ++ b[..n) — byte/element extract-and-concatenate. */
+template <typename T, int B>
+inline Vec<T, B>
+vext(const Vec<T, B> &a, const Vec<T, B> &b, int n)
+{
+    return detail::permute2(a, b, StrideKind::None, [&](Vec<T, B> &r) {
+        const int lanes = Vec<T, B>::kLanes;
+        for (int i = 0; i < lanes; ++i) {
+            int j = i + n;
+            r.lane[size_t(i)] = j < lanes ? a.lane[size_t(j)]
+                                          : b.lane[size_t(j - lanes)];
+        }
+    });
+}
+
+namespace detail
+{
+
+template <typename T, int B>
+inline Vec<T, B>
+revGroups(const Vec<T, B> &a, int group)
+{
+    Vec<T, B> r;
+    for (int g = 0; g < Vec<T, B>::kLanes; g += group)
+        for (int i = 0; i < group; ++i)
+            r.lane[size_t(g + i)] = a.lane[size_t(g + group - 1 - i)];
+    r.active = a.active;
+    r.src = emitOp(InstrClass::VMisc, Fu::VUnit, Lat::vPerm, a.src, 0, 0,
+                   Vec<T, B>::kBytes, Vec<T, B>::kLanes, r.active);
+    return r;
+}
+
+} // namespace detail
+
+/** REV64: reverse elements within each 64-bit group. */
+template <typename T, int B>
+inline Vec<T, B>
+vrev64(const Vec<T, B> &a)
+{
+    return detail::revGroups(a, 8 / int(sizeof(T)));
+}
+
+/** REV32: reverse elements within each 32-bit group. */
+template <typename T, int B>
+inline Vec<T, B>
+vrev32(const Vec<T, B> &a)
+{
+    static_assert(sizeof(T) <= 2);
+    return detail::revGroups(a, 4 / int(sizeof(T)));
+}
+
+/** REV16: reverse bytes within each 16-bit group. */
+template <typename T, int B>
+inline Vec<T, B>
+vrev16(const Vec<T, B> &a)
+{
+    static_assert(sizeof(T) == 1);
+    return detail::revGroups(a, 2);
+}
+
+namespace detail
+{
+
+template <int N, int B>
+inline Vec<uint8_t, B>
+tblN(const std::array<Vec<uint8_t, B>, N> &table, const Vec<uint8_t, B> &idx)
+{
+    Vec<uint8_t, B> r;
+    constexpr int kTableBytes = N * Vec<uint8_t, B>::kLanes;
+    for (int i = 0; i < Vec<uint8_t, B>::kLanes; ++i) {
+        const int j = idx.lane[size_t(i)];
+        if (j < kTableBytes) {
+            r.lane[size_t(i)] =
+                table[size_t(j / Vec<uint8_t, B>::kLanes)]
+                    .lane[size_t(j % Vec<uint8_t, B>::kLanes)];
+        } else {
+            r.lane[size_t(i)] = 0; // out-of-range TBL yields zero
+        }
+    }
+    r.active = idx.active;
+    r.src = emitOp(InstrClass::VMisc, Fu::VUnit, Lat::vPerm, table[0].src,
+                   table[N - 1].src, idx.src, Vec<uint8_t, B>::kBytes,
+                   Vec<uint8_t, B>::kLanes, r.active);
+    return r;
+}
+
+} // namespace detail
+
+/**
+ * Concatenate two half-width registers (VCOMBINE / register move pair).
+ * Used by wider-register kernels to pack short rows of multi-dimensional
+ * data into wide registers — the packing overhead Section 7.1 blames for
+ * SAD/TM-Prediction not scaling.
+ */
+template <typename T, int B>
+inline Vec<T, 2 * B>
+vcombine(const Vec<T, B> &lo, const Vec<T, B> &hi)
+{
+    Vec<T, 2 * B> r;
+    for (int i = 0; i < Vec<T, B>::kLanes; ++i) {
+        r.lane[size_t(i)] = lo.lane[size_t(i)];
+        r.lane[size_t(Vec<T, B>::kLanes + i)] = hi.lane[size_t(i)];
+    }
+    r.active = uint8_t(std::min<int>(lo.active + hi.active,
+                                     Vec<T, 2 * B>::kLanes));
+    r.src = emitOp(InstrClass::VMisc, Fu::VUnit, Lat::vPerm, lo.src, hi.src,
+                   0, Vec<T, 2 * B>::kBytes, Vec<T, 2 * B>::kLanes,
+                   r.active);
+    return r;
+}
+
+/**
+ * Sum the two halves of a wide register into a half-width register: the
+ * multi-step reduction the paper uses instead of extending U/SADDLV to
+ * wider registers (Section 7.1).
+ */
+template <typename T, int B>
+inline Vec<T, B / 2>
+vadd_halves(const Vec<T, B> &a)
+{
+    static_assert(B >= 128, "vadd_halves needs a splittable register");
+    Vec<T, B / 2> r;
+    constexpr int kHalf = Vec<T, B / 2>::kLanes;
+    for (int i = 0; i < kHalf; ++i) {
+        r.lane[size_t(i)] = detail::wrapAdd(
+            a.lane[size_t(i)], a.lane[size_t(kHalf + i)]);
+    }
+    r.src = emitOp(detail::arithClass<T>(), Fu::VUnit,
+                   detail::arithLat<T>(), a.src, 0, 0,
+                   Vec<T, B / 2>::kBytes, kHalf, kHalf);
+    return r;
+}
+
+/** TBL with a 1-register table (in-register look-up, Section 6.2). */
+template <int B>
+inline Vec<uint8_t, B>
+vqtbl1(const Vec<uint8_t, B> &table, const Vec<uint8_t, B> &idx)
+{
+    return detail::tblN<1, B>({table}, idx);
+}
+
+/** TBL with a 2-register table. */
+template <int B>
+inline Vec<uint8_t, B>
+vqtbl2(const std::array<Vec<uint8_t, B>, 2> &table,
+       const Vec<uint8_t, B> &idx)
+{
+    return detail::tblN<2, B>(table, idx);
+}
+
+/** TBL with a 4-register table (up to 64 bytes at 128-bit width). */
+template <int B>
+inline Vec<uint8_t, B>
+vqtbl4(const std::array<Vec<uint8_t, B>, 4> &table,
+       const Vec<uint8_t, B> &idx)
+{
+    return detail::tblN<4, B>(table, idx);
+}
+
+} // namespace swan::simd
+
+#endif // SWAN_SIMD_VEC_PERMUTE_HH

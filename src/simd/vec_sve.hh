@@ -1,0 +1,596 @@
+/**
+ * @file
+ * Future-ISA vector extension layer: the operations the paper's Section 9
+ * names as future work because Arm Neon lacks them — SVE/RVV-style
+ * predication (WHILELT + merging ops), indexed gather/scatter memory
+ * accesses (Section 6.2's missing look-up-table intrinsics), arbitrary-
+ * stride loads/stores (Section 6.3's RVV remark), and the Armv8.3 complex
+ * multiply-accumulate family (Section 6.5's FCMLA/FCADD discussion).
+ *
+ * Everything emits through the same instrumentation as the Neon layer, so
+ * the extension kernels trace, simulate, and report identically. The
+ * timing model cracks gather/scatter/strided accesses into per-element
+ * cache accesses, two per cycle (sim::CoreModel::memCompleteMulti);
+ * FCMLA/FCADD take the two-cycle latency the Cortex-A710 Software
+ * Optimization Guide reports.
+ */
+
+#ifndef SWAN_SIMD_VEC_SVE_HH
+#define SWAN_SIMD_VEC_SVE_HH
+
+#include <algorithm>
+
+#include "simd/vec.hh"
+#include "simd/vec_mem.hh"
+
+namespace swan::simd
+{
+
+// ---------------------------------------------------------------------
+// Predicates (SVE-style governing masks).
+// ---------------------------------------------------------------------
+
+/**
+ * Governing predicate for a Vec<T, kBits>: one boolean per lane plus
+ * dataflow provenance, produced by PTRUE/WHILELT-style instructions and
+ * consumed by masked memory and merging arithmetic ops.
+ */
+template <typename T, int kBits = 128>
+struct Pred
+{
+    static constexpr int kLanes = Vec<T, kBits>::kLanes;
+
+    std::array<bool, kLanes> lane{};
+    uint64_t src = 0;       //!< producer instruction id
+
+    bool operator[](int i) const { return lane[size_t(i)]; }
+
+    /** Active lane count (no instruction emitted; use pcount for that). */
+    int
+    count() const
+    {
+        int n = 0;
+        for (bool b : lane)
+            n += b ? 1 : 0;
+        return n;
+    }
+};
+
+/** All-true predicate (PTRUE). */
+template <typename T, int B = 128>
+inline Pred<T, B>
+ptrue()
+{
+    Pred<T, B> p;
+    p.lane.fill(true);
+    p.src = emitOp(InstrClass::VInt, Fu::VUnit, Lat::vPred, 0, 0, 0,
+                   Vec<T, B>::kBytes, Pred<T, B>::kLanes,
+                   Pred<T, B>::kLanes);
+    return p;
+}
+
+/**
+ * While-less-than predicate (WHILELT): lane i is active when
+ * @p i + i < @p n. The SVE tail-handling idiom — a loop over n elements
+ * runs full-width vectors with the final partial iteration masked instead
+ * of falling back to narrower registers (the Section 7.1 GEMM
+ * utilization problem).
+ */
+template <typename T, int B = 128>
+inline Pred<T, B>
+whilelt(int64_t i, int64_t n)
+{
+    Pred<T, B> p;
+    int active = 0;
+    for (int k = 0; k < Pred<T, B>::kLanes; ++k) {
+        p.lane[size_t(k)] = i + k < n;
+        active += p.lane[size_t(k)] ? 1 : 0;
+    }
+    p.src = emitOp(InstrClass::VInt, Fu::VUnit, Lat::vPred, 0, 0, 0,
+                   Vec<T, B>::kBytes, Pred<T, B>::kLanes, active);
+    return p;
+}
+
+/** Predicate AND. */
+template <typename T, int B>
+inline Pred<T, B>
+pand(const Pred<T, B> &a, const Pred<T, B> &b)
+{
+    Pred<T, B> r;
+    for (int i = 0; i < Pred<T, B>::kLanes; ++i)
+        r.lane[size_t(i)] = a.lane[size_t(i)] && b.lane[size_t(i)];
+    r.src = emitOp(InstrClass::VInt, Fu::VUnit, Lat::vPred, a.src, b.src, 0,
+                   Vec<T, B>::kBytes, Pred<T, B>::kLanes, r.count());
+    return r;
+}
+
+/** Predicate OR. */
+template <typename T, int B>
+inline Pred<T, B>
+por(const Pred<T, B> &a, const Pred<T, B> &b)
+{
+    Pred<T, B> r;
+    for (int i = 0; i < Pred<T, B>::kLanes; ++i)
+        r.lane[size_t(i)] = a.lane[size_t(i)] || b.lane[size_t(i)];
+    r.src = emitOp(InstrClass::VInt, Fu::VUnit, Lat::vPred, a.src, b.src, 0,
+                   Vec<T, B>::kBytes, Pred<T, B>::kLanes, r.count());
+    return r;
+}
+
+/** Active-lane count to a scalar register (CNTP). */
+template <typename T, int B>
+inline Sc<int64_t>
+pcount(const Pred<T, B> &p)
+{
+    uint64_t id = emitOp(InstrClass::VMisc, Fu::VUnit, Lat::laneMove, p.src,
+                         0, 0, Vec<T, B>::kBytes, Pred<T, B>::kLanes, 1);
+    return {int64_t(p.count()), id};
+}
+
+/** True when any lane is active (PTEST-style loop-exit check). */
+template <typename T, int B>
+inline bool
+ptest(const Pred<T, B> &p)
+{
+    emitOp(InstrClass::Branch, Fu::Branch, Lat::branch, p.src);
+    return p.count() > 0;
+}
+
+// ---------------------------------------------------------------------
+// Masked contiguous memory (LD1/ST1 with a governing predicate).
+// ---------------------------------------------------------------------
+
+/** Masked unit-stride load: inactive lanes are zero (SVE zeroing form). */
+template <int B = 128, typename T>
+inline Vec<T, B>
+vld1_m(const T *p, const Pred<T, B> &pg)
+{
+    Vec<T, B> r;
+    int active = 0;
+    for (int i = 0; i < Vec<T, B>::kLanes; ++i) {
+        if (pg.lane[size_t(i)]) {
+            r.lane[size_t(i)] = p[i];
+            ++active;
+        }
+    }
+    r.active = uint8_t(active);
+    r.src = emitMem(InstrClass::VLoad, p,
+                    uint32_t(active * int(sizeof(T))), Lat::vLoad, pg.src,
+                    0, Vec<T, B>::kBytes, Vec<T, B>::kLanes, active);
+    return r;
+}
+
+/** Masked unit-stride store: only active lanes write memory. */
+template <typename T, int B>
+inline void
+vst1_m(T *p, const Vec<T, B> &v, const Pred<T, B> &pg)
+{
+    int active = 0;
+    for (int i = 0; i < Vec<T, B>::kLanes; ++i) {
+        if (pg.lane[size_t(i)]) {
+            p[i] = v.lane[size_t(i)];
+            ++active;
+        }
+    }
+    emitMem(InstrClass::VStore, p, uint32_t(active * int(sizeof(T))),
+            Lat::vStore, v.src, pg.src, Vec<T, B>::kBytes,
+            Vec<T, B>::kLanes, active);
+}
+
+// ---------------------------------------------------------------------
+// Merging (predicated) arithmetic.
+// ---------------------------------------------------------------------
+
+namespace detail
+{
+
+/** Merging binary op: active lanes compute, inactive keep @p a's value. */
+template <typename T, int B, typename F>
+inline Vec<T, B>
+mapm(InstrClass cls, int lat, const Pred<T, B> &pg, const Vec<T, B> &a,
+     const Vec<T, B> &b, F &&f)
+{
+    Vec<T, B> r;
+    int active = 0;
+    for (int i = 0; i < Vec<T, B>::kLanes; ++i) {
+        const bool on = pg.lane[size_t(i)];
+        r.lane[size_t(i)] = on ? f(a.lane[size_t(i)], b.lane[size_t(i)])
+                               : a.lane[size_t(i)];
+        active += on ? 1 : 0;
+    }
+    r.active = uint8_t(active);
+    r.src = emitOp(cls, Fu::VUnit, lat, pg.src, a.src, b.src,
+                   Vec<T, B>::kBytes, Vec<T, B>::kLanes, active);
+    return r;
+}
+
+} // namespace detail
+
+/** Merging add (ADD z, pg/m): inactive lanes pass @p a through. */
+template <typename T, int B>
+inline Vec<T, B>
+vadd_m(const Pred<T, B> &pg, const Vec<T, B> &a, const Vec<T, B> &b)
+{
+    return detail::mapm(detail::arithClass<T>(), detail::arithLat<T>(), pg,
+                        a, b,
+                        [](T x, T y) { return detail::wrapAdd(x, y); });
+}
+
+/** Merging subtract. */
+template <typename T, int B>
+inline Vec<T, B>
+vsub_m(const Pred<T, B> &pg, const Vec<T, B> &a, const Vec<T, B> &b)
+{
+    return detail::mapm(detail::arithClass<T>(), detail::arithLat<T>(), pg,
+                        a, b,
+                        [](T x, T y) { return detail::wrapSub(x, y); });
+}
+
+/** Merging multiply. */
+template <typename T, int B>
+inline Vec<T, B>
+vmul_m(const Pred<T, B> &pg, const Vec<T, B> &a, const Vec<T, B> &b)
+{
+    return detail::mapm(detail::arithClass<T>(), detail::arithLat<T>(true),
+                        pg, a, b,
+                        [](T x, T y) { return detail::wrapMul(x, y); });
+}
+
+/** Merging multiply-accumulate acc + a*b on active lanes. */
+template <typename T, int B>
+inline Vec<T, B>
+vmla_m(const Pred<T, B> &pg, const Vec<T, B> &acc, const Vec<T, B> &a,
+       const Vec<T, B> &b)
+{
+    Vec<T, B> r;
+    int active = 0;
+    for (int i = 0; i < Vec<T, B>::kLanes; ++i) {
+        const bool on = pg.lane[size_t(i)];
+        r.lane[size_t(i)] =
+            on ? detail::wrapAdd(acc.lane[size_t(i)],
+                                 detail::wrapMul(a.lane[size_t(i)],
+                                                 b.lane[size_t(i)]))
+               : acc.lane[size_t(i)];
+        active += on ? 1 : 0;
+    }
+    r.active = uint8_t(active);
+    const int lat = isFloatLike<T> ? Lat::vFma : Lat::vMul;
+    r.src = emitOp(detail::arithClass<T>(), Fu::VUnit, lat, pg.src, acc.src,
+                   a.src, Vec<T, B>::kBytes, Vec<T, B>::kLanes, active);
+    return r;
+}
+
+/** Predicate-driven select (SEL): active lanes from @p a, rest from @p b. */
+template <typename T, int B>
+inline Vec<T, B>
+vsel(const Pred<T, B> &pg, const Vec<T, B> &a, const Vec<T, B> &b)
+{
+    Vec<T, B> r;
+    for (int i = 0; i < Vec<T, B>::kLanes; ++i) {
+        r.lane[size_t(i)] =
+            pg.lane[size_t(i)] ? a.lane[size_t(i)] : b.lane[size_t(i)];
+    }
+    r.active = std::min(a.active, b.active);
+    r.src = emitOp(InstrClass::VInt, Fu::VUnit, Lat::vAlu, pg.src, a.src,
+                   b.src, Vec<T, B>::kBytes, Vec<T, B>::kLanes, r.active);
+    return r;
+}
+
+// ---------------------------------------------------------------------
+// First-faulting loads (SVE LDFF1 + FFR; the Section 5.2 "uncountable
+// loop" enabler).
+// ---------------------------------------------------------------------
+
+/** Result of a first-faulting load: data plus the valid-lane FFR. */
+template <typename T, int kBits = 128>
+struct FfLoad
+{
+    Vec<T, kBits> data;
+    Pred<T, kBits> valid;
+};
+
+/**
+ * First-faulting contiguous load (LDFF1 + RDFFR): lanes load until the
+ * fault boundary @p limit; the returned predicate marks the lanes that
+ * loaded. The caller must guarantee p < limit (SVE faults on the first
+ * element too). This is what lets a vectorized loop scan an
+ * unknown-length buffer — strlen/memchr-style uncountable loops, which
+ * Section 5.2 lists as an auto-vectorization blocker on Neon — without
+ * the page-guarded over-read trick.
+ *
+ * Emits two instructions: the load and the FFR read.
+ */
+template <int B = 128, typename T>
+inline FfLoad<T, B>
+vldff1(const T *p, const T *limit)
+{
+    FfLoad<T, B> r;
+    int active = 0;
+    for (int i = 0; i < Vec<T, B>::kLanes; ++i) {
+        if (p + i < limit) {
+            r.data.lane[size_t(i)] = p[i];
+            r.valid.lane[size_t(i)] = true;
+            ++active;
+        }
+    }
+    r.data.active = uint8_t(active);
+    uint64_t ld = emitMem(InstrClass::VLoad, p,
+                          uint32_t(active * int(sizeof(T))), Lat::vLoad,
+                          0, 0, Vec<T, B>::kBytes, Vec<T, B>::kLanes,
+                          active);
+    r.data.src = ld;
+    // RDFFR: read the first-fault register into a predicate.
+    r.valid.src = emitOp(InstrClass::VInt, Fu::VUnit, Lat::vPred, ld, 0,
+                         0, Vec<T, B>::kBytes, Vec<T, B>::kLanes, active);
+    return r;
+}
+
+/** Predicated compare-to-immediate (CMPEQ z, pg/z, #imm) to a predicate. */
+template <typename T, int B>
+inline Pred<T, B>
+cmpeq_p(const Pred<T, B> &pg, const Vec<T, B> &v, T imm)
+{
+    Pred<T, B> r;
+    int active = 0;
+    for (int i = 0; i < Vec<T, B>::kLanes; ++i) {
+        r.lane[size_t(i)] =
+            pg.lane[size_t(i)] && v.lane[size_t(i)] == imm;
+        active += r.lane[size_t(i)] ? 1 : 0;
+    }
+    r.src = emitOp(InstrClass::VInt, Fu::VUnit, Lat::vAlu, pg.src, v.src,
+                   0, Vec<T, B>::kBytes, Pred<T, B>::kLanes, active);
+    return r;
+}
+
+/**
+ * Index of the first active lane, or -1 when none (BRKB + CNTP in real
+ * SVE; one instruction here).
+ */
+template <typename T, int B>
+inline Sc<int64_t>
+pfirstIdx(const Pred<T, B> &p)
+{
+    int64_t idx = -1;
+    for (int i = 0; i < Pred<T, B>::kLanes; ++i) {
+        if (p.lane[size_t(i)]) {
+            idx = i;
+            break;
+        }
+    }
+    uint64_t id = emitOp(InstrClass::VMisc, Fu::VUnit, Lat::laneMove,
+                         p.src, 0, 0, Vec<T, B>::kBytes,
+                         Pred<T, B>::kLanes, 1);
+    return {idx, id};
+}
+
+// ---------------------------------------------------------------------
+// Gather / scatter (the Section 6.2 look-up-table intrinsics).
+// ---------------------------------------------------------------------
+
+/**
+ * Indexed gather load: r[i] = base[idx[i]] in one instruction (SVE
+ * LD1 [z], RVV vluxei). Index and data lanes must agree, so sizeof(I)
+ * must equal sizeof(T). The emitted record carries the touched address
+ * range; the timing model cracks it into per-element cache accesses.
+ */
+template <typename T, int B, typename I>
+inline Vec<T, B>
+vgather(const T *base, const Vec<I, B> &idx)
+{
+    static_assert(sizeof(I) == sizeof(T),
+                  "gather index width must match data width");
+    static_assert(std::is_integral_v<I>, "gather indices are integers");
+    Vec<T, B> r;
+    const T *lo = nullptr;
+    const T *hi = nullptr;
+    const int lanes = std::max<int>(idx.active, 1);
+    for (int i = 0; i < lanes; ++i) {
+        const T *a = base + uint64_t(idx.lane[size_t(i)]);
+        r.lane[size_t(i)] = *a;
+        lo = (!lo || a < lo) ? a : lo;
+        hi = (!hi || a > hi) ? a : hi;
+    }
+    r.active = uint8_t(lanes);
+    auto *rec = trace::currentRecorder();
+    if (rec) {
+        trace::Instr instr;
+        instr.cls = InstrClass::VLoad;
+        instr.fu = Fu::Load;
+        instr.latency = Lat::vGather;
+        instr.dep0 = idx.src;
+        instr.addr = reinterpret_cast<uint64_t>(lo);
+        instr.addr2 = reinterpret_cast<uint64_t>(hi);
+        instr.size = uint32_t(lanes * int(sizeof(T)));
+        instr.vecBytes = uint8_t(Vec<T, B>::kBytes);
+        instr.lanes = uint8_t(Vec<T, B>::kLanes);
+        instr.activeLanes = uint8_t(lanes);
+        instr.stride = StrideKind::Gather;
+        r.src = rec->emit(instr);
+    }
+    return r;
+}
+
+/**
+ * Indexed scatter store: base[idx[i]] = v[i] in one instruction (SVE
+ * ST1 [z], RVV vsuxei). Overlapping indices write in lane order.
+ */
+template <typename T, int B, typename I>
+inline void
+vscatter(T *base, const Vec<I, B> &idx, const Vec<T, B> &v)
+{
+    static_assert(sizeof(I) == sizeof(T),
+                  "scatter index width must match data width");
+    static_assert(std::is_integral_v<I>, "scatter indices are integers");
+    T *lo = nullptr;
+    T *hi = nullptr;
+    const int lanes = std::max<int>(std::min(idx.active, v.active), 1);
+    for (int i = 0; i < lanes; ++i) {
+        T *a = base + uint64_t(idx.lane[size_t(i)]);
+        *a = v.lane[size_t(i)];
+        lo = (!lo || a < lo) ? a : lo;
+        hi = (!hi || a > hi) ? a : hi;
+    }
+    auto *rec = trace::currentRecorder();
+    if (rec) {
+        trace::Instr instr;
+        instr.cls = InstrClass::VStore;
+        instr.fu = Fu::Store;
+        instr.latency = Lat::vScatter;
+        instr.dep0 = idx.src;
+        instr.dep1 = v.src;
+        instr.addr = reinterpret_cast<uint64_t>(lo);
+        instr.addr2 = reinterpret_cast<uint64_t>(hi);
+        instr.size = uint32_t(lanes * int(sizeof(T)));
+        instr.vecBytes = uint8_t(Vec<T, B>::kBytes);
+        instr.lanes = uint8_t(Vec<T, B>::kLanes);
+        instr.activeLanes = uint8_t(lanes);
+        instr.stride = StrideKind::Scatter;
+        rec->emit(instr);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Arbitrary-stride memory (RVV vlse/vsse).
+// ---------------------------------------------------------------------
+
+/**
+ * Strided load: r[i] = p[i * stride_elems] in one instruction. Unlike
+ * Neon's VLD2/3/4 (stride <= 4, all R registers filled), the stride is
+ * arbitrary and one register is produced — the RVV vlse semantics the
+ * paper's Section 6.3 points to for higher-stride access patterns.
+ */
+template <int B = 128, typename T>
+inline Vec<T, B>
+vlds(const T *p, int64_t stride_elems)
+{
+    Vec<T, B> r;
+    for (int i = 0; i < Vec<T, B>::kLanes; ++i)
+        r.lane[size_t(i)] = p[int64_t(i) * stride_elems];
+    auto *rec = trace::currentRecorder();
+    if (rec) {
+        trace::Instr instr;
+        instr.cls = InstrClass::VLoad;
+        instr.fu = Fu::Load;
+        instr.latency = Lat::vStrided;
+        instr.addr = reinterpret_cast<uint64_t>(p);
+        instr.addr2 = reinterpret_cast<uint64_t>(
+            p + int64_t(Vec<T, B>::kLanes - 1) * stride_elems);
+        instr.size = uint32_t(Vec<T, B>::kBytes);
+        instr.elemStride = int32_t(stride_elems * int64_t(sizeof(T)));
+        instr.vecBytes = uint8_t(Vec<T, B>::kBytes);
+        instr.lanes = uint8_t(Vec<T, B>::kLanes);
+        instr.activeLanes = uint8_t(Vec<T, B>::kLanes);
+        instr.stride = StrideKind::LdS;
+        r.src = rec->emit(instr);
+    }
+    return r;
+}
+
+/** Strided store: p[i * stride_elems] = v[i] (RVV vsse). */
+template <typename T, int B>
+inline void
+vsts(T *p, int64_t stride_elems, const Vec<T, B> &v)
+{
+    for (int i = 0; i < Vec<T, B>::kLanes; ++i)
+        p[int64_t(i) * stride_elems] = v.lane[size_t(i)];
+    auto *rec = trace::currentRecorder();
+    if (rec) {
+        trace::Instr instr;
+        instr.cls = InstrClass::VStore;
+        instr.fu = Fu::Store;
+        instr.latency = Lat::vStoreN;
+        instr.dep0 = v.src;
+        instr.addr = reinterpret_cast<uint64_t>(p);
+        instr.addr2 = reinterpret_cast<uint64_t>(
+            p + int64_t(Vec<T, B>::kLanes - 1) * stride_elems);
+        instr.size = uint32_t(Vec<T, B>::kBytes);
+        instr.elemStride = int32_t(stride_elems * int64_t(sizeof(T)));
+        instr.vecBytes = uint8_t(Vec<T, B>::kBytes);
+        instr.lanes = uint8_t(Vec<T, B>::kLanes);
+        instr.activeLanes = uint8_t(Vec<T, B>::kLanes);
+        instr.stride = StrideKind::StS;
+        rec->emit(instr);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Armv8.3 complex arithmetic (FCMLA / FCADD, Section 6.5).
+// ---------------------------------------------------------------------
+
+/**
+ * Complex fused multiply-accumulate with rotation (FCMLA #rot). Lanes
+ * pair up as (real, imag); a full complex multiply-accumulate is FCMLA #0
+ * followed by FCMLA #90 — two instructions and four cycles where the
+ * portable-API recipe needs six instructions and eight cycles
+ * (Section 6.5).
+ *
+ * @tparam kRot rotation in degrees: 0, 90, 180 or 270.
+ */
+template <int kRot, typename T, int B>
+inline Vec<T, B>
+vcmla(const Vec<T, B> &acc, const Vec<T, B> &a, const Vec<T, B> &b)
+{
+    static_assert(kRot == 0 || kRot == 90 || kRot == 180 || kRot == 270,
+                  "FCMLA rotation must be 0/90/180/270");
+    static_assert(isFloatLike<T>, "FCMLA is floating-point only");
+    static_assert(Vec<T, B>::kLanes % 2 == 0);
+    Vec<T, B> r;
+    for (int i = 0; i + 1 < Vec<T, B>::kLanes; i += 2) {
+        const T ar = a.lane[size_t(i)], ai = a.lane[size_t(i + 1)];
+        const T br = b.lane[size_t(i)], bi = b.lane[size_t(i + 1)];
+        T re = acc.lane[size_t(i)], im = acc.lane[size_t(i + 1)];
+        if constexpr (kRot == 0) {
+            re = T(re + ar * br);
+            im = T(im + ar * bi);
+        } else if constexpr (kRot == 90) {
+            re = T(re - ai * bi);
+            im = T(im + ai * br);
+        } else if constexpr (kRot == 180) {
+            re = T(re - ar * br);
+            im = T(im - ar * bi);
+        } else {
+            re = T(re + ai * bi);
+            im = T(im - ai * br);
+        }
+        r.lane[size_t(i)] = re;
+        r.lane[size_t(i + 1)] = im;
+    }
+    r.active = std::min({acc.active, a.active, b.active});
+    r.src = emitOp(InstrClass::VFloat, Fu::VUnit, Lat::vCmla, acc.src,
+                   a.src, b.src, Vec<T, B>::kBytes, Vec<T, B>::kLanes,
+                   r.active);
+    return r;
+}
+
+/**
+ * Complex add with rotation (FCADD #rot): b is rotated by 90 or 270
+ * degrees in the complex plane before the add.
+ */
+template <int kRot, typename T, int B>
+inline Vec<T, B>
+vcadd(const Vec<T, B> &a, const Vec<T, B> &b)
+{
+    static_assert(kRot == 90 || kRot == 270,
+                  "FCADD rotation must be 90 or 270");
+    static_assert(isFloatLike<T>, "FCADD is floating-point only");
+    static_assert(Vec<T, B>::kLanes % 2 == 0);
+    Vec<T, B> r;
+    for (int i = 0; i + 1 < Vec<T, B>::kLanes; i += 2) {
+        const T br = b.lane[size_t(i)], bi = b.lane[size_t(i + 1)];
+        if constexpr (kRot == 90) {
+            r.lane[size_t(i)] = T(a.lane[size_t(i)] - bi);
+            r.lane[size_t(i + 1)] = T(a.lane[size_t(i + 1)] + br);
+        } else {
+            r.lane[size_t(i)] = T(a.lane[size_t(i)] + bi);
+            r.lane[size_t(i + 1)] = T(a.lane[size_t(i + 1)] - br);
+        }
+    }
+    r.active = std::min(a.active, b.active);
+    r.src = emitOp(InstrClass::VFloat, Fu::VUnit, Lat::vCmla, a.src, b.src,
+                   0, Vec<T, B>::kBytes, Vec<T, B>::kLanes, r.active);
+    return r;
+}
+
+} // namespace swan::simd
+
+#endif // SWAN_SIMD_VEC_SVE_HH

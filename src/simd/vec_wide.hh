@@ -1,0 +1,537 @@
+/**
+ * @file
+ * Width-changing and reducing emulated Neon operations: widening
+ * (VMOVL/VADDL/VMULL/VMLAL and friends), narrowing (XTN/SQXTN/SHRN pairs),
+ * pairwise operations (VPADD/VPADDL/VPADAL), across-vector reductions
+ * (ADDV/ADDLV/MAXV/MINV, Section 6.1) and lane-type conversions.
+ *
+ * Widening ops follow AArch64: the _lo form consumes the low half of the
+ * source register(s), the _hi form the high half; each is one instruction.
+ * Narrowing ops take two wide registers and produce one narrow register in
+ * two instructions (XTN + XTN2), which the emulation emits explicitly.
+ */
+
+#ifndef SWAN_SIMD_VEC_WIDE_HH
+#define SWAN_SIMD_VEC_WIDE_HH
+
+#include "simd/vec.hh"
+
+namespace swan::simd
+{
+
+namespace detail
+{
+
+/** Generic one-instruction widening: narrow half -> full wide vector. */
+template <typename T, int B, typename F>
+inline Vec<Wider<T>, B>
+widenHalf(const Vec<T, B> &a, const Vec<T, B> &b, bool hi, F &&f,
+          InstrClass cls)
+{
+    using W = Wider<T>;
+    Vec<W, B> r;
+    const int base = hi ? Vec<W, B>::kLanes : 0;
+    for (int i = 0; i < Vec<W, B>::kLanes; ++i) {
+        r.lane[size_t(i)] =
+            f(a.lane[size_t(base + i)], b.lane[size_t(base + i)]);
+    }
+    r.src = emitOp(cls, Fu::VUnit, Lat::vAlu, a.src, b.src, 0,
+                   Vec<W, B>::kBytes, Vec<W, B>::kLanes, Vec<W, B>::kLanes);
+    return r;
+}
+
+} // namespace detail
+
+/** Widen the low (high) half of @p a (USHLL/SSHLL #0 a.k.a. VMOVL). */
+template <typename T, int B>
+inline Vec<Wider<T>, B>
+vmovl_lo(const Vec<T, B> &a)
+{
+    return detail::widenHalf(a, a, false,
+                             [](T x, T) { return Wider<T>(x); },
+                             InstrClass::VMisc);
+}
+template <typename T, int B>
+inline Vec<Wider<T>, B>
+vmovl_hi(const Vec<T, B> &a)
+{
+    return detail::widenHalf(a, a, true,
+                             [](T x, T) { return Wider<T>(x); },
+                             InstrClass::VMisc);
+}
+
+/** Widening shift-left of the low (high) half (VSHLL). */
+template <typename T, int B>
+inline Vec<Wider<T>, B>
+vshll_lo(const Vec<T, B> &a, int n)
+{
+    return detail::widenHalf(
+        a, a, false,
+        [n](T x, T) { return Wider<T>(Wider<T>(x) << n); },
+        InstrClass::VInt);
+}
+template <typename T, int B>
+inline Vec<Wider<T>, B>
+vshll_hi(const Vec<T, B> &a, int n)
+{
+    return detail::widenHalf(
+        a, a, true, [n](T x, T) { return Wider<T>(Wider<T>(x) << n); },
+        InstrClass::VInt);
+}
+
+/** Widening add/subtract of narrow halves (VADDL/VSUBL). */
+template <typename T, int B>
+inline Vec<Wider<T>, B>
+vaddl_lo(const Vec<T, B> &a, const Vec<T, B> &b)
+{
+    using W = Wider<T>;
+    return detail::widenHalf(a, b, false,
+                             [](T x, T y) { return W(W(x) + W(y)); },
+                             detail::arithClass<W>());
+}
+template <typename T, int B>
+inline Vec<Wider<T>, B>
+vaddl_hi(const Vec<T, B> &a, const Vec<T, B> &b)
+{
+    using W = Wider<T>;
+    return detail::widenHalf(a, b, true,
+                             [](T x, T y) { return W(W(x) + W(y)); },
+                             detail::arithClass<W>());
+}
+template <typename T, int B>
+inline Vec<Wider<T>, B>
+vsubl_lo(const Vec<T, B> &a, const Vec<T, B> &b)
+{
+    using W = Wider<T>;
+    return detail::widenHalf(
+        a, b, false,
+        [](T x, T y) { return detail::wrapSub(W(x), W(y)); },
+        detail::arithClass<W>());
+}
+template <typename T, int B>
+inline Vec<Wider<T>, B>
+vsubl_hi(const Vec<T, B> &a, const Vec<T, B> &b)
+{
+    using W = Wider<T>;
+    return detail::widenHalf(
+        a, b, true, [](T x, T y) { return detail::wrapSub(W(x), W(y)); },
+        detail::arithClass<W>());
+}
+
+/** Widening multiply of narrow halves (VMULL). */
+template <typename T, int B>
+inline Vec<Wider<T>, B>
+vmull_lo(const Vec<T, B> &a, const Vec<T, B> &b)
+{
+    using W = Wider<T>;
+    return detail::widenHalf(
+        a, b, false,
+        [](T x, T y) { return detail::wrapMul(W(x), W(y)); },
+        detail::arithClass<W>());
+}
+template <typename T, int B>
+inline Vec<Wider<T>, B>
+vmull_hi(const Vec<T, B> &a, const Vec<T, B> &b)
+{
+    using W = Wider<T>;
+    return detail::widenHalf(
+        a, b, true, [](T x, T y) { return detail::wrapMul(W(x), W(y)); },
+        detail::arithClass<W>());
+}
+
+namespace detail
+{
+
+template <typename T, int B, typename F>
+inline Vec<Wider<T>, B>
+widenAcc(const Vec<Wider<T>, B> &acc, const Vec<T, B> &a, const Vec<T, B> &b,
+         bool hi, F &&f)
+{
+    using W = Wider<T>;
+    Vec<W, B> r;
+    const int base = hi ? Vec<W, B>::kLanes : 0;
+    for (int i = 0; i < Vec<W, B>::kLanes; ++i) {
+        r.lane[size_t(i)] = f(acc.lane[size_t(i)], a.lane[size_t(base + i)],
+                              b.lane[size_t(base + i)]);
+    }
+    r.active = acc.active;
+    r.src = emitOp(detail::arithClass<W>(), Fu::VUnit, Lat::vMacFwd,
+                   acc.src, a.src, b.src, Vec<W, B>::kBytes,
+                   Vec<W, B>::kLanes, r.active);
+    return r;
+}
+
+} // namespace detail
+
+/** Widening multiply-accumulate acc + lo/hi(a)*lo/hi(b) (VMLAL). */
+template <typename T, int B>
+inline Vec<Wider<T>, B>
+vmlal_lo(const Vec<Wider<T>, B> &acc, const Vec<T, B> &a, const Vec<T, B> &b)
+{
+    using W = Wider<T>;
+    return detail::widenAcc(acc, a, b, false, [](W c, T x, T y) {
+        return detail::wrapAdd(c, detail::wrapMul(W(x), W(y)));
+    });
+}
+template <typename T, int B>
+inline Vec<Wider<T>, B>
+vmlal_hi(const Vec<Wider<T>, B> &acc, const Vec<T, B> &a, const Vec<T, B> &b)
+{
+    using W = Wider<T>;
+    return detail::widenAcc(acc, a, b, true, [](W c, T x, T y) {
+        return detail::wrapAdd(c, detail::wrapMul(W(x), W(y)));
+    });
+}
+
+/** Widening multiply-subtract (VMLSL). */
+template <typename T, int B>
+inline Vec<Wider<T>, B>
+vmlsl_lo(const Vec<Wider<T>, B> &acc, const Vec<T, B> &a, const Vec<T, B> &b)
+{
+    using W = Wider<T>;
+    return detail::widenAcc(acc, a, b, false, [](W c, T x, T y) {
+        return detail::wrapSub(c, detail::wrapMul(W(x), W(y)));
+    });
+}
+template <typename T, int B>
+inline Vec<Wider<T>, B>
+vmlsl_hi(const Vec<Wider<T>, B> &acc, const Vec<T, B> &a, const Vec<T, B> &b)
+{
+    using W = Wider<T>;
+    return detail::widenAcc(acc, a, b, true, [](W c, T x, T y) {
+        return detail::wrapSub(c, detail::wrapMul(W(x), W(y)));
+    });
+}
+
+/** Wide + widened-narrow-half add (VADDW). */
+template <typename T, int B>
+inline Vec<Wider<T>, B>
+vaddw_lo(const Vec<Wider<T>, B> &w, const Vec<T, B> &a)
+{
+    using W = Wider<T>;
+    Vec<W, B> r;
+    for (int i = 0; i < Vec<W, B>::kLanes; ++i) {
+        r.lane[size_t(i)] =
+            detail::wrapAdd(w.lane[size_t(i)], W(a.lane[size_t(i)]));
+    }
+    r.active = w.active;
+    r.src = emitOp(detail::arithClass<W>(), Fu::VUnit, Lat::vAlu, w.src,
+                   a.src, 0, Vec<W, B>::kBytes, Vec<W, B>::kLanes, r.active);
+    return r;
+}
+
+/** Wide + widened high-half add (VADDW2). */
+template <typename T, int B>
+inline Vec<Wider<T>, B>
+vaddw_hi(const Vec<Wider<T>, B> &w, const Vec<T, B> &a)
+{
+    using W = Wider<T>;
+    Vec<W, B> r;
+    const int base = Vec<W, B>::kLanes;
+    for (int i = 0; i < Vec<W, B>::kLanes; ++i) {
+        r.lane[size_t(i)] = detail::wrapAdd(
+            w.lane[size_t(i)], W(a.lane[size_t(base + i)]));
+    }
+    r.active = w.active;
+    r.src = emitOp(detail::arithClass<W>(), Fu::VUnit, Lat::vAlu, w.src,
+                   a.src, 0, Vec<W, B>::kBytes, Vec<W, B>::kLanes,
+                   r.active);
+    return r;
+}
+
+namespace detail
+{
+
+/**
+ * Narrowing pair: wide lo + wide hi -> one narrow register. Emits the two
+ * instructions (XTN + XTN2 style) a Neon build issues.
+ */
+template <typename W, int B, typename F>
+inline Vec<Narrower<W>, B>
+narrowPair(const Vec<W, B> &lo, const Vec<W, B> &hi, F &&f, InstrClass cls)
+{
+    using N = Narrower<W>;
+    Vec<N, B> r;
+    const int half = Vec<W, B>::kLanes;
+    for (int i = 0; i < half; ++i) {
+        r.lane[size_t(i)] = f(lo.lane[size_t(i)]);
+        r.lane[size_t(half + i)] = f(hi.lane[size_t(i)]);
+    }
+    uint64_t id0 = emitOp(cls, Fu::VUnit, Lat::vAlu, lo.src, 0, 0,
+                          Vec<N, B>::kBytes, Vec<N, B>::kLanes,
+                          Vec<N, B>::kLanes / 2);
+    uint64_t id1 = emitOp(cls, Fu::VUnit, Lat::vAlu, hi.src, id0, 0,
+                          Vec<N, B>::kBytes, Vec<N, B>::kLanes,
+                          Vec<N, B>::kLanes / 2);
+    r.src = id1;
+    return r;
+}
+
+} // namespace detail
+
+/** Truncating narrow (XTN/XTN2 pair). */
+template <typename W, int B>
+inline Vec<Narrower<W>, B>
+vmovn(const Vec<W, B> &lo, const Vec<W, B> &hi)
+{
+    using N = Narrower<W>;
+    return detail::narrowPair(lo, hi, [](W x) { return N(x); },
+                              InstrClass::VMisc);
+}
+
+/** Saturating narrow (SQXTN/UQXTN pair). */
+template <typename W, int B>
+inline Vec<Narrower<W>, B>
+vqmovn(const Vec<W, B> &lo, const Vec<W, B> &hi)
+{
+    using N = Narrower<W>;
+    return detail::narrowPair(
+        lo, hi, [](W x) { return detail::saturate<N>(int64_t(x)); },
+        InstrClass::VInt);
+}
+
+/** Signed-to-unsigned saturating narrow (SQXTUN pair). */
+template <typename W, int B>
+inline Vec<std::make_unsigned_t<Narrower<W>>, B>
+vqmovun(const Vec<W, B> &lo, const Vec<W, B> &hi)
+{
+    static_assert(std::is_signed_v<W>);
+    using N = std::make_unsigned_t<Narrower<W>>;
+    using NS = Narrower<W>;
+    (void)sizeof(NS);
+    Vec<N, B> r;
+    const int half = Vec<W, B>::kLanes;
+    auto sat = [](W x) {
+        int64_t v = int64_t(x);
+        int64_t hi_lim = int64_t(std::numeric_limits<N>::max());
+        return N(std::clamp<int64_t>(v, 0, hi_lim));
+    };
+    for (int i = 0; i < half; ++i) {
+        r.lane[size_t(i)] = sat(lo.lane[size_t(i)]);
+        r.lane[size_t(half + i)] = sat(hi.lane[size_t(i)]);
+    }
+    uint64_t id0 = emitOp(InstrClass::VInt, Fu::VUnit, Lat::vAlu, lo.src, 0,
+                          0, Vec<N, B>::kBytes, Vec<N, B>::kLanes,
+                          Vec<N, B>::kLanes / 2);
+    r.src = emitOp(InstrClass::VInt, Fu::VUnit, Lat::vAlu, hi.src, id0, 0,
+                   Vec<N, B>::kBytes, Vec<N, B>::kLanes,
+                   Vec<N, B>::kLanes / 2);
+    return r;
+}
+
+/** Narrowing right shift (SHRN pair). */
+template <typename W, int B>
+inline Vec<Narrower<W>, B>
+vshrn(const Vec<W, B> &lo, const Vec<W, B> &hi, int n)
+{
+    using N = Narrower<W>;
+    return detail::narrowPair(lo, hi, [n](W x) { return N(x >> n); },
+                              InstrClass::VInt);
+}
+
+/** Rounding narrowing right shift (RSHRN pair). */
+template <typename W, int B>
+inline Vec<Narrower<W>, B>
+vrshrn(const Vec<W, B> &lo, const Vec<W, B> &hi, int n)
+{
+    using N = Narrower<W>;
+    return detail::narrowPair(
+        lo, hi,
+        [n](W x) {
+            int64_t v = int64_t(x) + (int64_t(1) << (n - 1));
+            return N(v >> n);
+        },
+        InstrClass::VInt);
+}
+
+/** Saturating rounding narrowing right shift, unsigned result (SQRSHRUN). */
+template <typename W, int B>
+inline Vec<std::make_unsigned_t<Narrower<W>>, B>
+vqrshrun(const Vec<W, B> &lo, const Vec<W, B> &hi, int n)
+{
+    static_assert(std::is_signed_v<W>);
+    using N = std::make_unsigned_t<Narrower<W>>;
+    Vec<N, B> r;
+    const int half = Vec<W, B>::kLanes;
+    auto f = [n](W x) {
+        int64_t v = (int64_t(x) + (int64_t(1) << (n - 1))) >> n;
+        return N(std::clamp<int64_t>(
+            v, 0, int64_t(std::numeric_limits<N>::max())));
+    };
+    for (int i = 0; i < half; ++i) {
+        r.lane[size_t(i)] = f(lo.lane[size_t(i)]);
+        r.lane[size_t(half + i)] = f(hi.lane[size_t(i)]);
+    }
+    uint64_t id0 = emitOp(InstrClass::VInt, Fu::VUnit, Lat::vAlu, lo.src, 0,
+                          0, Vec<N, B>::kBytes, Vec<N, B>::kLanes,
+                          Vec<N, B>::kLanes / 2);
+    r.src = emitOp(InstrClass::VInt, Fu::VUnit, Lat::vAlu, hi.src, id0, 0,
+                   Vec<N, B>::kBytes, Vec<N, B>::kLanes,
+                   Vec<N, B>::kLanes / 2);
+    return r;
+}
+
+// ---------------------------------------------------------------------
+// Pairwise and across-vector operations.
+// ---------------------------------------------------------------------
+
+/** Pairwise add of concatenated a:b (ADDP). */
+template <typename T, int B>
+inline Vec<T, B>
+vpadd(const Vec<T, B> &a, const Vec<T, B> &b)
+{
+    Vec<T, B> r;
+    const int half = Vec<T, B>::kLanes / 2;
+    for (int i = 0; i < half; ++i) {
+        r.lane[size_t(i)] = detail::wrapAdd(a.lane[size_t(2 * i)],
+                                            a.lane[size_t(2 * i + 1)]);
+        r.lane[size_t(half + i)] = detail::wrapAdd(
+            b.lane[size_t(2 * i)], b.lane[size_t(2 * i + 1)]);
+    }
+    r.active = std::min(a.active, b.active);
+    r.src = emitOp(detail::arithClass<T>(), Fu::VUnit, Lat::vAlu, a.src,
+                   b.src, 0, Vec<T, B>::kBytes, Vec<T, B>::kLanes, r.active);
+    return r;
+}
+
+/** Pairwise add long: adjacent pairs summed into wider lanes (VPADDL). */
+template <typename T, int B>
+inline Vec<Wider<T>, B>
+vpaddl(const Vec<T, B> &a)
+{
+    using W = Wider<T>;
+    Vec<W, B> r;
+    for (int i = 0; i < Vec<W, B>::kLanes; ++i) {
+        r.lane[size_t(i)] = detail::wrapAdd(W(a.lane[size_t(2 * i)]),
+                                            W(a.lane[size_t(2 * i + 1)]));
+    }
+    r.src = emitOp(detail::arithClass<W>(), Fu::VUnit, Lat::vAlu, a.src, 0,
+                   0, Vec<W, B>::kBytes, Vec<W, B>::kLanes,
+                   Vec<W, B>::kLanes);
+    return r;
+}
+
+/** Pairwise add-long accumulate (VPADAL). */
+template <typename T, int B>
+inline Vec<Wider<T>, B>
+vpadal(const Vec<Wider<T>, B> &acc, const Vec<T, B> &a)
+{
+    using W = Wider<T>;
+    Vec<W, B> r;
+    for (int i = 0; i < Vec<W, B>::kLanes; ++i) {
+        W pair = detail::wrapAdd(W(a.lane[size_t(2 * i)]),
+                                 W(a.lane[size_t(2 * i + 1)]));
+        r.lane[size_t(i)] = detail::wrapAdd(acc.lane[size_t(i)], pair);
+    }
+    r.active = acc.active;
+    r.src = emitOp(detail::arithClass<W>(), Fu::VUnit, Lat::vAlu, acc.src,
+                   a.src, 0, Vec<W, B>::kBytes, Vec<W, B>::kLanes, r.active);
+    return r;
+}
+
+/** Across-vector sum into a scalar (ADDV). */
+template <typename T, int B>
+inline Sc<T>
+vaddv(const Vec<T, B> &a)
+{
+    T sum{};
+    for (int i = 0; i < Vec<T, B>::kLanes; ++i)
+        sum = detail::wrapAdd(sum, a.lane[size_t(i)]);
+    uint64_t id = emitOp(detail::arithClass<T>(), Fu::VUnit, Lat::vAcross,
+                         a.src, 0, 0, Vec<T, B>::kBytes, Vec<T, B>::kLanes,
+                         a.active);
+    return {sum, id};
+}
+
+/** Across-vector widening sum (ADDLV / U/SADDLV, Section 7.1). */
+template <typename T, int B>
+inline Sc<Wider<T>>
+vaddlv(const Vec<T, B> &a)
+{
+    using W = Wider<T>;
+    W sum{};
+    for (int i = 0; i < Vec<T, B>::kLanes; ++i)
+        sum = detail::wrapAdd(sum, W(a.lane[size_t(i)]));
+    uint64_t id = emitOp(detail::arithClass<W>(), Fu::VUnit, Lat::vAcross,
+                         a.src, 0, 0, Vec<T, B>::kBytes, Vec<T, B>::kLanes,
+                         a.active);
+    return {sum, id};
+}
+
+/** Across-vector maximum (MAXV). */
+template <typename T, int B>
+inline Sc<T>
+vmaxv(const Vec<T, B> &a)
+{
+    T m = a.lane[0];
+    for (int i = 1; i < Vec<T, B>::kLanes; ++i)
+        m = a.lane[size_t(i)] > m ? a.lane[size_t(i)] : m;
+    uint64_t id = emitOp(detail::arithClass<T>(), Fu::VUnit, Lat::vAcross,
+                         a.src, 0, 0, Vec<T, B>::kBytes, Vec<T, B>::kLanes,
+                         a.active);
+    return {m, id};
+}
+
+/** Across-vector minimum (MINV). */
+template <typename T, int B>
+inline Sc<T>
+vminv(const Vec<T, B> &a)
+{
+    T m = a.lane[0];
+    for (int i = 1; i < Vec<T, B>::kLanes; ++i)
+        m = a.lane[size_t(i)] < m ? a.lane[size_t(i)] : m;
+    uint64_t id = emitOp(detail::arithClass<T>(), Fu::VUnit, Lat::vAcross,
+                         a.src, 0, 0, Vec<T, B>::kBytes, Vec<T, B>::kLanes,
+                         a.active);
+    return {m, id};
+}
+
+// ---------------------------------------------------------------------
+// Conversions.
+// ---------------------------------------------------------------------
+
+/** Lane-wise int<->float conversion with same lane width (FCVT/SCVTF). */
+template <typename To, typename From, int B>
+inline Vec<To, B>
+vcvt(const Vec<From, B> &a)
+{
+    static_assert(sizeof(To) == sizeof(From));
+    Vec<To, B> r;
+    for (int i = 0; i < Vec<From, B>::kLanes; ++i)
+        r.lane[size_t(i)] = To(a.lane[size_t(i)]);
+    r.active = a.active;
+    r.src = emitOp(InstrClass::VFloat, Fu::VUnit, Lat::vFp, a.src, 0, 0,
+                   Vec<To, B>::kBytes, Vec<To, B>::kLanes, r.active);
+    return r;
+}
+
+/** FP16 -> FP32 widening conversion of the low (high) half (FCVTL). */
+template <int B>
+inline Vec<float, B>
+vcvt_f32_lo(const Vec<Half, B> &a)
+{
+    return detail::widenHalf(a, a, false,
+                             [](Half x, Half) { return float(x); },
+                             InstrClass::VFloat);
+}
+template <int B>
+inline Vec<float, B>
+vcvt_f32_hi(const Vec<Half, B> &a)
+{
+    return detail::widenHalf(a, a, true,
+                             [](Half x, Half) { return float(x); },
+                             InstrClass::VFloat);
+}
+
+/** FP32 pair -> FP16 narrowing conversion (FCVTN pair). */
+template <int B>
+inline Vec<Half, B>
+vcvt_f16(const Vec<float, B> &lo, const Vec<float, B> &hi)
+{
+    return detail::narrowPair(lo, hi, [](float x) { return Half(x); },
+                              InstrClass::VFloat);
+}
+
+} // namespace swan::simd
+
+#endif // SWAN_SIMD_VEC_WIDE_HH

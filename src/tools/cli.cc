@@ -1,0 +1,431 @@
+#include "tools/cli.hh"
+
+#include <iostream>
+#include <map>
+#include <optional>
+
+#include "core/registry.hh"
+#include "core/report.hh"
+#include "core/runner.hh"
+#include "sim/configs.hh"
+#include "sim/power.hh"
+#include "trace/serialize.hh"
+#include "trace/stats.hh"
+
+namespace swan::tools
+{
+
+namespace
+{
+
+constexpr const char *kUsage = R"(usage: swan <command> [options]
+
+commands:
+  list [--library SYM]         list registered kernels (optionally one
+                               library symbol, e.g. ZL)
+  info <kernel>                metadata of one kernel ("ZL/adler32")
+  run <kernel> [options]       trace + simulate one implementation
+  compare <kernel> [options]   Scalar vs Auto vs Neon on one core
+  simulate <trace.swt> [opts]  replay a stored trace on a core model
+  sweep <kernel> --what X      sweep widths (Fig. 5a) or cores (Fig. 4)
+  help                         this text
+
+options:
+  --impl scalar|auto|neon      implementation for 'run' (default neon)
+  --core prime|gold|silver     core model (default prime)
+  --bits 128|256|512|1024      vector width for wider-register kernels
+  --full                       paper-scale input sizes (Section 4.1)
+  --dump-trace FILE            with 'run': also write the captured
+                               dynamic instruction trace to FILE
+  --what widths|cores          sweep axis for 'sweep' (default widths)
+)";
+
+struct Parsed
+{
+    std::string command;
+    std::string kernel;
+    std::string library;
+    core::Impl impl = core::Impl::Neon;
+    std::string coreName = "prime";
+    int bits = 128;
+    bool full = false;
+    std::string dumpTrace;
+    std::string what = "widths";
+};
+
+/** Parse the argument vector; returns nullopt (after a message) on error. */
+std::optional<Parsed>
+parse(const std::vector<std::string> &args, std::ostream &err)
+{
+    Parsed p;
+    if (args.empty()) {
+        err << kUsage;
+        return std::nullopt;
+    }
+    p.command = args[0];
+    size_t i = 1;
+    if ((p.command == "info" || p.command == "run" ||
+         p.command == "compare" || p.command == "simulate" ||
+         p.command == "sweep")) {
+        if (i >= args.size()) {
+            err << "swan: '" << p.command << "' needs a "
+                << (p.command == "simulate" ? "trace file" : "kernel name")
+                << "\n";
+            return std::nullopt;
+        }
+        p.kernel = args[i++];
+    }
+    for (; i < args.size(); ++i) {
+        const std::string &a = args[i];
+        auto value = [&]() -> const std::string * {
+            if (i + 1 >= args.size()) {
+                err << "swan: " << a << " needs a value\n";
+                return nullptr;
+            }
+            return &args[++i];
+        };
+        if (a == "--full") {
+            p.full = true;
+        } else if (a == "--dump-trace") {
+            const auto *v = value();
+            if (!v)
+                return std::nullopt;
+            p.dumpTrace = *v;
+        } else if (a == "--what") {
+            const auto *v = value();
+            if (!v)
+                return std::nullopt;
+            if (*v != "widths" && *v != "cores") {
+                err << "swan: --what must be widths or cores\n";
+                return std::nullopt;
+            }
+            p.what = *v;
+        } else if (a == "--library") {
+            const auto *v = value();
+            if (!v)
+                return std::nullopt;
+            p.library = *v;
+        } else if (a == "--impl") {
+            const auto *v = value();
+            if (!v)
+                return std::nullopt;
+            if (*v == "scalar")
+                p.impl = core::Impl::Scalar;
+            else if (*v == "auto")
+                p.impl = core::Impl::Auto;
+            else if (*v == "neon")
+                p.impl = core::Impl::Neon;
+            else {
+                err << "swan: unknown --impl '" << *v << "'\n";
+                return std::nullopt;
+            }
+        } else if (a == "--core") {
+            const auto *v = value();
+            if (!v)
+                return std::nullopt;
+            if (*v != "prime" && *v != "gold" && *v != "silver") {
+                err << "swan: unknown --core '" << *v << "'\n";
+                return std::nullopt;
+            }
+            p.coreName = *v;
+        } else if (a == "--bits") {
+            const auto *v = value();
+            if (!v)
+                return std::nullopt;
+            p.bits = std::stoi(*v);
+            if (p.bits != 128 && p.bits != 256 && p.bits != 512 &&
+                p.bits != 1024) {
+                err << "swan: --bits must be 128/256/512/1024\n";
+                return std::nullopt;
+            }
+        } else {
+            err << "swan: unknown argument '" << a << "'\n";
+            return std::nullopt;
+        }
+    }
+    return p;
+}
+
+sim::CoreConfig
+coreFor(const std::string &name)
+{
+    if (name == "gold")
+        return sim::goldConfig();
+    if (name == "silver")
+        return sim::silverConfig();
+    return sim::primeConfig();
+}
+
+std::string
+patternList(uint32_t mask)
+{
+    using core::Pattern;
+    std::string out;
+    for (Pattern pat : {Pattern::Reduction, Pattern::RandomAccess,
+                        Pattern::StridedAccess, Pattern::Transpose,
+                        Pattern::VectorApi, Pattern::LoopDistribution}) {
+        if (core::has(mask, pat)) {
+            if (!out.empty())
+                out += ", ";
+            out += std::string(core::name(pat));
+        }
+    }
+    return out.empty() ? "-" : out;
+}
+
+int
+cmdList(const Parsed &p, std::ostream &out, std::ostream &err)
+{
+    const auto &reg = core::Registry::instance();
+    core::Table t({"Kernel", "Library", "Domain", "Patterns", "Wider",
+                   "Auto-vec"});
+    int rows = 0;
+    for (const auto &k : reg.kernels()) {
+        if (!p.library.empty() && k.info.symbol != p.library)
+            continue;
+        t.addRow({k.info.qualifiedName(), k.info.library,
+                  std::string(core::name(k.info.domain)),
+                  patternList(k.info.patterns),
+                  k.info.widerWidths ? "yes" : "-",
+                  k.info.autovec.vectorizes ? "yes" : "no"});
+        ++rows;
+    }
+    if (rows == 0) {
+        err << "swan: no kernels for library '" << p.library << "'\n";
+        return 2;
+    }
+    t.print(out);
+    out << rows << " kernels\n";
+    return 0;
+}
+
+/** " (reason, reason)" suffix for a failing auto-vectorization verdict. */
+std::string
+failReasonList(const autovec::Verdict &v)
+{
+    using autovec::Fail;
+    if (v.vectorizes)
+        return "";
+    std::string out;
+    for (Fail f : {Fail::Uncountable, Fail::IndirectMemory,
+                   Fail::ComplexPhi, Fail::OtherLegality,
+                   Fail::CostModel}) {
+        if (autovec::has(v.failReasons, f)) {
+            out += out.empty() ? " (" : ", ";
+            out += std::string(autovec::name(f));
+        }
+    }
+    return out.empty() ? "" : out + ")";
+}
+
+int
+cmdInfo(const Parsed &p, std::ostream &out, std::ostream &err)
+{
+    const auto *spec = core::Registry::instance().find(p.kernel);
+    if (!spec) {
+        err << "swan: unknown kernel '" << p.kernel << "'\n";
+        return 2;
+    }
+    const auto &info = spec->info;
+    out << "kernel:    " << info.qualifiedName() << "\n"
+        << "library:   " << info.library << " (" << info.symbol << ")\n"
+        << "domain:    " << core::name(info.domain) << "\n"
+        << "patterns:  " << patternList(info.patterns) << "\n"
+        << "wider:     " << (info.widerWidths ? "128-1024 bit" : "128 bit")
+        << "\n"
+        << "auto-vec:  " << (info.autovec.vectorizes ? "vectorizes" : "fails")
+        << failReasonList(info.autovec) << "\n"
+        << "excluded:  " << (info.excluded ? "yes (study kernel)" : "no")
+        << "\n";
+    return 0;
+}
+
+int
+cmdRun(const Parsed &p, std::ostream &out, std::ostream &err)
+{
+    const auto *spec = core::Registry::instance().find(p.kernel);
+    if (!spec) {
+        err << "swan: unknown kernel '" << p.kernel << "'\n";
+        return 2;
+    }
+    if (p.bits != 128 && !spec->info.widerWidths) {
+        err << "swan: " << p.kernel
+            << " has no wider-register implementation\n";
+        return 2;
+    }
+    const auto opts =
+        p.full ? core::Options::full() : core::Options::fromEnv();
+    core::Runner runner(opts);
+    auto w = spec->make(opts);
+    auto r = runner.run(*w, p.impl, coreFor(p.coreName), p.bits);
+
+    if (!p.dumpTrace.empty()) {
+        auto instrs = core::Runner::capture(*w, p.impl, p.bits);
+        std::string werr;
+        if (!trace::writeTrace(p.dumpTrace, instrs, &werr)) {
+            err << "swan: " << werr << "\n";
+            return 1;
+        }
+        out << "trace:         " << p.dumpTrace << " (" << instrs.size()
+            << " records)\n";
+    }
+
+    out << "kernel:        " << spec->info.qualifiedName() << " ["
+        << core::name(p.impl) << ", " << p.coreName << ", " << p.bits
+        << "-bit]\n";
+    out << "instructions:  " << r.mix.total() << "\n"
+        << "cycles:        " << r.sim.cycles << "\n"
+        << "IPC:           " << core::fmt(r.sim.ipc, 2) << "\n"
+        << "time:          " << core::fmt(r.sim.timeSec * 1e6, 1)
+        << " us\n"
+        << "L1D MPKI:      " << core::fmt(r.sim.l1Mpki, 1) << "\n"
+        << "L2 MPKI:       " << core::fmt(r.sim.l2Mpki, 1) << "\n"
+        << "LLC MPKI:      " << core::fmt(r.sim.llcMpki, 1) << "\n"
+        << "FE stalls:     " << core::fmtPct(r.sim.feStallPct) << "\n"
+        << "BE stalls:     " << core::fmtPct(r.sim.beStallPct) << "\n"
+        << "power:         " << core::fmt(r.sim.powerW, 2) << " W\n"
+        << "energy:        " << core::fmt(r.sim.energyJ * 1e3, 3)
+        << " mJ\n";
+    return 0;
+}
+
+int
+cmdCompare(const Parsed &p, std::ostream &out, std::ostream &err)
+{
+    const auto *spec = core::Registry::instance().find(p.kernel);
+    if (!spec) {
+        err << "swan: unknown kernel '" << p.kernel << "'\n";
+        return 2;
+    }
+    const auto opts =
+        p.full ? core::Options::full() : core::Options::fromEnv();
+    core::Runner runner(opts);
+    auto cmp = runner.compare(*spec, coreFor(p.coreName));
+
+    core::Table t({"Impl", "Instructions", "Cycles", "IPC", "Speedup",
+                   "Energy impr."});
+    const auto row = [&](const char *nm, const core::KernelRun &r) {
+        t.addRow({nm, std::to_string(r.mix.total()),
+                  std::to_string(r.sim.cycles), core::fmt(r.sim.ipc, 2),
+                  core::fmtX(double(cmp.scalar.sim.cycles) /
+                             double(r.sim.cycles)),
+                  core::fmtX(cmp.scalar.sim.energyJ / r.sim.energyJ)});
+    };
+    row("Scalar", cmp.scalar);
+    row("Auto", cmp.autovec);
+    row("Neon", cmp.neon);
+    t.print(out);
+    out << "instruction reduction (Scalar/Neon): "
+        << core::fmtX(cmp.instrReduction()) << "\n"
+        << "outputs verified: " << (cmp.verified ? "yes" : "NO") << "\n";
+    return cmp.verified ? 0 : 1;
+}
+
+int
+cmdSweep(const Parsed &p, std::ostream &out, std::ostream &err)
+{
+    const auto *spec = core::Registry::instance().find(p.kernel);
+    if (!spec) {
+        err << "swan: unknown kernel '" << p.kernel << "'\n";
+        return 2;
+    }
+    const auto opts =
+        p.full ? core::Options::full() : core::Options::fromEnv();
+    core::Runner runner(opts);
+
+    if (p.what == "widths") {
+        if (!spec->info.widerWidths) {
+            err << "swan: " << p.kernel
+                << " has no wider-register implementation (the eight "
+                   "Figure-5 kernels do)\n";
+            return 2;
+        }
+        core::Table t({"Width", "Cycles", "Speedup vs Scalar",
+                       "Speedup vs 128-bit"});
+        double base128 = 0.0;
+        for (int bits : {128, 256, 512, 1024}) {
+            const auto cfg = sim::widerVectorConfig(bits);
+            auto cmp = runner.compareScalarNeon(*spec, cfg, bits);
+            if (bits == 128)
+                base128 = double(cmp.neon.sim.cycles);
+            t.addRow({std::to_string(bits),
+                      std::to_string(cmp.neon.sim.cycles),
+                      core::fmtX(cmp.neonSpeedup()),
+                      core::fmtX(base128 /
+                                 double(cmp.neon.sim.cycles))});
+        }
+        t.print(out);
+        return 0;
+    }
+
+    core::Table t({"Core", "Scalar cycles", "Neon cycles",
+                   "Neon speedup", "Energy impr."});
+    for (const char *nm : {"silver", "gold", "prime"}) {
+        auto cmp = runner.compareScalarNeon(*spec, coreFor(nm));
+        t.addRow({nm, std::to_string(cmp.scalar.sim.cycles),
+                  std::to_string(cmp.neon.sim.cycles),
+                  core::fmtX(cmp.neonSpeedup()),
+                  core::fmtX(cmp.neonEnergyImprovement())});
+    }
+    t.print(out);
+    return 0;
+}
+
+int
+cmdSimulate(const Parsed &p, std::ostream &out, std::ostream &err)
+{
+    std::string rerr;
+    auto instrs = trace::readTrace(p.kernel, &rerr);
+    if (!instrs) {
+        err << "swan: " << rerr << "\n";
+        return 2;
+    }
+    const auto cfg = coreFor(p.coreName);
+    auto r = sim::simulateTrace(*instrs, cfg);
+    sim::applyPowerModel(r, sim::PowerParams::forConfig(cfg));
+    trace::MixStats mix;
+    mix.addTrace(*instrs);
+
+    out << "trace:         " << p.kernel << " (" << instrs->size()
+        << " records, " << mix.vectorInstrs() << " vector)\n"
+        << "core:          " << p.coreName << "\n"
+        << "cycles:        " << r.cycles << "\n"
+        << "IPC:           " << core::fmt(r.ipc, 2) << "\n"
+        << "time:          " << core::fmt(r.timeSec * 1e6, 1) << " us\n"
+        << "L1D MPKI:      " << core::fmt(r.l1Mpki, 1) << "\n"
+        << "LLC MPKI:      " << core::fmt(r.llcMpki, 1) << "\n"
+        << "power:         " << core::fmt(r.powerW, 2) << " W\n"
+        << "energy:        " << core::fmt(r.energyJ * 1e3, 3) << " mJ\n";
+    return 0;
+}
+
+} // namespace
+
+int
+runCli(const std::vector<std::string> &args, std::ostream &out,
+       std::ostream &err)
+{
+    auto p = parse(args, err);
+    if (!p)
+        return 2;
+    if (p->command == "help" || p->command == "--help") {
+        out << kUsage;
+        return 0;
+    }
+    if (p->command == "list")
+        return cmdList(*p, out, err);
+    if (p->command == "info")
+        return cmdInfo(*p, out, err);
+    if (p->command == "run")
+        return cmdRun(*p, out, err);
+    if (p->command == "compare")
+        return cmdCompare(*p, out, err);
+    if (p->command == "simulate")
+        return cmdSimulate(*p, out, err);
+    if (p->command == "sweep")
+        return cmdSweep(*p, out, err);
+    err << "swan: unknown command '" << p->command << "'\n" << kUsage;
+    return 2;
+}
+
+} // namespace swan::tools

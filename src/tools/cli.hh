@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Command-line front end for the Swan suite: list kernels, inspect
+ * metadata, run one kernel on one core model, or compare the
+ * Scalar/Auto/Neon implementations — the workflow a downstream user
+ * wants before scripting the per-figure bench binaries. The command
+ * logic is a library function (runCli) so the tests can drive it with
+ * argument vectors and capture the output; bin/swan is a thin main().
+ */
+
+#ifndef SWAN_TOOLS_CLI_HH
+#define SWAN_TOOLS_CLI_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace swan::tools
+{
+
+/**
+ * Execute one CLI invocation.
+ *
+ * @param args Arguments after the program name, e.g. {"run",
+ *             "ZL/adler32", "--core", "silver"}.
+ * @param out  Stream for normal output.
+ * @param err  Stream for diagnostics.
+ * @return Process exit code (0 on success, 2 on usage errors).
+ */
+int runCli(const std::vector<std::string> &args, std::ostream &out,
+           std::ostream &err);
+
+} // namespace swan::tools
+
+#endif // SWAN_TOOLS_CLI_HH

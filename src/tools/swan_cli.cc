@@ -1,0 +1,17 @@
+/**
+ * @file
+ * The `swan` command-line tool: thin main() over tools::runCli.
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/cli.hh"
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    return swan::tools::runCli(args, std::cout, std::cerr);
+}

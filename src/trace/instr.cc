@@ -1,0 +1,105 @@
+#include "trace/instr.hh"
+
+namespace swan::trace
+{
+
+PaperClass
+paperClass(InstrClass cls)
+{
+    switch (cls) {
+      case InstrClass::SInt:
+      case InstrClass::Branch:
+      case InstrClass::SLoad:
+      case InstrClass::SStore:
+        return PaperClass::SInteger;
+      case InstrClass::SFloat:
+        return PaperClass::SFloat;
+      case InstrClass::VLoad:
+        return PaperClass::VLoad;
+      case InstrClass::VStore:
+        return PaperClass::VStore;
+      case InstrClass::VInt:
+        return PaperClass::VInteger;
+      case InstrClass::VFloat:
+        return PaperClass::VFloat;
+      case InstrClass::VCrypto:
+        return PaperClass::VCrypto;
+      case InstrClass::VMisc:
+      default:
+        return PaperClass::VMisc;
+    }
+}
+
+std::string_view
+name(InstrClass cls)
+{
+    switch (cls) {
+      case InstrClass::SInt: return "s-int";
+      case InstrClass::SFloat: return "s-float";
+      case InstrClass::Branch: return "branch";
+      case InstrClass::SLoad: return "s-load";
+      case InstrClass::SStore: return "s-store";
+      case InstrClass::VLoad: return "v-load";
+      case InstrClass::VStore: return "v-store";
+      case InstrClass::VInt: return "v-int";
+      case InstrClass::VFloat: return "v-float";
+      case InstrClass::VCrypto: return "v-crypto";
+      case InstrClass::VMisc: return "v-misc";
+      default: return "?";
+    }
+}
+
+std::string_view
+name(PaperClass cls)
+{
+    switch (cls) {
+      case PaperClass::SInteger: return "S-Integer";
+      case PaperClass::SFloat: return "S-Float";
+      case PaperClass::VLoad: return "V-Load";
+      case PaperClass::VStore: return "V-Store";
+      case PaperClass::VInteger: return "V-Integer";
+      case PaperClass::VFloat: return "V-Float";
+      case PaperClass::VCrypto: return "V-Crypto";
+      case PaperClass::VMisc: return "V-Misc";
+      default: return "?";
+    }
+}
+
+std::string_view
+name(Fu fu)
+{
+    switch (fu) {
+      case Fu::SAlu: return "salu";
+      case Fu::SMul: return "smul";
+      case Fu::SFp: return "sfp";
+      case Fu::Branch: return "br";
+      case Fu::Load: return "ld";
+      case Fu::Store: return "st";
+      case Fu::VUnit: return "asimd";
+      default: return "?";
+    }
+}
+
+std::string_view
+name(StrideKind kind)
+{
+    switch (kind) {
+      case StrideKind::None: return "none";
+      case StrideKind::Ld2: return "ld2";
+      case StrideKind::St2: return "st2";
+      case StrideKind::Ld3: return "ld3";
+      case StrideKind::St3: return "st3";
+      case StrideKind::Ld4: return "ld4";
+      case StrideKind::St4: return "st4";
+      case StrideKind::Zip: return "zip";
+      case StrideKind::Uzp: return "uzp";
+      case StrideKind::Trn: return "trn";
+      case StrideKind::Gather: return "gather";
+      case StrideKind::Scatter: return "scatter";
+      case StrideKind::LdS: return "lds";
+      case StrideKind::StS: return "sts";
+      default: return "?";
+    }
+}
+
+} // namespace swan::trace

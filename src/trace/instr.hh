@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Dynamic instruction record produced by the Swan instrumentation layer.
+ *
+ * Every operation executed through swan::simd (vector intrinsics and
+ * instrumented scalar operations) appends one Instr to the active
+ * trace::Recorder. The record carries everything the trace-driven timing
+ * simulator needs: an instruction class (for the Figure-1 style breakdown),
+ * a functional-unit kind, an execution latency class, up to three data
+ * dependences (producer instruction ids), and, for memory operations, the
+ * accessed address and size. This substitutes for the DynamoRIO trace
+ * client used in the paper (Section 4.3).
+ */
+
+#ifndef SWAN_TRACE_INSTR_HH
+#define SWAN_TRACE_INSTR_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace swan::trace
+{
+
+/** Fine-grained instruction classification used by the instrumentation. */
+enum class InstrClass : uint8_t
+{
+    SInt,       //!< scalar integer ALU (also address/control arithmetic)
+    SFloat,     //!< scalar floating-point
+    Branch,     //!< conditional/unconditional branches
+    SLoad,      //!< scalar load
+    SStore,     //!< scalar store
+    VLoad,      //!< vector load (including ld2/ld3/ld4)
+    VStore,     //!< vector store (including st2/st3/st4)
+    VInt,       //!< vector integer arithmetic/logic
+    VFloat,     //!< vector floating-point arithmetic
+    VCrypto,    //!< cryptography extension (AES/SHA/PMULL/CRC)
+    VMisc,      //!< vector permute/duplicate/convert/lane-move
+    NumClasses
+};
+
+/**
+ * Coarse buckets used by the paper's Figure 1. Scalar loads, stores and
+ * branches fold into S-Integer, matching the paper's two scalar buckets.
+ */
+enum class PaperClass : uint8_t
+{
+    SInteger, SFloat, VLoad, VStore, VInteger, VFloat, VCrypto, VMisc,
+    NumClasses
+};
+
+/** Functional-unit pools of the simulated cores (see sim::CoreConfig). */
+enum class Fu : uint8_t
+{
+    SAlu,       //!< scalar integer ALU
+    SMul,       //!< scalar multiply/divide
+    SFp,        //!< scalar FP/simple-ASIMD scalar pipe
+    Branch,     //!< branch unit
+    Load,       //!< load pipe (AGU + L1D access)
+    Store,      //!< store pipe
+    VUnit,      //!< ASIMD/FP vector execution unit
+    NumFus
+};
+
+/** Stride/permute tagging for the Table-6 census. */
+enum class StrideKind : uint8_t
+{
+    None,
+    Ld2, St2, Ld3, St3, Ld4, St4,   //!< multi-register strided accesses
+    Zip, Uzp, Trn,                  //!< register interleave/de-interleave
+    // Future-ISA extension ops (Section 9 / DESIGN.md extensions): SVE- or
+    // RVV-style accesses that crack into per-element cache accesses.
+    Gather, Scatter,                //!< indexed vector load/store
+    LdS, StS,                       //!< arbitrary-stride load/store
+    NumKinds
+};
+
+/** One dynamic instruction. */
+struct Instr
+{
+    uint64_t id = 0;        //!< 1-based sequence number within the trace
+    uint64_t dep0 = 0;      //!< producer id of first operand (0 = none)
+    uint64_t dep1 = 0;
+    uint64_t dep2 = 0;
+    uint64_t addr = 0;      //!< virtual address for memory ops (0 = none)
+    /**
+     * Last element address of a multi-address access (Gather/Scatter/
+     * LdS/StS). Together with addr it bounds the touched region; for
+     * LdS/StS, elemStride reconstructs the exact element addresses.
+     */
+    uint64_t addr2 = 0;
+    uint32_t size = 0;      //!< bytes accessed by memory ops
+    int32_t elemStride = 0; //!< byte distance between elements (LdS/StS)
+    InstrClass cls = InstrClass::SInt;
+    Fu fu = Fu::SAlu;
+    uint8_t latency = 1;    //!< execution latency (L1-hit latency for loads)
+    uint8_t vecBytes = 0;   //!< vector register width in bytes (0 = scalar)
+    uint8_t lanes = 0;      //!< total SIMD lanes of the operation
+    uint8_t activeLanes = 0;//!< lanes carrying useful data
+    StrideKind stride = StrideKind::None;
+
+    bool isMem() const
+    {
+        return cls == InstrClass::SLoad || cls == InstrClass::SStore ||
+               cls == InstrClass::VLoad || cls == InstrClass::VStore;
+    }
+    bool isLoad() const
+    {
+        return cls == InstrClass::SLoad || cls == InstrClass::VLoad;
+    }
+    bool isStore() const
+    {
+        return cls == InstrClass::SStore || cls == InstrClass::VStore;
+    }
+    bool isVector() const
+    {
+        return cls == InstrClass::VLoad || cls == InstrClass::VStore ||
+               cls == InstrClass::VInt || cls == InstrClass::VFloat ||
+               cls == InstrClass::VCrypto || cls == InstrClass::VMisc;
+    }
+    /** True for accesses that crack into per-element cache accesses. */
+    bool isMultiAddress() const
+    {
+        return stride == StrideKind::Gather ||
+               stride == StrideKind::Scatter ||
+               stride == StrideKind::LdS || stride == StrideKind::StS;
+    }
+};
+
+/** Map the fine classification onto the paper's Figure-1 buckets. */
+PaperClass paperClass(InstrClass cls);
+
+/** Human-readable names, for reports. */
+std::string_view name(InstrClass cls);
+std::string_view name(PaperClass cls);
+std::string_view name(Fu fu);
+std::string_view name(StrideKind kind);
+
+} // namespace swan::trace
+
+#endif // SWAN_TRACE_INSTR_HH

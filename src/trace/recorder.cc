@@ -1,0 +1,13 @@
+#include "trace/recorder.hh"
+
+namespace swan::trace
+{
+
+Recorder *&
+currentRecorder()
+{
+    static thread_local Recorder *rec = nullptr;
+    return rec;
+}
+
+} // namespace swan::trace

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Trace recorder: collects the dynamic instruction stream of one kernel
+ * invocation, either buffering it for multi-configuration replay or
+ * streaming it into a sink (e.g. directly into a timing simulator) when the
+ * trace would be too large to hold.
+ */
+
+#ifndef SWAN_TRACE_RECORDER_HH
+#define SWAN_TRACE_RECORDER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/instr.hh"
+
+namespace swan::trace
+{
+
+/** Consumer interface for streaming traces. */
+class Sink
+{
+  public:
+    virtual ~Sink() = default;
+    /** Called once per recorded instruction, in program order. */
+    virtual void onInstr(const Instr &instr) = 0;
+};
+
+/**
+ * Records the dynamic instruction stream of a kernel invocation.
+ *
+ * A Recorder either keeps the full trace in memory (the common case: the
+ * runner replays one trace against several core configurations) or forwards
+ * each record to a Sink without buffering (used for very long runs such as
+ * the Figure-6 GEMM sweep).
+ */
+class Recorder
+{
+  public:
+    /** Buffered recorder. */
+    Recorder() : keep_(true) {}
+
+    /** Streaming recorder; @p sink receives every instruction. */
+    explicit Recorder(Sink *sink) : keep_(false), sink_(sink) {}
+
+    /**
+     * Append an instruction. Assigns the id (program order, 1-based).
+     * @return the id, to be stored as provenance in produced values.
+     */
+    uint64_t
+    emit(Instr instr)
+    {
+        instr.id = ++lastId_;
+        if (keep_)
+            buf_.push_back(instr);
+        else if (sink_)
+            sink_->onInstr(instr);
+        return lastId_;
+    }
+
+    uint64_t count() const { return lastId_; }
+    const std::vector<Instr> &instrs() const { return buf_; }
+
+    /** Move the buffered trace out (recorder becomes empty). */
+    std::vector<Instr>
+    take()
+    {
+        std::vector<Instr> out = std::move(buf_);
+        buf_.clear();
+        lastId_ = 0;
+        return out;
+    }
+    void
+    clear()
+    {
+        buf_.clear();
+        lastId_ = 0;
+    }
+
+  private:
+    bool keep_;
+    Sink *sink_ = nullptr;
+    uint64_t lastId_ = 0;
+    std::vector<Instr> buf_;
+};
+
+/**
+ * The thread-local recorder the instrumentation writes to. Null means
+ * tracing is disabled and instrumented code runs at full host speed (used
+ * for warm-up and output-verification runs).
+ */
+Recorder *&currentRecorder();
+
+/** RAII installation of a recorder for the current thread. */
+class ScopedRecorder
+{
+  public:
+    explicit ScopedRecorder(Recorder *rec)
+        : saved_(currentRecorder())
+    {
+        currentRecorder() = rec;
+    }
+    ~ScopedRecorder() { currentRecorder() = saved_; }
+
+    ScopedRecorder(const ScopedRecorder &) = delete;
+    ScopedRecorder &operator=(const ScopedRecorder &) = delete;
+
+  private:
+    Recorder *saved_;
+};
+
+} // namespace swan::trace
+
+#endif // SWAN_TRACE_RECORDER_HH

@@ -1,0 +1,228 @@
+#include "trace/serialize.hh"
+
+#include <array>
+#include <cstring>
+
+namespace swan::trace
+{
+
+namespace
+{
+
+constexpr char kMagic[4] = {'S', 'W', 'T', 'R'};
+constexpr size_t kHeaderBytes = 16;
+constexpr size_t kRecordBytes = 64;
+
+/** Little-endian scalar append into a byte buffer. */
+template <typename T>
+void
+put(uint8_t *&p, T v)
+{
+    std::memcpy(p, &v, sizeof(T));
+    p += sizeof(T);
+}
+
+template <typename T>
+void
+get(const uint8_t *&p, T &v)
+{
+    std::memcpy(&v, p, sizeof(T));
+    p += sizeof(T);
+}
+
+/** Pack one record into exactly kRecordBytes. */
+std::array<uint8_t, kRecordBytes>
+pack(const Instr &i)
+{
+    std::array<uint8_t, kRecordBytes> buf{};
+    uint8_t *p = buf.data();
+    put(p, i.id);
+    put(p, i.dep0);
+    put(p, i.dep1);
+    put(p, i.dep2);
+    put(p, i.addr);
+    put(p, i.addr2);
+    put(p, i.size);
+    put(p, i.elemStride);
+    put(p, uint8_t(i.cls));
+    put(p, uint8_t(i.fu));
+    put(p, i.latency);
+    put(p, i.vecBytes);
+    put(p, i.lanes);
+    put(p, i.activeLanes);
+    put(p, uint8_t(i.stride));
+    // 1 byte of tail padding to 64.
+    return buf;
+}
+
+bool
+unpack(const uint8_t *buf, Instr &i, std::string *error)
+{
+    const uint8_t *p = buf;
+    get(p, i.id);
+    get(p, i.dep0);
+    get(p, i.dep1);
+    get(p, i.dep2);
+    get(p, i.addr);
+    get(p, i.addr2);
+    get(p, i.size);
+    get(p, i.elemStride);
+    uint8_t cls, fu, stride;
+    get(p, cls);
+    get(p, fu);
+    get(p, i.latency);
+    get(p, i.vecBytes);
+    get(p, i.lanes);
+    get(p, i.activeLanes);
+    get(p, stride);
+    if (cls >= uint8_t(InstrClass::NumClasses) ||
+        fu >= uint8_t(Fu::NumFus) ||
+        stride >= uint8_t(StrideKind::NumKinds)) {
+        if (error)
+            *error = "corrupt record (enum out of range)";
+        return false;
+    }
+    i.cls = InstrClass(cls);
+    i.fu = Fu(fu);
+    i.stride = StrideKind(stride);
+    return true;
+}
+
+bool
+writeHeader(std::FILE *f, uint64_t count)
+{
+    uint8_t hdr[kHeaderBytes] = {};
+    uint8_t *p = hdr;
+    std::memcpy(p, kMagic, 4);
+    p += 4;
+    put(p, kTraceFormatVersion);
+    put(p, count);
+    return std::fwrite(hdr, 1, kHeaderBytes, f) == kHeaderBytes;
+}
+
+} // namespace
+
+bool
+writeTrace(const std::string &path, const std::vector<Instr> &instrs,
+           std::string *error)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f) {
+        if (error)
+            *error = "cannot open '" + path + "' for writing";
+        return false;
+    }
+    bool ok = writeHeader(f, instrs.size());
+    for (const auto &i : instrs) {
+        if (!ok)
+            break;
+        auto rec = pack(i);
+        ok = std::fwrite(rec.data(), 1, kRecordBytes, f) == kRecordBytes;
+    }
+    ok = (std::fclose(f) == 0) && ok;
+    if (!ok && error && error->empty())
+        *error = "short write to '" + path + "'";
+    return ok;
+}
+
+std::optional<std::vector<Instr>>
+readTrace(const std::string &path, std::string *error)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f) {
+        if (error)
+            *error = "cannot open '" + path + "'";
+        return std::nullopt;
+    }
+    uint8_t hdr[kHeaderBytes];
+    if (std::fread(hdr, 1, kHeaderBytes, f) != kHeaderBytes) {
+        if (error)
+            *error = "truncated header";
+        std::fclose(f);
+        return std::nullopt;
+    }
+    if (std::memcmp(hdr, kMagic, 4) != 0) {
+        if (error)
+            *error = "not a Swan trace (bad magic)";
+        std::fclose(f);
+        return std::nullopt;
+    }
+    const uint8_t *p = hdr + 4;
+    uint32_t version;
+    uint64_t count;
+    get(p, version);
+    get(p, count);
+    if (version != kTraceFormatVersion) {
+        if (error)
+            *error = "unsupported trace version " + std::to_string(version);
+        std::fclose(f);
+        return std::nullopt;
+    }
+    std::vector<Instr> out;
+    out.reserve(count);
+    uint8_t rec[kRecordBytes];
+    for (uint64_t n = 0; n < count; ++n) {
+        if (std::fread(rec, 1, kRecordBytes, f) != kRecordBytes) {
+            if (error)
+                *error = "truncated body (record " + std::to_string(n) +
+                         " of " + std::to_string(count) + ")";
+            std::fclose(f);
+            return std::nullopt;
+        }
+        Instr i;
+        if (!unpack(rec, i, error)) {
+            std::fclose(f);
+            return std::nullopt;
+        }
+        out.push_back(i);
+    }
+    std::fclose(f);
+    return out;
+}
+
+TraceFileSink::TraceFileSink(const std::string &path)
+{
+    file_ = std::fopen(path.c_str(), "wb");
+    if (file_ && !writeHeader(file_, 0))
+        failed_ = true;
+}
+
+TraceFileSink::~TraceFileSink()
+{
+    if (file_)
+        close();
+}
+
+void
+TraceFileSink::onInstr(const Instr &instr)
+{
+    if (!ok())
+        return;
+    auto rec = pack(instr);
+    if (std::fwrite(rec.data(), 1, kRecordBytes, file_) != kRecordBytes)
+        failed_ = true;
+    else
+        ++count_;
+}
+
+bool
+TraceFileSink::close()
+{
+    if (!file_)
+        return false;
+    bool ok = !failed_;
+    // Patch the record count into the header.
+    if (ok && std::fseek(file_, 8, SEEK_SET) == 0) {
+        uint8_t buf[8];
+        uint8_t *p = buf;
+        put(p, count_);
+        ok = std::fwrite(buf, 1, 8, file_) == 8;
+    } else {
+        ok = false;
+    }
+    ok = (std::fclose(file_) == 0) && ok;
+    file_ = nullptr;
+    return ok;
+}
+
+} // namespace swan::trace

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * On-disk trace format. The paper's methodology separates capture from
+ * simulation: DynamoRIO traces are collected once on an Armv8.2 server
+ * and replayed through the Ramulator-based timing model many times
+ * (Section 4.3). This module gives the reproduction the same workflow —
+ * capture a kernel's dynamic instruction stream to a file, then
+ * simulate it later against any number of core configurations
+ * (`swan run <kernel> --dump-trace f.swt`, `swan simulate f.swt`).
+ *
+ * Format (little-endian): a 16-byte header {magic "SWTR", u32 version,
+ * u64 record count}, then one packed 64-byte record per instruction.
+ * Records are fixed width so a reader can seek and a writer can stream.
+ */
+
+#ifndef SWAN_TRACE_SERIALIZE_HH
+#define SWAN_TRACE_SERIALIZE_HH
+
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/instr.hh"
+#include "trace/recorder.hh"
+
+namespace swan::trace
+{
+
+/** Current file-format version. */
+constexpr uint32_t kTraceFormatVersion = 1;
+
+/**
+ * Write a buffered trace to @p path.
+ * @return true on success; on failure @p error (if non-null) explains.
+ */
+bool writeTrace(const std::string &path, const std::vector<Instr> &instrs,
+                std::string *error = nullptr);
+
+/**
+ * Read a trace file written by writeTrace or TraceFileSink.
+ * @return the records, or nullopt with @p error set on malformed input
+ *         (bad magic, version mismatch, truncated body).
+ */
+std::optional<std::vector<Instr>> readTrace(const std::string &path,
+                                            std::string *error = nullptr);
+
+/**
+ * Streaming sink that writes records to disk as they are emitted, for
+ * traces too large to buffer. The record count in the header is patched
+ * on close().
+ */
+class TraceFileSink : public Sink
+{
+  public:
+    /** Opens @p path for writing; ok() reports failure. */
+    explicit TraceFileSink(const std::string &path);
+    ~TraceFileSink() override;
+
+    TraceFileSink(const TraceFileSink &) = delete;
+    TraceFileSink &operator=(const TraceFileSink &) = delete;
+
+    void onInstr(const Instr &instr) override;
+
+    /** Patch the header with the final count and close the file. */
+    bool close();
+
+    bool ok() const { return file_ != nullptr && !failed_; }
+    uint64_t count() const { return count_; }
+
+  private:
+    std::FILE *file_ = nullptr;
+    bool failed_ = false;
+    uint64_t count_ = 0;
+};
+
+} // namespace swan::trace
+
+#endif // SWAN_TRACE_SERIALIZE_HH

@@ -1,0 +1,61 @@
+#include "trace/stats.hh"
+
+namespace swan::trace
+{
+
+void
+MixStats::onInstr(const Instr &instr)
+{
+    ++total_;
+    ++byClass_[size_t(instr.cls)];
+    ++byPaper_[size_t(paperClass(instr.cls))];
+    ++byStride_[size_t(instr.stride)];
+    if (instr.isVector()) {
+        ++vecInstrs_;
+        laneSum_ += instr.lanes;
+        activeLaneSum_ += instr.activeLanes;
+        if (instr.vecBytes && instr.lanes) {
+            activeByteSum_ += uint64_t(instr.activeLanes) *
+                              uint64_t(instr.vecBytes / instr.lanes);
+        }
+    }
+    if (instr.isLoad())
+        loadBytes_ += instr.size;
+    else if (instr.isStore())
+        storeBytes_ += instr.size;
+}
+
+double
+MixStats::fraction(PaperClass cls) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return double(byPaper_[size_t(cls)]) / double(total_);
+}
+
+double
+MixStats::laneUtilization() const
+{
+    if (laneSum_ == 0)
+        return 0.0;
+    return double(activeLaneSum_) / double(laneSum_);
+}
+
+double
+MixStats::machineUtilization(int machine_bytes) const
+{
+    if (vecInstrs_ == 0 || machine_bytes <= 0)
+        return 0.0;
+    return double(activeByteSum_) /
+           double(vecInstrs_ * uint64_t(machine_bytes));
+}
+
+double
+MixStats::strideFraction(StrideKind kind) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return double(byStride_[size_t(kind)]) / double(total_);
+}
+
+} // namespace swan::trace

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Shared helpers for the workload libraries: deterministic input
+ * generation (the paper generates random inputs sized per Section 4.1) and
+ * output comparison utilities used by Workload::verify().
+ */
+
+#ifndef SWAN_WORKLOADS_COMMON_HH
+#define SWAN_WORKLOADS_COMMON_HH
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/kernel.hh"
+#include "core/options.hh"
+#include "core/registry.hh"
+#include "simd/simd.hh"
+
+namespace swan::workloads
+{
+
+/** SplitMix64-based deterministic RNG for input generation. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed) : state_(seed ? seed : 0x9e3779b97f4a7c15ull)
+    {
+    }
+
+    uint64_t
+    next()
+    {
+        uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    uint32_t u32() { return uint32_t(next()); }
+    uint8_t u8() { return uint8_t(next()); }
+
+    /** Uniform in [lo, hi]. */
+    int
+    range(int lo, int hi)
+    {
+        return lo + int(next() % uint64_t(hi - lo + 1));
+    }
+
+    /** Uniform float in [lo, hi). */
+    float
+    f32(float lo = -1.0f, float hi = 1.0f)
+    {
+        const double u = double(next() >> 11) / double(1ull << 53);
+        return lo + float(u) * (hi - lo);
+    }
+
+  private:
+    uint64_t state_;
+};
+
+/** Fill a byte/int vector with random data. */
+template <typename T>
+std::vector<T>
+randomInts(Rng &rng, size_t n)
+{
+    std::vector<T> v(n);
+    for (auto &x : v)
+        x = T(rng.next());
+    return v;
+}
+
+/** Fill a float vector with uniform values. */
+inline std::vector<float>
+randomFloats(Rng &rng, size_t n, float lo = -1.0f, float hi = 1.0f)
+{
+    std::vector<float> v(n);
+    for (auto &x : v)
+        x = rng.f32(lo, hi);
+    return v;
+}
+
+/** Exact comparison of integer outputs. */
+template <typename T>
+bool
+equalOutputs(const std::vector<T> &a, const std::vector<T> &b)
+{
+    return a == b;
+}
+
+/** Relative/absolute tolerance comparison for float outputs. */
+inline bool
+approxOutputs(const std::vector<float> &a, const std::vector<float> &b,
+              float tol = 1e-4f)
+{
+    if (a.size() != b.size())
+        return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+        const float diff = std::fabs(a[i] - b[i]);
+        const float mag = std::max(std::fabs(a[i]), std::fabs(b[i]));
+        if (diff > tol * std::max(1.0f, mag))
+            return false;
+    }
+    return true;
+}
+
+} // namespace swan::workloads
+
+#endif // SWAN_WORKLOADS_COMMON_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Tests for the auto-vectorization legality model and the Table 4
+ * census machinery.
+ */
+
+#include <gtest/gtest.h>
+
+#include "autovec/legality.hh"
+
+using namespace swan::autovec;
+
+TEST(Autovec, FailMaskComposition)
+{
+    uint32_t mask = Fail::Uncountable | Fail::CostModel;
+    EXPECT_TRUE(has(mask, Fail::Uncountable));
+    EXPECT_TRUE(has(mask, Fail::CostModel));
+    EXPECT_FALSE(has(mask, Fail::ComplexPhi));
+}
+
+TEST(Autovec, ReasonNames)
+{
+    EXPECT_EQ(name(Fail::Uncountable), "uncountable-loop");
+    EXPECT_EQ(name(Fail::IndirectMemory), "indirect-memory");
+    EXPECT_EQ(name(Fail::ComplexPhi), "complex-phi");
+    EXPECT_EQ(name(Fail::OtherLegality), "other-legality");
+    EXPECT_EQ(name(Fail::CostModel), "cost-model");
+}
+
+TEST(Autovec, CensusBucketsBySpeedup)
+{
+    std::vector<SpeedupPair> pairs = {
+        {1.00, 3.0},  // ~= scalar
+        {1.02, 3.0},  // ~= scalar (within 5%)
+        {0.90, 3.0},  // < scalar
+        {2.00, 3.0},  // boosted, < neon
+        {3.00, 3.0},  // boosted, ~= neon
+        {4.00, 3.0},  // boosted, > neon
+    };
+    auto t = census(pairs);
+    EXPECT_EQ(t.autoApproxScalar, 2);
+    EXPECT_EQ(t.autoBelowScalar, 1);
+    EXPECT_EQ(t.autoAboveScalar, 3);
+    EXPECT_EQ(t.autoBelowNeon, 1);
+    EXPECT_EQ(t.autoApproxNeon, 1);
+    EXPECT_EQ(t.autoAboveNeon, 1);
+}
+
+TEST(Autovec, CensusToleranceBoundary)
+{
+    std::vector<SpeedupPair> pairs = {{1.049, 1.0}, {1.051, 1.0}};
+    auto t = census(pairs, 0.05);
+    EXPECT_EQ(t.autoApproxScalar, 1);
+    EXPECT_EQ(t.autoAboveScalar, 1);
+}
+
+TEST(Autovec, EmptyCensusIsZero)
+{
+    auto t = census({});
+    EXPECT_EQ(t.autoApproxScalar + t.autoBelowScalar + t.autoAboveScalar,
+              0);
+}

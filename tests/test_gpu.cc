@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Tests for the GPU/DSP offload model (Section 8 / Table 7 / Figure 6).
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/offload_model.hh"
+
+using namespace swan::gpu;
+
+TEST(Gpu, LaunchOverheadDominatesSmallKernels)
+{
+    OffloadParams p;
+    const double t = gpuTimeSec(1000, false, p);
+    EXPECT_GT(t, p.gpuLaunchUs * 1e-6);
+    EXPECT_LT(t, 2.0 * p.gpuLaunchUs * 1e-6 + p.minKernelUs * 1e-6);
+}
+
+TEST(Gpu, ComputeScalesLinearlyForLargeKernels)
+{
+    const double t1 = gpuComputeTimeSec(100'000'000, false);
+    const double t2 = gpuComputeTimeSec(200'000'000, false);
+    EXPECT_NEAR(t2 / t1, 2.0, 0.01);
+}
+
+TEST(Gpu, SparseIsLessEfficient)
+{
+    const uint64_t macs = 50'000'000;
+    EXPECT_GT(gpuComputeTimeSec(macs, true),
+              gpuComputeTimeSec(macs, false));
+}
+
+TEST(Gpu, MinKernelTimeFloor)
+{
+    OffloadParams p;
+    EXPECT_DOUBLE_EQ(gpuComputeTimeSec(1, false, p),
+                     p.minKernelUs * 1e-6);
+}
+
+TEST(Gpu, CrossoverNearFourMegaOps)
+{
+    // Neon FP32 MAC throughput from the paper's setup: 2 x 128-bit FMA
+    // units at 2.8 GHz = 22.4 GMAC/s peak; assume ~80% achieved.
+    const double neon_rate = 22.4e9 * 0.8;
+    auto neon_time = [&](uint64_t macs) {
+        return double(macs) / neon_rate;
+    };
+    // Find where the GPU starts winning.
+    uint64_t crossover = 0;
+    for (uint64_t macs = 100'000; macs < 100'000'000;
+         macs += 100'000) {
+        if (gpuTimeSec(macs, false) < neon_time(macs)) {
+            crossover = macs;
+            break;
+        }
+    }
+    ASSERT_GT(crossover, 0u);
+    EXPECT_GT(crossover, 1'000'000u);   // paper: ~4M, allow 1M..16M
+    EXPECT_LT(crossover, 16'000'000u);
+}
+
+TEST(Gpu, DspLaunchMuchCheaperThanGpu)
+{
+    OffloadParams p;
+    EXPECT_LT(p.dspLaunchUs * 10, p.gpuLaunchUs * 1.0 + 1e-9);
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * IEEE binary16 (Half) conversion tests: known encodings, round-trip
+ * properties across the representable range, rounding behavior,
+ * subnormals, infinities and NaN.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "simd/half.hh"
+
+using swan::simd::Half;
+
+TEST(Half, KnownEncodings)
+{
+    EXPECT_EQ(Half(0.0f).bits, 0x0000);
+    EXPECT_EQ(Half(-0.0f).bits, 0x8000);
+    EXPECT_EQ(Half(1.0f).bits, 0x3c00);
+    EXPECT_EQ(Half(-1.0f).bits, 0xbc00);
+    EXPECT_EQ(Half(2.0f).bits, 0x4000);
+    EXPECT_EQ(Half(0.5f).bits, 0x3800);
+    EXPECT_EQ(Half(65504.0f).bits, 0x7bff); // max normal
+}
+
+TEST(Half, DecodesKnownBits)
+{
+    Half h;
+    h.bits = 0x3555; // ~0.333251953125
+    EXPECT_NEAR(float(h), 0.333251953125f, 1e-7f);
+}
+
+TEST(Half, OverflowToInfinity)
+{
+    EXPECT_EQ(Half(70000.0f).bits, 0x7c00);
+    EXPECT_EQ(Half(-70000.0f).bits, 0xfc00);
+    Half inf;
+    inf.bits = 0x7c00;
+    EXPECT_TRUE(std::isinf(float(inf)));
+}
+
+TEST(Half, NanPreserved)
+{
+    Half h(std::nanf(""));
+    EXPECT_TRUE(std::isnan(float(h)));
+}
+
+TEST(Half, SubnormalsRoundTrip)
+{
+    Half smallest;
+    smallest.bits = 0x0001; // 2^-24
+    EXPECT_FLOAT_EQ(float(smallest), std::ldexp(1.0f, -24));
+    EXPECT_EQ(Half(std::ldexp(1.0f, -24)).bits, 0x0001);
+}
+
+TEST(Half, UnderflowToZero)
+{
+    EXPECT_EQ(Half(1e-10f).bits, 0x0000);
+    EXPECT_EQ(Half(-1e-10f).bits, 0x8000);
+}
+
+TEST(Half, RoundToNearestEven)
+{
+    // 1 + 2^-11 is exactly halfway between 1.0 and the next half; ties
+    // to even keeps 1.0.
+    EXPECT_EQ(Half(1.0f + std::ldexp(1.0f, -11)).bits, 0x3c00);
+    // 1 + 3*2^-11 rounds up to 1 + 2^-10 + ... -> odd+half rounds up.
+    EXPECT_EQ(Half(1.0f + 3 * std::ldexp(1.0f, -11)).bits, 0x3c02);
+}
+
+TEST(Half, ExhaustiveRoundTripAllFiniteBitPatterns)
+{
+    // Every finite half value must round-trip exactly through float.
+    for (uint32_t bits = 0; bits < 0x10000; ++bits) {
+        const uint32_t exp = (bits >> 10) & 0x1f;
+        if (exp == 0x1f)
+            continue; // inf/NaN handled elsewhere
+        Half h;
+        h.bits = uint16_t(bits);
+        Half back{float(h)};
+        EXPECT_EQ(back.bits, h.bits) << "bits=" << bits;
+    }
+}
+
+TEST(Half, ArithmeticRoundsPerOperation)
+{
+    Half a(1.0f), b(0.0004f); // b is below half the ulp at 1.0
+    Half s = a + b;
+    EXPECT_FLOAT_EQ(float(s), 1.0f);
+    EXPECT_FLOAT_EQ(float(Half(2.0f) * Half(3.0f)), 6.0f);
+    EXPECT_LT(float(Half(1.0f) / Half(3.0f)) - 1.0f / 3.0f, 1e-3f);
+}

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Kernel correctness: for every registered kernel, the Neon
+ * implementation's outputs must match the Scalar reference (the paper's
+ * own validation methodology, Section 4.1), at two input scales and
+ * under tracing. Parameterized over the whole registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/registry.hh"
+#include "core/runner.hh"
+#include "trace/stats.hh"
+
+using namespace swan;
+
+namespace
+{
+
+core::Options
+tinyOptions()
+{
+    core::Options o;
+    o.imageWidth = 64;
+    o.imageHeight = 32;
+    o.audioSamples = 600;
+    o.bufferBytes = 1536;
+    o.gemmM = 9;
+    o.gemmN = 13;
+    o.gemmK = 17;
+    o.videoBlocks = 3;
+    return o;
+}
+
+core::Options
+smallOptions()
+{
+    core::Options o;
+    o.imageWidth = 96;
+    o.imageHeight = 64;
+    o.audioSamples = 2048;
+    o.bufferBytes = 4096;
+    o.gemmM = 16;
+    o.gemmN = 20;
+    o.gemmK = 24;
+    o.videoBlocks = 8;
+    return o;
+}
+
+class KernelTest
+    : public ::testing::TestWithParam<const core::KernelSpec *>
+{
+};
+
+std::string
+kernelName(const ::testing::TestParamInfo<const core::KernelSpec *> &info)
+{
+    std::string n = info.param->info.symbol + "_" + info.param->info.name;
+    for (auto &c : n)
+        if (!isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    return n;
+}
+
+std::vector<const core::KernelSpec *>
+allKernels()
+{
+    std::vector<const core::KernelSpec *> out;
+    for (const auto &k : core::Registry::instance().kernels())
+        out.push_back(&k);
+    return out;
+}
+
+} // namespace
+
+TEST_P(KernelTest, NeonMatchesScalarTiny)
+{
+    auto w = GetParam()->make(tinyOptions());
+    w->runScalar();
+    w->runNeon(128);
+    EXPECT_TRUE(w->verify()) << GetParam()->info.qualifiedName();
+}
+
+TEST_P(KernelTest, NeonMatchesScalarSmall)
+{
+    auto w = GetParam()->make(smallOptions());
+    w->runScalar();
+    w->runNeon(128);
+    EXPECT_TRUE(w->verify()) << GetParam()->info.qualifiedName();
+}
+
+TEST_P(KernelTest, AutoIsWellFormed)
+{
+    // Auto must run and leave Scalar/Neon agreement intact.
+    auto w = GetParam()->make(tinyOptions());
+    w->runScalar();
+    w->runAuto();
+    w->runNeon(128);
+    EXPECT_TRUE(w->verify()) << GetParam()->info.qualifiedName();
+}
+
+TEST_P(KernelTest, TracedRunsMatchUntracedOutputs)
+{
+    auto w = GetParam()->make(tinyOptions());
+    auto scalar_trace = core::Runner::capture(*w, core::Impl::Scalar);
+    auto neon_trace = core::Runner::capture(*w, core::Impl::Neon);
+    EXPECT_TRUE(w->verify()) << GetParam()->info.qualifiedName();
+    EXPECT_GT(scalar_trace.size(), 0u);
+    EXPECT_GT(neon_trace.size(), 0u);
+}
+
+TEST_P(KernelTest, VerifyIsNotVacuous)
+{
+    // The paper's validation compares Neon outputs against Scalar; that
+    // check is only meaningful if it can fail. Running the scalar
+    // reference alone must leave verify() false (every workload
+    // initializes its implementation outputs differently), and running
+    // the Neon implementation must then flip it to true.
+    auto w = GetParam()->make(tinyOptions());
+    w->runScalar();
+    EXPECT_FALSE(w->verify()) << GetParam()->info.qualifiedName()
+                              << ": verify passes without a Neon run";
+    w->runNeon(128);
+    EXPECT_TRUE(w->verify()) << GetParam()->info.qualifiedName();
+}
+
+TEST_P(KernelTest, NeonReducesInstructions)
+{
+    auto w = GetParam()->make(smallOptions());
+    auto scalar_trace = core::Runner::capture(*w, core::Impl::Scalar);
+    auto neon_trace = core::Runner::capture(*w, core::Impl::Neon);
+    // DES-style LUT kernels are the only ones allowed not to reduce.
+    if (!GetParam()->info.excluded) {
+        EXPECT_GT(double(scalar_trace.size()) / double(neon_trace.size()),
+                  1.0)
+            << GetParam()->info.qualifiedName();
+    }
+}
+
+TEST_P(KernelTest, NeonTraceContainsVectorInstructions)
+{
+    auto w = GetParam()->make(tinyOptions());
+    auto neon_trace = core::Runner::capture(*w, core::Impl::Neon);
+    trace::MixStats mix;
+    mix.addTrace(neon_trace);
+    EXPECT_GT(mix.vectorInstrs(), 0u)
+        << GetParam()->info.qualifiedName();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, KernelTest,
+                         ::testing::ValuesIn(allKernels()), kernelName);

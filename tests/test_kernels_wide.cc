@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Wider-register correctness: the eight Figure-5 kernels must produce
+ * Scalar-matching outputs at every emulated register width
+ * (128/256/512/1024 bits). Parameterized over (kernel, width).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/registry.hh"
+#include "core/runner.hh"
+#include "trace/stats.hh"
+
+using namespace swan;
+
+namespace
+{
+
+core::Options
+wideOptions()
+{
+    core::Options o;
+    o.imageWidth = 160;  // multiple of the widest lane count
+    o.imageHeight = 48;
+    o.audioSamples = 2048;
+    o.bufferBytes = 4096;
+    o.gemmM = 12;
+    o.gemmN = 50;
+    o.gemmK = 24;
+    o.videoBlocks = 4;
+    return o;
+}
+
+using WideParam = std::tuple<const core::KernelSpec *, int>;
+
+class WideKernelTest : public ::testing::TestWithParam<WideParam>
+{
+};
+
+std::vector<const core::KernelSpec *>
+widerKernels()
+{
+    std::vector<const core::KernelSpec *> out;
+    for (const auto &k : core::Registry::instance().kernels())
+        if (k.info.widerWidths)
+            out.push_back(&k);
+    return out;
+}
+
+std::string
+wideName(const ::testing::TestParamInfo<WideParam> &info)
+{
+    std::string n = std::get<0>(info.param)->info.symbol + "_" +
+                    std::get<0>(info.param)->info.name + "_" +
+                    std::to_string(std::get<1>(info.param)) + "b";
+    for (auto &c : n)
+        if (!isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    return n;
+}
+
+} // namespace
+
+TEST_P(WideKernelTest, NeonMatchesScalarAtWidth)
+{
+    const auto *spec = std::get<0>(GetParam());
+    const int bits = std::get<1>(GetParam());
+    auto w = spec->make(wideOptions());
+    w->runScalar();
+    w->runNeon(bits);
+    EXPECT_TRUE(w->verify())
+        << spec->info.qualifiedName() << " @ " << bits << "b";
+}
+
+TEST_P(WideKernelTest, WiderRegistersReduceVectorInstructions)
+{
+    const auto *spec = std::get<0>(GetParam());
+    const int bits = std::get<1>(GetParam());
+    if (bits == 128)
+        GTEST_SKIP() << "baseline width";
+    auto w = spec->make(wideOptions());
+    auto base = core::Runner::capture(*w, core::Impl::Neon, 128);
+    auto wide = core::Runner::capture(*w, core::Impl::Neon, bits);
+    EXPECT_LT(wide.size(), base.size())
+        << spec->info.qualifiedName() << " @ " << bits << "b";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WiderKernels, WideKernelTest,
+    ::testing::Combine(::testing::ValuesIn(widerKernels()),
+                       ::testing::Values(128, 256, 512, 1024)),
+    wideName);
+
+TEST(WideKernels, ExactlyEight)
+{
+    EXPECT_EQ(widerKernels().size(), 8u);
+}

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Cross-checks between kernel metadata and reality: every Section-6
+ * pattern tag must be backed by the instructions actually present in the
+ * kernel's Neon trace, the auto-vectorization verdicts must be
+ * self-consistent, and workloads must be deterministic for a fixed seed.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/registry.hh"
+#include "core/runner.hh"
+#include "trace/stats.hh"
+
+using namespace swan;
+using core::Pattern;
+using trace::StrideKind;
+
+namespace
+{
+
+core::Options
+tinyOptions()
+{
+    core::Options o;
+    o.imageWidth = 64;
+    o.imageHeight = 32;
+    o.audioSamples = 600;
+    o.bufferBytes = 1536;
+    o.gemmM = 9;
+    o.gemmN = 13;
+    o.gemmK = 17;
+    o.videoBlocks = 3;
+    return o;
+}
+
+class MetadataTest
+    : public ::testing::TestWithParam<const core::KernelSpec *>
+{
+  protected:
+    trace::MixStats
+    neonMix()
+    {
+        auto w = GetParam()->make(tinyOptions());
+        auto instrs = core::Runner::capture(*w, core::Impl::Neon);
+        trace::MixStats mix;
+        mix.addTrace(instrs);
+        return mix;
+    }
+};
+
+std::string
+kernelName(const ::testing::TestParamInfo<const core::KernelSpec *> &info)
+{
+    std::string n = info.param->info.symbol + "_" + info.param->info.name;
+    for (auto &c : n)
+        if (!isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    return n;
+}
+
+std::vector<const core::KernelSpec *>
+allKernels()
+{
+    std::vector<const core::KernelSpec *> out;
+    for (const auto &k : core::Registry::instance().kernels())
+        out.push_back(&k);
+    return out;
+}
+
+} // namespace
+
+TEST_P(MetadataTest, StridedTagBackedByTrace)
+{
+    if (!core::has(GetParam()->info.patterns, Pattern::StridedAccess))
+        GTEST_SKIP();
+    auto mix = neonMix();
+    const uint64_t strided =
+        mix.count(StrideKind::Ld2) + mix.count(StrideKind::St2) +
+        mix.count(StrideKind::Ld3) + mix.count(StrideKind::St3) +
+        mix.count(StrideKind::Ld4) + mix.count(StrideKind::St4) +
+        mix.count(StrideKind::Zip) + mix.count(StrideKind::Uzp);
+    EXPECT_GT(strided, 0u) << GetParam()->info.qualifiedName();
+}
+
+TEST_P(MetadataTest, TransposeTagBackedByTrnOrZip)
+{
+    if (!core::has(GetParam()->info.patterns, Pattern::Transpose))
+        GTEST_SKIP();
+    auto mix = neonMix();
+    EXPECT_GT(mix.count(StrideKind::Trn) + mix.count(StrideKind::Zip),
+              0u)
+        << GetParam()->info.qualifiedName();
+}
+
+TEST_P(MetadataTest, VectorApiKernelsAreLoadStoreHeavy)
+{
+    if (!core::has(GetParam()->info.patterns, Pattern::VectorApi))
+        GTEST_SKIP();
+    auto mix = neonMix();
+    const double ldst = mix.fraction(trace::PaperClass::VLoad) +
+                        mix.fraction(trace::PaperClass::VStore);
+    // The defining property of the portable-API kernels (Section 6.5):
+    // a large share of vector memory traffic. FFT butterflies sit near
+    // 25%; the WA one-op APIs approach 60%.
+    EXPECT_GT(ldst, 0.15) << GetParam()->info.qualifiedName();
+}
+
+TEST_P(MetadataTest, VerdictHasReasonsIffFails)
+{
+    const auto &v = GetParam()->info.autovec;
+    if (v.vectorizes)
+        EXPECT_EQ(v.failReasons, 0u) << GetParam()->info.qualifiedName();
+    else
+        EXPECT_NE(v.failReasons, 0u) << GetParam()->info.qualifiedName();
+}
+
+TEST_P(MetadataTest, DeterministicForFixedSeed)
+{
+    auto w1 = GetParam()->make(tinyOptions());
+    auto w2 = GetParam()->make(tinyOptions());
+    auto t1 = core::Runner::capture(*w1, core::Impl::Neon);
+    auto t2 = core::Runner::capture(*w2, core::Impl::Neon);
+    ASSERT_EQ(t1.size(), t2.size()) << GetParam()->info.qualifiedName();
+    for (size_t i = 0; i < t1.size(); ++i) {
+        EXPECT_EQ(int(t1[i].cls), int(t2[i].cls));
+        EXPECT_EQ(t1[i].dep0, t2[i].dep0);
+        if (int(t1[i].cls) != int(t2[i].cls))
+            break;
+    }
+}
+
+TEST_P(MetadataTest, CryptoInstructionsOnlyInCryptoLibraries)
+{
+    auto mix = neonMix();
+    if (GetParam()->info.symbol != "BS" &&
+        GetParam()->info.symbol != "ZL") {
+        EXPECT_EQ(mix.count(trace::PaperClass::VCrypto), 0u)
+            << GetParam()->info.qualifiedName();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, MetadataTest,
+                         ::testing::ValuesIn(allKernels()), kernelName);

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Tests for the ACLE-style compatibility layer: a kernel written with
+ * real Neon names must behave identically to the width-generic API and
+ * emit the same trace.
+ */
+
+#include <gtest/gtest.h>
+
+#include "simd/neon_compat.hh"
+#include "trace/recorder.hh"
+
+using namespace swan;
+using namespace swan::simd::neon;
+
+TEST(NeonCompat, TypesHaveNeonShapes)
+{
+    static_assert(uint8x16_t::kLanes == 16);
+    static_assert(int16x8_t::kLanes == 8);
+    static_assert(float32x4_t::kLanes == 4);
+    static_assert(float16x8_t::kLanes == 8);
+    SUCCEED();
+}
+
+TEST(NeonCompat, SaxpyWrittenInAcleStyle)
+{
+    float x[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+    float y[8] = {10, 20, 30, 40, 50, 60, 70, 80};
+    const float a = 2.0f;
+    for (int i = 0; i < 8; i += 4) {
+        float32x4_t xv = vld1q_f32(x + i);
+        float32x4_t yv = vld1q_f32(y + i);
+        vst1q_f32(y + i, vmlaq_f32(yv, xv, vdupq_n_f32(a)));
+    }
+    for (int i = 0; i < 8; ++i)
+        EXPECT_FLOAT_EQ(y[i], 10.0f * float(i + 1) + 2.0f * float(i + 1));
+}
+
+TEST(NeonCompat, SadWrittenInAcleStyle)
+{
+    uint8_t a[16], b[16];
+    uint32_t ref = 0;
+    for (int i = 0; i < 16; ++i) {
+        a[i] = uint8_t(3 * i);
+        b[i] = uint8_t(40 - i);
+        ref += uint32_t(std::abs(int(a[i]) - int(b[i])));
+    }
+    uint8x16_t av = vld1q_u8(a);
+    uint8x16_t bv = vld1q_u8(b);
+    uint16x8_t zero{};
+    uint16x8_t acc = vpadalq_u8(zero, vabdq_u8(av, bv));
+    EXPECT_EQ(vaddlvq_u16(acc).v, ref);
+}
+
+TEST(NeonCompat, AliasesEmitSameTraceAsGenericApi)
+{
+    uint8_t buf[32];
+    for (int i = 0; i < 32; ++i)
+        buf[i] = uint8_t(i);
+
+    trace::Recorder rec_alias;
+    {
+        trace::ScopedRecorder scoped(&rec_alias);
+        auto v = vld1q_u8(buf);
+        auto w = vld1q_u8(buf + 16);
+        vst1q_u8(buf, vaddq_u8(v, w));
+    }
+    trace::Recorder rec_generic;
+    {
+        trace::ScopedRecorder scoped(&rec_generic);
+        auto v = simd::vld1<128>(buf);
+        auto w = simd::vld1<128>(buf + 16);
+        simd::vst1(buf, simd::vadd(v, w));
+    }
+    ASSERT_EQ(rec_alias.instrs().size(), rec_generic.instrs().size());
+    for (size_t i = 0; i < rec_alias.instrs().size(); ++i) {
+        EXPECT_EQ(int(rec_alias.instrs()[i].cls),
+                  int(rec_generic.instrs()[i].cls));
+        EXPECT_EQ(rec_alias.instrs()[i].latency,
+                  rec_generic.instrs()[i].latency);
+    }
+}
+
+TEST(NeonCompat, DeinterleaveAes)
+{
+    uint8_t px[64];
+    for (int i = 0; i < 64; ++i)
+        px[i] = uint8_t(i);
+    uint8x16x4_t rgba = vld4q_u8(px);
+    EXPECT_EQ(rgba[0][1], 4);
+    auto s = vaesmcq_u8(vaeseq_u8(rgba[0], vdupq_n_u8(0)));
+    (void)s;
+    uint8_t out[64] = {};
+    vst4q_u8(out, rgba);
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(out[i], px[i]);
+}

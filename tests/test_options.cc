@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests for the problem-size configuration (core/options.hh): the
+ * paper-scale preset (Section 4.1), the environment-variable resolution
+ * order, and the size relations the fidelity argument in DESIGN.md
+ * depends on (scaled image working sets still exceed the L2, GEMM N
+ * stays indivisible by wide-register lane counts).
+ */
+
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/options.hh"
+
+using swan::core::Options;
+
+namespace
+{
+
+/** RAII environment-variable override. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        const char *old = std::getenv(name);
+        hadOld_ = old != nullptr;
+        if (hadOld_)
+            old_ = old;
+        if (value)
+            ::setenv(name, value, 1);
+        else
+            ::unsetenv(name);
+    }
+    ~ScopedEnv()
+    {
+        if (hadOld_)
+            ::setenv(name_.c_str(), old_.c_str(), 1);
+        else
+            ::unsetenv(name_.c_str());
+    }
+
+  private:
+    std::string name_;
+    bool hadOld_ = false;
+    std::string old_;
+};
+
+} // namespace
+
+TEST(Options, FullMatchesSection41)
+{
+    const auto o = Options::full();
+    // 720x1280 (HD) images, 1 s of 44.1 kHz audio, 128 KB buffers.
+    EXPECT_EQ(o.imageWidth, 1280);
+    EXPECT_EQ(o.imageHeight, 720);
+    EXPECT_EQ(o.audioSamples, 44100);
+    EXPECT_EQ(o.bufferBytes, 128 * 1024);
+}
+
+TEST(Options, SwanFullOverridesFast)
+{
+    ScopedEnv full("SWAN_FULL", "1");
+    ScopedEnv fast("SWAN_FAST", "1");
+    const auto o = Options::fromEnv();
+    EXPECT_EQ(o.imageWidth, Options::full().imageWidth);
+}
+
+TEST(Options, FastShrinksEveryDimension)
+{
+    ScopedEnv full("SWAN_FULL", nullptr);
+    ScopedEnv fast("SWAN_FAST", "1");
+    const auto f = Options::fromEnv();
+    const auto d = Options::defaults();
+    EXPECT_LT(f.imageWidth * f.imageHeight, d.imageWidth * d.imageHeight);
+    EXPECT_LT(f.audioSamples, d.audioSamples);
+    EXPECT_LT(f.bufferBytes, d.bufferBytes);
+    EXPECT_LT(f.gemmM * f.gemmN * f.gemmK, d.gemmM * d.gemmN * d.gemmK);
+}
+
+TEST(Options, ZeroValuedEnvMeansUnset)
+{
+    ScopedEnv full("SWAN_FULL", "0");
+    ScopedEnv fast("SWAN_FAST", "0");
+    const auto o = Options::fromEnv();
+    EXPECT_EQ(o.imageWidth, Options::defaults().imageWidth);
+}
+
+TEST(Options, DefaultImageWorkingSetExceedsL2)
+{
+    // DESIGN.md fidelity argument: the scaled default must still spill
+    // the 512 KiB L2 for the RGBA image/graphics kernels (4 B/px in +
+    // 4 B/px out) so the paper's cache-pressure effects survive input
+    // scaling.
+    const auto o = Options::defaults();
+    const size_t pixels = size_t(o.imageWidth) * size_t(o.imageHeight);
+    EXPECT_GT(pixels * 8, size_t(512 * 1024));
+    // And even the tightest kernels (1 B/px each way) exceed L1.
+    EXPECT_GT(pixels * 2, size_t(64 * 1024));
+}
+
+TEST(Options, GemmNIndivisibleByWideLaneCounts)
+{
+    // Figure 5(a)'s utilization drop needs N % lanes != 0 for the wide
+    // configurations (Section 7.1), at default and paper scale.
+    for (const auto &o : {Options::defaults(), Options::full()}) {
+        EXPECT_NE(o.gemmN % 32, 0) << "N=" << o.gemmN; // 1024-bit f32
+        EXPECT_NE(o.gemmN % 16, 0) << "N=" << o.gemmN; // 512-bit f32
+    }
+}
+
+TEST(Options, SeedIsStableAcrossPresets)
+{
+    // Input generation must be reproducible: presets change sizes, not
+    // the deterministic seed.
+    EXPECT_EQ(Options::defaults().seed, Options::full().seed);
+}

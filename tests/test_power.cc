@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests for the power/energy model: definitional consistency
+ * (energy = power x time), monotonicity in event counts, DRAM-rate
+ * sensitivity (the Section 5.3 mechanism) and per-core presets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/power.hh"
+
+using namespace swan;
+using namespace swan::sim;
+
+namespace
+{
+
+SimResult
+baseResult()
+{
+    SimResult r;
+    r.instrs = 100000;
+    r.cycles = 50000;
+    r.timeSec = double(r.cycles) / (2.8e9);
+    r.byClass[size_t(trace::InstrClass::SInt)] = 60000;
+    r.byClass[size_t(trace::InstrClass::Branch)] = 10000;
+    r.byClass[size_t(trace::InstrClass::VInt)] = 30000;
+    r.vecBytes = 30000 * 16;
+    r.l1Accesses = 30000;
+    r.l2Accesses = 2000;
+    r.llcAccesses = 500;
+    r.dramReads = 100;
+    r.dramWrites = 50;
+    return r;
+}
+
+} // namespace
+
+TEST(Power, EnergyEqualsPowerTimesTime)
+{
+    auto r = baseResult();
+    applyPowerModel(r, PowerParams{});
+    EXPECT_GT(r.energyJ, 0.0);
+    EXPECT_NEAR(r.powerW * r.timeSec, r.energyJ, 1e-12);
+}
+
+TEST(Power, MoreDramAccessesMorePower)
+{
+    auto low = baseResult();
+    auto high = baseResult();
+    high.dramReads = 20000;
+    applyPowerModel(low, PowerParams{});
+    applyPowerModel(high, PowerParams{});
+    EXPECT_GT(high.powerW, low.powerW);
+}
+
+TEST(Power, ShorterRuntimeSavesEnergyAtEqualWork)
+{
+    // Same event counts, half the runtime (the Neon effect): higher
+    // power, lower energy.
+    auto slow = baseResult();
+    auto fast = baseResult();
+    fast.cycles /= 2;
+    fast.timeSec /= 2;
+    applyPowerModel(slow, PowerParams{});
+    applyPowerModel(fast, PowerParams{});
+    EXPECT_GT(fast.powerW, slow.powerW);
+    EXPECT_LT(fast.energyJ, slow.energyJ);
+}
+
+TEST(Power, VectorWidthScalesDatapathEnergy)
+{
+    auto narrow = baseResult();
+    auto wide = baseResult();
+    wide.vecBytes *= 4;
+    applyPowerModel(narrow, PowerParams{});
+    applyPowerModel(wide, PowerParams{});
+    EXPECT_GT(wide.energyJ, narrow.energyJ);
+}
+
+TEST(Power, SilverPresetDrawsLessStaticPower)
+{
+    auto prime = PowerParams::forConfig(primeConfig());
+    auto gold = PowerParams::forConfig(goldConfig());
+    auto silver = PowerParams::forConfig(silverConfig());
+    EXPECT_LT(silver.staticW, gold.staticW);
+    EXPECT_LT(gold.staticW, prime.staticW);
+    EXPECT_LT(silver.eScalarInstr, prime.eScalarInstr);
+}
+
+TEST(Power, ZeroTimeIsSafe)
+{
+    SimResult r;
+    applyPowerModel(r, PowerParams{});
+    EXPECT_EQ(r.powerW, 0.0);
+}

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Registry/metadata tests: the suite must contain exactly the paper's
+ * 59 data-parallel kernels across 12 libraries, with the Section 6
+ * pattern counts and the eight Figure-5 wider-register kernels.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/registry.hh"
+
+using namespace swan;
+using core::Pattern;
+using core::Registry;
+
+namespace
+{
+
+std::vector<const core::KernelSpec *>
+headline()
+{
+    std::vector<const core::KernelSpec *> out;
+    for (const auto &k : Registry::instance().kernels())
+        if (!k.info.excluded)
+            out.push_back(&k);
+    return out;
+}
+
+} // namespace
+
+TEST(Registry, FiftyNineKernels)
+{
+    EXPECT_EQ(headline().size(), 59u);
+}
+
+TEST(Registry, TwelveLibraries)
+{
+    EXPECT_EQ(Registry::instance().symbols().size(), 12u);
+    EXPECT_EQ(Registry::instance().libraries().size(), 12u);
+}
+
+TEST(Registry, Table2KernelCounts)
+{
+    const std::map<std::string, int> expected = {
+        {"LJ", 5}, {"LP", 5}, {"LW", 6}, {"SK", 5}, {"WA", 6}, {"PF", 3},
+        {"ZL", 2}, {"BS", 4}, {"OR", 4}, {"LO", 5}, {"LV", 6}, {"XP", 8}};
+    for (const auto &[sym, count] : expected) {
+        int n = 0;
+        for (const auto *k : Registry::instance().bySymbol(sym))
+            if (!k->info.excluded)
+                ++n;
+        EXPECT_EQ(n, count) << sym;
+    }
+}
+
+TEST(Registry, QualifiedNamesUnique)
+{
+    std::set<std::string> names;
+    for (const auto &k : Registry::instance().kernels())
+        EXPECT_TRUE(names.insert(k.info.qualifiedName()).second)
+            << k.info.qualifiedName();
+}
+
+TEST(Registry, EightWiderWidthKernels)
+{
+    std::set<std::string> wider;
+    for (const auto *k : headline())
+        if (k->info.widerWidths)
+            wider.insert(k->info.qualifiedName());
+    const std::set<std::string> expected = {
+        "XP/gemm_f32",   "LJ/rgb_to_ycbcr",
+        "ZL/adler32",    "WA/audible",
+        "SK/convolve_vertically", "LO/pitch_autocorr",
+        "LW/predict_tm", "LV/sad16x16"};
+    EXPECT_EQ(wider, expected);
+}
+
+TEST(Registry, PatternCensusMatchesPaper)
+{
+    int reduction = 0, random_access = 0, transpose = 0;
+    for (const auto *k : headline()) {
+        if (core::has(k->info.patterns, Pattern::Reduction))
+            ++reduction;
+        if (core::has(k->info.patterns, Pattern::RandomAccess))
+            ++random_access;
+        if (core::has(k->info.patterns, Pattern::Transpose))
+            ++transpose;
+    }
+    // Section 6: 7 reduction kernels, 7 random-access kernels, 6
+    // transposition kernels. Our census counts every tagged kernel;
+    // reductions also appear inside GEMM-style kernels (lower bound),
+    // and 4 of the paper's 6 transposition kernels transpose explicitly
+    // here (the XP repack transposes live outside our micro-kernels,
+    // DESIGN.md limitations).
+    EXPECT_GE(reduction, 7);
+    EXPECT_GE(random_access, 7);
+    EXPECT_GE(transpose, 4);
+}
+
+TEST(Registry, AutovecVerdictCountsMatchTable4)
+{
+    int vectorizes = 0;
+    for (const auto *k : headline())
+        if (k->info.autovec.vectorizes)
+            ++vectorizes;
+    EXPECT_EQ(vectorizes, 23); // Table 4: #boosted kernels
+}
+
+TEST(Registry, FindByQualifiedAndPlainName)
+{
+    auto &reg = Registry::instance();
+    ASSERT_NE(reg.find("ZL/adler32"), nullptr);
+    ASSERT_NE(reg.find("adler32"), nullptr);
+    EXPECT_EQ(reg.find("ZL/adler32"), reg.find("adler32"));
+    EXPECT_EQ(reg.find("nonexistent"), nullptr);
+}
+
+TEST(Registry, ExcludedKernelIsDesStudy)
+{
+    int excluded = 0;
+    for (const auto &k : Registry::instance().kernels()) {
+        if (k.info.excluded) {
+            ++excluded;
+            EXPECT_EQ(k.info.symbol, "BS");
+        }
+    }
+    EXPECT_EQ(excluded, 1);
+}
+
+TEST(Registry, EveryKernelConstructs)
+{
+    core::Options tiny;
+    tiny.imageWidth = 64;
+    tiny.imageHeight = 32;
+    tiny.audioSamples = 512;
+    tiny.bufferBytes = 1024;
+    tiny.gemmM = 8;
+    tiny.gemmN = 12;
+    tiny.gemmK = 8;
+    tiny.videoBlocks = 2;
+    for (const auto &k : Registry::instance().kernels()) {
+        auto w = k.make(tiny);
+        EXPECT_NE(w, nullptr) << k.info.qualifiedName();
+    }
+}

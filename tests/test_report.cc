@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Tests for the report formatting helpers and the Options presets.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/options.hh"
+#include "core/report.hh"
+
+using namespace swan::core;
+
+TEST(Report, TableAlignsColumns)
+{
+    Table t({"A", "LongHeader"});
+    t.addRow({"x", "1"});
+    t.addRow({"longer", "2"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("| A      | LongHeader |"), std::string::npos);
+    EXPECT_NE(out.find("| longer | 2          |"), std::string::npos);
+}
+
+TEST(Report, ShortRowsArePadded)
+{
+    Table t({"A", "B", "C"});
+    t.addRow({"only"});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("only"), std::string::npos);
+}
+
+TEST(Report, Formatters)
+{
+    EXPECT_EQ(fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(fmtX(2.5, 1), "2.5x");
+    EXPECT_EQ(fmtPct(41.87, 1), "41.9%");
+}
+
+TEST(Options, FullRestoresPaperSizes)
+{
+    auto full = Options::full();
+    EXPECT_EQ(full.imageWidth, 1280);
+    EXPECT_EQ(full.imageHeight, 720);
+    EXPECT_EQ(full.audioSamples, 44100);
+    EXPECT_EQ(full.bufferBytes, 128 * 1024);
+}
+
+TEST(Options, DefaultsPreserveShapeProperties)
+{
+    Options o;
+    // Image working sets must exceed L1 so the cache-pressure story
+    // survives scaling (DESIGN.md).
+    EXPECT_GT(o.imageWidth * o.imageHeight * 4, 64 * 1024);
+    // GEMM N stays indivisible by the wide lane counts (Figure 5a).
+    EXPECT_NE(o.gemmN % 32, 0);
+    EXPECT_NE(o.gemmN % 16, 0);
+}
+
+TEST(Options, EnvSelectsPresets)
+{
+    setenv("SWAN_FULL", "1", 1);
+    unsetenv("SWAN_FAST");
+    EXPECT_EQ(Options::fromEnv().imageWidth, 1280);
+    unsetenv("SWAN_FULL");
+    setenv("SWAN_FAST", "1", 1);
+    EXPECT_LT(Options::fromEnv().imageWidth, 320);
+    unsetenv("SWAN_FAST");
+    EXPECT_EQ(Options::fromEnv().imageWidth, Options{}.imageWidth);
+}

@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Cross-configuration property tests for the timing and power models:
+ * invariants that must hold for *every* core configuration and every
+ * trace shape — determinism, metric well-formedness, monotonicity in
+ * DRAM latency/frequency, and the physical sanity of the power model.
+ * Complements the targeted unit tests in test_core_model.cc by sweeping
+ * the full configuration space with parameterized suites.
+ */
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/configs.hh"
+#include "sim/core_model.hh"
+#include "sim/power.hh"
+
+using namespace swan;
+using namespace swan::sim;
+using trace::Fu;
+using trace::Instr;
+using trace::InstrClass;
+
+namespace
+{
+
+/** All preset configurations plus the Figure-5(b) scalability points. */
+std::vector<std::pair<std::string, CoreConfig>>
+allConfigs()
+{
+    std::vector<std::pair<std::string, CoreConfig>> out;
+    out.emplace_back("prime", primeConfig());
+    out.emplace_back("gold", goldConfig());
+    out.emplace_back("silver", silverConfig());
+    for (auto [w, v] : {std::pair{4, 2}, {4, 4}, {4, 8}, {8, 8}}) {
+        out.emplace_back("sc" + std::to_string(w) + "w" +
+                             std::to_string(v) + "v",
+                         scalabilityConfig(w, v));
+    }
+    return out;
+}
+
+/** Synthetic trace shapes exercising different machine structures. */
+enum class Shape
+{
+    AluChain,       //!< serial dependency chain
+    AluParallel,    //!< independent scalar work
+    VecStream,      //!< load -> vector op -> store, streaming addresses
+    Mixed,          //!< scalar/vector interleave with branches
+    NumShapes
+};
+
+std::vector<Instr>
+buildTrace(Shape shape, int n)
+{
+    std::vector<Instr> t;
+    uint64_t id = 0;
+    auto add = [&](InstrClass cls, Fu fu, int lat, uint64_t dep = 0,
+                   uint64_t addr = 0, uint32_t size = 0) {
+        Instr i;
+        i.id = ++id;
+        i.cls = cls;
+        i.fu = fu;
+        i.latency = uint8_t(lat);
+        i.dep0 = dep;
+        i.addr = addr;
+        i.size = size;
+        if (cls == InstrClass::VLoad || cls == InstrClass::VStore ||
+            cls == InstrClass::VInt) {
+            i.vecBytes = 16;
+            i.lanes = 4;
+            i.activeLanes = 4;
+        }
+        t.push_back(i);
+        return id;
+    };
+    switch (shape) {
+      case Shape::AluChain: {
+        uint64_t dep = 0;
+        for (int i = 0; i < n; ++i)
+            dep = add(InstrClass::SInt, Fu::SAlu, 1, dep);
+        break;
+      }
+      case Shape::AluParallel:
+        for (int i = 0; i < n; ++i)
+            add(InstrClass::SInt, Fu::SAlu, 1);
+        break;
+      case Shape::VecStream:
+        for (int i = 0; i < n; ++i) {
+            uint64_t ld = add(InstrClass::VLoad, Fu::Load, 4, 0,
+                              0x100000 + uint64_t(i) * 16, 16);
+            uint64_t op = add(InstrClass::VInt, Fu::VUnit, 2, ld);
+            add(InstrClass::VStore, Fu::Store, 1, op,
+                0x900000 + uint64_t(i) * 16, 16);
+        }
+        break;
+      case Shape::Mixed:
+        for (int i = 0; i < n; ++i) {
+            uint64_t ld = add(InstrClass::SLoad, Fu::Load, 4, 0,
+                              0x100000 + uint64_t(i % 64) * 8, 8);
+            uint64_t a = add(InstrClass::SInt, Fu::SAlu, 1, ld);
+            uint64_t v = add(InstrClass::VInt, Fu::VUnit, 2, a);
+            add(InstrClass::Branch, Fu::Branch, 1, v);
+        }
+        break;
+      default:
+        break;
+    }
+    return t;
+}
+
+using PropParam = std::tuple<int, int>; // (config index, shape index)
+
+std::string
+propName(const ::testing::TestParamInfo<PropParam> &info)
+{
+    static const char *shapes[] = {"AluChain", "AluParallel", "VecStream",
+                                   "Mixed"};
+    return allConfigs()[size_t(std::get<0>(info.param))].first +
+           std::string("_") + shapes[size_t(std::get<1>(info.param))];
+}
+
+} // namespace
+
+class SimProperty : public ::testing::TestWithParam<PropParam>
+{
+  protected:
+    CoreConfig cfg() const
+    {
+        return allConfigs()[size_t(std::get<0>(GetParam()))].second;
+    }
+    std::vector<Instr> trace() const
+    {
+        return buildTrace(Shape(std::get<1>(GetParam())), 400);
+    }
+};
+
+TEST_P(SimProperty, SimulationIsDeterministic)
+{
+    const auto t = trace();
+    const auto a = simulateTrace(t, cfg());
+    const auto b = simulateTrace(t, cfg());
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instrs, b.instrs);
+    EXPECT_DOUBLE_EQ(a.l1Mpki, b.l1Mpki);
+    EXPECT_EQ(a.dramReads, b.dramReads);
+}
+
+TEST_P(SimProperty, MetricsAreWellFormed)
+{
+    const auto r = simulateTrace(trace(), cfg());
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_GT(r.instrs, 0u);
+    EXPECT_GT(r.ipc, 0.0);
+    EXPECT_LE(r.ipc, double(cfg().decodeWidth) + 1e-9);
+    EXPECT_GE(r.feStallPct, 0.0);
+    EXPECT_LE(r.feStallPct, 100.0);
+    EXPECT_GE(r.beStallPct, 0.0);
+    EXPECT_LE(r.beStallPct, 100.0);
+    EXPECT_GE(r.l1HitRate, 0.0);
+    EXPECT_LE(r.l1HitRate, 1.0);
+    // MPKI can never exceed 1000 accesses per instruction... but it can
+    // never be negative either.
+    EXPECT_GE(r.l1Mpki, 0.0);
+    EXPECT_GE(r.l2Mpki, 0.0);
+    EXPECT_GE(r.llcMpki, 0.0);
+    EXPECT_GT(r.timeSec, 0.0);
+}
+
+TEST_P(SimProperty, CyclesLowerBoundedByWork)
+{
+    // A W-wide machine cannot retire more than W instructions per cycle.
+    const auto t = trace();
+    const auto r = simulateTrace(t, cfg());
+    EXPECT_GE(r.cycles * uint64_t(cfg().decodeWidth), t.size());
+}
+
+TEST_P(SimProperty, SlowerDramNeverHelps)
+{
+    auto base = cfg();
+    auto slow = cfg();
+    slow.dramLatencyNs = base.dramLatencyNs * 4.0;
+    const auto t = trace();
+    const auto a = simulateTrace(t, base);
+    const auto b = simulateTrace(t, slow);
+    EXPECT_LE(a.cycles, b.cycles);
+}
+
+TEST_P(SimProperty, HigherFrequencySameCyclesLessTime)
+{
+    auto base = cfg();
+    auto fast = cfg();
+    fast.freqGHz = base.freqGHz * 2.0;
+    // DRAM latency in ns converts to more cycles at higher frequency, so
+    // compare a compute trace where memory is warm.
+    const auto t = trace();
+    const auto a = simulateTrace(t, base, /*warmup_passes=*/1);
+    const auto b = simulateTrace(t, fast, /*warmup_passes=*/1);
+    EXPECT_LT(b.timeSec, a.timeSec);
+}
+
+TEST_P(SimProperty, PowerModelIsPhysical)
+{
+    auto r = simulateTrace(trace(), cfg());
+    applyPowerModel(r, PowerParams::forConfig(cfg()));
+    EXPECT_GT(r.powerW, 0.0);
+    EXPECT_GT(r.energyJ, 0.0);
+    EXPECT_NEAR(r.energyJ, r.powerW * r.timeSec, 1e-12 + 1e-6 * r.energyJ);
+}
+
+TEST_P(SimProperty, WarmupNeverSlowsTheMeasuredPass)
+{
+    const auto t = trace();
+    const auto cold = simulateTrace(t, cfg(), /*warmup_passes=*/0);
+    const auto warm = simulateTrace(t, cfg(), /*warmup_passes=*/1);
+    EXPECT_LE(warm.cycles, cold.cycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SimProperty,
+    ::testing::Combine(::testing::Range(0, 7), ::testing::Range(0, 4)),
+    propName);
+
+// ---------------------------------------------------------------------
+// Cross-configuration orderings (not per-shape).
+// ---------------------------------------------------------------------
+
+TEST(SimOrdering, ColdStreamingStaysPhysicallyBounded)
+{
+    // Regression: the DRAM branch of the fill path used to charge the
+    // L2/LLC bandwidth-queue wait twice; under a cold DRAM-saturating
+    // stream, MSHR release times then outran physical time and
+    // completion cycles grew without bound (wrapping 2^64). A cold
+    // streaming pass must stay within a small multiple of the
+    // all-misses-serialized worst case.
+    const int n = 20000;
+    const auto t = buildTrace(Shape::VecStream, n);
+    const auto cfg = primeConfig();
+    const auto cold = simulateTrace(t, cfg, /*warmup_passes=*/0);
+    const uint64_t worst =
+        uint64_t(n) * (cfg.dramLatencyCycles() +
+                       uint64_t(cfg.dramServiceCycles()) + 64);
+    EXPECT_LT(cold.cycles, worst);
+}
+
+TEST(SimOrdering, WarmupConvergesAfterOnePass)
+{
+    // A second warm-up pass must not change the measured result: the
+    // runaway-queue bug showed up as warmup-count-dependent cycles.
+    const auto t = buildTrace(Shape::VecStream, 5000);
+    const auto a = simulateTrace(t, primeConfig(), 1);
+    const auto b = simulateTrace(t, primeConfig(), 2);
+    EXPECT_EQ(a.cycles, b.cycles);
+}
+
+TEST(SimOrdering, InOrderSilverNeverBeatsPrimeOnParallelWork)
+{
+    const auto t = buildTrace(Shape::AluParallel, 600);
+    const auto p = simulateTrace(t, primeConfig());
+    const auto s = simulateTrace(t, silverConfig());
+    EXPECT_LE(p.cycles, s.cycles);
+}
+
+TEST(SimOrdering, MoreVectorUnitsNeverHurtVectorStreams)
+{
+    const auto t = buildTrace(Shape::VecStream, 400);
+    const auto narrow = simulateTrace(t, scalabilityConfig(8, 2));
+    const auto wide = simulateTrace(t, scalabilityConfig(8, 8));
+    EXPECT_LE(wide.cycles, narrow.cycles);
+}
+
+TEST(SimOrdering, ChainIpcBelowParallelIpc)
+{
+    const auto chain =
+        simulateTrace(buildTrace(Shape::AluChain, 500), primeConfig());
+    const auto par =
+        simulateTrace(buildTrace(Shape::AluParallel, 500), primeConfig());
+    EXPECT_LT(chain.ipc, par.ipc);
+}

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Tests for the permutation family: ZIP/UZP/TRN/EXT/REV/TBL/COMBINE.
+ * Includes the algebraic properties the kernels rely on (UZP inverts
+ * interleaving, TRN-based 8x8 transpose is an involution).
+ */
+
+#include <gtest/gtest.h>
+
+#include "simd/simd.hh"
+
+using namespace swan;
+using namespace swan::simd;
+
+namespace
+{
+
+template <typename T, int B = 128>
+Vec<T, B>
+iota(T start = T(0))
+{
+    Vec<T, B> v;
+    for (int i = 0; i < Vec<T, B>::kLanes; ++i)
+        v.lane[size_t(i)] = T(start + T(i));
+    return v;
+}
+
+} // namespace
+
+TEST(SimdPermute, Zip1Zip2)
+{
+    auto a = iota<uint8_t>(0);   // 0..15
+    auto b = iota<uint8_t>(100); // 100..115
+    auto lo = vzip1(a, b);
+    auto hi = vzip2(a, b);
+    EXPECT_EQ(lo[0], 0);
+    EXPECT_EQ(lo[1], 100);
+    EXPECT_EQ(lo[14], 7);
+    EXPECT_EQ(lo[15], 107);
+    EXPECT_EQ(hi[0], 8);
+    EXPECT_EQ(hi[1], 108);
+}
+
+TEST(SimdPermute, UzpInvertsZip)
+{
+    auto a = iota<uint16_t>(0);
+    auto b = iota<uint16_t>(50);
+    auto z1 = vzip1(a, b);
+    auto z2 = vzip2(a, b);
+    auto back_a = vuzp1(z1, z2);
+    auto back_b = vuzp2(z1, z2);
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_EQ(back_a[i], a[i]);
+        EXPECT_EQ(back_b[i], b[i]);
+    }
+}
+
+TEST(SimdPermute, TrnPairs)
+{
+    auto a = iota<uint32_t>(0); // 0 1 2 3
+    auto b = iota<uint32_t>(10);
+    auto t1 = vtrn1(a, b);
+    auto t2 = vtrn2(a, b);
+    EXPECT_EQ(t1[0], 0u);
+    EXPECT_EQ(t1[1], 10u);
+    EXPECT_EQ(t1[2], 2u);
+    EXPECT_EQ(t1[3], 12u);
+    EXPECT_EQ(t2[0], 1u);
+    EXPECT_EQ(t2[1], 11u);
+}
+
+TEST(SimdPermute, ExtConcatenates)
+{
+    auto a = iota<uint8_t>(0);
+    auto b = iota<uint8_t>(100);
+    auto r = vext(a, b, 4);
+    EXPECT_EQ(r[0], 4);
+    EXPECT_EQ(r[11], 15);
+    EXPECT_EQ(r[12], 100);
+    EXPECT_EQ(r[15], 103);
+}
+
+TEST(SimdPermute, Rev64)
+{
+    auto a = iota<uint16_t>(0); // 0..7
+    auto r = vrev64(a);
+    // groups of 4 u16 reversed
+    EXPECT_EQ(r[0], 3);
+    EXPECT_EQ(r[3], 0);
+    EXPECT_EQ(r[4], 7);
+    EXPECT_EQ(r[7], 4);
+}
+
+TEST(SimdPermute, Rev32OnU16RotatesWords)
+{
+    auto a = iota<uint16_t>(0);
+    auto r = vrev32(a);
+    EXPECT_EQ(r[0], 1);
+    EXPECT_EQ(r[1], 0);
+    EXPECT_EQ(r[2], 3);
+    EXPECT_EQ(r[3], 2);
+}
+
+TEST(SimdPermute, Tbl1LooksUpAndZeroesOutOfRange)
+{
+    auto table = iota<uint8_t>(100); // table[i] = 100+i
+    Vec<uint8_t, 128> idx;
+    for (int i = 0; i < 16; ++i)
+        idx.lane[size_t(i)] = uint8_t(i < 8 ? 15 - i : 200);
+    auto r = vqtbl1(table, idx);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(r[i], 100 + 15 - i);
+    for (int i = 8; i < 16; ++i)
+        EXPECT_EQ(r[i], 0); // out of range
+}
+
+TEST(SimdPermute, Tbl2SpansTwoRegisters)
+{
+    auto t0 = iota<uint8_t>(0);
+    auto t1 = iota<uint8_t>(16);
+    Vec<uint8_t, 128> idx;
+    for (int i = 0; i < 16; ++i)
+        idx.lane[size_t(i)] = uint8_t(31 - i);
+    auto r = vqtbl2({t0, t1}, idx);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(r[i], 31 - i);
+}
+
+TEST(SimdPermute, CombineDoublesWidth)
+{
+    auto lo = iota<uint8_t, 128>(0);
+    auto hi = iota<uint8_t, 128>(16);
+    auto w = vcombine(lo, hi);
+    static_assert(decltype(w)::kBytes == 32);
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(w[i], i);
+}
+
+TEST(SimdPermute, AddHalvesReduces)
+{
+    auto w = iota<uint32_t, 256>(0); // 0..7
+    auto h = vadd_halves(w);
+    static_assert(decltype(h)::kBytes == 16);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(h[i], uint32_t(i + (i + 4)));
+}
+
+TEST(SimdPermute, LaneAccess)
+{
+    auto v = iota<int32_t>(5);
+    Sc<int32_t> x = vget_lane(v, 2);
+    EXPECT_EQ(x.v, 7);
+    auto w = vset_lane(v, 0, Sc<int32_t>(99));
+    EXPECT_EQ(w[0], 99);
+    EXPECT_EQ(w[1], 6);
+    auto d = vdup_lane(v, 3);
+    EXPECT_EQ(d[0], 8);
+    EXPECT_EQ(d[3], 8);
+}
+
+TEST(SimdPermute, ReinterpretIsFree)
+{
+    trace::Recorder rec;
+    trace::ScopedRecorder scoped(&rec);
+    auto v = vdup<uint32_t, 128>(0x01020304u);
+    const uint64_t count = rec.count();
+    auto b = vreinterpret<uint8_t>(v);
+    EXPECT_EQ(rec.count(), count); // no instruction emitted
+    EXPECT_EQ(b[0], 0x04);
+    EXPECT_EQ(b[3], 0x01);
+}
+
+TEST(SimdPermute, ZipTaggedForStrideCensus)
+{
+    trace::Recorder rec;
+    trace::ScopedRecorder scoped(&rec);
+    auto a = vdup<uint8_t, 128>(uint8_t(1));
+    (void)vzip1(a, a);
+    (void)vuzp1(a, a);
+    (void)vtrn1(a, a);
+    const auto &instrs = rec.instrs();
+    const size_t n = instrs.size();
+    EXPECT_EQ(instrs[n - 3].stride, trace::StrideKind::Zip);
+    EXPECT_EQ(instrs[n - 2].stride, trace::StrideKind::Uzp);
+    EXPECT_EQ(instrs[n - 1].stride, trace::StrideKind::Trn);
+}

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Tests for the on-disk trace format (trace/serialize.hh): lossless
+ * round-trips over randomized records, streaming TraceFileSink with
+ * header patching, and rejection of malformed files (bad magic, wrong
+ * version, truncation, corrupt enums).
+ */
+
+#include <cstdio>
+#include <unistd.h>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "trace/serialize.hh"
+
+using namespace swan;
+using trace::Instr;
+
+namespace
+{
+
+/** Unique temp path per test; removed on destruction. */
+class TempFile
+{
+  public:
+    explicit TempFile(const std::string &tag)
+        : path_((std::filesystem::temp_directory_path() /
+                 ("swan_trace_" + tag + "_" +
+                  std::to_string(::getpid()) + ".swt"))
+                    .string())
+    {
+    }
+    ~TempFile() { std::remove(path_.c_str()); }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+/** Deterministic pseudo-random instruction record. */
+Instr
+randomInstr(uint64_t seed)
+{
+    auto next = [&seed]() {
+        seed = seed * 6364136223846793005ull + 1442695040888963407ull;
+        return seed;
+    };
+    Instr i;
+    i.id = next() % 100000;
+    i.dep0 = next() % 1000;
+    i.dep1 = next() % 1000;
+    i.dep2 = next() % 1000;
+    i.addr = next();
+    i.addr2 = next();
+    i.size = uint32_t(next() % 256);
+    i.elemStride = int32_t(next() % 64) - 32;
+    i.cls = trace::InstrClass(next() %
+                              uint64_t(trace::InstrClass::NumClasses));
+    i.fu = trace::Fu(next() % uint64_t(trace::Fu::NumFus));
+    i.latency = uint8_t(next() % 32);
+    i.vecBytes = uint8_t(next() % 129);
+    i.lanes = uint8_t(next() % 65);
+    i.activeLanes = uint8_t(next() % 65);
+    i.stride = trace::StrideKind(next() %
+                                 uint64_t(trace::StrideKind::NumKinds));
+    return i;
+}
+
+bool
+sameInstr(const Instr &a, const Instr &b)
+{
+    return a.id == b.id && a.dep0 == b.dep0 && a.dep1 == b.dep1 &&
+           a.dep2 == b.dep2 && a.addr == b.addr && a.addr2 == b.addr2 &&
+           a.size == b.size && a.elemStride == b.elemStride &&
+           a.cls == b.cls && a.fu == b.fu && a.latency == b.latency &&
+           a.vecBytes == b.vecBytes && a.lanes == b.lanes &&
+           a.activeLanes == b.activeLanes && a.stride == b.stride;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Round trips.
+// ---------------------------------------------------------------------
+
+TEST(TraceSerialize, EmptyTraceRoundTrips)
+{
+    TempFile tmp("empty");
+    ASSERT_TRUE(trace::writeTrace(tmp.path(), {}));
+    auto back = trace::readTrace(tmp.path());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_TRUE(back->empty());
+}
+
+TEST(TraceSerialize, SingleRecordRoundTrips)
+{
+    TempFile tmp("one");
+    std::vector<Instr> t{randomInstr(42)};
+    ASSERT_TRUE(trace::writeTrace(tmp.path(), t));
+    auto back = trace::readTrace(tmp.path());
+    ASSERT_TRUE(back.has_value());
+    ASSERT_EQ(back->size(), 1u);
+    EXPECT_TRUE(sameInstr(t[0], (*back)[0]));
+}
+
+class TraceRoundTrip : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(TraceRoundTrip, RandomTraceIsLossless)
+{
+    TempFile tmp("rt" + std::to_string(GetParam()));
+    std::vector<Instr> t;
+    for (uint64_t i = 0; i < 100 + GetParam() * 37; ++i)
+        t.push_back(randomInstr(GetParam() * 1000 + i));
+    ASSERT_TRUE(trace::writeTrace(tmp.path(), t));
+    auto back = trace::readTrace(tmp.path());
+    ASSERT_TRUE(back.has_value());
+    ASSERT_EQ(back->size(), t.size());
+    for (size_t i = 0; i < t.size(); ++i)
+        ASSERT_TRUE(sameInstr(t[i], (*back)[i])) << "record " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceRoundTrip,
+                         ::testing::Values(1u, 2u, 3u, 7u, 19u));
+
+// ---------------------------------------------------------------------
+// Streaming sink.
+// ---------------------------------------------------------------------
+
+TEST(TraceFileSink, StreamsAndPatchesCount)
+{
+    TempFile tmp("sink");
+    std::vector<Instr> t;
+    for (int i = 0; i < 257; ++i)
+        t.push_back(randomInstr(uint64_t(i)));
+    {
+        trace::TraceFileSink sink(tmp.path());
+        ASSERT_TRUE(sink.ok());
+        for (const auto &i : t)
+            sink.onInstr(i);
+        EXPECT_EQ(sink.count(), 257u);
+        EXPECT_TRUE(sink.close());
+    }
+    auto back = trace::readTrace(tmp.path());
+    ASSERT_TRUE(back.has_value());
+    ASSERT_EQ(back->size(), t.size());
+    for (size_t i = 0; i < t.size(); ++i)
+        ASSERT_TRUE(sameInstr(t[i], (*back)[i]));
+}
+
+TEST(TraceFileSink, UnopenableePathReportsNotOk)
+{
+    trace::TraceFileSink sink("/nonexistent_dir_xyz/trace.swt");
+    EXPECT_FALSE(sink.ok());
+    sink.onInstr(randomInstr(1)); // must not crash
+    EXPECT_EQ(sink.count(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Malformed inputs.
+// ---------------------------------------------------------------------
+
+TEST(TraceSerializeErrors, MissingFile)
+{
+    std::string err;
+    auto r = trace::readTrace("/no/such/file.swt", &err);
+    EXPECT_FALSE(r.has_value());
+    EXPECT_NE(err.find("cannot open"), std::string::npos);
+}
+
+TEST(TraceSerializeErrors, BadMagicRejected)
+{
+    TempFile tmp("magic");
+    std::ofstream(tmp.path(), std::ios::binary)
+        << "NOPE this is not a trace file at all................";
+    std::string err;
+    auto r = trace::readTrace(tmp.path(), &err);
+    EXPECT_FALSE(r.has_value());
+    EXPECT_NE(err.find("bad magic"), std::string::npos);
+}
+
+TEST(TraceSerializeErrors, TruncatedHeaderRejected)
+{
+    TempFile tmp("hdr");
+    std::ofstream(tmp.path(), std::ios::binary) << "SWT";
+    std::string err;
+    auto r = trace::readTrace(tmp.path(), &err);
+    EXPECT_FALSE(r.has_value());
+    EXPECT_NE(err.find("truncated header"), std::string::npos);
+}
+
+TEST(TraceSerializeErrors, TruncatedBodyRejected)
+{
+    TempFile tmp("body");
+    std::vector<Instr> t{randomInstr(1), randomInstr(2), randomInstr(3)};
+    ASSERT_TRUE(trace::writeTrace(tmp.path(), t));
+    // Chop the last record in half.
+    std::filesystem::resize_file(
+        tmp.path(), std::filesystem::file_size(tmp.path()) - 32);
+    std::string err;
+    auto r = trace::readTrace(tmp.path(), &err);
+    EXPECT_FALSE(r.has_value());
+    EXPECT_NE(err.find("truncated body"), std::string::npos);
+}
+
+TEST(TraceSerializeErrors, WrongVersionRejected)
+{
+    TempFile tmp("ver");
+    ASSERT_TRUE(trace::writeTrace(tmp.path(), {randomInstr(1)}));
+    // Bump the version field (offset 4).
+    std::fstream f(tmp.path(),
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(4);
+    uint32_t v = trace::kTraceFormatVersion + 1;
+    f.write(reinterpret_cast<const char *>(&v), 4);
+    f.close();
+    std::string err;
+    auto r = trace::readTrace(tmp.path(), &err);
+    EXPECT_FALSE(r.has_value());
+    EXPECT_NE(err.find("unsupported trace version"), std::string::npos);
+}
+
+TEST(TraceSerializeErrors, CorruptEnumRejected)
+{
+    TempFile tmp("enum");
+    ASSERT_TRUE(trace::writeTrace(tmp.path(), {randomInstr(1)}));
+    // The InstrClass byte lives at header(16) + offset 56 in the record.
+    std::fstream f(tmp.path(),
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(16 + 56);
+    char bad = 127;
+    f.write(&bad, 1);
+    f.close();
+    std::string err;
+    auto r = trace::readTrace(tmp.path(), &err);
+    EXPECT_FALSE(r.has_value());
+    EXPECT_NE(err.find("corrupt record"), std::string::npos);
+}

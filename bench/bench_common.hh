@@ -7,6 +7,7 @@
 #define SWAN_BENCH_BENCH_COMMON_HH
 
 #include <algorithm>
+#include <cstdlib>
 #include <iostream>
 #include <map>
 #include <string>
@@ -17,9 +18,53 @@
 #include "core/report.hh"
 #include "core/runner.hh"
 #include "sim/configs.hh"
+#include "sweep/emit.hh"
+#include "sweep/scheduler.hh"
 
 namespace swan::bench
 {
+
+/** Sweep worker threads: SWAN_JOBS, defaulting to 1 (deterministic
+ *  output either way; see sweep/scheduler.hh). */
+inline int
+jobsFromEnv()
+{
+    const char *v = std::getenv("SWAN_JOBS");
+    if (!v || !*v)
+        return 1;
+    const int n = std::atoi(v);
+    return n > 0 ? n : 1;
+}
+
+/**
+ * Run a sweep grid for a bench binary: results come through the shared
+ * engine and result cache (SWAN_SWEEP_CACHE_DIR enables the on-disk
+ * tier, so identical points are shared across bench binaries and
+ * reruns). Prints the cache summary to stderr, keeping stdout
+ * byte-comparable between cold and warm runs. Exits on a bad grid.
+ */
+inline std::vector<sweep::SweepResult>
+runBenchSweep(const sweep::SweepSpec &spec, const char *who)
+{
+    sweep::ResultCache cache = sweep::ResultCache::fromEnv();
+    sweep::SchedulerConfig sc;
+    sc.jobs = jobsFromEnv();
+    sc.cache = &cache;
+    std::string err;
+    std::vector<sweep::SweepResult> results;
+    try {
+        results = sweep::runSweep(spec, sc, &err);
+    } catch (const std::exception &e) {
+        err = e.what();
+    }
+    if (results.empty()) {
+        std::cerr << who << ": " << err << "\n";
+        std::exit(1);
+    }
+    std::cerr << who << ": " << sweep::cacheSummary(cache.stats())
+              << "\n";
+    return results;
+}
 
 /** Headline kernels (the paper's 59; DES-style study kernels excluded). */
 inline std::vector<const core::KernelSpec *>

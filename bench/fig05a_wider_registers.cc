@@ -4,6 +4,11 @@
  * vector registers (128/256/512/1024 bits) for the eight representative
  * kernels, plus the SIMD lane utilization that explains the plateaus
  * (Section 7.1). Speedups are relative to the 128-bit implementation.
+ *
+ * The kernel x width grid runs through the sweep engine (src/sweep/):
+ * SWAN_JOBS parallelizes the points and SWAN_SWEEP_CACHE_DIR shares
+ * results with other benches and reruns; this file only formats the
+ * figure from the deterministic result stream.
  */
 
 #include "bench_common.hh"
@@ -13,8 +18,15 @@ using namespace swan;
 int
 main()
 {
-    core::Runner runner(bench::scalabilityOptions());
     const int widths[4] = {128, 256, 512, 1024};
+
+    sweep::SweepSpec spec;
+    spec.kernels.widerOnly = true;
+    spec.impls = {core::Impl::Neon};
+    spec.vecBits.assign(std::begin(widths), std::end(widths));
+    spec.configs = {"wider"};
+    spec.workingSets = {"scalability"};
+    const auto results = bench::runBenchSweep(spec, "fig05a");
 
     core::banner(std::cout,
                  "Figure 5(a): speedup vs 128-bit with wider vector "
@@ -22,26 +34,22 @@ main()
     core::Table t({"Kernel", "128-bit", "256-bit", "512-bit",
                    "1024-bit"});
 
-    for (const auto *spec : bench::headlineKernels()) {
-        if (!spec->info.widerWidths)
+    for (const auto *k : bench::headlineKernels()) {
+        if (!k->info.widerWidths)
             continue;
-        std::vector<std::string> row = {spec->info.qualifiedName()};
-        uint64_t base_cycles = 0;
-        for (int wi = 0; wi < 4; ++wi) {
-            auto w = spec->make(runner.options());
-            auto instrs = core::Runner::capture(*w, core::Impl::Neon,
-                                                widths[wi]);
-            trace::MixStats mix;
-            mix.addTrace(instrs);
-            auto cfg = sim::widerVectorConfig(widths[wi]);
-            auto res = sim::simulateTrace(instrs, cfg);
-            if (wi == 0)
-                base_cycles = res.cycles;
-            const double speedup =
-                double(base_cycles) / double(res.cycles);
-            row.push_back(core::fmtX(speedup) + " (" +
-                          core::fmtPct(100.0 * mix.laneUtilization(), 0) +
-                          ")");
+        const auto qn = k->info.qualifiedName();
+        const auto *base =
+            sweep::findResult(results, qn, core::Impl::Neon, 128);
+        std::vector<std::string> row = {qn};
+        for (int bits : widths) {
+            const auto *r =
+                sweep::findResult(results, qn, core::Impl::Neon, bits);
+            const double speedup = double(base->run.sim.cycles) /
+                                   double(r->run.sim.cycles);
+            row.push_back(
+                core::fmtX(speedup) + " (" +
+                core::fmtPct(100.0 * r->run.mix.laneUtilization(), 0) +
+                ")");
         }
         t.addRow(row);
     }

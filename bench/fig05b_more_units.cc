@@ -4,6 +4,11 @@
  * 128-bit ASIMD execution units (V) and wider decode/commit (W) on the
  * eight representative kernels: 4W-2V (baseline) through 8W-8V.
  * Speedups are relative to the 4W-2V Cortex-A76 baseline.
+ *
+ * The kernel x core-config grid runs through the sweep engine, which
+ * captures each kernel's trace once and replays it per configuration
+ * (the trace memo), parallelizes over SWAN_JOBS, and shares results
+ * through the sweep cache.
  */
 
 #include "bench_common.hh"
@@ -13,33 +18,38 @@ using namespace swan;
 int
 main()
 {
-    core::Runner runner(bench::scalabilityOptions());
-    const std::pair<int, int> configs[] = {{4, 2}, {4, 4}, {4, 6},
-                                           {6, 6}, {4, 8}, {8, 8}};
+    const std::vector<std::string> configs = {"4W-2V", "4W-4V", "4W-6V",
+                                              "6W-6V", "4W-8V", "8W-8V"};
+
+    sweep::SweepSpec spec;
+    spec.kernels.widerOnly = true;
+    spec.impls = {core::Impl::Neon};
+    spec.vecBits = {128};
+    spec.configs = configs;
+    spec.workingSets = {"scalability"};
+    const auto results = bench::runBenchSweep(spec, "fig05b");
 
     core::banner(std::cout,
                  "Figure 5(b): speedup vs 4W-2V with more ASIMD units "
                  "and wider decode");
     std::vector<std::string> headers = {"Kernel"};
-    for (auto [w, v] : configs)
-        headers.push_back(std::to_string(w) + "W-" + std::to_string(v) +
-                          "V");
+    for (const auto &c : configs)
+        headers.push_back(c);
     core::Table t(headers);
 
-    for (const auto *spec : bench::headlineKernels()) {
-        if (!spec->info.widerWidths)
+    for (const auto *k : bench::headlineKernels()) {
+        if (!k->info.widerWidths)
             continue;
-        auto w = spec->make(runner.options());
-        auto instrs = core::Runner::capture(*w, core::Impl::Neon, 128);
-        std::vector<std::string> row = {spec->info.qualifiedName()};
-        uint64_t base_cycles = 0;
-        for (auto [ways, vunits] : configs) {
-            auto cfg = sim::scalabilityConfig(ways, vunits);
-            auto res = sim::simulateTrace(instrs, cfg);
-            if (base_cycles == 0)
-                base_cycles = res.cycles;
-            row.push_back(core::fmtX(double(base_cycles) /
-                                     double(res.cycles)));
+        const auto qn = k->info.qualifiedName();
+        const auto *base = sweep::findResult(results, qn,
+                                             core::Impl::Neon, 128,
+                                             configs.front());
+        std::vector<std::string> row = {qn};
+        for (const auto &c : configs) {
+            const auto *r =
+                sweep::findResult(results, qn, core::Impl::Neon, 128, c);
+            row.push_back(core::fmtX(double(base->run.sim.cycles) /
+                                     double(r->run.sim.cycles)));
         }
         t.addRow(row);
     }

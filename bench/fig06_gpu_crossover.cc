@@ -39,7 +39,7 @@ neonTimeSec(core::Workload &w, const sim::CoreConfig &cfg)
 }
 
 void
-sweep(bool sparse, const std::vector<int> &dims)
+sweepGemmSizes(bool sparse, const std::vector<int> &dims)
 {
     const auto cfg = sim::primeConfig();
     core::Table t({"MACs", "Neon (ms)", "GPU (ms)",
@@ -69,11 +69,11 @@ int
 main()
 {
     core::banner(std::cout, "Figure 6(a): GEMM — Neon vs GPU");
-    sweep(false, {58, 93, 144, 200, 235});
+    sweepGemmSizes(false, {58, 93, 144, 200, 235});
 
     core::banner(std::cout, "Figure 6(b): SpMM (80% sparse) — Neon vs "
                             "GPU");
-    sweep(true, {50, 97, 153, 210, 247});
+    sweepGemmSizes(true, {50, 97, 153, 210, 247});
 
     std::cout << "\nPaper anchor: the crossover where the GPU starts "
                  "winning sits near 4M FP32 MAC operations for both "

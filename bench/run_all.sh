@@ -1,0 +1,45 @@
+#!/usr/bin/env sh
+# Drive the per-figure bench binaries and a set of swan_cli sweep grids
+# through the shared sweep engine. A common on-disk result cache means
+# experiment points computed by one bench are served to every later one
+# without re-simulation; run it twice and the second pass is all hits.
+#
+# Usage: bench/run_all.sh [BUILD_DIR]   (default: build)
+set -eu
+
+BUILD_DIR=${1:-build}
+JOBS=${SWAN_JOBS:-$(nproc 2>/dev/null || echo 2)}
+CACHE_DIR=${SWAN_SWEEP_CACHE_DIR:-$BUILD_DIR/.sweep-cache}
+
+if [ ! -x "$BUILD_DIR/swan" ]; then
+    echo "run_all.sh: $BUILD_DIR/swan not found; build first:" >&2
+    echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+    exit 1
+fi
+
+export SWAN_JOBS="$JOBS"
+export SWAN_SWEEP_CACHE_DIR="$CACHE_DIR"
+echo "== sweep cache: $CACHE_DIR, jobs: $JOBS =="
+
+echo "== swan sweep: headline kernels, Scalar vs Neon, prime =="
+"$BUILD_DIR/swan" sweep --impls scalar,neon --cores prime \
+    --jobs "$JOBS" --format table
+
+echo "== swan sweep: Figure-5 kernels across widths (CSV) =="
+"$BUILD_DIR/swan" sweep --wider --bits 128,256,512,1024 --cores wider \
+    --ws scalability --jobs "$JOBS" --format csv
+
+echo "== swan sweep: Figure-5 kernels across core scaling (JSONL) =="
+"$BUILD_DIR/swan" sweep --wider --cores 4W-2V,4W-4V,4W-6V,6W-6V,4W-8V,8W-8V \
+    --ws scalability --jobs "$JOBS" --format jsonl
+
+echo "== fig05a_wider_registers =="
+"$BUILD_DIR/fig05a_wider_registers"
+
+echo "== fig05b_more_units =="
+"$BUILD_DIR/fig05b_more_units"
+
+echo "== tab06_strided =="
+"$BUILD_DIR/tab06_strided"
+
+echo "== done =="

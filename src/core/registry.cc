@@ -1,6 +1,8 @@
 #include "core/registry.hh"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 
 namespace swan::core
 {
@@ -15,12 +17,27 @@ Registry::instance()
 void
 Registry::add(KernelSpec spec)
 {
+    if (registrationClosed()) {
+        std::fprintf(stderr,
+                     "swan: kernel '%s' registered after the registry "
+                     "was closed (a sweep already started); register "
+                     "kernels in static initializers only\n",
+                     spec.info.qualifiedName().c_str());
+        std::abort();
+    }
     kernels_.push_back(std::move(spec));
 }
 
 void
 Registry::addLibrary(LibraryUsage usage)
 {
+    if (registrationClosed()) {
+        std::fprintf(stderr,
+                     "swan: library '%s' registered after the registry "
+                     "was closed (a sweep already started)\n",
+                     usage.library.c_str());
+        std::abort();
+    }
     libs_.push_back(std::move(usage));
 }
 

@@ -9,6 +9,7 @@
 #ifndef SWAN_CORE_REGISTRY_HH
 #define SWAN_CORE_REGISTRY_HH
 
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -31,14 +32,36 @@ struct LibraryUsage
     double chromiumAvgPct = 0.0;
 };
 
-/** Singleton registry of all kernels and library metadata. */
+/**
+ * Singleton registry of all kernels and library metadata.
+ *
+ * Thread-safety contract: registration happens exclusively in static
+ * initializers (SWAN_REGISTER_KERNEL at namespace scope), i.e. on one
+ * thread before main() runs — add() takes no lock. kernels() and
+ * find() hand out references into the backing vector, so the vector
+ * must never reallocate while readers exist. The sweep scheduler
+ * enforces this registration-before-run invariant by calling
+ * closeRegistration() before its worker threads start; any add() after
+ * that point aborts with a diagnostic.
+ */
 class Registry
 {
   public:
     static Registry &instance();
 
+    /** Append a kernel. Aborts if registration has been closed. */
     void add(KernelSpec spec);
     void addLibrary(LibraryUsage usage);
+
+    /**
+     * Freeze the registry: concurrent readers may now hold references
+     * into kernels() safely. Idempotent; there is no reopen.
+     */
+    void closeRegistration() { closed_.store(true, std::memory_order_release); }
+    bool registrationClosed() const
+    {
+        return closed_.load(std::memory_order_acquire);
+    }
 
     const std::vector<KernelSpec> &kernels() const { return kernels_; }
     const std::vector<LibraryUsage> &libraries() const { return libs_; }
@@ -54,6 +77,7 @@ class Registry
 
   private:
     Registry() = default;
+    std::atomic<bool> closed_{false};
     std::vector<KernelSpec> kernels_;
     std::vector<LibraryUsage> libs_;
 };

@@ -1,0 +1,379 @@
+#include "sweep/cache.hh"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace swan::sweep
+{
+
+namespace
+{
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+struct Fnv
+{
+    uint64_t h = kFnvOffset;
+
+    void
+    bytes(const void *p, size_t n)
+    {
+        const auto *b = static_cast<const unsigned char *>(p);
+        for (size_t i = 0; i < n; ++i) {
+            h ^= b[i];
+            h *= kFnvPrime;
+        }
+    }
+    void u64(uint64_t v) { bytes(&v, sizeof v); }
+    void i32(int32_t v) { bytes(&v, sizeof v); }
+    void f64(double v) { bytes(&v, sizeof v); }
+    void b(bool v) { u64(v ? 1 : 0); }
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        bytes(s.data(), s.size());
+    }
+};
+
+void
+hashCache(Fnv &f, const sim::CacheConfig &c)
+{
+    f.i32(c.sizeBytes);
+    f.i32(c.ways);
+    f.i32(c.lineBytes);
+    f.i32(c.latency);
+    f.b(c.nextLinePrefetch);
+}
+
+/** v1 on-disk entry format version. */
+constexpr const char *kMagic = "swan-sweep-result v1";
+
+std::string
+hex64(uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+/** Doubles round-trip bit-exactly as hexfloat. */
+std::string
+f64str(double v)
+{
+    std::ostringstream os;
+    os << std::hexfloat << v;
+    return os.str();
+}
+
+} // namespace
+
+uint64_t
+fingerprint(const sim::CoreConfig &cfg)
+{
+    Fnv f;
+    f.str(cfg.name);
+    f.f64(cfg.freqGHz);
+    f.b(cfg.outOfOrder);
+    f.i32(cfg.robSize);
+    f.i32(cfg.decodeWidth);
+    f.i32(cfg.issueWidth);
+    f.i32(cfg.commitWidth);
+    f.i32(cfg.vecBits);
+    for (int n : cfg.fuCount)
+        f.i32(n);
+    f.i32(cfg.mshrs);
+    hashCache(f, cfg.l1d);
+    hashCache(f, cfg.l2);
+    hashCache(f, cfg.llc);
+    f.f64(cfg.dramLatencyNs);
+    f.f64(cfg.dramGBs);
+    f.f64(cfg.l2ServiceCycles);
+    f.f64(cfg.llcServiceCycles);
+    f.f64(cfg.branchMispredictRate);
+    f.i32(cfg.branchPenalty);
+    f.i32(cfg.lsuCrackPerCycle);
+    return f.h;
+}
+
+uint64_t
+fingerprint(const core::Options &opts)
+{
+    Fnv f;
+    f.i32(opts.imageWidth);
+    f.i32(opts.imageHeight);
+    f.i32(opts.audioSamples);
+    f.i32(opts.audioFrame);
+    f.i32(opts.bufferBytes);
+    f.i32(opts.gemmM);
+    f.i32(opts.gemmN);
+    f.i32(opts.gemmK);
+    f.f64(opts.spmmSparsity);
+    f.i32(opts.videoBlocks);
+    f.u64(opts.seed);
+    return f.h;
+}
+
+uint64_t
+CacheKey::hash() const
+{
+    Fnv f;
+    f.str(kernel);
+    f.i32(int(impl));
+    f.i32(vecBits);
+    f.u64(configFp);
+    f.u64(optionsFp);
+    f.i32(warmupPasses);
+    return f.h;
+}
+
+std::string
+CacheKey::hex() const
+{
+    return hex64(hash());
+}
+
+CacheKey
+keyFor(const SweepPoint &point, int warmup_passes)
+{
+    CacheKey k;
+    k.kernel = point.spec->info.qualifiedName();
+    k.impl = point.impl;
+    k.vecBits = point.vecBits;
+    k.configFp = fingerprint(point.config);
+    k.optionsFp = fingerprint(point.options);
+    k.warmupPasses = warmup_passes;
+    return k;
+}
+
+ResultCache::ResultCache(std::string disk_dir) : diskDir_(std::move(disk_dir))
+{
+    if (!diskDir_.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(diskDir_, ec);
+        if (ec)
+            diskDir_.clear(); // unusable directory: memory-only
+    }
+}
+
+std::string
+ResultCache::envDiskDir()
+{
+    const char *v = std::getenv("SWAN_SWEEP_CACHE_DIR");
+    return v ? std::string(v) : std::string();
+}
+
+bool
+ResultCache::lookup(const CacheKey &key, core::KernelRun *out)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = map_.find(key);
+        if (it != map_.end()) {
+            *out = it->second;
+            ++stats_.hits;
+            return true;
+        }
+    }
+    if (!diskDir_.empty() && loadDisk(key, out)) {
+        std::lock_guard<std::mutex> lock(mu_);
+        map_.emplace(key, *out);
+        ++stats_.diskHits;
+        return true;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.misses;
+    return false;
+}
+
+void
+ResultCache::store(const CacheKey &key, const core::KernelRun &run)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        map_.insert_or_assign(key, run);
+        ++stats_.stores;
+    }
+    if (!diskDir_.empty())
+        storeDisk(key, run);
+}
+
+CacheStats
+ResultCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+void
+ResultCache::resetStats()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = CacheStats{};
+}
+
+bool
+ResultCache::loadDisk(const CacheKey &key, core::KernelRun *out)
+{
+    const auto path =
+        std::filesystem::path(diskDir_) / (key.hex() + ".swr");
+    std::ifstream in(path);
+    if (!in)
+        return false;
+
+    std::string line;
+    if (!std::getline(in, line) || line != kMagic)
+        return false;
+
+    core::KernelRun run;
+    CacheKey seen;
+    std::vector<uint64_t> mixFlat;
+    bool haveMix = false;
+    while (std::getline(in, line)) {
+        std::istringstream ls(line);
+        std::string tag;
+        if (!(ls >> tag))
+            continue;
+        auto &s = run.sim;
+        const auto rd = [&ls](auto &field) { ls >> field; };
+        // istream extraction does not accept hexfloat; go via strtod.
+        const auto rdf = [&ls](double &field) {
+            std::string tok;
+            if (ls >> tok)
+                field = std::strtod(tok.c_str(), nullptr);
+        };
+        if (tag == "kernel")
+            rd(seen.kernel);
+        else if (tag == "impl") {
+            int v = -1;
+            ls >> v;
+            seen.impl = core::Impl(v);
+        } else if (tag == "vec_bits")
+            rd(seen.vecBits);
+        else if (tag == "config_fp")
+            ls >> std::hex >> seen.configFp >> std::dec;
+        else if (tag == "options_fp")
+            ls >> std::hex >> seen.optionsFp >> std::dec;
+        else if (tag == "warmup")
+            rd(seen.warmupPasses);
+        else if (tag == "sim.config")
+            rd(s.config);
+        else if (tag == "sim.instrs")
+            rd(s.instrs);
+        else if (tag == "sim.cycles")
+            rd(s.cycles);
+        else if (tag == "sim.ipc")
+            rdf(s.ipc);
+        else if (tag == "sim.time_sec")
+            rdf(s.timeSec);
+        else if (tag == "sim.l1_mpki")
+            rdf(s.l1Mpki);
+        else if (tag == "sim.l2_mpki")
+            rdf(s.l2Mpki);
+        else if (tag == "sim.llc_mpki")
+            rdf(s.llcMpki);
+        else if (tag == "sim.l1_hit_rate")
+            rdf(s.l1HitRate);
+        else if (tag == "sim.fe_stall_pct")
+            rdf(s.feStallPct);
+        else if (tag == "sim.be_stall_pct")
+            rdf(s.beStallPct);
+        else if (tag == "sim.dram_reads")
+            rd(s.dramReads);
+        else if (tag == "sim.dram_writes")
+            rd(s.dramWrites);
+        else if (tag == "sim.dram_per_kcycle")
+            rdf(s.dramAccessPerKCycle);
+        else if (tag == "sim.by_class") {
+            for (auto &v : s.byClass)
+                ls >> v;
+        } else if (tag == "sim.vec_bytes")
+            rd(s.vecBytes);
+        else if (tag == "sim.l1_accesses")
+            rd(s.l1Accesses);
+        else if (tag == "sim.l2_accesses")
+            rd(s.l2Accesses);
+        else if (tag == "sim.llc_accesses")
+            rd(s.llcAccesses);
+        else if (tag == "sim.energy_j")
+            rdf(s.energyJ);
+        else if (tag == "sim.power_w")
+            rdf(s.powerW);
+        else if (tag == "mix") {
+            uint64_t v;
+            while (ls >> v)
+                mixFlat.push_back(v);
+            haveMix = true;
+        }
+    }
+    // A hash collision or stale entry must read as a miss.
+    if (!(seen == key) || !haveMix)
+        return false;
+    if (!trace::MixStats::fromCounters(mixFlat, &run.mix))
+        return false;
+    *out = run;
+    return true;
+}
+
+void
+ResultCache::storeDisk(const CacheKey &key, const core::KernelRun &run)
+{
+    const auto dir = std::filesystem::path(diskDir_);
+    const auto path = dir / (key.hex() + ".swr");
+    // Write-then-rename so concurrent readers never see a torn entry.
+    const auto tmp = dir / (key.hex() + ".tmp");
+    {
+        std::ofstream os(tmp, std::ios::trunc);
+        if (!os)
+            return;
+        const auto &s = run.sim;
+        os << kMagic << "\n"
+           << "kernel " << key.kernel << "\n"
+           << "impl " << int(key.impl) << "\n"
+           << "vec_bits " << key.vecBits << "\n"
+           << "config_fp " << hex64(key.configFp) << "\n"
+           << "options_fp " << hex64(key.optionsFp) << "\n"
+           << "warmup " << key.warmupPasses << "\n"
+           << "sim.config " << s.config << "\n"
+           << "sim.instrs " << s.instrs << "\n"
+           << "sim.cycles " << s.cycles << "\n"
+           << "sim.ipc " << f64str(s.ipc) << "\n"
+           << "sim.time_sec " << f64str(s.timeSec) << "\n"
+           << "sim.l1_mpki " << f64str(s.l1Mpki) << "\n"
+           << "sim.l2_mpki " << f64str(s.l2Mpki) << "\n"
+           << "sim.llc_mpki " << f64str(s.llcMpki) << "\n"
+           << "sim.l1_hit_rate " << f64str(s.l1HitRate) << "\n"
+           << "sim.fe_stall_pct " << f64str(s.feStallPct) << "\n"
+           << "sim.be_stall_pct " << f64str(s.beStallPct) << "\n"
+           << "sim.dram_reads " << s.dramReads << "\n"
+           << "sim.dram_writes " << s.dramWrites << "\n"
+           << "sim.dram_per_kcycle " << f64str(s.dramAccessPerKCycle)
+           << "\n";
+        os << "sim.by_class";
+        for (auto v : s.byClass)
+            os << " " << v;
+        os << "\n"
+           << "sim.vec_bytes " << s.vecBytes << "\n"
+           << "sim.l1_accesses " << s.l1Accesses << "\n"
+           << "sim.l2_accesses " << s.l2Accesses << "\n"
+           << "sim.llc_accesses " << s.llcAccesses << "\n"
+           << "sim.energy_j " << f64str(s.energyJ) << "\n"
+           << "sim.power_w " << f64str(s.powerW) << "\n";
+        os << "mix";
+        for (auto v : run.mix.counters())
+            os << " " << v;
+        os << "\n";
+        if (!os)
+            return;
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec)
+        std::filesystem::remove(tmp, ec);
+}
+
+} // namespace swan::sweep

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Sweep result cache. An experiment point is keyed by (kernel
+ * qualified name, implementation, vector width, core-config
+ * fingerprint, working-set fingerprint, warm-up passes), and a
+ * finished KernelRun is served to any later point with the same key
+ * without re-simulation — across benches in one process (in-memory
+ * tier) and across processes (optional on-disk tier, enabled by a
+ * cache directory, e.g. SWAN_SWEEP_CACHE_DIR). Hit/miss counters are
+ * surfaced in sweep reports.
+ *
+ * Precision of the contract: capture and simulation are deterministic
+ * given the key *and* the process's heap layout at capture time —
+ * traces carry real buffer addresses and the cache models are
+ * address-sensitive. The scheduler serializes captures so the layout
+ * is a pure function of which captures run and in what order; a
+ * partially warm cache therefore changes the layout seen by the
+ * remaining points, which can shift their absolute cycle counts by
+ * ~0.1% relative to a fully cold run. Every stored result is a valid
+ * simulation of its point; byte-identity is guaranteed across --jobs
+ * values, across reruns of the same command against the same cache
+ * state, and between a cold run and a fully warm replay of it.
+ */
+
+#ifndef SWAN_SWEEP_CACHE_HH
+#define SWAN_SWEEP_CACHE_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/runner.hh"
+#include "sweep/grid.hh"
+
+namespace swan::sweep
+{
+
+/** Order-sensitive FNV-1a fingerprint of every timing-relevant field. */
+uint64_t fingerprint(const sim::CoreConfig &cfg);
+uint64_t fingerprint(const core::Options &opts);
+
+/** Identity of one experiment point's result. */
+struct CacheKey
+{
+    std::string kernel;     //!< qualified name, e.g. "ZL/adler32"
+    core::Impl impl = core::Impl::Neon;
+    int vecBits = 128;
+    uint64_t configFp = 0;
+    uint64_t optionsFp = 0;
+    int warmupPasses = 1;
+
+    bool operator==(const CacheKey &o) const
+    {
+        return kernel == o.kernel && impl == o.impl &&
+               vecBits == o.vecBits && configFp == o.configFp &&
+               optionsFp == o.optionsFp && warmupPasses == o.warmupPasses;
+    }
+
+    uint64_t hash() const;
+    /** 16-hex-digit form of hash(); the on-disk file stem. */
+    std::string hex() const;
+};
+
+CacheKey keyFor(const SweepPoint &point, int warmup_passes);
+
+/** Aggregate counters for one cache over its lifetime. */
+struct CacheStats
+{
+    uint64_t hits = 0;       //!< served from the in-process map
+    uint64_t diskHits = 0;   //!< served from the on-disk tier
+    uint64_t misses = 0;     //!< absent everywhere; caller simulates
+    uint64_t stores = 0;     //!< results inserted
+
+    uint64_t total() const { return hits + diskHits + misses; }
+};
+
+/**
+ * Two-tier result cache: a mutex-guarded in-process map, plus an
+ * optional on-disk tier of one small versioned text file per key.
+ * Disk entries are validated against the full key (not just its hash)
+ * and ignored on any mismatch or parse error, so a stale or corrupt
+ * cache directory degrades to a miss, never to a wrong result.
+ */
+class ResultCache
+{
+  public:
+    /** @param disk_dir On-disk tier directory; empty = memory only. */
+    explicit ResultCache(std::string disk_dir = {});
+
+    /** SWAN_SWEEP_CACHE_DIR, or empty when unset. */
+    static std::string envDiskDir();
+
+    /** Memory-only unless SWAN_SWEEP_CACHE_DIR names a directory. */
+    static ResultCache fromEnv() { return ResultCache(envDiskDir()); }
+
+    bool lookup(const CacheKey &key, core::KernelRun *out);
+    void store(const CacheKey &key, const core::KernelRun &run);
+
+    const std::string &diskDir() const { return diskDir_; }
+    CacheStats stats() const;
+    void resetStats();
+
+  private:
+    struct KeyHash
+    {
+        size_t operator()(const CacheKey &k) const { return k.hash(); }
+    };
+
+    bool loadDisk(const CacheKey &key, core::KernelRun *out);
+    void storeDisk(const CacheKey &key, const core::KernelRun &run);
+
+    std::string diskDir_;
+    mutable std::mutex mu_;
+    std::unordered_map<CacheKey, core::KernelRun, KeyHash> map_;
+    CacheStats stats_;
+};
+
+} // namespace swan::sweep
+
+#endif // SWAN_SWEEP_CACHE_HH

@@ -1,0 +1,153 @@
+#include "sweep/emit.hh"
+
+#include <ostream>
+
+#include "core/report.hh"
+
+namespace swan::sweep
+{
+
+namespace
+{
+
+/**
+ * The shared row schema. Every emitter renders exactly these columns,
+ * so switching --format never changes which data is reported.
+ */
+const std::vector<std::string> &
+columns()
+{
+    static const std::vector<std::string> cols = {
+        "kernel", "impl",    "bits",     "core",    "ws",
+        "instrs", "cycles",  "ipc",      "time_us", "l1_mpki",
+        "llc_mpki", "power_w", "energy_mj"};
+    return cols;
+}
+
+std::vector<std::string>
+cells(const SweepResult &r)
+{
+    const auto &s = r.run.sim;
+    return {r.point.spec->info.qualifiedName(),
+            std::string(core::name(r.point.impl)),
+            std::to_string(r.point.vecBits),
+            r.point.configName,
+            r.point.workingSetName,
+            std::to_string(r.run.mix.total()),
+            std::to_string(s.cycles),
+            core::fmt(s.ipc, 3),
+            core::fmt(s.timeSec * 1e6, 2),
+            core::fmt(s.l1Mpki, 2),
+            core::fmt(s.llcMpki, 2),
+            core::fmt(s.powerW, 3),
+            core::fmt(s.energyJ * 1e3, 4)};
+}
+
+class TableEmitter : public Emitter
+{
+  public:
+    TableEmitter() : table_(columns()) {}
+
+    void point(std::ostream &, const SweepResult &r) override
+    {
+        table_.addRow(cells(r));
+    }
+    void end(std::ostream &os) override { table_.print(os); }
+
+  private:
+    core::Table table_;
+};
+
+class CsvEmitter : public Emitter
+{
+  public:
+    void
+    begin(std::ostream &os) override
+    {
+        writeRow(os, columns());
+    }
+    void
+    point(std::ostream &os, const SweepResult &r) override
+    {
+        writeRow(os, cells(r));
+    }
+
+  private:
+    static void
+    writeRow(std::ostream &os, const std::vector<std::string> &row)
+    {
+        for (size_t i = 0; i < row.size(); ++i)
+            os << (i ? "," : "") << row[i];
+        os << "\n";
+    }
+};
+
+class JsonLinesEmitter : public Emitter
+{
+  public:
+    void
+    point(std::ostream &os, const SweepResult &r) override
+    {
+        const auto &cols = columns();
+        const auto vals = cells(r);
+        os << "{";
+        for (size_t i = 0; i < cols.size(); ++i) {
+            os << (i ? "," : "") << "\"" << cols[i] << "\":";
+            // The first five columns are identifiers; the rest numeric.
+            if (i < 5)
+                os << "\"" << vals[i] << "\"";
+            else
+                os << vals[i];
+        }
+        os << "}\n";
+    }
+};
+
+} // namespace
+
+bool
+formatForName(const std::string &name, Format *out)
+{
+    if (name == "table")
+        *out = Format::Table;
+    else if (name == "csv")
+        *out = Format::Csv;
+    else if (name == "jsonl")
+        *out = Format::JsonLines;
+    else
+        return false;
+    return true;
+}
+
+std::unique_ptr<Emitter>
+makeEmitter(Format format)
+{
+    switch (format) {
+      case Format::Csv: return std::make_unique<CsvEmitter>();
+      case Format::JsonLines: return std::make_unique<JsonLinesEmitter>();
+      case Format::Table:
+      default: return std::make_unique<TableEmitter>();
+    }
+}
+
+void
+emitResults(std::ostream &os, const std::vector<SweepResult> &results,
+            Format format)
+{
+    auto emitter = makeEmitter(format);
+    emitter->begin(os);
+    for (const auto &r : results)
+        emitter->point(os, r);
+    emitter->end(os);
+}
+
+std::string
+cacheSummary(const CacheStats &stats)
+{
+    return "cache: " + std::to_string(stats.hits) + " memory hits, " +
+           std::to_string(stats.diskHits) + " disk hits, " +
+           std::to_string(stats.misses) + " misses, " +
+           std::to_string(stats.stores) + " stored";
+}
+
+} // namespace swan::sweep

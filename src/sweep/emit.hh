@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Pluggable sweep-report emitters. One SweepResult stream feeds three
+ * formats: the existing core::Table console text, CSV (header + one
+ * row per point) and JSON-lines (one object per point). Emitters see
+ * results in point-index order, so every format is byte-stable across
+ * thread counts. The cache summary goes through a separate call so
+ * callers can route it to a diagnostic stream and keep the data stream
+ * comparable between cold and warm runs.
+ */
+
+#ifndef SWAN_SWEEP_EMIT_HH
+#define SWAN_SWEEP_EMIT_HH
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sweep/scheduler.hh"
+
+namespace swan::sweep
+{
+
+/** Report formats. */
+enum class Format
+{
+    Table,
+    Csv,
+    JsonLines,
+};
+
+/** Parse "table" / "csv" / "jsonl"; false on anything else. */
+bool formatForName(const std::string &name, Format *out);
+
+/** Streaming report sink. */
+class Emitter
+{
+  public:
+    virtual ~Emitter() = default;
+
+    virtual void begin(std::ostream &os) { (void)os; }
+    virtual void point(std::ostream &os, const SweepResult &r) = 0;
+    virtual void end(std::ostream &os) { (void)os; }
+};
+
+std::unique_ptr<Emitter> makeEmitter(Format format);
+
+/** begin + every point in index order + end. */
+void emitResults(std::ostream &os, const std::vector<SweepResult> &results,
+                 Format format);
+
+/** One-line cache summary, e.g. "cache: 12 hits, 3 misses, ...". */
+std::string cacheSummary(const CacheStats &stats);
+
+} // namespace swan::sweep
+
+#endif // SWAN_SWEEP_EMIT_HH

@@ -1,0 +1,262 @@
+#include "sweep/scheduler.hh"
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <tuple>
+
+#include "core/registry.hh"
+#include "sim/power.hh"
+
+namespace swan::sweep
+{
+
+namespace
+{
+
+/**
+ * Per-sweep trace memo: multi-config sweeps (Figure 5(b): six core
+ * configs over one trace) capture each (kernel, impl, width, working
+ * set) once and replay it per config. Filled serially in phase 1;
+ * phase-2 workers only read (the lock makes those reads safe).
+ *
+ * All traces are held until the sweep ends and freed on one thread,
+ * deliberately: freeing each trace as its last simulation finishes
+ * would release heap blocks in thread-scheduling order, making the
+ * allocator state after the sweep — and therefore the buffer
+ * addresses captured by any LATER sweep in the same process —
+ * nondeterministic, which breaks the byte-identical-reports contract
+ * across job counts. The cost is that peak memory is the sum of the
+ * grid's distinct traces; a size cap / eviction policy for
+ * paper-scale grids is tracked in ROADMAP.md.
+ */
+class TraceMemo
+{
+  public:
+    using Key = std::tuple<std::string, int, int, uint64_t>;
+    using Trace = std::shared_ptr<const std::vector<trace::Instr>>;
+
+    Trace
+    find(const Key &key)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = map_.find(key);
+        return it == map_.end() ? nullptr : it->second;
+    }
+
+    Trace
+    insert(const Key &key, std::vector<trace::Instr> instrs)
+    {
+        auto sp = std::make_shared<const std::vector<trace::Instr>>(
+            std::move(instrs));
+        std::lock_guard<std::mutex> lock(mu_);
+        auto [it, inserted] = map_.emplace(key, sp);
+        (void)inserted;
+        return it->second;
+    }
+
+  private:
+    std::mutex mu_;
+    std::map<Key, Trace> map_;
+};
+
+TraceMemo::Key
+memoKey(const SweepPoint &p)
+{
+    return {p.spec->info.qualifiedName(), int(p.impl), p.vecBits,
+            fingerprint(p.options)};
+}
+
+/** One worker's mutex-guarded deque of point indices. */
+struct WorkQueue
+{
+    std::mutex mu;
+    std::deque<size_t> q;
+
+    bool
+    popFront(size_t *out)
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        if (q.empty())
+            return false;
+        *out = q.front();
+        q.pop_front();
+        return true;
+    }
+
+    bool
+    stealBack(size_t *out)
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        if (q.empty())
+            return false;
+        *out = q.back();
+        q.pop_back();
+        return true;
+    }
+
+    size_t
+    size()
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        return q.size();
+    }
+};
+
+} // namespace
+
+std::vector<SweepResult>
+runSweep(const std::vector<SweepPoint> &points, const SchedulerConfig &cfg)
+{
+    // Workers read KernelSpec references concurrently; freeze the
+    // registry so the backing vector can never reallocate under them.
+    core::Registry::instance().closeRegistration();
+
+    std::vector<SweepResult> results(points.size());
+    if (points.empty())
+        return results;
+
+    int jobs = cfg.jobs;
+    if (jobs <= 0)
+        jobs = int(std::thread::hardware_concurrency());
+    if (jobs < 1)
+        jobs = 1;
+    jobs = int(std::min<size_t>(size_t(jobs), points.size()));
+
+    // Phase 1 (serial, point-index order): cache lookups and trace
+    // captures. Captured traces carry real buffer addresses, and the
+    // cache models are address-sensitive, so the heap must evolve
+    // identically whatever --jobs is; capturing on one thread in a
+    // fixed order guarantees that. Each distinct (kernel, impl, width,
+    // working set) is captured once and shared across core configs.
+    TraceMemo memo;
+    std::vector<size_t> pending;
+    for (size_t i = 0; i < points.size(); ++i) {
+        const SweepPoint &p = points[i];
+        SweepResult &r = results[i];
+        r.point = p;
+        if (cfg.cache &&
+            cfg.cache->lookup(keyFor(p, cfg.warmupPasses), &r.run)) {
+            r.cacheHit = true;
+            continue;
+        }
+        if (!memo.find(memoKey(p))) {
+            auto w = p.spec->make(p.options);
+            memo.insert(memoKey(p),
+                        core::Runner::capture(*w, p.impl, p.vecBits));
+        }
+        pending.push_back(i);
+    }
+    if (pending.empty())
+        return results;
+    jobs = int(std::min<size_t>(size_t(jobs), pending.size()));
+
+    // Phase 2 (parallel): simulate pending points. Simulation is a
+    // pure function of (trace, config), so the fan-out cannot affect
+    // the numbers, only the wall clock.
+    // Deal indices round-robin so initial shares interleave the grid
+    // (adjacent points of one kernel tend to cost the same).
+    std::vector<WorkQueue> queues(jobs);
+    for (size_t i = 0; i < pending.size(); ++i)
+        queues[i % jobs].q.push_back(pending[i]);
+
+    std::mutex errMu;
+    std::string firstError;
+
+    const auto worker = [&](int self) {
+        const auto execute = [&](size_t idx) {
+            const SweepPoint &p = points[idx];
+            SweepResult &r = results[idx];
+            const auto trace = memo.find(memoKey(p));
+            r.run = core::KernelRun{};
+            r.run.mix.addTrace(*trace);
+            r.run.sim =
+                sim::simulateTrace(*trace, p.config, cfg.warmupPasses);
+            sim::applyPowerModel(r.run.sim,
+                                 sim::PowerParams::forConfig(p.config));
+            if (cfg.cache)
+                cfg.cache->store(keyFor(p, cfg.warmupPasses), r.run);
+        };
+        try {
+            size_t idx;
+            while (true) {
+                if (queues[self].popFront(&idx)) {
+                    execute(idx);
+                    continue;
+                }
+                // Own deque drained: steal from the fullest victim.
+                int victim = -1;
+                size_t most = 0;
+                for (int v = 0; v < int(queues.size()); ++v) {
+                    if (v == self)
+                        continue;
+                    const size_t n = queues[v].size();
+                    if (n > most) {
+                        most = n;
+                        victim = v;
+                    }
+                }
+                // No queue had work at scan time: done (workers never
+                // push new work, so emptiness is stable once observed).
+                if (victim < 0)
+                    break;
+                // Lost the steal race: rescan, another victim may
+                // still hold work.
+                if (!queues[victim].stealBack(&idx))
+                    continue;
+                execute(idx);
+            }
+        } catch (const std::exception &e) {
+            std::lock_guard<std::mutex> lock(errMu);
+            if (firstError.empty())
+                firstError = e.what();
+        }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(jobs - 1);
+    for (int t = 1; t < jobs; ++t)
+        threads.emplace_back(worker, t);
+    worker(0);
+    for (auto &t : threads)
+        t.join();
+
+    if (!firstError.empty())
+        throw std::runtime_error("sweep worker failed: " + firstError);
+    return results;
+}
+
+std::vector<SweepResult>
+runSweep(const SweepSpec &spec, const SchedulerConfig &cfg, std::string *err)
+{
+    auto points = expand(spec, err);
+    if (points.empty())
+        return {};
+    SchedulerConfig c = cfg;
+    c.warmupPasses = spec.warmupPasses;
+    return runSweep(points, c);
+}
+
+const SweepResult *
+findResult(const std::vector<SweepResult> &results,
+           std::string_view kernel_qualified, core::Impl impl, int vec_bits,
+           std::string_view config, std::string_view working_set)
+{
+    for (const auto &r : results) {
+        if (r.point.spec->info.qualifiedName() != kernel_qualified)
+            continue;
+        if (r.point.impl != impl || r.point.vecBits != vec_bits)
+            continue;
+        if (!config.empty() && r.point.configName != config)
+            continue;
+        if (!working_set.empty() && r.point.workingSetName != working_set)
+            continue;
+        return &r;
+    }
+    return nullptr;
+}
+
+} // namespace swan::sweep

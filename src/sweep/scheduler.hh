@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Parallel sweep executor, in two phases. Phase 1 (serial, point-index
+ * order): cache lookups and trace captures — traces carry real buffer
+ * addresses and the cache models are address-sensitive, so the heap
+ * must evolve identically whatever the job count; each distinct
+ * (kernel, impl, width, working set) is captured once and shared
+ * across core configs. Phase 2 (parallel): simulations fan out over a
+ * work-stealing thread pool — each worker owns a deque of point
+ * indices, pops from its own front and steals from the back of the
+ * fullest victim when it drains. Simulation is a pure function of
+ * (trace, config) and results land in a pre-sized vector at their
+ * point index, so `--jobs 1` and `--jobs 8` produce byte-equal
+ * reports; the same determinism (seeded inputs, trace-driven model)
+ * is what makes the result cache sound.
+ */
+
+#ifndef SWAN_SWEEP_SCHEDULER_HH
+#define SWAN_SWEEP_SCHEDULER_HH
+
+#include <string_view>
+#include <vector>
+
+#include "core/runner.hh"
+#include "sweep/cache.hh"
+#include "sweep/grid.hh"
+
+namespace swan::sweep
+{
+
+/** One finished experiment point. */
+struct SweepResult
+{
+    SweepPoint point;
+    core::KernelRun run;
+    bool cacheHit = false;  //!< served by the cache, not simulated
+};
+
+/** Scheduler knobs. */
+struct SchedulerConfig
+{
+    /** Worker threads; <= 0 means std::thread::hardware_concurrency. */
+    int jobs = 1;
+    /** Optional result cache shared across sweeps / benches. */
+    ResultCache *cache = nullptr;
+    /** Cache warm-up passes fed to the core model (paper Section 4.3). */
+    int warmupPasses = 1;
+};
+
+/**
+ * Execute every point. Closes kernel registration (see Registry) before
+ * workers may touch the registry concurrently. Within one sweep, points
+ * sharing a (kernel, impl, width, working set) capture reuse one trace
+ * across core configs, so a Figure-5(b)-style sweep captures each
+ * kernel once, not once per config. Throws std::runtime_error if a
+ * worker fails.
+ *
+ * @return one SweepResult per input point, in point-index order.
+ */
+std::vector<SweepResult> runSweep(const std::vector<SweepPoint> &points,
+                                  const SchedulerConfig &cfg = {});
+
+/** expand() + runSweep() in one call; empty + *err on a bad spec. */
+std::vector<SweepResult> runSweep(const SweepSpec &spec,
+                                  const SchedulerConfig &cfg,
+                                  std::string *err);
+
+/**
+ * First result matching the given axes; null if absent. Empty @p config
+ * / @p working_set match any value (the common single-config case).
+ */
+const SweepResult *
+findResult(const std::vector<SweepResult> &results,
+           std::string_view kernel_qualified, core::Impl impl, int vec_bits,
+           std::string_view config = {}, std::string_view working_set = {});
+
+} // namespace swan::sweep
+
+#endif // SWAN_SWEEP_SCHEDULER_HH

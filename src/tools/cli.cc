@@ -1,5 +1,6 @@
 #include "tools/cli.hh"
 
+#include <cstdlib>
 #include <iostream>
 #include <map>
 #include <optional>
@@ -9,6 +10,8 @@
 #include "core/runner.hh"
 #include "sim/configs.hh"
 #include "sim/power.hh"
+#include "sweep/emit.hh"
+#include "sweep/scheduler.hh"
 #include "trace/serialize.hh"
 #include "trace/stats.hh"
 
@@ -28,6 +31,8 @@ commands:
   compare <kernel> [options]   Scalar vs Auto vs Neon on one core
   simulate <trace.swt> [opts]  replay a stored trace on a core model
   sweep <kernel> --what X      sweep widths (Fig. 5a) or cores (Fig. 4)
+  sweep [grid flags]           run a declarative experiment grid on the
+                               parallel sweep engine (docs/sweep.md)
   help                         this text
 
 options:
@@ -37,8 +42,40 @@ options:
   --full                       paper-scale input sizes (Section 4.1)
   --dump-trace FILE            with 'run': also write the captured
                                dynamic instruction trace to FILE
-  --what widths|cores          sweep axis for 'sweep' (default widths)
+  --what widths|cores          sweep axis for 'sweep <kernel>'
+
+sweep grid flags (cartesian product of the axes):
+  --kernels A,B                explicit kernels (default: all headline)
+  --library SYM                restrict to one library symbol, e.g. ZL
+  --wider                      only the eight Figure-5 kernels
+  --impls scalar,auto,neon     implementation axis (default neon)
+  --bits 128,256,...           vector-width axis (default 128)
+  --cores prime,gold,4W-2V,..  core presets; also "wider" and "NW-MV"
+  --ws default|full|tiny|scalability[,..]  working-set presets
+  --jobs N                     worker threads (default 1; same output
+                               for any N)
+  --format table|csv|jsonl     report format (default table)
+  --cache-dir DIR              on-disk result cache (also honors
+                               SWAN_SWEEP_CACHE_DIR); hit/miss counters
+                               go to stderr
 )";
+
+/** Split a comma-separated flag value; empty segments dropped. */
+std::vector<std::string>
+splitList(const std::string &s)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (start <= s.size()) {
+        size_t comma = s.find(',', start);
+        if (comma == std::string::npos)
+            comma = s.size();
+        if (comma > start)
+            out.push_back(s.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
 
 struct Parsed
 {
@@ -51,6 +88,17 @@ struct Parsed
     bool full = false;
     std::string dumpTrace;
     std::string what = "widths";
+
+    // Sweep-grid flags.
+    std::vector<std::string> kernelList;
+    std::vector<std::string> implList;
+    std::vector<int> bitsList;
+    std::vector<std::string> coreList;
+    std::vector<std::string> wsList;
+    bool wider = false;
+    int jobs = 1;
+    std::string format = "table";
+    std::string cacheDir;
 };
 
 /** Parse the argument vector; returns nullopt (after a message) on error. */
@@ -65,8 +113,7 @@ parse(const std::vector<std::string> &args, std::ostream &err)
     p.command = args[0];
     size_t i = 1;
     if ((p.command == "info" || p.command == "run" ||
-         p.command == "compare" || p.command == "simulate" ||
-         p.command == "sweep")) {
+         p.command == "compare" || p.command == "simulate")) {
         if (i >= args.size()) {
             err << "swan: '" << p.command << "' needs a "
                 << (p.command == "simulate" ? "trace file" : "kernel name")
@@ -75,6 +122,11 @@ parse(const std::vector<std::string> &args, std::ostream &err)
         }
         p.kernel = args[i++];
     }
+    // 'sweep' has two forms: the legacy per-kernel axis sweep
+    // ("sweep ZL/adler32 --what cores") and the flag-only grid form.
+    if (p.command == "sweep" && i < args.size() &&
+        args[i].rfind("--", 0) != 0)
+        p.kernel = args[i++];
     for (; i < args.size(); ++i) {
         const std::string &a = args[i];
         auto value = [&]() -> const std::string * {
@@ -132,12 +184,69 @@ parse(const std::vector<std::string> &args, std::ostream &err)
             const auto *v = value();
             if (!v)
                 return std::nullopt;
-            p.bits = std::stoi(*v);
-            if (p.bits != 128 && p.bits != 256 && p.bits != 512 &&
-                p.bits != 1024) {
+            // Single width for run/compare; a comma list is a sweep axis.
+            for (const auto &tok : splitList(*v)) {
+                const int bits = std::atoi(tok.c_str());
+                if (bits != 128 && bits != 256 && bits != 512 &&
+                    bits != 1024) {
+                    err << "swan: --bits must be 128/256/512/1024\n";
+                    return std::nullopt;
+                }
+                p.bitsList.push_back(bits);
+            }
+            if (p.bitsList.empty()) {
                 err << "swan: --bits must be 128/256/512/1024\n";
                 return std::nullopt;
             }
+            p.bits = p.bitsList.front();
+        } else if (a == "--kernels") {
+            const auto *v = value();
+            if (!v)
+                return std::nullopt;
+            p.kernelList = splitList(*v);
+        } else if (a == "--impls") {
+            const auto *v = value();
+            if (!v)
+                return std::nullopt;
+            p.implList = splitList(*v);
+        } else if (a == "--cores") {
+            const auto *v = value();
+            if (!v)
+                return std::nullopt;
+            p.coreList = splitList(*v);
+        } else if (a == "--ws") {
+            const auto *v = value();
+            if (!v)
+                return std::nullopt;
+            p.wsList = splitList(*v);
+        } else if (a == "--wider") {
+            p.wider = true;
+        } else if (a == "--jobs") {
+            const auto *v = value();
+            if (!v)
+                return std::nullopt;
+            char *end = nullptr;
+            p.jobs = int(std::strtol(v->c_str(), &end, 10));
+            if (end == v->c_str() || *end != '\0' || p.jobs < 0) {
+                err << "swan: --jobs must be a number >= 0 "
+                       "(0 = all cores)\n";
+                return std::nullopt;
+            }
+        } else if (a == "--format") {
+            const auto *v = value();
+            if (!v)
+                return std::nullopt;
+            sweep::Format f;
+            if (!sweep::formatForName(*v, &f)) {
+                err << "swan: --format must be table, csv or jsonl\n";
+                return std::nullopt;
+            }
+            p.format = *v;
+        } else if (a == "--cache-dir") {
+            const auto *v = value();
+            if (!v)
+                return std::nullopt;
+            p.cacheDir = *v;
         } else {
             err << "swan: unknown argument '" << a << "'\n";
             return std::nullopt;
@@ -321,17 +430,40 @@ cmdCompare(const Parsed &p, std::ostream &out, std::ostream &err)
     return cmp.verified ? 0 : 1;
 }
 
+/** Execute a grid on the engine; shared by both sweep forms. */
+std::vector<sweep::SweepResult>
+runEngine(const Parsed &p, const sweep::SweepSpec &spec, std::ostream &err,
+          std::string *engineErr)
+{
+    sweep::ResultCache cache(
+        p.cacheDir.empty() ? sweep::ResultCache::envDiskDir()
+                           : p.cacheDir);
+    sweep::SchedulerConfig sc;
+    sc.jobs = p.jobs == 0 ? -1 : p.jobs; // 0 = all cores
+    sc.cache = &cache;
+    std::vector<sweep::SweepResult> results;
+    try {
+        results = sweep::runSweep(spec, sc, engineErr);
+    } catch (const std::exception &e) {
+        *engineErr = e.what();
+        return {};
+    }
+    if (!results.empty())
+        err << "swan: " << sweep::cacheSummary(cache.stats()) << "\n";
+    return results;
+}
+
+/** Legacy per-kernel axis sweep: widths (Fig. 5a) or cores (Fig. 4). */
 int
-cmdSweep(const Parsed &p, std::ostream &out, std::ostream &err)
+cmdSweepKernel(const Parsed &p, std::ostream &out, std::ostream &err)
 {
     const auto *spec = core::Registry::instance().find(p.kernel);
     if (!spec) {
         err << "swan: unknown kernel '" << p.kernel << "'\n";
         return 2;
     }
-    const auto opts =
-        p.full ? core::Options::full() : core::Options::fromEnv();
-    core::Runner runner(opts);
+    const std::string ws = p.full ? "full" : "default";
+    const std::string qn = spec->info.qualifiedName();
 
     if (p.what == "widths") {
         if (!spec->info.widerWidths) {
@@ -340,35 +472,118 @@ cmdSweep(const Parsed &p, std::ostream &out, std::ostream &err)
                    "Figure-5 kernels do)\n";
             return 2;
         }
+        sweep::SweepSpec grid;
+        grid.kernels.names = {p.kernel};
+        grid.impls = {core::Impl::Scalar, core::Impl::Neon};
+        grid.vecBits = {128, 256, 512, 1024};
+        grid.configs = {"wider"};
+        grid.workingSets = {ws};
+        std::string gerr;
+        auto results = runEngine(p, grid, err, &gerr);
+        if (results.empty()) {
+            err << "swan: " << gerr << "\n";
+            return 2;
+        }
+        // Scalar code has no width axis: one baseline point at 128.
+        const auto *scalar =
+            sweep::findResult(results, qn, core::Impl::Scalar, 128);
+        const auto *base =
+            sweep::findResult(results, qn, core::Impl::Neon, 128);
         core::Table t({"Width", "Cycles", "Speedup vs Scalar",
                        "Speedup vs 128-bit"});
-        double base128 = 0.0;
         for (int bits : {128, 256, 512, 1024}) {
-            const auto cfg = sim::widerVectorConfig(bits);
-            auto cmp = runner.compareScalarNeon(*spec, cfg, bits);
-            if (bits == 128)
-                base128 = double(cmp.neon.sim.cycles);
+            const auto *r =
+                sweep::findResult(results, qn, core::Impl::Neon, bits);
             t.addRow({std::to_string(bits),
-                      std::to_string(cmp.neon.sim.cycles),
-                      core::fmtX(cmp.neonSpeedup()),
-                      core::fmtX(base128 /
-                                 double(cmp.neon.sim.cycles))});
+                      std::to_string(r->run.sim.cycles),
+                      core::fmtX(double(scalar->run.sim.cycles) /
+                                 double(r->run.sim.cycles)),
+                      core::fmtX(double(base->run.sim.cycles) /
+                                 double(r->run.sim.cycles))});
         }
         t.print(out);
         return 0;
     }
 
+    sweep::SweepSpec grid;
+    grid.kernels.names = {p.kernel};
+    grid.impls = {core::Impl::Scalar, core::Impl::Neon};
+    grid.vecBits = {128};
+    grid.configs = {"silver", "gold", "prime"};
+    grid.workingSets = {ws};
+    std::string gerr;
+    auto results = runEngine(p, grid, err, &gerr);
+    if (results.empty()) {
+        err << "swan: " << gerr << "\n";
+        return 2;
+    }
     core::Table t({"Core", "Scalar cycles", "Neon cycles",
                    "Neon speedup", "Energy impr."});
     for (const char *nm : {"silver", "gold", "prime"}) {
-        auto cmp = runner.compareScalarNeon(*spec, coreFor(nm));
-        t.addRow({nm, std::to_string(cmp.scalar.sim.cycles),
-                  std::to_string(cmp.neon.sim.cycles),
-                  core::fmtX(cmp.neonSpeedup()),
-                  core::fmtX(cmp.neonEnergyImprovement())});
+        const auto *s =
+            sweep::findResult(results, qn, core::Impl::Scalar, 128, nm);
+        const auto *n =
+            sweep::findResult(results, qn, core::Impl::Neon, 128, nm);
+        t.addRow({nm, std::to_string(s->run.sim.cycles),
+                  std::to_string(n->run.sim.cycles),
+                  core::fmtX(double(s->run.sim.cycles) /
+                             double(n->run.sim.cycles)),
+                  core::fmtX(s->run.sim.energyJ / n->run.sim.energyJ)});
     }
     t.print(out);
     return 0;
+}
+
+/** Flag-only grid form: declarative spec, parallel engine, emitters. */
+int
+cmdSweepGrid(const Parsed &p, std::ostream &out, std::ostream &err)
+{
+    sweep::SweepSpec grid;
+    grid.kernels.names = p.kernelList;
+    grid.kernels.library = p.library;
+    grid.kernels.widerOnly = p.wider;
+    if (!p.implList.empty()) {
+        grid.impls.clear();
+        for (const auto &name : p.implList) {
+            if (name == "scalar")
+                grid.impls.push_back(core::Impl::Scalar);
+            else if (name == "auto")
+                grid.impls.push_back(core::Impl::Auto);
+            else if (name == "neon")
+                grid.impls.push_back(core::Impl::Neon);
+            else {
+                err << "swan: unknown --impls entry '" << name << "'\n";
+                return 2;
+            }
+        }
+    }
+    if (!p.bitsList.empty())
+        grid.vecBits = p.bitsList;
+    if (!p.coreList.empty())
+        grid.configs = p.coreList;
+    if (!p.wsList.empty())
+        grid.workingSets = p.wsList;
+    else if (p.full)
+        grid.workingSets = {"full"};
+
+    std::string gerr;
+    auto results = runEngine(p, grid, err, &gerr);
+    if (results.empty()) {
+        err << "swan: " << gerr << "\n";
+        return 2;
+    }
+    sweep::Format fmt = sweep::Format::Table;
+    sweep::formatForName(p.format, &fmt); // validated at parse time
+    sweep::emitResults(out, results, fmt);
+    return 0;
+}
+
+int
+cmdSweep(const Parsed &p, std::ostream &out, std::ostream &err)
+{
+    if (!p.kernel.empty())
+        return cmdSweepKernel(p, out, err);
+    return cmdSweepGrid(p, out, err);
 }
 
 int

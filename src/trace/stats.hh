@@ -70,6 +70,18 @@ class MixStats : public Sink
     uint64_t loadBytes() const { return loadBytes_; }
     uint64_t storeBytes() const { return storeBytes_; }
 
+    /**
+     * Flat counter snapshot for persistence (the sweep result cache).
+     * Layout: the seven scalar accumulators, then the three per-enum
+     * arrays, each prefixed with its length so fromCounters() can
+     * reject snapshots written by a build with different enum sizes.
+     */
+    std::vector<uint64_t> counters() const;
+
+    /** Rebuild from a counters() snapshot; false on layout mismatch. */
+    static bool fromCounters(const std::vector<uint64_t> &flat,
+                             MixStats *out);
+
   private:
     uint64_t total_ = 0;
     uint64_t vecInstrs_ = 0;

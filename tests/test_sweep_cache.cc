@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Tests of the sweep result cache (sweep/cache.hh): fingerprint and key
+ * stability, hit/miss accounting, the on-disk tier's round-trip
+ * fidelity (cold and warm lookups must be byte-identical through the
+ * emitters) and its corruption handling.
+ */
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/registry.hh"
+#include "sweep/cache.hh"
+#include "sweep/emit.hh"
+#include "sweep/scheduler.hh"
+
+using namespace swan;
+
+namespace
+{
+
+std::string
+tempDir(const char *tag)
+{
+    const auto d = std::filesystem::temp_directory_path() /
+                   (std::string("swan_sweep_cache_") + tag + "_" +
+                    std::to_string(::getpid()));
+    std::filesystem::remove_all(d);
+    return d.string();
+}
+
+sweep::SweepSpec
+adlerSpec()
+{
+    sweep::SweepSpec spec;
+    spec.kernels.names = {"ZL/adler32"};
+    spec.workingSets = {"tiny"};
+    return spec;
+}
+
+} // namespace
+
+TEST(SweepCache, FingerprintSeparatesConfigs)
+{
+    const auto prime = sweep::fingerprint(sim::primeConfig());
+    EXPECT_EQ(prime, sweep::fingerprint(sim::primeConfig()));
+    EXPECT_NE(prime, sweep::fingerprint(sim::goldConfig()));
+    EXPECT_NE(prime, sweep::fingerprint(sim::silverConfig()));
+    EXPECT_NE(sweep::fingerprint(sim::widerVectorConfig(256)),
+              sweep::fingerprint(sim::widerVectorConfig(512)));
+
+    auto tweaked = sim::primeConfig();
+    tweaked.mshrs += 1;
+    EXPECT_NE(prime, sweep::fingerprint(tweaked));
+}
+
+TEST(SweepCache, FingerprintSeparatesOptions)
+{
+    core::Options a, b;
+    EXPECT_EQ(sweep::fingerprint(a), sweep::fingerprint(b));
+    b.bufferBytes += 1;
+    EXPECT_NE(sweep::fingerprint(a), sweep::fingerprint(b));
+    b = a;
+    b.seed ^= 1;
+    EXPECT_NE(sweep::fingerprint(a), sweep::fingerprint(b));
+}
+
+TEST(SweepCache, KeyIdentityAndStability)
+{
+    std::string err;
+    auto points = sweep::expand(adlerSpec(), &err);
+    ASSERT_EQ(points.size(), 1u) << err;
+    const auto k1 = sweep::keyFor(points[0], 1);
+    const auto k2 = sweep::keyFor(points[0], 1);
+    EXPECT_TRUE(k1 == k2);
+    EXPECT_EQ(k1.hash(), k2.hash());
+    EXPECT_EQ(k1.hex().size(), 16u);
+
+    const auto k3 = sweep::keyFor(points[0], 2);
+    EXPECT_FALSE(k1 == k3);
+    EXPECT_NE(k1.hash(), k3.hash());
+}
+
+TEST(SweepCache, MemoryTierHitMissCounters)
+{
+    sweep::ResultCache cache;
+    std::string err;
+    auto points = sweep::expand(adlerSpec(), &err);
+    ASSERT_EQ(points.size(), 1u) << err;
+
+    sweep::SchedulerConfig sc;
+    sc.cache = &cache;
+    auto cold = sweep::runSweep(points, sc);
+    ASSERT_EQ(cold.size(), 1u);
+    EXPECT_FALSE(cold[0].cacheHit);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().hits, 0u);
+    EXPECT_EQ(cache.stats().stores, 1u);
+
+    auto warm = sweep::runSweep(points, sc);
+    ASSERT_EQ(warm.size(), 1u);
+    EXPECT_TRUE(warm[0].cacheHit);
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+
+    EXPECT_EQ(cold[0].run.sim.cycles, warm[0].run.sim.cycles);
+    EXPECT_EQ(cold[0].run.mix.total(), warm[0].run.mix.total());
+}
+
+TEST(SweepCache, DiskTierColdAndWarmRunsAreByteIdentical)
+{
+    const auto dir = tempDir("roundtrip");
+    std::string err;
+    sweep::SweepSpec spec = adlerSpec();
+    spec.impls = {core::Impl::Scalar, core::Impl::Neon};
+    spec.configs = {"prime", "silver"};
+    auto points = sweep::expand(spec, &err);
+    ASSERT_EQ(points.size(), 4u) << err;
+
+    std::ostringstream cold, warm;
+    {
+        sweep::ResultCache cache(dir);
+        sweep::SchedulerConfig sc;
+        sc.cache = &cache;
+        auto results = sweep::runSweep(points, sc);
+        sweep::emitResults(cold, results, sweep::Format::JsonLines);
+        EXPECT_EQ(cache.stats().misses, 4u);
+    }
+    {
+        // Fresh in-process cache: every lookup must come off disk, and
+        // nothing may re-simulate.
+        sweep::ResultCache cache(dir);
+        sweep::SchedulerConfig sc;
+        sc.cache = &cache;
+        auto results = sweep::runSweep(points, sc);
+        sweep::emitResults(warm, results, sweep::Format::JsonLines);
+        EXPECT_EQ(cache.stats().diskHits, 4u);
+        EXPECT_EQ(cache.stats().misses, 0u);
+        for (const auto &r : results)
+            EXPECT_TRUE(r.cacheHit);
+    }
+    EXPECT_EQ(cold.str(), warm.str());
+    std::filesystem::remove_all(dir);
+}
+
+TEST(SweepCache, CorruptDiskEntryDegradesToMiss)
+{
+    const auto dir = tempDir("corrupt");
+    std::string err;
+    auto points = sweep::expand(adlerSpec(), &err);
+    ASSERT_EQ(points.size(), 1u) << err;
+    const auto key = sweep::keyFor(points[0], 1);
+
+    {
+        sweep::ResultCache cache(dir);
+        sweep::SchedulerConfig sc;
+        sc.cache = &cache;
+        sweep::runSweep(points, sc);
+    }
+    // Truncate the entry: the mix line disappears.
+    const auto path = std::filesystem::path(dir) / (key.hex() + ".swr");
+    ASSERT_TRUE(std::filesystem::exists(path));
+    {
+        std::ofstream os(path, std::ios::trunc);
+        os << "swan-sweep-result v1\nkernel ZL/adler32\n";
+    }
+    sweep::ResultCache cache(dir);
+    core::KernelRun run;
+    EXPECT_FALSE(cache.lookup(key, &run));
+    EXPECT_EQ(cache.stats().misses, 1u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(SweepCache, WrongKeyedEntryIsIgnored)
+{
+    const auto dir = tempDir("mismatch");
+    std::string err;
+    auto points = sweep::expand(adlerSpec(), &err);
+    ASSERT_EQ(points.size(), 1u) << err;
+
+    {
+        sweep::ResultCache cache(dir);
+        sweep::SchedulerConfig sc;
+        sc.cache = &cache;
+        sweep::runSweep(points, sc);
+    }
+    // Same file, different key (as after a hash collision or a stale
+    // rename): the full-key check must reject it.
+    const auto key = sweep::keyFor(points[0], 1);
+    auto other = key;
+    other.vecBits = 256;
+    const auto from = std::filesystem::path(dir) / (key.hex() + ".swr");
+    const auto to = std::filesystem::path(dir) / (other.hex() + ".swr");
+    std::filesystem::copy_file(from, to);
+
+    sweep::ResultCache cache(dir);
+    core::KernelRun run;
+    EXPECT_FALSE(cache.lookup(other, &run));
+    EXPECT_TRUE(cache.lookup(key, &run));
+    std::filesystem::remove_all(dir);
+}

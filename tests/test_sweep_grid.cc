@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Tests of the declarative sweep grid (sweep/grid.hh): preset
+ * resolution, filter semantics, expansion counts and ordering, and the
+ * width/impl normalization rules.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/registry.hh"
+#include "sweep/grid.hh"
+
+using namespace swan;
+
+namespace
+{
+
+size_t
+headlineCount()
+{
+    size_t n = 0;
+    for (const auto &k : core::Registry::instance().kernels())
+        if (!k.info.excluded)
+            ++n;
+    return n;
+}
+
+size_t
+widerCount()
+{
+    size_t n = 0;
+    for (const auto &k : core::Registry::instance().kernels())
+        if (!k.info.excluded && k.info.widerWidths)
+            ++n;
+    return n;
+}
+
+} // namespace
+
+TEST(SweepGrid, ConfigPresets)
+{
+    sim::CoreConfig cfg;
+    ASSERT_TRUE(sweep::configForName("prime", 128, &cfg));
+    EXPECT_EQ(cfg.name, "prime");
+    ASSERT_TRUE(sweep::configForName("silver", 128, &cfg));
+    EXPECT_FALSE(cfg.outOfOrder);
+    ASSERT_TRUE(sweep::configForName("wider", 512, &cfg));
+    EXPECT_EQ(cfg.vecBits, 512);
+    ASSERT_TRUE(sweep::configForName("4W-2V", 128, &cfg));
+    EXPECT_EQ(cfg.decodeWidth, 4);
+    EXPECT_EQ(cfg.vunits(), 2);
+    ASSERT_TRUE(sweep::configForName("8W-8V", 128, &cfg));
+    EXPECT_EQ(cfg.decodeWidth, 8);
+    EXPECT_EQ(cfg.vunits(), 8);
+
+    EXPECT_FALSE(sweep::configForName("copper", 128, &cfg));
+    EXPECT_FALSE(sweep::configForName("W-V", 128, &cfg));
+    EXPECT_FALSE(sweep::configForName("4W-2X", 128, &cfg));
+    EXPECT_FALSE(sweep::configForName("4W-2V2", 128, &cfg));
+}
+
+TEST(SweepGrid, WorkingSetPresets)
+{
+    core::Options o;
+    ASSERT_TRUE(sweep::workingSetForName("full", &o));
+    EXPECT_EQ(o.imageWidth, 1280);
+    ASSERT_TRUE(sweep::workingSetForName("tiny", &o));
+    EXPECT_EQ(o.imageWidth, 96);
+    ASSERT_TRUE(sweep::workingSetForName("scalability", &o));
+    EXPECT_LE(o.imageWidth, 96);
+    EXPECT_LE(o.bufferBytes, 16 * 1024);
+    ASSERT_TRUE(sweep::workingSetForName("default", &o));
+    EXPECT_FALSE(sweep::workingSetForName("huge", &o));
+}
+
+TEST(SweepGrid, DefaultSpecCoversHeadlineKernelsOnce)
+{
+    sweep::SweepSpec spec; // all headline kernels, Neon, 128, prime
+    std::string err;
+    auto points = sweep::expand(spec, &err);
+    ASSERT_FALSE(points.empty()) << err;
+    EXPECT_EQ(points.size(), headlineCount());
+    for (size_t i = 0; i < points.size(); ++i) {
+        EXPECT_EQ(points[i].index, i);
+        EXPECT_EQ(points[i].impl, core::Impl::Neon);
+        EXPECT_EQ(points[i].vecBits, 128);
+        EXPECT_EQ(points[i].configName, "prime");
+        EXPECT_FALSE(points[i].spec->info.excluded);
+    }
+}
+
+TEST(SweepGrid, WiderFilterAndWidthAxis)
+{
+    sweep::SweepSpec spec;
+    spec.kernels.widerOnly = true;
+    spec.vecBits = {128, 256, 512, 1024};
+    spec.configs = {"wider"};
+    std::string err;
+    auto points = sweep::expand(spec, &err);
+    ASSERT_FALSE(points.empty()) << err;
+    EXPECT_EQ(points.size(), 4 * widerCount());
+    // The "wider" preset follows the point's width.
+    for (const auto &p : points)
+        EXPECT_EQ(p.config.vecBits, p.vecBits);
+}
+
+TEST(SweepGrid, WideWidthsDroppedForNarrowKernels)
+{
+    // All headline kernels at two widths: narrow kernels contribute one
+    // point, the Figure-5 kernels two.
+    sweep::SweepSpec spec;
+    spec.vecBits = {128, 256};
+    std::string err;
+    auto points = sweep::expand(spec, &err);
+    ASSERT_FALSE(points.empty()) << err;
+    EXPECT_EQ(points.size(), headlineCount() + widerCount());
+}
+
+TEST(SweepGrid, ScalarHasNoWidthAxis)
+{
+    sweep::SweepSpec spec;
+    spec.kernels.names = {"ZL/adler32"};
+    spec.impls = {core::Impl::Scalar, core::Impl::Neon};
+    spec.vecBits = {128, 256, 512, 1024};
+    spec.configs = {"wider"};
+    std::string err;
+    auto points = sweep::expand(spec, &err);
+    ASSERT_FALSE(points.empty()) << err;
+    // One scalar point (normalized to 128) + four Neon widths.
+    EXPECT_EQ(points.size(), 5u);
+    size_t scalar = 0;
+    for (const auto &p : points)
+        if (p.impl == core::Impl::Scalar) {
+            ++scalar;
+            EXPECT_EQ(p.vecBits, 128);
+        }
+    EXPECT_EQ(scalar, 1u);
+}
+
+TEST(SweepGrid, LibraryFilter)
+{
+    sweep::SweepSpec spec;
+    spec.kernels.library = "ZL";
+    std::string err;
+    auto points = sweep::expand(spec, &err);
+    ASSERT_FALSE(points.empty()) << err;
+    for (const auto &p : points)
+        EXPECT_EQ(p.spec->info.symbol, "ZL");
+    EXPECT_EQ(points.size(),
+              core::Registry::instance().bySymbol("ZL").size());
+}
+
+TEST(SweepGrid, ExplicitNamesBypassExcludedFlag)
+{
+    const core::KernelSpec *excluded = nullptr;
+    for (const auto &k : core::Registry::instance().kernels())
+        if (k.info.excluded)
+            excluded = &k;
+    ASSERT_NE(excluded, nullptr);
+
+    sweep::SweepSpec spec;
+    spec.kernels.names = {excluded->info.qualifiedName()};
+    std::string err;
+    auto points = sweep::expand(spec, &err);
+    EXPECT_EQ(points.size(), 1u) << err;
+}
+
+TEST(SweepGrid, ErrorsAreReported)
+{
+    std::string err;
+    sweep::SweepSpec spec;
+    spec.kernels.names = {"no/such_kernel"};
+    EXPECT_TRUE(sweep::expand(spec, &err).empty());
+    EXPECT_NE(err.find("unknown kernel"), std::string::npos);
+
+    spec = sweep::SweepSpec{};
+    spec.configs = {"copper"};
+    EXPECT_TRUE(sweep::expand(spec, &err).empty());
+    EXPECT_NE(err.find("unknown core config"), std::string::npos);
+
+    spec = sweep::SweepSpec{};
+    spec.workingSets = {"huge"};
+    EXPECT_TRUE(sweep::expand(spec, &err).empty());
+    EXPECT_NE(err.find("unknown working set"), std::string::npos);
+
+    spec = sweep::SweepSpec{};
+    spec.vecBits = {192};
+    EXPECT_TRUE(sweep::expand(spec, &err).empty());
+
+    spec = sweep::SweepSpec{};
+    spec.impls.clear();
+    EXPECT_TRUE(sweep::expand(spec, &err).empty());
+
+    spec = sweep::SweepSpec{};
+    spec.kernels.library = "ZZ";
+    EXPECT_TRUE(sweep::expand(spec, &err).empty());
+    EXPECT_NE(err.find("matches no kernels"), std::string::npos);
+}
+
+TEST(SweepGrid, OrderingIsKernelMajorThenAxes)
+{
+    sweep::SweepSpec spec;
+    spec.kernels.names = {"ZL/adler32", "ZL/crc32"};
+    spec.configs = {"silver", "prime"};
+    std::string err;
+    auto points = sweep::expand(spec, &err);
+    ASSERT_EQ(points.size(), 4u) << err;
+    EXPECT_EQ(points[0].spec->info.name, "adler32");
+    EXPECT_EQ(points[0].configName, "silver");
+    EXPECT_EQ(points[1].spec->info.name, "adler32");
+    EXPECT_EQ(points[1].configName, "prime");
+    EXPECT_EQ(points[2].spec->info.name, "crc32");
+    EXPECT_EQ(points[2].configName, "silver");
+    EXPECT_EQ(points[3].spec->info.name, "crc32");
+    EXPECT_EQ(points[3].configName, "prime");
+}

@@ -3,6 +3,13 @@
  * Figure 2 reproduction: performance and energy improvement of Auto
  * (compiler auto-vectorization) and Neon (explicit intrinsics) over the
  * Scalar implementation, geomean per library, on the Prime core.
+ *
+ * The kernel x implementation grid runs through the sweep engine
+ * (src/sweep/): each kernel's Scalar/Auto/Neon traces are captured once
+ * and replayed through the shared scheduler, SWAN_JOBS parallelizes the
+ * points, and SWAN_SWEEP_CACHE_DIR shares results with other benches
+ * and reruns. Output verification (the paper validates Neon against
+ * Scalar outputs) runs untraced at full host speed.
  */
 
 #include "bench_common.hh"
@@ -12,13 +19,34 @@ using namespace swan;
 int
 main()
 {
-    core::Runner runner;
-    const auto cfg = sim::primeConfig();
+    sweep::SweepSpec spec;
+    spec.impls = {core::Impl::Scalar, core::Impl::Auto, core::Impl::Neon};
+    spec.configs = {"prime"};
+    const auto results = bench::runBenchSweep(spec, "fig02");
 
+    // Assemble per-kernel comparisons from the flat result stream.
     std::vector<core::Comparison> comparisons;
     bool all_verified = true;
-    for (const auto *spec : bench::headlineKernels()) {
-        auto c = runner.compare(*spec, cfg);
+    for (const auto *k : bench::headlineKernels()) {
+        const auto qn = k->info.qualifiedName();
+        const auto *s =
+            sweep::findResult(results, qn, core::Impl::Scalar, 128);
+        const auto *a =
+            sweep::findResult(results, qn, core::Impl::Auto, 128);
+        const auto *n =
+            sweep::findResult(results, qn, core::Impl::Neon, 128);
+        if (!s || !a || !n)
+            continue;
+        core::Comparison c;
+        c.info = k->info;
+        c.scalar = s->run;
+        c.autovec = a->run;
+        c.neon = n->run;
+        // The paper's correctness check, untraced (full host speed).
+        auto w = k->make(core::Options::fromEnv());
+        w->runScalar();
+        w->runNeon(128);
+        c.verified = w->verify();
         all_verified = all_verified && c.verified;
         comparisons.push_back(std::move(c));
     }

@@ -4,6 +4,11 @@
  * Scalar on the three big.LITTLE core types — Silver (in-order
  * Cortex-A55-like, one ASIMD unit, 1.8 GHz), Gold (A76, 2.4 GHz) and
  * Prime (A76, 2.8 GHz).
+ *
+ * The kernel x implementation x core grid runs through the sweep
+ * engine: each (kernel, impl) trace is captured once and replayed
+ * against all three cores in a single pass (simulateTraceMany), so the
+ * bench costs one trace traversal per kernel-impl instead of three.
  */
 
 #include "bench_common.hh"
@@ -13,10 +18,12 @@ using namespace swan;
 int
 main()
 {
-    core::Runner runner;
-    const sim::CoreConfig cfgs[3] = {sim::silverConfig(),
-                                     sim::goldConfig(),
-                                     sim::primeConfig()};
+    const char *cores[3] = {"silver", "gold", "prime"};
+
+    sweep::SweepSpec spec;
+    spec.impls = {core::Impl::Scalar, core::Impl::Neon};
+    spec.configs = {"silver", "gold", "prime"};
+    const auto results = bench::runBenchSweep(spec, "fig04");
 
     core::banner(std::cout,
                  "Figure 4: Neon performance / energy improvement per "
@@ -26,11 +33,21 @@ main()
 
     for (const auto &sym : bench::librarySymbols()) {
         std::vector<double> perf[3], energy[3];
-        for (const auto *spec : bench::headlineKernels()) {
-            if (spec->info.symbol != sym)
+        for (const auto *spec_ : bench::headlineKernels()) {
+            if (spec_->info.symbol != sym)
                 continue;
+            const auto qn = spec_->info.qualifiedName();
             for (int i = 0; i < 3; ++i) {
-                auto c = runner.compareScalarNeon(*spec, cfgs[i]);
+                const auto *s = sweep::findResult(
+                    results, qn, core::Impl::Scalar, 128, cores[i]);
+                const auto *n = sweep::findResult(
+                    results, qn, core::Impl::Neon, 128, cores[i]);
+                if (!s || !n)
+                    continue;
+                core::Comparison c;
+                c.info = spec_->info;
+                c.scalar = s->run;
+                c.neon = n->run;
                 perf[i].push_back(c.neonSpeedup());
                 energy[i].push_back(c.neonEnergyImprovement());
             }

@@ -33,6 +33,15 @@ echo "== swan sweep: Figure-5 kernels across core scaling (JSONL) =="
 "$BUILD_DIR/swan" sweep --wider --cores 4W-2V,4W-4V,4W-6V,6W-6V,4W-8V,8W-8V \
     --ws scalability --jobs "$JOBS" --format jsonl
 
+echo "== fig02_perf_energy =="
+"$BUILD_DIR/fig02_perf_energy"
+
+echo "== fig04_core_arch =="
+"$BUILD_DIR/fig04_core_arch"
+
+echo "== tab05_microarch =="
+"$BUILD_DIR/tab05_microarch"
+
 echo "== fig05a_wider_registers =="
 "$BUILD_DIR/fig05a_wider_registers"
 

@@ -4,6 +4,10 @@
  * L1D/L2/LLC MPKI, front-end and back-end stall fractions, and IPC, for
  * the Scalar (S) and Neon (V) implementations on the Prime core
  * (top-down style bottleneck attribution, Section 5.4).
+ *
+ * The kernel x implementation grid runs through the sweep engine, so
+ * points computed by fig02/fig04 (same kernels, Prime core) are served
+ * from the shared result cache instead of re-simulating.
  */
 
 #include "bench_common.hh"
@@ -13,8 +17,10 @@ using namespace swan;
 int
 main()
 {
-    core::Runner runner;
-    const auto cfg = sim::primeConfig();
+    sweep::SweepSpec spec;
+    spec.impls = {core::Impl::Scalar, core::Impl::Neon};
+    spec.configs = {"prime"};
+    const auto results = bench::runBenchSweep(spec, "tab05");
 
     core::banner(std::cout,
                  "Table 5: L1D/L2/LLC MPKI, FE/BE stalls (%), IPC "
@@ -25,12 +31,18 @@ main()
 
     for (const auto &sym : bench::librarySymbols()) {
         std::vector<double> m[12];
-        for (const auto *spec : bench::headlineKernels()) {
-            if (spec->info.symbol != sym)
+        for (const auto *spec_ : bench::headlineKernels()) {
+            if (spec_->info.symbol != sym)
                 continue;
-            auto c = runner.compareScalarNeon(*spec, cfg);
-            const auto &s = c.scalar.sim;
-            const auto &v = c.neon.sim;
+            const auto qn = spec_->info.qualifiedName();
+            const auto *sr =
+                sweep::findResult(results, qn, core::Impl::Scalar, 128);
+            const auto *nr =
+                sweep::findResult(results, qn, core::Impl::Neon, 128);
+            if (!sr || !nr)
+                continue;
+            const auto &s = sr->run.sim;
+            const auto &v = nr->run.sim;
             double vals[12] = {s.l1Mpki,      v.l1Mpki,  s.l2Mpki,
                                v.l2Mpki,      s.llcMpki, v.llcMpki,
                                s.feStallPct,  v.feStallPct,

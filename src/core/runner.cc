@@ -17,7 +17,16 @@ name(Impl impl)
 std::vector<trace::Instr>
 Runner::capture(Workload &w, Impl impl, int vec_bits)
 {
-    trace::Recorder rec;
+    std::vector<trace::Instr> out;
+    captureInto(w, impl, vec_bits, &out);
+    return out;
+}
+
+void
+Runner::captureInto(Workload &w, Impl impl, int vec_bits,
+                    std::vector<trace::Instr> *out)
+{
+    trace::Recorder rec(out);
     {
         trace::ScopedRecorder scoped(&rec);
         switch (impl) {
@@ -32,18 +41,37 @@ Runner::capture(Workload &w, Impl impl, int vec_bits)
             break;
         }
     }
-    return rec.take();
 }
 
 KernelRun
 Runner::run(Workload &w, Impl impl, const sim::CoreConfig &cfg,
             int vec_bits, int warmup_passes) const
 {
-    KernelRun out;
-    auto instrs = capture(w, impl, vec_bits);
-    out.mix.addTrace(instrs);
-    out.sim = sim::simulateTrace(instrs, cfg, warmup_passes);
-    sim::applyPowerModel(out.sim, sim::PowerParams::forConfig(cfg));
+    return runMany(w, impl, {cfg}, vec_bits, warmup_passes).front();
+}
+
+std::vector<KernelRun>
+Runner::runMany(Workload &w, Impl impl,
+                const std::vector<sim::CoreConfig> &cfgs, int vec_bits,
+                int warmup_passes) const
+{
+    trace::MixStats mix;
+    trace::PackedTrace packed;
+    {
+        const auto instrs = capture(w, impl, vec_bits);
+        mix.addTrace(instrs);
+        packed = trace::PackedTrace::pack(instrs);
+        // The 64-byte-per-instr AoS buffer dies here; simulation runs
+        // off the packed encoding.
+    }
+    auto sims = sim::simulateTraceMany(packed, cfgs, warmup_passes);
+    std::vector<KernelRun> out(cfgs.size());
+    for (size_t i = 0; i < cfgs.size(); ++i) {
+        out[i].mix = mix;
+        out[i].sim = std::move(sims[i]);
+        sim::applyPowerModel(out[i].sim,
+                             sim::PowerParams::forConfig(cfgs[i]));
+    }
     return out;
 }
 

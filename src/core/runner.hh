@@ -88,9 +88,30 @@ class Runner
     static std::vector<trace::Instr> capture(Workload &w, Impl impl,
                                              int vec_bits = 128);
 
+    /**
+     * capture() into a caller-owned buffer (cleared first, capacity
+     * kept), for drivers that capture many traces back to back and
+     * must keep their heap evolution capture-count-independent (see
+     * trace::Recorder's external-buffer mode).
+     */
+    static void captureInto(Workload &w, Impl impl, int vec_bits,
+                            std::vector<trace::Instr> *out);
+
     /** Capture + simulate + power for one implementation. */
     KernelRun run(Workload &w, Impl impl, const sim::CoreConfig &cfg,
                   int vec_bits = 128, int warmup_passes = 1) const;
+
+    /**
+     * Capture once, replay against many core configurations in a
+     * single pass (the packed-trace pipeline: the AoS capture buffer
+     * is packed and freed before simulation, and every configuration's
+     * core model consumes each decoded block in turn). Result i is
+     * bit-identical to run() with cfgs[i].
+     */
+    std::vector<KernelRun> runMany(Workload &w, Impl impl,
+                                   const std::vector<sim::CoreConfig> &cfgs,
+                                   int vec_bits = 128,
+                                   int warmup_passes = 1) const;
 
     /** Run Scalar, Auto and Neon and verify outputs. */
     Comparison compare(const KernelSpec &spec,

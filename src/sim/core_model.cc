@@ -1,6 +1,7 @@
 #include "sim/core_model.hh"
 
 #include <algorithm>
+#include <memory>
 
 namespace swan::sim
 {
@@ -56,16 +57,32 @@ CoreModel::findIssueSlot(trace::Fu fu, uint64_t ready, int occupancy)
 void
 CoreModel::onInstr(const Instr &instr)
 {
-    if (instr.id <= lastSeenId_) {
-        // A new replayed pass started: re-base ids.
-        idOffset_ = n_;
-    }
-    lastSeenId_ = instr.id;
+    onBlock(&instr, 1);
+}
 
-    if (cfg_.outOfOrder)
-        stepOoO(instr);
-    else
-        stepInOrder(instr);
+void
+CoreModel::onBlock(const Instr *instrs, size_t n)
+{
+    if (cfg_.outOfOrder) {
+        for (size_t k = 0; k < n; ++k) {
+            const Instr &instr = instrs[k];
+            if (instr.id <= lastSeenId_) {
+                // A new replayed pass started: re-base ids.
+                idOffset_ = n_;
+            }
+            lastSeenId_ = instr.id;
+            stepOoO(instr);
+        }
+    } else {
+        for (size_t k = 0; k < n; ++k) {
+            const Instr &instr = instrs[k];
+            if (instr.id <= lastSeenId_) {
+                idOffset_ = n_;
+            }
+            lastSeenId_ = instr.id;
+            stepInOrder(instr);
+        }
+    }
 }
 
 uint64_t
@@ -339,18 +356,84 @@ CoreModel::finish()
     return r;
 }
 
+namespace
+{
+
+/**
+ * Shared warmup/measure/finish protocol of all the replay entry
+ * points. @p feedPass delivers one full pass of the trace to a span of
+ * models; it is called warmup_passes + 1 times.
+ */
+template <typename FeedPass>
+std::vector<SimResult>
+replayPasses(const std::vector<CoreConfig> &cfgs, int warmup_passes,
+             FeedPass &&feedPass)
+{
+    std::vector<std::unique_ptr<CoreModel>> models;
+    models.reserve(cfgs.size());
+    for (const auto &cfg : cfgs)
+        models.push_back(std::make_unique<CoreModel>(cfg));
+    for (int p = 0; p < warmup_passes; ++p)
+        feedPass(models);
+    for (auto &m : models)
+        m->beginMeasurement();
+    feedPass(models);
+    std::vector<SimResult> out;
+    out.reserve(models.size());
+    for (auto &m : models)
+        out.push_back(m->finish());
+    return out;
+}
+
+} // namespace
+
 SimResult
 simulateTrace(const std::vector<Instr> &instrs, const CoreConfig &cfg,
               int warmup_passes)
 {
     CoreModel model(cfg);
     for (int p = 0; p < warmup_passes; ++p)
-        for (const auto &i : instrs)
-            model.onInstr(i);
+        model.onBlock(instrs.data(), instrs.size());
     model.beginMeasurement();
-    for (const auto &i : instrs)
-        model.onInstr(i);
+    model.onBlock(instrs.data(), instrs.size());
     return model.finish();
+}
+
+SimResult
+simulateTrace(const trace::PackedTrace &trace, const CoreConfig &cfg,
+              int warmup_passes)
+{
+    return simulateTraceMany(trace, {cfg}, warmup_passes).front();
+}
+
+std::vector<SimResult>
+simulateTraceMany(const trace::PackedTrace &trace,
+                  const std::vector<CoreConfig> &cfgs, int warmup_passes)
+{
+    return replayPasses(cfgs, warmup_passes, [&](auto &models) {
+        // Decode once per pass; every model consumes the same
+        // cache-resident block.
+        Instr block[trace::PackedTrace::kBlockInstrs];
+        trace::PackedTrace::Cursor cur(trace);
+        size_t n;
+        while ((n = cur.next(block, trace::PackedTrace::kBlockInstrs)))
+            for (auto &m : models)
+                m->onBlock(block, n);
+    });
+}
+
+std::vector<SimResult>
+simulateTraceMany(const std::vector<Instr> &instrs,
+                  const std::vector<CoreConfig> &cfgs, int warmup_passes)
+{
+    constexpr size_t kBlock = trace::PackedTrace::kBlockInstrs;
+    return replayPasses(cfgs, warmup_passes, [&](auto &models) {
+        for (size_t at = 0; at < instrs.size(); at += kBlock) {
+            const size_t n = std::min(kBlock, instrs.size() - at);
+            for (auto &m : models)
+                m->onBlock(instrs.data() + at, n);
+        }
+    });
 }
 
 } // namespace swan::sim

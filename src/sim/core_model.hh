@@ -20,6 +20,7 @@
 #include "sim/cache.hh"
 #include "sim/configs.hh"
 #include "trace/instr.hh"
+#include "trace/packed.hh"
 #include "trace/recorder.hh"
 
 namespace swan::sim
@@ -64,6 +65,13 @@ class CoreModel : public trace::Sink
     explicit CoreModel(const CoreConfig &cfg);
 
     void onInstr(const trace::Instr &instr) override;
+
+    /**
+     * Hot path: consumes a block with the in-order/out-of-order branch
+     * hoisted out of the loop and no per-instruction virtual dispatch.
+     * onInstr delegates here, so both entry points stay equivalent.
+     */
+    void onBlock(const trace::Instr *instrs, size_t n) override;
 
     /**
      * Mark the start of the measured region: statistics reset, cache and
@@ -164,6 +172,29 @@ class CoreModel : public trace::Sink
  */
 SimResult simulateTrace(const std::vector<trace::Instr> &instrs,
                         const CoreConfig &cfg, int warmup_passes = 1);
+
+/** Same, replaying a packed trace (block-decoded, bit-identical). */
+SimResult simulateTrace(const trace::PackedTrace &trace,
+                        const CoreConfig &cfg, int warmup_passes = 1);
+
+/**
+ * Single-pass multi-config replay: stream the trace once per pass and
+ * feed every configuration's CoreModel block by block, so an N-config
+ * sweep point costs one trace traversal (and one decode) instead of N.
+ * Each model's state evolution only depends on the instruction stream
+ * it sees, so result i is bit-identical to simulateTrace(trace,
+ * cfgs[i], warmup_passes).
+ */
+std::vector<SimResult>
+simulateTraceMany(const trace::PackedTrace &trace,
+                  const std::vector<CoreConfig> &cfgs,
+                  int warmup_passes = 1);
+
+/** AoS-buffer overload of the single-pass multi-config replay. */
+std::vector<SimResult>
+simulateTraceMany(const std::vector<trace::Instr> &instrs,
+                  const std::vector<CoreConfig> &cfgs,
+                  int warmup_passes = 1);
 
 } // namespace swan::sim
 

@@ -1,6 +1,7 @@
 #include "sweep/cache.hh"
 
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -150,6 +151,35 @@ keyFor(const SweepPoint &point, int warmup_passes)
     return k;
 }
 
+uint64_t
+TraceKey::hash() const
+{
+    Fnv f;
+    f.str("trace"); // never collides with a CacheKey file stem
+    f.str(kernel);
+    f.i32(int(impl));
+    f.i32(vecBits);
+    f.u64(optionsFp);
+    return f.h;
+}
+
+std::string
+TraceKey::hex() const
+{
+    return hex64(hash());
+}
+
+TraceKey
+traceKeyFor(const SweepPoint &point)
+{
+    TraceKey k;
+    k.kernel = point.spec->info.qualifiedName();
+    k.impl = point.impl;
+    k.vecBits = point.vecBits;
+    k.optionsFp = fingerprint(point.options);
+    return k;
+}
+
 ResultCache::ResultCache(std::string disk_dir) : diskDir_(std::move(disk_dir))
 {
     if (!diskDir_.empty()) {
@@ -214,6 +244,146 @@ ResultCache::resetStats()
 {
     std::lock_guard<std::mutex> lock(mu_);
     stats_ = CacheStats{};
+}
+
+namespace
+{
+
+/** v1 on-disk packed-trace entry: magic, key echo, checksummed payload. */
+constexpr char kTraceMagic[4] = {'S', 'W', 'T', 'P'};
+constexpr uint32_t kTraceTierVersion = 1;
+
+template <typename T>
+void
+appendRaw(std::string *out, T v)
+{
+    out->append(reinterpret_cast<const char *>(&v), sizeof v);
+}
+
+template <typename T>
+bool
+readRaw(const std::string &buf, size_t *at, T *v)
+{
+    if (buf.size() - *at < sizeof(T))
+        return false;
+    std::memcpy(v, buf.data() + *at, sizeof(T));
+    *at += sizeof(T);
+    return true;
+}
+
+} // namespace
+
+bool
+ResultCache::lookupTrace(const TraceKey &key, trace::PackedTrace *out,
+                         trace::MixStats *mix)
+{
+    const auto miss = [this] {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.traceMisses;
+        return false;
+    };
+    if (diskDir_.empty())
+        return miss();
+    const auto path =
+        std::filesystem::path(diskDir_) / (key.hex() + ".swtp");
+    // Single sized read: a trace blob can be tens of MB, so avoid the
+    // ostringstream route's extra full copies.
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(path, ec);
+    if (ec)
+        return miss();
+    std::string buf(size, '\0');
+    {
+        std::ifstream in(path, std::ios::binary);
+        if (!in || !in.read(buf.data(), std::streamsize(size)))
+            return miss();
+    }
+
+    size_t at = 0;
+    char magic[4];
+    uint32_t version = 0;
+    if (!readRaw(buf, &at, &magic) ||
+        std::memcmp(magic, kTraceMagic, 4) != 0 ||
+        !readRaw(buf, &at, &version) || version != kTraceTierVersion)
+        return miss();
+    // Key echo: a hash collision or stale rename must read as a miss.
+    uint32_t kernelLen = 0;
+    if (!readRaw(buf, &at, &kernelLen) || buf.size() - at < kernelLen)
+        return miss();
+    TraceKey seen;
+    seen.kernel.assign(buf.data() + at, kernelLen);
+    at += kernelLen;
+    int32_t impl = -1;
+    if (!readRaw(buf, &at, &impl) || !readRaw(buf, &at, &seen.vecBits) ||
+        !readRaw(buf, &at, &seen.optionsFp))
+        return miss();
+    seen.impl = core::Impl(impl);
+    if (!(seen == key))
+        return miss();
+    // Mix counter snapshot, so a warm hit skips a full trace decode.
+    uint32_t mixLen = 0;
+    if (!readRaw(buf, &at, &mixLen) ||
+        (buf.size() - at) / sizeof(uint64_t) < mixLen)
+        return miss();
+    std::vector<uint64_t> counters(mixLen);
+    for (auto &v : counters)
+        if (!readRaw(buf, &at, &v))
+            return miss();
+    trace::MixStats seenMix;
+    if (!trace::MixStats::fromCounters(counters, &seenMix))
+        return miss();
+    if (!trace::PackedTrace::parsePayload(
+            reinterpret_cast<const uint8_t *>(buf.data()) + at,
+            buf.size() - at, out))
+        return miss();
+    *mix = seenMix;
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.traceHits;
+    return true;
+}
+
+void
+ResultCache::storeTrace(const TraceKey &key, const trace::PackedTrace &t,
+                        const trace::MixStats &mix)
+{
+    if (diskDir_.empty())
+        return;
+    const auto counters = mix.counters();
+    std::string blob;
+    blob.reserve(t.byteSize() + key.kernel.size() +
+                 counters.size() * sizeof(uint64_t) + 64);
+    blob.append(kTraceMagic, 4);
+    appendRaw(&blob, kTraceTierVersion);
+    appendRaw(&blob, uint32_t(key.kernel.size()));
+    blob.append(key.kernel);
+    appendRaw(&blob, int32_t(key.impl));
+    appendRaw(&blob, int32_t(key.vecBits));
+    appendRaw(&blob, key.optionsFp);
+    appendRaw(&blob, uint32_t(counters.size()));
+    for (uint64_t v : counters)
+        appendRaw(&blob, v);
+    t.appendPayload(&blob);
+
+    const auto dir = std::filesystem::path(diskDir_);
+    const auto path = dir / (key.hex() + ".swtp");
+    // Write-then-rename so concurrent readers never see a torn entry.
+    const auto tmp = dir / (key.hex() + ".swtp.tmp");
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os)
+            return;
+        os.write(blob.data(), std::streamsize(blob.size()));
+        if (!os)
+            return;
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        std::filesystem::remove(tmp, ec);
+        return;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.traceStores;
 }
 
 bool

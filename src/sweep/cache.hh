@@ -32,6 +32,7 @@
 
 #include "core/runner.hh"
 #include "sweep/grid.hh"
+#include "trace/packed.hh"
 
 namespace swan::sweep
 {
@@ -64,6 +65,31 @@ struct CacheKey
 
 CacheKey keyFor(const SweepPoint &point, int warmup_passes);
 
+/**
+ * Identity of one captured trace: the capture-relevant subset of
+ * CacheKey (no core config, no warm-up count — a trace is replayed
+ * against any number of configurations).
+ */
+struct TraceKey
+{
+    std::string kernel;     //!< qualified name, e.g. "ZL/adler32"
+    core::Impl impl = core::Impl::Neon;
+    int vecBits = 128;
+    uint64_t optionsFp = 0;
+
+    bool operator==(const TraceKey &o) const
+    {
+        return kernel == o.kernel && impl == o.impl &&
+               vecBits == o.vecBits && optionsFp == o.optionsFp;
+    }
+
+    uint64_t hash() const;
+    /** 16-hex-digit form of hash(); the on-disk file stem. */
+    std::string hex() const;
+};
+
+TraceKey traceKeyFor(const SweepPoint &point);
+
 /** Aggregate counters for one cache over its lifetime. */
 struct CacheStats
 {
@@ -71,6 +97,12 @@ struct CacheStats
     uint64_t diskHits = 0;   //!< served from the on-disk tier
     uint64_t misses = 0;     //!< absent everywhere; caller simulates
     uint64_t stores = 0;     //!< results inserted
+
+    // Packed-trace tier (disk only; the scheduler's memo is the
+    // in-memory tier).
+    uint64_t traceHits = 0;   //!< capture skipped, trace read off disk
+    uint64_t traceMisses = 0; //!< caller captures (and stores)
+    uint64_t traceStores = 0; //!< packed traces written
 
     uint64_t total() const { return hits + diskHits + misses; }
 };
@@ -96,6 +128,21 @@ class ResultCache
 
     bool lookup(const CacheKey &key, core::KernelRun *out);
     void store(const CacheKey &key, const core::KernelRun &run);
+
+    /**
+     * Packed-trace tier: serve a previously captured trace off disk so
+     * warm reruns skip capture too (one `<keyhash>.swtp` binary file
+     * per trace, checksummed and key-verified; any mismatch degrades
+     * to a miss). The entry carries the trace's MixStats counter
+     * snapshot so a warm hit does not have to decode the whole trace
+     * just to recount it. Disk-only — the scheduler's trace memo is
+     * the in-memory tier — so both are no-ops without a cache
+     * directory.
+     */
+    bool lookupTrace(const TraceKey &key, trace::PackedTrace *out,
+                     trace::MixStats *mix);
+    void storeTrace(const TraceKey &key, const trace::PackedTrace &t,
+                    const trace::MixStats &mix);
 
     const std::string &diskDir() const { return diskDir_; }
     CacheStats stats() const;

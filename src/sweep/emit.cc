@@ -144,10 +144,16 @@ emitResults(std::ostream &os, const std::vector<SweepResult> &results,
 std::string
 cacheSummary(const CacheStats &stats)
 {
-    return "cache: " + std::to_string(stats.hits) + " memory hits, " +
-           std::to_string(stats.diskHits) + " disk hits, " +
-           std::to_string(stats.misses) + " misses, " +
-           std::to_string(stats.stores) + " stored";
+    std::string s = "cache: " + std::to_string(stats.hits) +
+                    " memory hits, " + std::to_string(stats.diskHits) +
+                    " disk hits, " + std::to_string(stats.misses) +
+                    " misses, " + std::to_string(stats.stores) +
+                    " stored";
+    if (stats.traceHits || stats.traceStores)
+        s += "; traces: " + std::to_string(stats.traceHits) +
+             " disk hits, " + std::to_string(stats.traceStores) +
+             " stored";
+    return s;
 }
 
 } // namespace swan::sweep

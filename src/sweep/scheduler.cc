@@ -1,15 +1,31 @@
 #include "sweep/scheduler.hh"
 
-#include <deque>
+#include <condition_variable>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <new>
 #include <stdexcept>
 #include <thread>
 #include <tuple>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <cerrno>
+#include <fcntl.h>
+#include <pthread.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define SWAN_POOL_HAVE_PTHREAD 1
+#endif
+
 #include "core/registry.hh"
 #include "sim/power.hh"
+#include "trace/packed.hh"
+#include "trace/stats.hh"
 
 namespace swan::sweep
 {
@@ -18,72 +34,95 @@ namespace
 {
 
 /**
- * Per-sweep trace memo: multi-config sweeps (Figure 5(b): six core
- * configs over one trace) capture each (kernel, impl, width, working
- * set) once and replay it per config. Filled serially in phase 1;
- * phase-2 workers only read (the lock makes those reads safe).
+ * One trace group: every pending point that shares a capture identity
+ * (kernel, impl, width, working set). The group's packed trace streams
+ * through all of its core configurations in a single traversal
+ * (sim::simulateTraceMany), so a Figure-5(b)-style six-config sweep
+ * point costs one decode pass, not six.
  *
- * All traces are held until the sweep ends and freed on one thread,
- * deliberately: freeing each trace as its last simulation finishes
- * would release heap blocks in thread-scheduling order, making the
- * allocator state after the sweep — and therefore the buffer
- * addresses captured by any LATER sweep in the same process —
- * nondeterministic, which breaks the byte-identical-reports contract
- * across job counts. The cost is that peak memory is the sum of the
- * grid's distinct traces; a size cap / eviction policy for
- * paper-scale grids is tracked in ROADMAP.md.
+ * Determinism notes (this is the TraceMemo of old, restructured):
+ *
+ *  - Captures stay serial on the calling thread in point-index order,
+ *    and finish before any worker thread exists. Captured traces
+ *    carry real buffer addresses and the cache models are
+ *    address-sensitive, so the heap AND address-space evolution up to
+ *    the last capture must be identical whatever `--jobs` or the memo
+ *    budget is.
+ *  - Packed-trace storage is mmap-backed (trace::PackedTrace), so
+ *    evicting a trace mid-phase-1 under SWAN_TRACE_MEMO_BYTES is
+ *    invisible to malloc — the buffer addresses captured by later
+ *    points (and later sweeps in the same process) cannot shift.
+ *  - Eviction spills the packed bytes to disk (oldest first — for
+ *    single-use traces that is LRU order) and the executing worker
+ *    reloads them; a reloaded trace is bit-identical to the evicted
+ *    one (checksummed), so the budget cannot change any result by
+ *    construction.
+ *  - Workers never run on the calling thread: simulation allocates
+ *    from worker-thread arenas, keeping the capture thread's malloc
+ *    state a pure function of the capture sequence across the
+ *    process's sweeps.
  */
-class TraceMemo
+struct TraceGroup
 {
-  public:
-    using Key = std::tuple<std::string, int, int, uint64_t>;
-    using Trace = std::shared_ptr<const std::vector<trace::Instr>>;
-
-    Trace
-    find(const Key &key)
-    {
-        std::lock_guard<std::mutex> lock(mu_);
-        auto it = map_.find(key);
-        return it == map_.end() ? nullptr : it->second;
-    }
-
-    Trace
-    insert(const Key &key, std::vector<trace::Instr> instrs)
-    {
-        auto sp = std::make_shared<const std::vector<trace::Instr>>(
-            std::move(instrs));
-        std::lock_guard<std::mutex> lock(mu_);
-        auto [it, inserted] = map_.emplace(key, sp);
-        (void)inserted;
-        return it->second;
-    }
-
-  private:
-    std::mutex mu_;
-    std::map<Key, Trace> map_;
+    std::shared_ptr<trace::PackedTrace> trace;
+    trace::MixStats mix;                //!< shared by the group's points
+    std::vector<size_t> points;         //!< point indices, ascending
+    std::vector<sim::CoreConfig> configs; //!< parallel to points
+    bool spilled = false; //!< storage evicted; reload from spill file
 };
 
-TraceMemo::Key
-memoKey(const SweepPoint &p)
+/** Capture identity: which points may share one trace. */
+using GroupKey = std::tuple<std::string, int, int, uint64_t>;
+
+GroupKey
+groupKeyFor(const SweepPoint &p)
 {
     return {p.spec->info.qualifiedName(), int(p.impl), p.vecBits,
             fingerprint(p.options)};
 }
 
-/** One worker's mutex-guarded deque of point indices. */
+/** Process-unique token for the spill directory name. */
+uint64_t
+processToken()
+{
+#ifdef SWAN_POOL_HAVE_PTHREAD
+    return uint64_t(::getpid());
+#else
+    static const int anchor = 0;
+    return uint64_t(reinterpret_cast<uintptr_t>(&anchor));
+#endif
+}
+
+/**
+ * One worker's mutex-guarded ring of group indices. The ring storage
+ * is a caller-provided slice of the pool's mmap arena — a WorkQueue
+ * never touches malloc.
+ */
 struct WorkQueue
 {
     std::mutex mu;
-    std::deque<size_t> q;
+    size_t *ring = nullptr; //!< capacity cap entries, externally owned
+    size_t cap = 0;
+    size_t head = 0;
+    size_t count = 0;
+
+    void
+    pushBack(size_t v)
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        ring[(head + count) % cap] = v;
+        ++count;
+    }
 
     bool
     popFront(size_t *out)
     {
         std::lock_guard<std::mutex> lock(mu);
-        if (q.empty())
+        if (count == 0)
             return false;
-        *out = q.front();
-        q.pop_front();
+        *out = ring[head];
+        head = (head + 1) % cap;
+        --count;
         return true;
     }
 
@@ -91,10 +130,10 @@ struct WorkQueue
     stealBack(size_t *out)
     {
         std::lock_guard<std::mutex> lock(mu);
-        if (q.empty())
+        if (count == 0)
             return false;
-        *out = q.back();
-        q.pop_back();
+        --count;
+        *out = ring[(head + count) % cap];
         return true;
     }
 
@@ -102,11 +141,307 @@ struct WorkQueue
     size()
     {
         std::lock_guard<std::mutex> lock(mu);
-        return q.size();
+        return count;
     }
 };
 
+/**
+ * Work-stealing pool for the simulation phase.
+ *
+ * The threads are created once per sweep, strictly AFTER the last
+ * capture, and exit when the sweep ends. That placement is
+ * load-bearing for determinism: thread stacks (and the worker arenas
+ * glibc creates at each worker's first malloc) are jobs-count-many
+ * mappings, and captured workload buffers above malloc's mmap
+ * threshold are placed in whatever address-space layout exists at
+ * capture time — spawning before captures would make those addresses,
+ * and therefore the address-sensitive simulated cycle counts, a
+ * function of `--jobs`. Workers never run on the calling thread:
+ * simulation must allocate from worker arenas only, keeping the
+ * capture thread's heap evolution a pure function of the capture
+ * sequence across sweeps.
+ *
+ * For the same contract, the pool's own jobs-sized state (queues,
+ * rings, worker slots, thread handles) lives in one anonymous mmap
+ * region rather than on the heap, and on POSIX the threads are raw
+ * pthreads fed from those slots: mmap keeps the pool's footprint
+ * invisible to malloc, and std::thread is avoided because its invoke
+ * state is parent-allocated but child-freed — a cross-thread free
+ * whose chunks return to the parent's arena in thread-exit order,
+ * i.e. nondeterministically.
+ */
+class WorkerPool
+{
+  public:
+    /**
+     * @param jobs  worker threads (>= 1)
+     * @param cap   upper bound on groups per run() batch
+     * @param fn    group executor; must not throw
+     * @param ctx   opaque pointer handed back to @p fn
+     */
+    WorkerPool(int jobs, size_t cap, void (*fn)(void *, size_t),
+               void *ctx)
+        : execute_(fn), ctx_(ctx), jobs_(size_t(jobs))
+    {
+        cap = std::max<size_t>(cap, 1);
+        const size_t queuesOff = 0;
+        const size_t ringsOff =
+            alignUp(queuesOff + jobs_ * sizeof(WorkQueue), 64);
+        const size_t slotsOff =
+            alignUp(ringsOff + jobs_ * cap * sizeof(size_t), 64);
+        const size_t threadsOff =
+            alignUp(slotsOff + jobs_ * sizeof(Slot), 64);
+        const size_t total = threadsOff + jobs_ * sizeof(ThreadHandle);
+        arena_ = mapArena(total);
+
+        queues_ = reinterpret_cast<WorkQueue *>(arena_ + queuesOff);
+        auto *rings = reinterpret_cast<size_t *>(arena_ + ringsOff);
+        slots_ = reinterpret_cast<Slot *>(arena_ + slotsOff);
+        threads_ = reinterpret_cast<ThreadHandle *>(arena_ + threadsOff);
+        arenaBytes_ = total;
+
+        for (size_t t = 0; t < jobs_; ++t) {
+            WorkQueue *q = new (&queues_[t]) WorkQueue();
+            q->ring = rings + t * cap;
+            q->cap = cap;
+            new (&slots_[t]) Slot{this, int(t)};
+        }
+        for (size_t t = 0; t < jobs_; ++t) {
+            try {
+                spawn(&threads_[t], &slots_[t]);
+            } catch (...) {
+                // Tear down the workers already running before the
+                // members they block on are destroyed.
+                shutdown(t);
+                throw;
+            }
+        }
+    }
+
+    ~WorkerPool() { shutdown(jobs_); }
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    /** Run groups [0, n); blocks until every one has executed. */
+    void
+    run(size_t n)
+    {
+        if (n == 0)
+            return;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            // Deal indices round-robin so initial shares interleave
+            // the grid (adjacent groups of one kernel tend to cost
+            // the same).
+            for (size_t i = 0; i < n; ++i)
+                queues_[i % jobs_].pushBack(i);
+            remaining_ = n;
+            ++generation_;
+        }
+        wake_.notify_all();
+        std::unique_lock<std::mutex> lock(mu_);
+        done_.wait(lock, [this] { return remaining_ == 0; });
+    }
+
+  private:
+    struct Slot
+    {
+        WorkerPool *pool;
+        int self;
+    };
+
+    /** Stop and join the first @p spawned workers, then free state. */
+    void
+    shutdown(size_t spawned)
+    {
+        // Workers exit strictly in worker-index order (each waits for
+        // its turn, and the next turn is granted only after the
+        // previous thread fully terminated): thread teardown releases
+        // allocator state back to shared lists, and an exit race would
+        // leave those lists — and therefore the next sweep's capture
+        // addresses — ordered by scheduling luck.
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            stop_ = true;
+            exitTurn_ = 0;
+        }
+        wake_.notify_all();
+        for (size_t t = 0; t < spawned; ++t) {
+            join(&threads_[t]);
+            std::lock_guard<std::mutex> lock(mu_);
+            exitTurn_ = t + 1;
+            wake_.notify_all();
+        }
+        for (size_t t = 0; t < jobs_; ++t)
+            queues_[t].~WorkQueue();
+        unmapArena(arena_, arenaBytes_);
+    }
+
+#ifdef SWAN_POOL_HAVE_PTHREAD
+    using ThreadHandle = pthread_t;
+
+    static void
+    spawn(ThreadHandle *h, Slot *slot)
+    {
+        if (pthread_create(h, nullptr, &WorkerPool::entry, slot) != 0)
+            throw std::runtime_error("sweep: cannot spawn worker");
+    }
+    static void join(ThreadHandle *h) { pthread_join(*h, nullptr); }
+#else
+    using ThreadHandle = std::thread;
+
+    static void
+    spawn(ThreadHandle *h, Slot *slot)
+    {
+        new (h) std::thread(&WorkerPool::entry, slot);
+    }
+    static void
+    join(ThreadHandle *h)
+    {
+        h->join();
+        h->~thread();
+    }
+#endif
+
+    static size_t
+    alignUp(size_t v, size_t a)
+    {
+        return (v + a - 1) / a * a;
+    }
+
+    uint8_t *
+    mapArena(size_t n)
+    {
+#ifdef SWAN_POOL_HAVE_PTHREAD
+        void *p = ::mmap(nullptr, n, PROT_READ | PROT_WRITE,
+                         MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+        if (p != MAP_FAILED) {
+            arenaMapped_ = true;
+            return static_cast<uint8_t *>(p);
+        }
+#endif
+        return static_cast<uint8_t *>(::operator new(n));
+    }
+
+    void
+    unmapArena(uint8_t *p, size_t n)
+    {
+#ifdef SWAN_POOL_HAVE_PTHREAD
+        if (arenaMapped_) {
+            ::munmap(p, n);
+            return;
+        }
+#endif
+        (void)n;
+        ::operator delete(p);
+    }
+
+    static void *
+    entry(void *arg)
+    {
+        auto *slot = static_cast<Slot *>(arg);
+        slot->pool->workerLoop(slot->self);
+        return nullptr;
+    }
+
+    void
+    workerLoop(int self)
+    {
+        uint64_t seen = 0;
+        while (true) {
+            {
+                std::unique_lock<std::mutex> lock(mu_);
+                wake_.wait(lock, [&] {
+                    return stop_ || generation_ != seen;
+                });
+                if (stop_) {
+                    // Serialized teardown: see the destructor.
+                    wake_.wait(lock, [&] {
+                        return exitTurn_ == size_t(self);
+                    });
+                    return;
+                }
+                seen = generation_;
+            }
+            drain(self);
+        }
+    }
+
+    void
+    drain(int self)
+    {
+        size_t gi;
+        while (true) {
+            if (queues_[size_t(self)].popFront(&gi)) {
+                finish(gi);
+                continue;
+            }
+            // Own queue drained: steal from the fullest victim.
+            int victim = -1;
+            size_t most = 0;
+            for (int v = 0; v < int(jobs_); ++v) {
+                if (v == self)
+                    continue;
+                const size_t n = queues_[size_t(v)].size();
+                if (n > most) {
+                    most = n;
+                    victim = v;
+                }
+            }
+            // No queue had work at scan time: batch over for this
+            // worker (nobody pushes mid-batch, so emptiness is stable
+            // once observed).
+            if (victim < 0)
+                return;
+            // Lost the steal race: rescan, another victim may still
+            // hold work.
+            if (!queues_[size_t(victim)].stealBack(&gi))
+                continue;
+            finish(gi);
+        }
+    }
+
+    void
+    finish(size_t gi)
+    {
+        // Must not throw; errors are recorded by the callback itself.
+        execute_(ctx_, gi);
+        std::lock_guard<std::mutex> lock(mu_);
+        if (--remaining_ == 0)
+            done_.notify_all();
+    }
+
+    void (*execute_)(void *, size_t);
+    void *ctx_;
+    size_t jobs_;
+    uint8_t *arena_ = nullptr;
+    size_t arenaBytes_ = 0;
+    bool arenaMapped_ = false;
+    WorkQueue *queues_ = nullptr;
+    Slot *slots_ = nullptr;
+    ThreadHandle *threads_ = nullptr;
+    std::mutex mu_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    uint64_t generation_ = 0;
+    size_t remaining_ = 0;
+    size_t exitTurn_ = 0;
+    bool stop_ = false;
+};
+
 } // namespace
+
+uint64_t
+SchedulerConfig::envTraceMemoBytes()
+{
+    const char *v = std::getenv("SWAN_TRACE_MEMO_BYTES");
+    if (!v || !*v)
+        return 0;
+    char *end = nullptr;
+    const unsigned long long n = std::strtoull(v, &end, 10);
+    return (end && *end == '\0') ? uint64_t(n) : 0;
+}
 
 std::vector<SweepResult>
 runSweep(const std::vector<SweepPoint> &points, const SchedulerConfig &cfg)
@@ -124,15 +459,8 @@ runSweep(const std::vector<SweepPoint> &points, const SchedulerConfig &cfg)
         jobs = int(std::thread::hardware_concurrency());
     if (jobs < 1)
         jobs = 1;
-    jobs = int(std::min<size_t>(size_t(jobs), points.size()));
 
-    // Phase 1 (serial, point-index order): cache lookups and trace
-    // captures. Captured traces carry real buffer addresses, and the
-    // cache models are address-sensitive, so the heap must evolve
-    // identically whatever --jobs is; capturing on one thread in a
-    // fixed order guarantees that. Each distinct (kernel, impl, width,
-    // working set) is captured once and shared across core configs.
-    TraceMemo memo;
+    // Phase 1a (serial, point-index order): result-cache lookups.
     std::vector<size_t> pending;
     for (size_t i = 0; i < points.size(); ++i) {
         const SweepPoint &p = points[i];
@@ -143,87 +471,231 @@ runSweep(const std::vector<SweepPoint> &points, const SchedulerConfig &cfg)
             r.cacheHit = true;
             continue;
         }
-        if (!memo.find(memoKey(p))) {
-            auto w = p.spec->make(p.options);
-            memo.insert(memoKey(p),
-                        core::Runner::capture(*w, p.impl, p.vecBits));
-        }
         pending.push_back(i);
     }
     if (pending.empty())
         return results;
-    jobs = int(std::min<size_t>(size_t(jobs), pending.size()));
 
-    // Phase 2 (parallel): simulate pending points. Simulation is a
-    // pure function of (trace, config), so the fan-out cannot affect
-    // the numbers, only the wall clock.
-    // Deal indices round-robin so initial shares interleave the grid
-    // (adjacent points of one kernel tend to cost the same).
-    std::vector<WorkQueue> queues(jobs);
-    for (size_t i = 0; i < pending.size(); ++i)
-        queues[i % jobs].q.push_back(pending[i]);
+    // Phase 1b: group the pending points by capture identity, in
+    // first-occurrence order (which is point-index order).
+    std::vector<TraceGroup> groups;
+    {
+        std::map<GroupKey, size_t> groupOf;
+        for (size_t idx : pending) {
+            const SweepPoint &p = points[idx];
+            auto [it, inserted] =
+                groupOf.emplace(groupKeyFor(p), groups.size());
+            if (inserted)
+                groups.emplace_back();
+            TraceGroup &g = groups[it->second];
+            g.points.push_back(idx);
+            g.configs.push_back(p.config);
+        }
+    }
+    jobs = int(std::min<size_t>(size_t(jobs), groups.size()));
 
     std::mutex errMu;
     std::string firstError;
+    const auto recordError = [&](const char *what) {
+        std::lock_guard<std::mutex> lock(errMu);
+        if (firstError.empty())
+            firstError = what;
+    };
 
-    const auto worker = [&](int self) {
-        const auto execute = [&](size_t idx) {
-            const SweepPoint &p = points[idx];
-            SweepResult &r = results[idx];
-            const auto trace = memo.find(memoKey(p));
-            r.run = core::KernelRun{};
-            r.run.mix.addTrace(*trace);
-            r.run.sim =
-                sim::simulateTrace(*trace, p.config, cfg.warmupPasses);
-            sim::applyPowerModel(r.run.sim,
-                                 sim::PowerParams::forConfig(p.config));
-            if (cfg.cache)
-                cfg.cache->store(keyFor(p, cfg.warmupPasses), r.run);
-        };
+    // Private spill directory for memo-budget evictions, independent
+    // of the result cache so eviction works with or without a cache
+    // dir. The name is resolved HERE, before any capture, into a
+    // fixed stack buffer, and the spill I/O itself uses raw
+    // syscalls + stack-built paths: eviction happens between
+    // captures, where even a balanced malloc/free pair can split or
+    // coalesce allocator bins and shift the addresses later captures
+    // record — the budget must leave the capture thread's allocator
+    // bit-untouched so results cannot depend on it.
+    char spillDir[3072];
+    spillDir[0] = '\0';
+    bool spillDirMade = false;
+    {
+        std::error_code ec;
+        const auto tmp = std::filesystem::temp_directory_path(ec);
+        if (!ec) {
+            const int w = std::snprintf(
+                spillDir, sizeof spillDir, "%s/swan-memo-%llu",
+                tmp.string().c_str(),
+                static_cast<unsigned long long>(processToken()));
+            if (w <= 0 || size_t(w) >= sizeof spillDir)
+                spillDir[0] = '\0';
+        }
+    }
+    const auto spillPathFor = [&](size_t gi, char *buf, size_t buf_len) {
+        const int w = std::snprintf(buf, buf_len, "%s/g%zu.swtp",
+                                    spillDir, gi);
+        return w > 0 && size_t(w) < buf_len;
+    };
+
+    // Phase 2 worker: replay one group's trace through all of its
+    // configurations in a single pass; results land by point index.
+    // Evicted traces are reloaded from their spill file (bit-identical
+    // by checksum, so eviction cannot change any result).
+    const auto executeGroup = [&](size_t gi) {
         try {
-            size_t idx;
-            while (true) {
-                if (queues[self].popFront(&idx)) {
-                    execute(idx);
-                    continue;
-                }
-                // Own deque drained: steal from the fullest victim.
-                int victim = -1;
-                size_t most = 0;
-                for (int v = 0; v < int(queues.size()); ++v) {
-                    if (v == self)
-                        continue;
-                    const size_t n = queues[v].size();
-                    if (n > most) {
-                        most = n;
-                        victim = v;
+            TraceGroup &g = groups[gi];
+            trace::PackedTrace reloaded;
+            const trace::PackedTrace *t = g.trace.get();
+            if (g.spilled) {
+                // Worker-side reload; worker-arena allocations are
+                // free to happen here (captures are long done).
+                char path[3328];
+                std::string blob;
+                std::error_code ec;
+                if (spillPathFor(gi, path, sizeof path)) {
+                    const auto size = std::filesystem::file_size(path, ec);
+                    if (!ec) {
+                        blob.resize(size);
+                        std::ifstream in(path, std::ios::binary);
+                        if (!in.read(blob.data(), std::streamsize(size)))
+                            blob.clear();
                     }
                 }
-                // No queue had work at scan time: done (workers never
-                // push new work, so emptiness is stable once observed).
-                if (victim < 0)
-                    break;
-                // Lost the steal race: rescan, another victim may
-                // still hold work.
-                if (!queues[victim].stealBack(&idx))
-                    continue;
-                execute(idx);
+                if (blob.empty() ||
+                    !trace::PackedTrace::parsePayload(
+                        reinterpret_cast<const uint8_t *>(blob.data()),
+                        blob.size(), &reloaded)) {
+                    recordError("evicted trace spill lost or corrupt");
+                    return;
+                }
+                t = &reloaded;
+            }
+            auto sims = sim::simulateTraceMany(*t, g.configs,
+                                               cfg.warmupPasses);
+            for (size_t j = 0; j < g.points.size(); ++j) {
+                const size_t idx = g.points[j];
+                const SweepPoint &p = points[idx];
+                SweepResult &r = results[idx];
+                r.run = core::KernelRun{};
+                r.run.mix = g.mix;
+                r.run.sim = std::move(sims[j]);
+                sim::applyPowerModel(
+                    r.run.sim, sim::PowerParams::forConfig(p.config));
+                if (cfg.cache)
+                    cfg.cache->store(keyFor(p, cfg.warmupPasses), r.run);
             }
         } catch (const std::exception &e) {
-            std::lock_guard<std::mutex> lock(errMu);
-            if (firstError.empty())
-                firstError = e.what();
+            recordError(e.what());
         }
     };
 
-    std::vector<std::thread> threads;
-    threads.reserve(jobs - 1);
-    for (int t = 1; t < jobs; ++t)
-        threads.emplace_back(worker, t);
-    worker(0);
-    for (auto &t : threads)
-        t.join();
+    // Acquire one group's packed trace: the on-disk trace tier when
+    // warm, a fresh capture otherwise. Serial, capture-thread only.
+    // The capture and pack scratch buffers persist across all groups
+    // (freed once, here, when the sweep ends): steady-state captures
+    // then leave the capture thread's malloc state untouched, so the
+    // workload buffer addresses later captures record — which the
+    // address-sensitive cache models feel — cannot depend on how many
+    // traces came before or on the memo budget.
+    std::vector<trace::Instr> captureBuf;
+    trace::PackedTrace::Scratch packScratch;
+    const auto acquireTrace = [&](TraceGroup &g) {
+        const SweepPoint &p = points[g.points.front()];
+        trace::PackedTrace t;
+        if (cfg.cache &&
+            cfg.cache->lookupTrace(traceKeyFor(p), &t, &g.mix)) {
+            g.trace = std::make_shared<trace::PackedTrace>(std::move(t));
+            return;
+        }
+        auto w = p.spec->make(p.options);
+        core::Runner::captureInto(*w, p.impl, p.vecBits, &captureBuf);
+        g.mix.addTrace(captureBuf);
+        g.trace = std::make_shared<trace::PackedTrace>(
+            trace::PackedTrace::pack(captureBuf, &packScratch));
+        if (cfg.cache)
+            cfg.cache->storeTrace(traceKeyFor(p), *g.trace, g.mix);
+    };
 
+    // Spill one group's packed bytes and release the mmap storage.
+    // Runs between captures: syscalls only, zero heap traffic.
+    const auto spillGroup = [&](size_t gi) -> bool {
+        TraceGroup &g = groups[gi];
+        if (!spillDir[0])
+            return false;
+#ifdef SWAN_POOL_HAVE_PTHREAD
+        if (!spillDirMade) {
+            if (::mkdir(spillDir, 0700) != 0 && errno != EEXIST)
+                return false;
+            spillDirMade = true;
+        }
+        char path[3328];
+        if (!spillPathFor(gi, path, sizeof path))
+            return false;
+        const int fd =
+            ::open(path, O_WRONLY | O_CREAT | O_TRUNC, 0600);
+        if (fd < 0)
+            return false;
+        bool ok = g.trace->writePayload(fd);
+        ok = (::close(fd) == 0) && ok;
+#else
+        if (!spillDirMade) {
+            std::error_code ec;
+            std::filesystem::create_directories(spillDir, ec);
+            if (ec)
+                return false;
+            spillDirMade = true;
+        }
+        char path[3328];
+        if (!spillPathFor(gi, path, sizeof path))
+            return false;
+        std::FILE *f = std::fopen(path, "wb");
+        if (!f)
+            return false;
+        bool ok = g.trace->writePayload(f);
+        ok = (std::fclose(f) == 0) && ok;
+#endif
+        if (!ok)
+            return false;
+        g.trace->releaseStorage();
+        g.spilled = true;
+        return true;
+    };
+
+    // Phase 1c: capture every group under the memo byte budget —
+    // when live packed bytes exceed it, the oldest live traces spill
+    // to disk (LRU for these single-use traces) until the budget
+    // holds again. Peak trace memory is ~budget + one trace. A spill
+    // failure (disk full) keeps the trace in memory: results stay
+    // correct, only the cap degrades.
+    const uint64_t budget = cfg.traceMemoBytes;
+    uint64_t liveBytes = 0;
+    size_t spillCursor = 0;
+    for (size_t g = 0; g < groups.size(); ++g) {
+        acquireTrace(groups[g]);
+        liveBytes += groups[g].trace->byteSize();
+        while (budget && liveBytes > budget && spillCursor <= g) {
+            const size_t victim = spillCursor++;
+            const uint64_t bytes = groups[victim].trace->byteSize();
+            if (spillGroup(victim))
+                liveBytes -= bytes;
+        }
+    }
+
+    // Phase 2: the worker pool spawns only now, after the last
+    // capture (see WorkerPool on why that ordering matters), and
+    // work-steals over the groups.
+    {
+        using Exec = decltype(executeGroup);
+        WorkerPool pool(jobs, groups.size(),
+                        [](void *ctx, size_t gi) {
+                            (*static_cast<const Exec *>(ctx))(gi);
+                        },
+                        const_cast<void *>(
+                            static_cast<const void *>(&executeGroup)));
+        pool.run(groups.size());
+    }
+    // Traces and group bookkeeping are freed when `groups` goes out of
+    // scope — on this thread, in insertion order.
+
+    if (spillDirMade) {
+        std::error_code ec;
+        std::filesystem::remove_all(spillDir, ec);
+    }
     if (!firstError.empty())
         throw std::runtime_error("sweep worker failed: " + firstError);
     return results;

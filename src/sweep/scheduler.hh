@@ -1,23 +1,38 @@
 /**
  * @file
  * Parallel sweep executor, in two phases. Phase 1 (serial, point-index
- * order): cache lookups and trace captures — traces carry real buffer
+ * order): cache lookups, then one packed-trace capture per distinct
+ * (kernel, impl, width, working set) — traces carry real buffer
  * addresses and the cache models are address-sensitive, so the heap
- * must evolve identically whatever the job count; each distinct
- * (kernel, impl, width, working set) is captured once and shared
- * across core configs. Phase 2 (parallel): simulations fan out over a
- * work-stealing thread pool — each worker owns a deque of point
+ * must evolve identically whatever the job count. Phase 2 (parallel):
+ * the pending points are grouped by capture identity and every group
+ * replays its trace through all of its core configurations in a single
+ * traversal (sim::simulateTraceMany); groups fan out over a
+ * work-stealing thread pool — each worker owns a deque of group
  * indices, pops from its own front and steals from the back of the
  * fullest victim when it drains. Simulation is a pure function of
- * (trace, config) and results land in a pre-sized vector at their
+ * (trace, configs) and results land in a pre-sized vector at their
  * point index, so `--jobs 1` and `--jobs 8` produce byte-equal
  * reports; the same determinism (seeded inputs, trace-driven model)
  * is what makes the result cache sound.
+ *
+ * The trace memo holds packed traces (trace::PackedTrace, mmap-backed)
+ * under an optional byte budget (SWAN_TRACE_MEMO_BYTES): when live
+ * packed bytes would exceed it, the oldest live traces (LRU for these
+ * single-use traces) spill to a private disk directory — raw
+ * syscalls, zero heap traffic — and their mmap storage is released;
+ * the executing worker reloads the checksummed bytes in phase 2. That
+ * bounds peak trace memory for paper-scale (`--ws full`) grids at
+ * ~budget + one trace while keeping results byte-identical for any
+ * budget and any job count (a reloaded trace is bit-identical to the
+ * evicted one, so the budget cannot change results by construction;
+ * see the TraceGroup notes in scheduler.cc).
  */
 
 #ifndef SWAN_SWEEP_SCHEDULER_HH
 #define SWAN_SWEEP_SCHEDULER_HH
 
+#include <cstdint>
 #include <string_view>
 #include <vector>
 
@@ -45,6 +60,16 @@ struct SchedulerConfig
     ResultCache *cache = nullptr;
     /** Cache warm-up passes fed to the core model (paper Section 4.3). */
     int warmupPasses = 1;
+    /**
+     * Trace-memo byte budget: maximum bytes of live packed traces
+     * before the scheduler spills the oldest to disk (LRU,
+     * deterministic; results are byte-identical for any value).
+     * 0 = unlimited. Defaults to SWAN_TRACE_MEMO_BYTES (bytes).
+     */
+    uint64_t traceMemoBytes = envTraceMemoBytes();
+
+    /** Parse SWAN_TRACE_MEMO_BYTES; 0 when unset or unparsable. */
+    static uint64_t envTraceMemoBytes();
 };
 
 /**

@@ -55,9 +55,16 @@ sweep grid flags (cartesian product of the axes):
   --jobs N                     worker threads (default 1; same output
                                for any N)
   --format table|csv|jsonl     report format (default table)
-  --cache-dir DIR              on-disk result cache (also honors
-                               SWAN_SWEEP_CACHE_DIR); hit/miss counters
-                               go to stderr
+  --cache-dir DIR              on-disk result + packed-trace cache
+                               (also honors SWAN_SWEEP_CACHE_DIR);
+                               hit/miss counters go to stderr
+
+environment:
+  SWAN_TRACE_MEMO_BYTES        cap the sweep's in-memory packed-trace
+                               memo; over-budget traces spill to disk
+                               during capture and reload for
+                               simulation, byte-identical results for
+                               any value (docs/trace.md)
 )";
 
 /** Split a comma-separated flag value; empty segments dropped. */

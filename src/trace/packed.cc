@@ -1,0 +1,611 @@
+#include "trace/packed.hh"
+
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#include <unistd.h>
+#define SWAN_PACKED_HAVE_MMAP 1
+#endif
+
+namespace swan::trace
+{
+
+namespace
+{
+
+// --- varint / zigzag primitives --------------------------------------
+
+inline uint64_t
+zigzag(int64_t v)
+{
+    return (uint64_t(v) << 1) ^ uint64_t(v >> 63);
+}
+
+inline int64_t
+unzigzag(uint64_t v)
+{
+    return int64_t(v >> 1) ^ -int64_t(v & 1);
+}
+
+inline void
+putVarint(std::string &out, uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(char(uint8_t(v) | 0x80));
+        v >>= 7;
+    }
+    out.push_back(char(uint8_t(v)));
+}
+
+/** Decode one varint; on truncation stops at @p end and returns 0. */
+inline uint64_t
+getVarint(const uint8_t *&p, const uint8_t *end)
+{
+    uint64_t v = 0;
+    int shift = 0;
+    while (p < end) {
+        const uint8_t b = *p++;
+        v |= uint64_t(b & 0x7f) << shift;
+        if (!(b & 0x80))
+            break;
+        shift += 7;
+        if (shift >= 64)
+            break;
+    }
+    return v;
+}
+
+// --- per-record tag layout --------------------------------------------
+// tag = descIndex << 6 | presence flags. A field whose flag is clear
+// contributes zero stream bytes and zero decode work: the common
+// sequential id costs nothing, and each absent dependence costs
+// nothing — a typical scalar ALU record is tag + one dep distance,
+// two bytes total.
+constexpr uint64_t kHasAddr = 1;
+constexpr uint64_t kHasMulti = 2;
+constexpr uint64_t kHasIdJump = 4;  //!< id != prevId + 1
+constexpr uint64_t kHasDep0 = 8;
+constexpr uint64_t kHasDep1 = 16;
+constexpr uint64_t kHasDep2 = 32;
+constexpr int kTagFlagBits = 6;
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t
+fnv1a(uint64_t h, const void *data, size_t n)
+{
+    const auto *b = static_cast<const uint8_t *>(data);
+    for (size_t i = 0; i < n; ++i) {
+        h ^= b[i];
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+} // namespace
+
+// --- Buf ---------------------------------------------------------------
+
+PackedTrace::Buf::Buf(size_t n) : n_(n)
+{
+    if (n == 0)
+        return;
+#ifdef SWAN_PACKED_HAVE_MMAP
+    void *p = ::mmap(nullptr, n, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (p != MAP_FAILED) {
+        p_ = static_cast<uint8_t *>(p);
+        mapped_ = true;
+        return;
+    }
+#endif
+    p_ = new uint8_t[n](); // zero-initialized like the mapping
+}
+
+void
+PackedTrace::Buf::release()
+{
+    if (!p_)
+        return;
+#ifdef SWAN_PACKED_HAVE_MMAP
+    if (mapped_) {
+        ::munmap(p_, n_);
+        p_ = nullptr;
+        n_ = 0;
+        return;
+    }
+#endif
+    delete[] p_;
+    p_ = nullptr;
+    n_ = 0;
+}
+
+// --- pack --------------------------------------------------------------
+
+void
+PackedTrace::assemble(const Desc *descs, uint32_t desc_count,
+                      const std::string &main, const std::string &multi,
+                      uint64_t count)
+{
+    const size_t descBytes = size_t(desc_count) * sizeof(Desc);
+    buf_ = Buf(descBytes + main.size() + multi.size());
+    uint8_t *p = buf_.data();
+    if (descBytes)
+        std::memcpy(p, descs, descBytes);
+    if (!main.empty())
+        std::memcpy(p + descBytes, main.data(), main.size());
+    if (!multi.empty())
+        std::memcpy(p + descBytes + main.size(), multi.data(),
+                    multi.size());
+    count_ = count;
+    mainLen_ = main.size();
+    multiLen_ = multi.size();
+    descCount_ = desc_count;
+}
+
+PackedTrace
+PackedTrace::pack(const std::vector<Instr> &instrs)
+{
+    Scratch scratch;
+    return pack(instrs, &scratch);
+}
+
+PackedTrace
+PackedTrace::pack(const std::vector<Instr> &instrs, Scratch *scratch)
+{
+    Scratch &s = *scratch;
+    s.clear();
+    s.main.reserve(instrs.size() * 8);
+
+    uint64_t prevId = 0;
+    uint64_t prevAddr = 0;
+    for (const Instr &i : instrs) {
+        Desc d;
+        d.size = i.size;
+        d.elemStride = i.elemStride;
+        d.cls = uint8_t(i.cls);
+        d.fu = uint8_t(i.fu);
+        d.latency = i.latency;
+        d.vecBytes = i.vecBytes;
+        d.lanes = i.lanes;
+        d.activeLanes = i.activeLanes;
+        d.stride = uint8_t(i.stride);
+
+        // Find-or-insert via hash with an exact-match chain, so a hash
+        // collision can never alias two different descriptors.
+        const uint64_t h = fnv1a(kFnvOffset, &d, sizeof d);
+        auto it = s.index.find(h);
+        int32_t idx = it == s.index.end() ? -1 : int32_t(it->second);
+        while (idx >= 0 &&
+               std::memcmp(&s.descs[size_t(idx)], &d, sizeof d) != 0)
+            idx = s.chain[size_t(idx)];
+        if (idx < 0) {
+            idx = int32_t(s.descs.size());
+            s.descs.push_back(d);
+            s.chain.push_back(it == s.index.end() ? -1
+                                                  : int32_t(it->second));
+            s.index[h] = uint32_t(idx);
+        }
+
+        uint64_t flags = 0;
+        if (i.addr != 0)
+            flags |= kHasAddr;
+        if (i.addr2 != 0)
+            flags |= kHasMulti;
+        if (i.id != prevId + 1)
+            flags |= kHasIdJump;
+        if (i.dep0 != 0)
+            flags |= kHasDep0;
+        if (i.dep1 != 0)
+            flags |= kHasDep1;
+        if (i.dep2 != 0)
+            flags |= kHasDep2;
+        putVarint(s.main,
+                  (uint64_t(uint32_t(idx)) << kTagFlagBits) | flags);
+        if (flags & kHasIdJump)
+            putVarint(s.main,
+                      zigzag(int64_t(i.id) - int64_t(prevId + 1)));
+        prevId = i.id;
+        if (flags & kHasDep0)
+            putVarint(s.main, zigzag(int64_t(i.id) - int64_t(i.dep0)));
+        if (flags & kHasDep1)
+            putVarint(s.main, zigzag(int64_t(i.id) - int64_t(i.dep1)));
+        if (flags & kHasDep2)
+            putVarint(s.main, zigzag(int64_t(i.id) - int64_t(i.dep2)));
+        if (flags & kHasAddr) {
+            putVarint(s.main, zigzag(int64_t(i.addr - prevAddr)));
+            prevAddr = i.addr;
+        }
+        if (flags & kHasMulti)
+            putVarint(s.multi, zigzag(int64_t(i.addr2 - i.addr)));
+    }
+
+    PackedTrace t;
+    t.assemble(s.descs.data(), uint32_t(s.descs.size()), s.main, s.multi,
+               instrs.size());
+    return t;
+}
+
+// --- decode ------------------------------------------------------------
+
+PackedTrace::Cursor::Cursor(const PackedTrace &trace) : trace_(&trace)
+{
+    reset();
+}
+
+void
+PackedTrace::Cursor::reset()
+{
+    if (!trace_)
+        return;
+    p_ = trace_->mainStream();
+    end_ = p_ + trace_->mainLen_;
+    mp_ = trace_->multiStream();
+    mend_ = mp_ + trace_->multiLen_;
+    prevId_ = 0;
+    prevAddr_ = 0;
+}
+
+namespace
+{
+
+/**
+ * Unchecked varint read with a one-byte fast path. Only used when the
+ * caller has already established that a maximal record cannot run past
+ * the end of the stream.
+ */
+inline uint64_t
+rdFast(const uint8_t *&p)
+{
+    uint64_t v = *p++;
+    if (__builtin_expect(!(v & 0x80), 1))
+        return v;
+    v &= 0x7f;
+    int shift = 7;
+    while (true) {
+        const uint64_t b = *p++;
+        v |= (b & 0x7f) << shift;
+        if (!(b & 0x80))
+            return v;
+        shift += 7;
+        if (shift >= 64)
+            return v;
+    }
+}
+
+/** Longest possible main-stream record: 6 varints of up to 10 bytes. */
+constexpr ptrdiff_t kMaxRecordBytes = 60;
+
+} // namespace
+
+size_t
+PackedTrace::Cursor::next(Instr *out, size_t max)
+{
+    size_t n = 0;
+    const Desc *descs = trace_ ? trace_->descs() : nullptr;
+    const uint32_t descCount = trace_ ? trace_->descCount_ : 0;
+    // Hot state in locals so the compiler keeps it in registers.
+    const uint8_t *p = p_;
+    const uint8_t *mp = mp_;
+    uint64_t prevId = prevId_;
+    uint64_t prevAddr = prevAddr_;
+    while (n < max && p < end_) {
+        uint64_t tag, id, dep0 = 0, dep1 = 0, dep2 = 0, addr = 0;
+        uint64_t multiTok = 0;
+        // Branch-free fast path: when the next 8 bytes are all
+        // single-byte varints (the overwhelmingly common case — see
+        // the tag layout above, a record is typically 2-4 bytes), the
+        // whole record is extracted from one 8-byte load with
+        // flag-indexed shifts; absent fields cost a mask, not a
+        // mispredicted branch.
+        uint64_t w;
+        if (__builtin_expect(end_ - p >= 8, 1)) {
+            std::memcpy(&w, p, 8);
+            if (__builtin_expect(!(w & 0x8080808080808080ull), 1)) {
+                tag = w & 0xff;
+                if (__builtin_expect(!(tag & kHasMulti), 1)) {
+                    const uint64_t fIdJ = (tag >> 2) & 1;
+                    const uint64_t fD0 = (tag >> 3) & 1;
+                    const uint64_t fD1 = (tag >> 4) & 1;
+                    const uint64_t fD2 = (tag >> 5) & 1;
+                    const uint64_t fA = tag & 1;
+                    const uint64_t pIdJ = 1;
+                    const uint64_t pD0 = pIdJ + fIdJ;
+                    const uint64_t pD1 = pD0 + fD0;
+                    const uint64_t pD2 = pD1 + fD1;
+                    const uint64_t pA = pD2 + fD2;
+                    p += pA + fA;
+                    id = uint64_t(
+                        int64_t(prevId + 1) +
+                        (unzigzag((w >> (8 * pIdJ)) & 0xff) &
+                         -int64_t(fIdJ)));
+                    dep0 = uint64_t(
+                        int64_t(id) -
+                        unzigzag((w >> (8 * pD0)) & 0xff)) &
+                        -uint64_t(fD0);
+                    dep1 = uint64_t(
+                        int64_t(id) -
+                        unzigzag((w >> (8 * pD1)) & 0xff)) &
+                        -uint64_t(fD1);
+                    dep2 = uint64_t(
+                        int64_t(id) -
+                        unzigzag((w >> (8 * pD2)) & 0xff)) &
+                        -uint64_t(fD2);
+                    prevAddr += uint64_t(
+                        unzigzag((w >> (8 * pA)) & 0xff) &
+                        -int64_t(fA));
+                    addr = prevAddr & -uint64_t(fA);
+                    prevId = id;
+                    const uint64_t idx = tag >> kTagFlagBits;
+                    if (idx >= descCount)
+                        break;
+                    const Desc &d = descs[idx];
+                    Instr &o = out[n++];
+                    o.id = id;
+                    o.dep0 = dep0;
+                    o.dep1 = dep1;
+                    o.dep2 = dep2;
+                    o.addr = addr;
+                    o.addr2 = 0;
+                    o.size = d.size;
+                    o.elemStride = d.elemStride;
+                    o.cls = InstrClass(d.cls);
+                    o.fu = Fu(d.fu);
+                    o.latency = d.latency;
+                    o.vecBytes = d.vecBytes;
+                    o.lanes = d.lanes;
+                    o.activeLanes = d.activeLanes;
+                    o.stride = StrideKind(d.stride);
+                    continue;
+                }
+            }
+        }
+        if (__builtin_expect(end_ - p >= kMaxRecordBytes, 1)) {
+            // Fast path: a maximal record fits, skip per-byte checks.
+            // The rare multi-address side read stays checked (the
+            // side stream may be empty).
+            tag = rdFast(p);
+            id = prevId + 1;
+            if (tag & kHasIdJump)
+                id = uint64_t(int64_t(id) + unzigzag(rdFast(p)));
+            if (tag & kHasDep0)
+                dep0 = uint64_t(int64_t(id) - unzigzag(rdFast(p)));
+            if (tag & kHasDep1)
+                dep1 = uint64_t(int64_t(id) - unzigzag(rdFast(p)));
+            if (tag & kHasDep2)
+                dep2 = uint64_t(int64_t(id) - unzigzag(rdFast(p)));
+            if (tag & kHasAddr) {
+                prevAddr += uint64_t(unzigzag(rdFast(p)));
+                addr = prevAddr;
+            }
+            if (tag & kHasMulti)
+                multiTok = getVarint(mp, mend_);
+        } else {
+            tag = getVarint(p, end_);
+            id = prevId + 1;
+            if (tag & kHasIdJump)
+                id = uint64_t(int64_t(id) +
+                              unzigzag(getVarint(p, end_)));
+            if (tag & kHasDep0)
+                dep0 = uint64_t(int64_t(id) -
+                                unzigzag(getVarint(p, end_)));
+            if (tag & kHasDep1)
+                dep1 = uint64_t(int64_t(id) -
+                                unzigzag(getVarint(p, end_)));
+            if (tag & kHasDep2)
+                dep2 = uint64_t(int64_t(id) -
+                                unzigzag(getVarint(p, end_)));
+            if (tag & kHasAddr) {
+                prevAddr += uint64_t(unzigzag(getVarint(p, end_)));
+                addr = prevAddr;
+            }
+            if (tag & kHasMulti)
+                multiTok = getVarint(mp, mend_);
+        }
+        prevId = id;
+        const uint64_t idx = tag >> kTagFlagBits;
+        if (idx >= descCount)
+            break; // corrupt stream: stop rather than read out of bounds
+        const Desc &d = descs[idx];
+
+        Instr &o = out[n++];
+        o.id = id;
+        o.dep0 = dep0;
+        o.dep1 = dep1;
+        o.dep2 = dep2;
+        o.addr = addr;
+        o.addr2 = tag & kHasMulti
+                      ? uint64_t(int64_t(addr) + unzigzag(multiTok))
+                      : 0;
+        o.size = d.size;
+        o.elemStride = d.elemStride;
+        o.cls = InstrClass(d.cls);
+        o.fu = Fu(d.fu);
+        o.latency = d.latency;
+        o.vecBytes = d.vecBytes;
+        o.lanes = d.lanes;
+        o.activeLanes = d.activeLanes;
+        o.stride = StrideKind(d.stride);
+    }
+    p_ = p;
+    mp_ = mp;
+    prevId_ = prevId;
+    prevAddr_ = prevAddr;
+    return n;
+}
+
+std::vector<Instr>
+PackedTrace::unpack() const
+{
+    std::vector<Instr> out(size());
+    Cursor cur(*this);
+    const size_t n = cur.next(out.data(), out.size());
+    out.resize(n);
+    return out;
+}
+
+void
+PackedTrace::deliver(Sink &sink) const
+{
+    Instr block[kBlockInstrs];
+    Cursor cur(*this);
+    size_t n;
+    while ((n = cur.next(block, kBlockInstrs)) != 0)
+        sink.onBlock(block, n);
+}
+
+void
+PackedTrace::releaseStorage()
+{
+    buf_.release();
+    count_ = 0;
+    mainLen_ = 0;
+    multiLen_ = 0;
+    descCount_ = 0;
+}
+
+// --- payload (the on-disk sweep trace tier) ----------------------------
+
+namespace
+{
+
+/** Payload header: everything needed to rebuild the PackedTrace. */
+struct PayloadHeader
+{
+    uint64_t count;
+    uint64_t mainLen;
+    uint64_t multiLen;
+    uint32_t descCount;
+    uint32_t descSize; //!< sizeof(Desc) at write time (layout guard)
+    uint64_t checksum; //!< FNV-1a over the body bytes
+};
+
+} // namespace
+
+namespace
+{
+
+/** Checksum covering the header fields (checksum itself excluded)
+ *  and the body, so a corrupted `count` is rejected too. */
+uint64_t
+payloadChecksum(const PayloadHeader &h, const uint8_t *body,
+                size_t body_len)
+{
+    uint64_t c = kFnvOffset;
+    c = fnv1a(c, &h.count, sizeof h.count);
+    c = fnv1a(c, &h.mainLen, sizeof h.mainLen);
+    c = fnv1a(c, &h.multiLen, sizeof h.multiLen);
+    c = fnv1a(c, &h.descCount, sizeof h.descCount);
+    c = fnv1a(c, &h.descSize, sizeof h.descSize);
+    return fnv1a(c, body, body_len);
+}
+
+PayloadHeader
+headerFor(uint64_t count, uint64_t main_len, uint64_t multi_len,
+          uint32_t desc_count, const uint8_t *body, size_t body_len,
+          uint32_t desc_size)
+{
+    PayloadHeader h{};
+    h.count = count;
+    h.mainLen = main_len;
+    h.multiLen = multi_len;
+    h.descCount = desc_count;
+    h.descSize = desc_size;
+    h.checksum = payloadChecksum(h, body, body_len);
+    return h;
+}
+
+} // namespace
+
+bool
+PackedTrace::writePayload(std::FILE *f) const
+{
+    const PayloadHeader h =
+        headerFor(count_, mainLen_, multiLen_, descCount_, buf_.data(),
+                  buf_.size(), sizeof(Desc));
+    if (std::fwrite(&h, 1, sizeof h, f) != sizeof h)
+        return false;
+    if (buf_.size() &&
+        std::fwrite(buf_.data(), 1, buf_.size(), f) != buf_.size())
+        return false;
+    return true;
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+bool
+PackedTrace::writePayload(int fd) const
+{
+    const PayloadHeader h =
+        headerFor(count_, mainLen_, multiLen_, descCount_, buf_.data(),
+                  buf_.size(), sizeof(Desc));
+    const auto writeAll = [fd](const void *data, size_t n) {
+        const auto *p = static_cast<const uint8_t *>(data);
+        while (n) {
+            const ssize_t w = ::write(fd, p, n);
+            if (w <= 0)
+                return false;
+            p += size_t(w);
+            n -= size_t(w);
+        }
+        return true;
+    };
+    if (!writeAll(&h, sizeof h))
+        return false;
+    return buf_.size() == 0 || writeAll(buf_.data(), buf_.size());
+}
+#endif
+
+void
+PackedTrace::appendPayload(std::string *out) const
+{
+    const PayloadHeader h =
+        headerFor(count_, mainLen_, multiLen_, descCount_, buf_.data(),
+                  buf_.size(), sizeof(Desc));
+    out->append(reinterpret_cast<const char *>(&h), sizeof h);
+    if (buf_.size())
+        out->append(reinterpret_cast<const char *>(buf_.data()),
+                    buf_.size());
+}
+
+bool
+PackedTrace::parsePayload(const uint8_t *data, size_t len,
+                          PackedTrace *out)
+{
+    PayloadHeader h;
+    if (len < sizeof h)
+        return false;
+    std::memcpy(&h, data, sizeof h);
+    if (h.descSize != sizeof(Desc))
+        return false;
+    const size_t descBytes = size_t(h.descCount) * sizeof(Desc);
+    const size_t bodyLen = descBytes + h.mainLen + h.multiLen;
+    if (h.mainLen > len || h.multiLen > len || descBytes > len ||
+        len != sizeof h + bodyLen)
+        return false;
+    const uint8_t *body = data + sizeof h;
+    if (payloadChecksum(h, body, bodyLen) != h.checksum)
+        return false;
+    // Validate every descriptor's enums once, so decoding never has to.
+    for (uint32_t i = 0; i < h.descCount; ++i) {
+        Desc d;
+        std::memcpy(&d, body + size_t(i) * sizeof(Desc), sizeof(Desc));
+        if (d.cls >= uint8_t(InstrClass::NumClasses) ||
+            d.fu >= uint8_t(Fu::NumFus) ||
+            d.stride >= uint8_t(StrideKind::NumKinds))
+            return false;
+    }
+    PackedTrace t;
+    t.buf_ = Buf(bodyLen);
+    if (bodyLen)
+        std::memcpy(t.buf_.data(), body, bodyLen);
+    t.count_ = h.count;
+    t.mainLen_ = h.mainLen;
+    t.multiLen_ = h.multiLen;
+    t.descCount_ = h.descCount;
+    *out = std::move(t);
+    return true;
+}
+
+} // namespace swan::trace

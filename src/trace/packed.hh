@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Compact in-memory trace encoding. The sweep methodology is "capture
+ * one dynamic trace, replay it against many core configurations", so
+ * buffered traces dominate the process's peak memory and replay
+ * throughput dominates every figure's wall clock. PackedTrace encodes
+ * the 64-byte AoS trace::Instr stream into a byte stream of typically
+ * 2-4 bytes per instruction:
+ *
+ *  - the per-instruction *shape* (class, functional unit, latency,
+ *    vector geometry, stride kind, access size, element stride) is
+ *    deduplicated into a small side table of descriptors — a dynamic
+ *    trace has few distinct op sites — so each record starts with a
+ *    one-byte tag of descriptor index plus field-presence flags;
+ *  - fields at their common value cost nothing: a sequential id
+ *    (the recorder's 1,2,3,... numbering) and each absent dependence
+ *    contribute zero bytes;
+ *  - present dependences are stored as varint producer *distances*
+ *    (id - dep), which are small for the register-renamed windows the
+ *    simulator models;
+ *  - memory addresses are delta-encoded against the previous accessed
+ *    address; the rare second address of multi-address records
+ *    (Gather/Scatter/LdS/StS) lives in a side stream.
+ *
+ * The encoding is lossless: unpack()/iteration reconstructs the exact
+ * Instr sequence, so replaying a packed trace is byte-identical to
+ * replaying the AoS buffer it came from.
+ *
+ * Storage lives in anonymous mmap regions, not the C++ heap. The sweep
+ * scheduler frees traces mid-sweep under the SWAN_TRACE_MEMO_BYTES
+ * budget; captured traces record real workload buffer addresses and
+ * the cache models are address-sensitive, so trace eviction must not
+ * perturb the malloc state later captures see (see
+ * sweep/scheduler.cc). munmap keeps those frees invisible.
+ */
+
+#ifndef SWAN_TRACE_PACKED_HH
+#define SWAN_TRACE_PACKED_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <iterator>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/instr.hh"
+#include "trace/recorder.hh"
+
+namespace swan::trace
+{
+
+/** Losslessly packed dynamic instruction trace. */
+class PackedTrace
+{
+  private:
+    /** Deduplicated per-instruction shape (the descriptor side table). */
+    struct Desc
+    {
+        uint32_t size = 0;
+        int32_t elemStride = 0;
+        uint8_t cls = 0;
+        uint8_t fu = 0;
+        uint8_t latency = 0;
+        uint8_t vecBytes = 0;
+        uint8_t lanes = 0;
+        uint8_t activeLanes = 0;
+        uint8_t stride = 0;
+        uint8_t pad = 0; //!< keeps the struct memcmp/memcpy-clean
+    };
+    static_assert(sizeof(Desc) == 16, "descriptor layout is part of the "
+                                      "payload format");
+
+  public:
+    /** Instrs decoded per block by deliver() (16 KiB of Instr: the
+     *  block buffer stays cache-resident while every core model of a
+     *  multi-config replay consumes it). */
+    static constexpr size_t kBlockInstrs = 256;
+
+    PackedTrace() = default;
+
+    /**
+     * Reusable pack() working memory. Drivers that pack many traces
+     * back to back (the sweep scheduler) pass the same Scratch every
+     * time: clear() keeps capacity, so steady-state packing makes no
+     * heap allocations at all — which keeps the capture thread's
+     * malloc state a pure function of the capture sequence (the
+     * address-determinism contract in sweep/scheduler.cc).
+     */
+    struct Scratch
+    {
+        std::string main;
+        std::string multi;
+        std::vector<Desc> descs;
+        /** FNV(desc bytes) -> head of the chain into descs. */
+        std::unordered_map<uint64_t, uint32_t> index;
+        /** Per-desc link to the previous desc with the same hash. */
+        std::vector<int32_t> chain;
+
+        void
+        clear()
+        {
+            main.clear();
+            multi.clear();
+            descs.clear();
+            index.clear();
+            chain.clear();
+        }
+    };
+
+    /** Encode a buffered (Recorder) trace. */
+    static PackedTrace pack(const std::vector<Instr> &instrs);
+
+    /** pack() borrowing @p scratch instead of allocating its own. */
+    static PackedTrace pack(const std::vector<Instr> &instrs,
+                            Scratch *scratch);
+
+    /** Number of instructions. */
+    size_t size() const { return size_t(count_); }
+    bool empty() const { return count_ == 0; }
+
+    /** Bytes held by the encoding (the memo-budget unit). */
+    size_t byteSize() const { return buf_.size(); }
+
+    /** What the same trace costs as an AoS Instr buffer. */
+    static size_t aosBytes(size_t n) { return n * sizeof(Instr); }
+
+    /** Decode the full trace back into an AoS buffer. */
+    std::vector<Instr> unpack() const;
+
+    /** Stream the trace into @p sink in kBlockInstrs-sized blocks. */
+    void deliver(Sink &sink) const;
+
+    /**
+     * Release the encoded storage early (munmap; invisible to malloc).
+     * The trace becomes empty. Used by the sweep trace memo to enforce
+     * its byte budget without perturbing heap determinism.
+     */
+    void releaseStorage();
+
+    /** Incremental block decoder. */
+    class Cursor
+    {
+      public:
+        Cursor() = default; //!< empty cursor; next() returns 0
+        explicit Cursor(const PackedTrace &trace);
+
+        /**
+         * Decode up to @p max instructions into @p out.
+         * @return the number decoded; 0 at end of trace.
+         */
+        size_t next(Instr *out, size_t max);
+
+        /** Rewind to the first instruction. */
+        void reset();
+
+      private:
+        const PackedTrace *trace_ = nullptr;
+        const uint8_t *p_ = nullptr;        //!< main stream position
+        const uint8_t *end_ = nullptr;
+        const uint8_t *mp_ = nullptr;       //!< multi-address stream
+        const uint8_t *mend_ = nullptr;
+        uint64_t prevId_ = 0;
+        uint64_t prevAddr_ = 0;
+    };
+
+    /** Input iterator reconstructing Instr views one at a time. */
+    class Iterator
+    {
+      public:
+        using iterator_category = std::input_iterator_tag;
+        using value_type = Instr;
+        using difference_type = std::ptrdiff_t;
+        using pointer = const Instr *;
+        using reference = const Instr &;
+
+        Iterator() = default; // end sentinel
+
+        explicit Iterator(const PackedTrace &trace) : cur_(trace)
+        {
+            ++*this;
+        }
+
+        reference operator*() const { return instr_; }
+        pointer operator->() const { return &instr_; }
+
+        Iterator &
+        operator++()
+        {
+            done_ = cur_.next(&instr_, 1) == 0;
+            return *this;
+        }
+
+        bool operator==(const Iterator &o) const { return done_ == o.done_; }
+        bool operator!=(const Iterator &o) const { return !(*this == o); }
+
+      private:
+        Cursor cur_;
+        Instr instr_;
+        bool done_ = true;
+    };
+
+    Iterator begin() const { return empty() ? Iterator() : Iterator(*this); }
+    Iterator end() const { return Iterator(); }
+
+    /**
+     * Append the encoded payload (header + streams) to @p out, for the
+     * on-disk sweep trace tier. Same-host format, FNV-checksummed.
+     */
+    void appendPayload(std::string *out) const;
+
+    /**
+     * Write the same payload straight to @p f without building a heap
+     * blob — the sweep scheduler spills evicted traces between
+     * captures, where a multi-megabyte transient malloc would perturb
+     * the capture thread's allocator state (and with it the
+     * address-sensitive simulation results).
+     * @return false on a short write.
+     */
+    bool writePayload(std::FILE *f) const;
+
+#if defined(__unix__) || defined(__APPLE__)
+    /**
+     * Raw-fd variant of writePayload: write(2) only, no stdio and no
+     * malloc at all — the spill path between captures must leave the
+     * allocator bit-untouched (see sweep/scheduler.cc).
+     */
+    bool writePayload(int fd) const;
+#endif
+
+    /**
+     * Parse an appendPayload() blob. @return false (and leaves @p out
+     * untouched) on any truncation, bound or checksum violation.
+     */
+    static bool parsePayload(const uint8_t *data, size_t len,
+                             PackedTrace *out);
+
+  private:
+    friend class Cursor;
+
+    /** Anonymous-mmap byte buffer (new[] fallback off POSIX). */
+    class Buf
+    {
+      public:
+        Buf() = default;
+        explicit Buf(size_t n);
+        ~Buf() { release(); }
+
+        Buf(const Buf &) = delete;
+        Buf &operator=(const Buf &) = delete;
+        Buf(Buf &&o) noexcept { *this = std::move(o); }
+        Buf &
+        operator=(Buf &&o) noexcept
+        {
+            release();
+            p_ = o.p_;
+            n_ = o.n_;
+            mapped_ = o.mapped_;
+            o.p_ = nullptr;
+            o.n_ = 0;
+            return *this;
+        }
+
+        uint8_t *data() { return p_; }
+        const uint8_t *data() const { return p_; }
+        size_t size() const { return n_; }
+
+        void release();
+
+      private:
+        uint8_t *p_ = nullptr;
+        size_t n_ = 0;
+        bool mapped_ = false;
+    };
+
+    /** Assemble buf_ = [descs | main stream | multi stream]. */
+    void assemble(const Desc *descs, uint32_t desc_count,
+                  const std::string &main, const std::string &multi,
+                  uint64_t count);
+
+    const Desc *descs() const
+    {
+        return reinterpret_cast<const Desc *>(buf_.data());
+    }
+    const uint8_t *mainStream() const
+    {
+        return buf_.data() + size_t(descCount_) * sizeof(Desc);
+    }
+    const uint8_t *multiStream() const
+    {
+        return mainStream() + mainLen_;
+    }
+
+    Buf buf_;
+    uint64_t count_ = 0;
+    uint64_t mainLen_ = 0;
+    uint64_t multiLen_ = 0;
+    uint32_t descCount_ = 0;
+};
+
+} // namespace swan::trace
+
+#endif // SWAN_TRACE_PACKED_HH

@@ -9,6 +9,7 @@
 #ifndef SWAN_TRACE_RECORDER_HH
 #define SWAN_TRACE_RECORDER_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -24,6 +25,23 @@ class Sink
     virtual ~Sink() = default;
     /** Called once per recorded instruction, in program order. */
     virtual void onInstr(const Instr &instr) = 0;
+
+    /**
+     * Block delivery: @p n consecutive instructions in program order,
+     * equivalent to n onInstr calls. Producers that buffer (PackedTrace
+     * replay, simulateTrace) prefer this entry point — one virtual call
+     * per block instead of per instruction, with the block staying
+     * cache-resident. The default simply loops onto onInstr, so every
+     * existing sink keeps working; hot sinks (sim::CoreModel) override
+     * it. Blocks must never split the program order: the concatenation
+     * of all blocks is the trace.
+     */
+    virtual void
+    onBlock(const Instr *instrs, size_t n)
+    {
+        for (size_t i = 0; i < n; ++i)
+            onInstr(instrs[i]);
+    }
 };
 
 /**
@@ -38,7 +56,21 @@ class Recorder
 {
   public:
     /** Buffered recorder. */
-    Recorder() : keep_(true) {}
+    Recorder() : keep_(true), ext_(nullptr) {}
+
+    /**
+     * Buffered recorder writing into the caller's vector (cleared
+     * first, capacity kept). Lets a long-running driver — the sweep
+     * scheduler captures hundreds of traces back to back — reuse one
+     * scratch buffer instead of re-growing and freeing a fresh one per
+     * capture, which keeps the capture thread's heap traffic (and
+     * therefore the address-sensitive simulation results) independent
+     * of how many captures came before.
+     */
+    explicit Recorder(std::vector<Instr> *buf) : keep_(true), ext_(buf)
+    {
+        ext_->clear();
+    }
 
     /** Streaming recorder; @p sink receives every instruction. */
     explicit Recorder(Sink *sink) : keep_(false), sink_(sink) {}
@@ -52,34 +84,38 @@ class Recorder
     {
         instr.id = ++lastId_;
         if (keep_)
-            buf_.push_back(instr);
+            (ext_ ? *ext_ : buf_).push_back(instr);
         else if (sink_)
             sink_->onInstr(instr);
         return lastId_;
     }
 
     uint64_t count() const { return lastId_; }
-    const std::vector<Instr> &instrs() const { return buf_; }
+    const std::vector<Instr> &instrs() const
+    {
+        return ext_ ? *ext_ : buf_;
+    }
 
     /** Move the buffered trace out (recorder becomes empty). */
     std::vector<Instr>
     take()
     {
-        std::vector<Instr> out = std::move(buf_);
-        buf_.clear();
+        std::vector<Instr> out = std::move(ext_ ? *ext_ : buf_);
+        (ext_ ? *ext_ : buf_).clear();
         lastId_ = 0;
         return out;
     }
     void
     clear()
     {
-        buf_.clear();
+        (ext_ ? *ext_ : buf_).clear();
         lastId_ = 0;
     }
 
   private:
     bool keep_;
     Sink *sink_ = nullptr;
+    std::vector<Instr> *ext_ = nullptr;
     uint64_t lastId_ = 0;
     std::vector<Instr> buf_;
 };

@@ -1,0 +1,317 @@
+/**
+ * @file
+ * Tests of the packed trace encoding (trace/packed.hh): lossless
+ * pack/unpack round-trips on randomized traces (including the
+ * multi-address Gather/Scatter/LdS records), iterator and block-cursor
+ * equivalence, payload (disk-tier) round-trips and corruption
+ * handling, compression on a real captured trace, and the
+ * simulateTraceMany single-pass multi-config replay producing results
+ * bit-identical to N separate simulateTrace passes.
+ */
+
+#include <algorithm>
+#include <cstring>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "core/registry.hh"
+#include "core/runner.hh"
+#include "sim/core_model.hh"
+#include "trace/packed.hh"
+
+using namespace swan;
+using trace::Instr;
+using trace::PackedTrace;
+
+namespace
+{
+
+bool
+sameInstr(const Instr &a, const Instr &b)
+{
+    return a.id == b.id && a.dep0 == b.dep0 && a.dep1 == b.dep1 &&
+           a.dep2 == b.dep2 && a.addr == b.addr && a.addr2 == b.addr2 &&
+           a.size == b.size && a.elemStride == b.elemStride &&
+           a.cls == b.cls && a.fu == b.fu && a.latency == b.latency &&
+           a.vecBytes == b.vecBytes && a.lanes == b.lanes &&
+           a.activeLanes == b.activeLanes && a.stride == b.stride;
+}
+
+void
+expectSameTrace(const std::vector<Instr> &a, const std::vector<Instr> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_TRUE(sameInstr(a[i], b[i])) << "record " << i;
+}
+
+/**
+ * A randomized but recorder-shaped trace: sequential 1-based ids,
+ * producer deps behind the consumer, multi-address records for the
+ * Gather/Scatter/LdS/StS stride kinds.
+ */
+std::vector<Instr>
+randomTrace(size_t n, uint32_t seed)
+{
+    std::mt19937_64 rng(seed);
+    std::vector<Instr> out;
+    out.reserve(n);
+    uint64_t addr = 0x7f0000001000ull + (seed % 7) * 4096;
+    for (size_t i = 0; i < n; ++i) {
+        Instr ins;
+        ins.id = i + 1;
+        const auto dep = [&]() -> uint64_t {
+            if (i == 0 || rng() % 3 == 0)
+                return 0;
+            return 1 + rng() % i;
+        };
+        ins.dep0 = dep();
+        ins.dep1 = dep();
+        ins.dep2 = dep();
+        ins.cls = trace::InstrClass(
+            rng() % uint64_t(trace::InstrClass::NumClasses));
+        ins.fu = trace::Fu(rng() % uint64_t(trace::Fu::NumFus));
+        ins.latency = uint8_t(1 + rng() % 20);
+        if (ins.isVector()) {
+            ins.vecBytes = uint8_t(16 << (rng() % 3));
+            ins.lanes = uint8_t(1 + rng() % 16);
+            ins.activeLanes = uint8_t(1 + rng() % ins.lanes);
+        }
+        if (ins.isMem()) {
+            // Mostly local strides, occasionally a far jump.
+            addr += rng() % 16 == 0 ? (rng() % (1 << 20)) : (rng() % 256);
+            ins.addr = addr;
+            ins.size = uint32_t(1 << (rng() % 7));
+            if (rng() % 4 == 0) {
+                static const trace::StrideKind kinds[] = {
+                    trace::StrideKind::Gather, trace::StrideKind::Scatter,
+                    trace::StrideKind::LdS, trace::StrideKind::StS};
+                ins.stride = kinds[rng() % 4];
+                ins.activeLanes = uint8_t(1 + rng() % 8);
+                ins.lanes = std::max(ins.lanes, ins.activeLanes);
+                if (ins.stride == trace::StrideKind::LdS ||
+                    ins.stride == trace::StrideKind::StS)
+                    ins.elemStride = int32_t(rng() % 4096) - 2048;
+                ins.addr2 = ins.addr + rng() % (1 << 16);
+            }
+        }
+        out.push_back(ins);
+    }
+    return out;
+}
+
+std::vector<sim::CoreConfig>
+threeCores()
+{
+    return {sim::primeConfig(), sim::goldConfig(), sim::silverConfig()};
+}
+
+void
+expectSameResult(const sim::SimResult &a, const sim::SimResult &b)
+{
+    EXPECT_EQ(a.config, b.config);
+    EXPECT_EQ(a.instrs, b.instrs);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.ipc, b.ipc);
+    EXPECT_EQ(a.timeSec, b.timeSec);
+    EXPECT_EQ(a.l1Mpki, b.l1Mpki);
+    EXPECT_EQ(a.l2Mpki, b.l2Mpki);
+    EXPECT_EQ(a.llcMpki, b.llcMpki);
+    EXPECT_EQ(a.l1HitRate, b.l1HitRate);
+    EXPECT_EQ(a.feStallPct, b.feStallPct);
+    EXPECT_EQ(a.beStallPct, b.beStallPct);
+    EXPECT_EQ(a.dramReads, b.dramReads);
+    EXPECT_EQ(a.dramWrites, b.dramWrites);
+    EXPECT_EQ(a.dramAccessPerKCycle, b.dramAccessPerKCycle);
+    EXPECT_EQ(a.byClass, b.byClass);
+    EXPECT_EQ(a.vecBytes, b.vecBytes);
+    EXPECT_EQ(a.l1Accesses, b.l1Accesses);
+    EXPECT_EQ(a.l2Accesses, b.l2Accesses);
+    EXPECT_EQ(a.llcAccesses, b.llcAccesses);
+}
+
+} // namespace
+
+TEST(PackedTrace, RoundTripsRandomizedTraces)
+{
+    for (uint32_t seed : {1u, 2u, 3u, 42u, 1234u}) {
+        const auto instrs = randomTrace(5000, seed);
+        const auto packed = PackedTrace::pack(instrs);
+        ASSERT_EQ(packed.size(), instrs.size());
+        expectSameTrace(instrs, packed.unpack());
+    }
+}
+
+TEST(PackedTrace, RoundTripsEmptyAndTiny)
+{
+    const PackedTrace empty = PackedTrace::pack({});
+    EXPECT_EQ(empty.size(), 0u);
+    EXPECT_TRUE(empty.empty());
+    EXPECT_TRUE(empty.unpack().empty());
+    EXPECT_EQ(empty.begin(), empty.end());
+
+    const auto one = randomTrace(1, 7);
+    expectSameTrace(one, PackedTrace::pack(one).unpack());
+}
+
+TEST(PackedTrace, IteratorMatchesUnpack)
+{
+    const auto instrs = randomTrace(2000, 9);
+    const auto packed = PackedTrace::pack(instrs);
+    size_t i = 0;
+    for (const Instr &ins : packed) {
+        ASSERT_LT(i, instrs.size());
+        EXPECT_TRUE(sameInstr(instrs[i], ins)) << "record " << i;
+        ++i;
+    }
+    EXPECT_EQ(i, instrs.size());
+}
+
+TEST(PackedTrace, CursorBlocksConcatenateToTheTrace)
+{
+    const auto instrs = randomTrace(3000, 11);
+    const auto packed = PackedTrace::pack(instrs);
+    PackedTrace::Cursor cur(packed);
+    Instr block[PackedTrace::kBlockInstrs];
+    std::vector<Instr> seen;
+    size_t n;
+    while ((n = cur.next(block, PackedTrace::kBlockInstrs)) != 0) {
+        // Full blocks except possibly the last.
+        if (seen.size() + n < instrs.size())
+            EXPECT_EQ(n, PackedTrace::kBlockInstrs);
+        seen.insert(seen.end(), block, block + n);
+    }
+    expectSameTrace(instrs, seen);
+
+    cur.reset();
+    EXPECT_EQ(cur.next(block, 1), 1u);
+    EXPECT_TRUE(sameInstr(instrs[0], block[0]));
+}
+
+TEST(PackedTrace, ScratchReuseProducesIdenticalEncodings)
+{
+    PackedTrace::Scratch scratch;
+    const auto a = randomTrace(1500, 21);
+    const auto b = randomTrace(800, 22);
+    const auto pa1 = PackedTrace::pack(a, &scratch);
+    const auto pb = PackedTrace::pack(b, &scratch);
+    const auto pa2 = PackedTrace::pack(a, &scratch);
+    expectSameTrace(a, pa1.unpack());
+    expectSameTrace(b, pb.unpack());
+    EXPECT_EQ(pa1.byteSize(), pa2.byteSize());
+    expectSameTrace(pa1.unpack(), pa2.unpack());
+}
+
+TEST(PackedTrace, CompressesARealKernelTrace)
+{
+    const auto *spec = core::Registry::instance().find("ZL/adler32");
+    ASSERT_NE(spec, nullptr);
+    auto w = spec->make(core::Options());
+    const auto instrs = core::Runner::capture(*w, core::Impl::Neon, 128);
+    ASSERT_FALSE(instrs.empty());
+
+    const auto packed = PackedTrace::pack(instrs);
+    const size_t aos = PackedTrace::aosBytes(instrs.size());
+    // The acceptance bar is 2x; a real trace packs far tighter.
+    EXPECT_LT(packed.byteSize() * 2, aos)
+        << packed.byteSize() << " packed vs " << aos << " AoS bytes";
+    expectSameTrace(instrs, packed.unpack());
+}
+
+TEST(PackedTrace, PayloadRoundTripsAndRejectsCorruption)
+{
+    const auto instrs = randomTrace(1200, 33);
+    const auto packed = PackedTrace::pack(instrs);
+
+    std::string blob;
+    packed.appendPayload(&blob);
+
+    PackedTrace back;
+    ASSERT_TRUE(PackedTrace::parsePayload(
+        reinterpret_cast<const uint8_t *>(blob.data()), blob.size(),
+        &back));
+    expectSameTrace(instrs, back.unpack());
+
+    // Truncation, bit flips and short headers must all be rejected.
+    PackedTrace junk;
+    EXPECT_FALSE(PackedTrace::parsePayload(
+        reinterpret_cast<const uint8_t *>(blob.data()), blob.size() - 1,
+        &junk));
+    std::string flipped = blob;
+    flipped[flipped.size() / 2] = char(flipped[flipped.size() / 2] ^ 0x40);
+    EXPECT_FALSE(PackedTrace::parsePayload(
+        reinterpret_cast<const uint8_t *>(flipped.data()), flipped.size(),
+        &junk));
+    EXPECT_FALSE(PackedTrace::parsePayload(
+        reinterpret_cast<const uint8_t *>(blob.data()), 4, &junk));
+}
+
+TEST(PackedTrace, ReleaseStorageEmptiesTheTrace)
+{
+    const auto instrs = randomTrace(500, 5);
+    auto packed = PackedTrace::pack(instrs);
+    EXPECT_GT(packed.byteSize(), 0u);
+    packed.releaseStorage();
+    EXPECT_EQ(packed.byteSize(), 0u);
+    EXPECT_TRUE(packed.empty());
+    EXPECT_TRUE(packed.unpack().empty());
+}
+
+TEST(PackedReplay, PackedSimulationMatchesAoS)
+{
+    const auto instrs = randomTrace(4000, 17);
+    const auto packed = PackedTrace::pack(instrs);
+    for (const auto &cfg : threeCores()) {
+        const auto aos = sim::simulateTrace(instrs, cfg, 1);
+        const auto pkd = sim::simulateTrace(packed, cfg, 1);
+        expectSameResult(aos, pkd);
+    }
+}
+
+TEST(PackedReplay, SimulateTraceManyMatchesSeparatePasses)
+{
+    const auto instrs = randomTrace(4000, 19);
+    const auto packed = PackedTrace::pack(instrs);
+    const auto cfgs = threeCores();
+
+    for (int warmup : {0, 1, 2}) {
+        const auto many = sim::simulateTraceMany(packed, cfgs, warmup);
+        ASSERT_EQ(many.size(), cfgs.size());
+        for (size_t i = 0; i < cfgs.size(); ++i) {
+            const auto one = sim::simulateTrace(instrs, cfgs[i], warmup);
+            expectSameResult(one, many[i]);
+        }
+    }
+}
+
+TEST(PackedReplay, AoSManyOverloadMatchesToo)
+{
+    const auto instrs = randomTrace(2500, 23);
+    const auto cfgs = threeCores();
+    const auto many = sim::simulateTraceMany(instrs, cfgs, 1);
+    ASSERT_EQ(many.size(), cfgs.size());
+    for (size_t i = 0; i < cfgs.size(); ++i)
+        expectSameResult(sim::simulateTrace(instrs, cfgs[i], 1), many[i]);
+}
+
+TEST(PackedReplay, OnBlockEqualsPerInstrSinkDelivery)
+{
+    const auto instrs = randomTrace(3000, 29);
+    const auto cfg = sim::primeConfig();
+
+    sim::CoreModel viaSink(cfg);
+    trace::Sink *sink = &viaSink;
+    for (const auto &i : instrs)
+        sink->onInstr(i);
+    viaSink.beginMeasurement();
+    for (const auto &i : instrs)
+        sink->onInstr(i);
+
+    sim::CoreModel viaBlocks(cfg);
+    viaBlocks.onBlock(instrs.data(), instrs.size());
+    viaBlocks.beginMeasurement();
+    viaBlocks.onBlock(instrs.data(), instrs.size());
+
+    expectSameResult(viaSink.finish(), viaBlocks.finish());
+}

@@ -10,7 +10,7 @@
 
 #include "bench_common.hh"
 
-#include "sim/core_model.hh"
+#include "swan/sim.hh"
 
 using namespace swan;
 

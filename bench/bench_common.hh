@@ -1,68 +1,42 @@
 /**
  * @file
- * Shared helpers for the per-table/per-figure bench binaries.
+ * Shared helpers for the per-table/per-figure bench binaries, written
+ * against the public swan API only (include/swan/): a bench is a
+ * Session (policy from the SWAN_* environment), one or more fluent
+ * Experiments, and report formatting over the Results.
  */
 
 #ifndef SWAN_BENCH_BENCH_COMMON_HH
 #define SWAN_BENCH_BENCH_COMMON_HH
 
-#include <algorithm>
 #include <cstdlib>
 #include <iostream>
-#include <map>
 #include <string>
 #include <vector>
 
-#include "core/metrics.hh"
-#include "core/registry.hh"
-#include "core/report.hh"
-#include "core/runner.hh"
-#include "sim/configs.hh"
-#include "sweep/emit.hh"
-#include "sweep/scheduler.hh"
+#include "swan/swan.hh"
 
 namespace swan::bench
 {
 
-/** Sweep worker threads: SWAN_JOBS, defaulting to 1 (deterministic
- *  output either way; see sweep/scheduler.hh). */
-inline int
-jobsFromEnv()
-{
-    const char *v = std::getenv("SWAN_JOBS");
-    if (!v || !*v)
-        return 1;
-    const int n = std::atoi(v);
-    return n > 0 ? n : 1;
-}
-
 /**
- * Run a sweep grid for a bench binary: results come through the shared
- * engine and result cache (SWAN_SWEEP_CACHE_DIR enables the on-disk
- * tier, so identical points are shared across bench binaries and
- * reruns). Prints the cache summary to stderr, keeping stdout
- * byte-comparable between cold and warm runs. Exits on a bad grid.
+ * Run one experiment grid for a bench binary: results come through the
+ * shared engine and the session's result cache (SWAN_SWEEP_CACHE_DIR
+ * enables the on-disk tier, so identical points are shared across
+ * bench binaries and reruns). Prints the cache summary to stderr,
+ * keeping stdout byte-comparable between cold and warm runs. Exits on
+ * a bad grid.
  */
-inline std::vector<sweep::SweepResult>
-runBenchSweep(const sweep::SweepSpec &spec, const char *who)
+inline Results
+runExperiment(const Experiment &experiment, const char *who)
 {
-    sweep::ResultCache cache = sweep::ResultCache::fromEnv();
-    sweep::SchedulerConfig sc;
-    sc.jobs = jobsFromEnv();
-    sc.cache = &cache;
     std::string err;
-    std::vector<sweep::SweepResult> results;
-    try {
-        results = sweep::runSweep(spec, sc, &err);
-    } catch (const std::exception &e) {
-        err = e.what();
-    }
+    Results results = experiment.run(&err);
     if (results.empty()) {
         std::cerr << who << ": " << err << "\n";
         std::exit(1);
     }
-    std::cerr << who << ": " << sweep::cacheSummary(cache.stats())
-              << "\n";
+    std::cerr << who << ": " << results.cacheSummary() << "\n";
     return results;
 }
 
@@ -75,27 +49,6 @@ headlineKernels()
         if (!k.info.excluded)
             out.push_back(&k);
     return out;
-}
-
-/**
- * Input sizes for the Section 7 scalability studies (Figure 5). The
- * paper minimizes memory stalls (Section 4.3 warms caches before each
- * iteration) so that register-width and issue-width effects are not
- * masked by DRAM bandwidth; the equivalent here is clamping the swept
- * kernels' working sets to stay LLC-resident.
- */
-inline core::Options
-scalabilityOptions()
-{
-    core::Options o = core::Options::fromEnv();
-    // Image kernels use up to 8 B/px across input+output, so 96x48
-    // stays inside the 64 KiB L1 once warmed.
-    o.imageWidth = std::min(o.imageWidth, 96);
-    o.imageHeight = std::min(o.imageHeight, 48);
-    o.bufferBytes = std::min(o.bufferBytes, 16 * 1024);
-    o.audioSamples = std::min(o.audioSamples, 4096);
-    o.videoBlocks = std::min(o.videoBlocks, 16);
-    return o;
 }
 
 /** Library symbols in Table 2 order of registration. */

@@ -12,8 +12,8 @@
 
 #include "bench_common.hh"
 
-#include "trace/stats.hh"
-#include "workloads/ext/ext.hh"
+#include "swan/trace.hh"
+#include "swan/workloads.hh"
 
 using namespace swan;
 using workloads::ext::LutImpl;

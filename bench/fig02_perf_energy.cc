@@ -19,22 +19,22 @@ using namespace swan;
 int
 main()
 {
-    sweep::SweepSpec spec;
-    spec.impls = {core::Impl::Scalar, core::Impl::Auto, core::Impl::Neon};
-    spec.configs = {"prime"};
-    const auto results = bench::runBenchSweep(spec, "fig02");
+    Session session = Session::fromEnv();
+    const Results results = bench::runExperiment(
+        Experiment(session)
+            .impls({core::Impl::Scalar, core::Impl::Auto,
+                    core::Impl::Neon})
+            .config("prime"),
+        "fig02");
 
     // Assemble per-kernel comparisons from the flat result stream.
     std::vector<core::Comparison> comparisons;
     bool all_verified = true;
     for (const auto *k : bench::headlineKernels()) {
         const auto qn = k->info.qualifiedName();
-        const auto *s =
-            sweep::findResult(results, qn, core::Impl::Scalar, 128);
-        const auto *a =
-            sweep::findResult(results, qn, core::Impl::Auto, 128);
-        const auto *n =
-            sweep::findResult(results, qn, core::Impl::Neon, 128);
+        const auto *s = results.find(qn, core::Impl::Scalar, 128);
+        const auto *a = results.find(qn, core::Impl::Auto, 128);
+        const auto *n = results.find(qn, core::Impl::Neon, 128);
         if (!s || !a || !n)
             continue;
         core::Comparison c;

@@ -20,10 +20,12 @@ main()
 {
     const char *cores[3] = {"silver", "gold", "prime"};
 
-    sweep::SweepSpec spec;
-    spec.impls = {core::Impl::Scalar, core::Impl::Neon};
-    spec.configs = {"silver", "gold", "prime"};
-    const auto results = bench::runBenchSweep(spec, "fig04");
+    Session session = Session::fromEnv();
+    const Results results = bench::runExperiment(
+        Experiment(session)
+            .impls({core::Impl::Scalar, core::Impl::Neon})
+            .configs({"silver", "gold", "prime"}),
+        "fig04");
 
     core::banner(std::cout,
                  "Figure 4: Neon performance / energy improvement per "
@@ -38,10 +40,10 @@ main()
                 continue;
             const auto qn = spec_->info.qualifiedName();
             for (int i = 0; i < 3; ++i) {
-                const auto *s = sweep::findResult(
-                    results, qn, core::Impl::Scalar, 128, cores[i]);
-                const auto *n = sweep::findResult(
-                    results, qn, core::Impl::Neon, 128, cores[i]);
+                const auto *s =
+                    results.find(qn, core::Impl::Scalar, 128, cores[i]);
+                const auto *n =
+                    results.find(qn, core::Impl::Neon, 128, cores[i]);
                 if (!s || !n)
                     continue;
                 core::Comparison c;

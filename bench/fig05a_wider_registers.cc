@@ -20,13 +20,15 @@ main()
 {
     const int widths[4] = {128, 256, 512, 1024};
 
-    sweep::SweepSpec spec;
-    spec.kernels.widerOnly = true;
-    spec.impls = {core::Impl::Neon};
-    spec.vecBits.assign(std::begin(widths), std::end(widths));
-    spec.configs = {"wider"};
-    spec.workingSets = {"scalability"};
-    const auto results = bench::runBenchSweep(spec, "fig05a");
+    Session session = Session::fromEnv();
+    const Results results = bench::runExperiment(
+        Experiment(session)
+            .widerOnly()
+            .impl(core::Impl::Neon)
+            .vecBits({widths[0], widths[1], widths[2], widths[3]})
+            .config("wider")
+            .workingSet("scalability"),
+        "fig05a");
 
     core::banner(std::cout,
                  "Figure 5(a): speedup vs 128-bit with wider vector "
@@ -38,12 +40,10 @@ main()
         if (!k->info.widerWidths)
             continue;
         const auto qn = k->info.qualifiedName();
-        const auto *base =
-            sweep::findResult(results, qn, core::Impl::Neon, 128);
+        const auto *base = results.find(qn, core::Impl::Neon, 128);
         std::vector<std::string> row = {qn};
         for (int bits : widths) {
-            const auto *r =
-                sweep::findResult(results, qn, core::Impl::Neon, bits);
+            const auto *r = results.find(qn, core::Impl::Neon, bits);
             const double speedup = double(base->run.sim.cycles) /
                                    double(r->run.sim.cycles);
             row.push_back(

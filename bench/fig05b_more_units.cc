@@ -21,13 +21,15 @@ main()
     const std::vector<std::string> configs = {"4W-2V", "4W-4V", "4W-6V",
                                               "6W-6V", "4W-8V", "8W-8V"};
 
-    sweep::SweepSpec spec;
-    spec.kernels.widerOnly = true;
-    spec.impls = {core::Impl::Neon};
-    spec.vecBits = {128};
-    spec.configs = configs;
-    spec.workingSets = {"scalability"};
-    const auto results = bench::runBenchSweep(spec, "fig05b");
+    Session session = Session::fromEnv();
+    const Results results = bench::runExperiment(
+        Experiment(session)
+            .widerOnly()
+            .impl(core::Impl::Neon)
+            .vecBits({128})
+            .configs(configs)
+            .workingSet("scalability"),
+        "fig05b");
 
     core::banner(std::cout,
                  "Figure 5(b): speedup vs 4W-2V with more ASIMD units "
@@ -41,13 +43,11 @@ main()
         if (!k->info.widerWidths)
             continue;
         const auto qn = k->info.qualifiedName();
-        const auto *base = sweep::findResult(results, qn,
-                                             core::Impl::Neon, 128,
-                                             configs.front());
+        const auto *base =
+            results.find(qn, core::Impl::Neon, 128, configs.front());
         std::vector<std::string> row = {qn};
         for (const auto &c : configs) {
-            const auto *r =
-                sweep::findResult(results, qn, core::Impl::Neon, 128, c);
+            const auto *r = results.find(qn, core::Impl::Neon, 128, c);
             row.push_back(core::fmtX(double(base->run.sim.cycles) /
                                      double(r->run.sim.cycles)));
         }

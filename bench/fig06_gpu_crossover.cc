@@ -9,8 +9,8 @@
 
 #include "bench_common.hh"
 
-#include "gpu/offload_model.hh"
-#include "sim/core_model.hh"
+#include "swan/gpu.hh"
+#include "swan/sim.hh"
 
 namespace swan::workloads::xnnpack
 {

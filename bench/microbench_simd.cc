@@ -8,8 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
-#include "simd/simd.hh"
-#include "trace/recorder.hh"
+#include "swan/simd.hh"
+#include "swan/trace.hh"
 
 using namespace swan;
 using namespace swan::simd;

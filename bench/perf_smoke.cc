@@ -24,7 +24,7 @@
 #include <sstream>
 
 #include "bench_common.hh"
-#include "trace/packed.hh"
+#include "swan/trace.hh"
 
 using namespace swan;
 

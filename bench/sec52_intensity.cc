@@ -15,7 +15,7 @@
 
 #include "bench_common.hh"
 
-#include "trace/stats.hh"
+#include "swan/trace.hh"
 
 using namespace swan;
 

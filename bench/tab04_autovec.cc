@@ -8,7 +8,7 @@
 
 #include "bench_common.hh"
 
-#include "autovec/legality.hh"
+#include "swan/autovec.hh"
 
 using namespace swan;
 

@@ -17,10 +17,12 @@ using namespace swan;
 int
 main()
 {
-    sweep::SweepSpec spec;
-    spec.impls = {core::Impl::Scalar, core::Impl::Neon};
-    spec.configs = {"prime"};
-    const auto results = bench::runBenchSweep(spec, "tab05");
+    Session session = Session::fromEnv();
+    const Results results = bench::runExperiment(
+        Experiment(session)
+            .impls({core::Impl::Scalar, core::Impl::Neon})
+            .config("prime"),
+        "tab05");
 
     core::banner(std::cout,
                  "Table 5: L1D/L2/LLC MPKI, FE/BE stalls (%), IPC "
@@ -35,10 +37,8 @@ main()
             if (spec_->info.symbol != sym)
                 continue;
             const auto qn = spec_->info.qualifiedName();
-            const auto *sr =
-                sweep::findResult(results, qn, core::Impl::Scalar, 128);
-            const auto *nr =
-                sweep::findResult(results, qn, core::Impl::Neon, 128);
+            const auto *sr = results.find(qn, core::Impl::Scalar, 128);
+            const auto *nr = results.find(qn, core::Impl::Neon, 128);
             if (!sr || !nr)
                 continue;
             const auto &s = sr->run.sim;

@@ -19,12 +19,14 @@ using trace::StrideKind;
 int
 main()
 {
-    sweep::SweepSpec spec;
-    spec.impls = {core::Impl::Neon};
-    spec.vecBits = {128};
-    spec.configs = {"prime"};
-    spec.workingSets = {"default"};
-    const auto results = bench::runBenchSweep(spec, "tab06");
+    Session session = Session::fromEnv();
+    const Results results = bench::runExperiment(
+        Experiment(session)
+            .impl(core::Impl::Neon)
+            .vecBits({128})
+            .config("prime")
+            .workingSet("default"),
+        "tab06");
 
     struct Row
     {

@@ -9,7 +9,7 @@
 
 #include "bench_common.hh"
 
-#include "gpu/offload_model.hh"
+#include "swan/gpu.hh"
 
 using namespace swan;
 

@@ -8,11 +8,7 @@
 
 #include <iostream>
 
-#include "core/metrics.hh"
-#include "core/registry.hh"
-#include "core/report.hh"
-#include "core/runner.hh"
-#include "sim/configs.hh"
+#include "swan/swan.hh"
 
 using namespace swan;
 

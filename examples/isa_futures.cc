@@ -14,11 +14,8 @@
 #include <iostream>
 #include <string>
 
-#include "core/report.hh"
-#include "core/runner.hh"
-#include "sim/configs.hh"
-#include "trace/stats.hh"
-#include "workloads/ext/ext.hh"
+#include "swan/swan.hh"
+#include "swan/workloads.hh"
 
 using namespace swan;
 using namespace swan::workloads;

@@ -8,11 +8,8 @@
 
 #include <iostream>
 
-#include "core/registry.hh"
-#include "core/report.hh"
-#include "core/runner.hh"
-#include "gpu/offload_model.hh"
-#include "sim/configs.hh"
+#include "swan/gpu.hh"
+#include "swan/swan.hh"
 
 namespace swan::workloads::xnnpack
 {

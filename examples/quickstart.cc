@@ -1,19 +1,16 @@
 /**
  * @file
- * Quickstart: run one Swan kernel (ZL/adler32) end to end — capture the
- * Scalar and Neon dynamic instruction traces, simulate both on the
- * Table 3 Prime core, and print speedup, instruction reduction, power
- * and energy. Pass a qualified kernel name (e.g. "SK/convolve_vertically"
- * or "memcpy") to measure a different kernel.
+ * Quickstart for the public swan API (docs/api.md). One Session owns
+ * the runtime policy (threads, caches — here the SWAN_* environment
+ * defaults), one fluent Experiment names the grid, and the Results
+ * view is queried and printed. Pass a qualified kernel name (e.g.
+ * "SK/convolve_vertically" or "memcpy") to measure a different kernel;
+ * pass nothing for ZL/adler32.
  */
 
 #include <iostream>
 
-#include "core/metrics.hh"
-#include "core/registry.hh"
-#include "core/report.hh"
-#include "core/runner.hh"
-#include "sim/configs.hh"
+#include "swan/swan.hh"
 
 using namespace swan;
 
@@ -28,15 +25,41 @@ main(int argc, char **argv)
             std::cerr << "  " << k.info.qualifiedName() << "\n";
         return 1;
     }
+    const std::string qn = spec->info.qualifiedName();
 
-    core::Runner runner;
-    auto comparison = runner.compare(*spec, sim::primeConfig());
+    // Policy: SWAN_* environment as defaults, overridable in code
+    // (e.g. Session(Session::envDefaults().withJobs(4))).
+    Session session = Session::fromEnv();
+
+    // Grid: one kernel, all three implementations, the Prime core.
+    Results results;
+    try {
+        results = Experiment(session)
+                      .kernel(qn)
+                      .impls({core::Impl::Scalar, core::Impl::Auto,
+                              core::Impl::Neon})
+                      .config("prime")
+                      .run();
+    } catch (const Error &e) {
+        std::cerr << "quickstart: " << e.what() << "\n";
+        return 1;
+    }
+
+    const auto *scalar = results.find(qn, core::Impl::Scalar, 128);
+    const auto *autovec = results.find(qn, core::Impl::Auto, 128);
+    const auto *neon = results.find(qn, core::Impl::Neon, 128);
+
+    // The paper's correctness check, untraced (full host speed).
+    auto w = spec->make(core::Options::fromEnv());
+    w->runScalar();
+    w->runNeon(128);
+    const bool verified = w->verify();
 
     core::banner(std::cout, "Swan quickstart: " + name);
     core::Table t({"Metric", "Scalar", "Auto", "Neon"});
     auto row = [&](const std::string &label, auto get) {
-        t.addRow({label, get(comparison.scalar), get(comparison.autovec),
-                  get(comparison.neon)});
+        t.addRow({label, get(scalar->run), get(autovec->run),
+                  get(neon->run)});
     };
     row("Dynamic instructions", [](const core::KernelRun &r) {
         return std::to_string(r.mix.total());
@@ -55,13 +78,18 @@ main(int argc, char **argv)
     });
     t.print(std::cout);
 
-    std::cout << "\nNeon speedup:          "
-              << core::fmtX(comparison.neonSpeedup())
+    const double neonSpeedup = double(scalar->run.sim.cycles) /
+                               double(neon->run.sim.cycles);
+    const double instrReduction = double(scalar->run.mix.total()) /
+                                  double(neon->run.mix.total());
+    const double energyImprovement =
+        scalar->run.sim.energyJ / neon->run.sim.energyJ;
+    std::cout << "\nNeon speedup:          " << core::fmtX(neonSpeedup)
               << "\nInstruction reduction: "
-              << core::fmtX(comparison.instrReduction())
+              << core::fmtX(instrReduction)
               << "\nEnergy improvement:    "
-              << core::fmtX(comparison.neonEnergyImprovement())
-              << "\nOutputs verified:      "
-              << (comparison.verified ? "yes" : "NO") << "\n";
-    return comparison.verified ? 0 : 1;
+              << core::fmtX(energyImprovement)
+              << "\nOutputs verified:      " << (verified ? "yes" : "NO")
+              << "\n";
+    return verified ? 0 : 1;
 }

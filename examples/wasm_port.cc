@@ -19,13 +19,9 @@
 #include <string>
 #include <vector>
 
-#include "core/report.hh"
-#include "core/runner.hh"
-#include "sim/configs.hh"
-#include "simd/simd.hh"
-#include "trace/recorder.hh"
-#include "trace/stats.hh"
-#include "workloads/ext/ext.hh"
+#include "swan/simd.hh"
+#include "swan/swan.hh"
+#include "swan/workloads.hh"
 
 using namespace swan;
 using namespace swan::workloads;

@@ -1,0 +1,13 @@
+/**
+ * @file
+ * Public re-export: the auto-vectorization legality model behind the
+ * Table 4 reproduction (which kernels the compiler vectorizes and the
+ * failure reasons of the rest).
+ */
+
+#ifndef SWAN_AUTOVEC_HH
+#define SWAN_AUTOVEC_HH
+
+#include "autovec/legality.hh"
+
+#endif // SWAN_AUTOVEC_HH

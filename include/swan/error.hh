@@ -1,0 +1,27 @@
+/**
+ * @file
+ * The façade's error type. Experiment::run() reports a bad grid
+ * (unknown kernel, config or working-set preset, empty match) by
+ * throwing swan::Error; the non-throwing overload reports the same
+ * message through an out-parameter instead.
+ */
+
+#ifndef SWAN_ERROR_HH
+#define SWAN_ERROR_HH
+
+#include <stdexcept>
+#include <string>
+
+namespace swan
+{
+
+/** Raised by the public API on invalid experiment specifications. */
+class Error : public std::runtime_error
+{
+  public:
+    explicit Error(const std::string &what) : std::runtime_error(what) {}
+};
+
+} // namespace swan
+
+#endif // SWAN_ERROR_HH

@@ -1,0 +1,12 @@
+/**
+ * @file
+ * Public re-export: the GPU offload model (Section 8 / Figure 6 —
+ * crossover sizes where offloading a kernel beats the big core).
+ */
+
+#ifndef SWAN_GPU_HH
+#define SWAN_GPU_HH
+
+#include "gpu/offload_model.hh"
+
+#endif // SWAN_GPU_HH

@@ -1,0 +1,14 @@
+/**
+ * @file
+ * Public re-export: report formatting (core::Table, banner, fmt/fmtX/
+ * fmtPct) and aggregation helpers (geomean, summarizeByLibrary) used
+ * by the per-figure reproductions.
+ */
+
+#ifndef SWAN_REPORT_HH
+#define SWAN_REPORT_HH
+
+#include "core/metrics.hh"
+#include "core/report.hh"
+
+#endif // SWAN_REPORT_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * swan::Results — the stable view over one Experiment run. Owns the
+ * SweepResult stream (in deterministic point-index order) plus a
+ * snapshot of the session cache counters taken when the run finished.
+ * Supports iteration, axis lookup (find), predicate filtering (where)
+ * and emission to the table/csv/jsonl formats.
+ */
+
+#ifndef SWAN_RESULTS_HH
+#define SWAN_RESULTS_HH
+
+#include <cstddef>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sweep/cache.hh"
+#include "sweep/emit.hh"
+#include "sweep/scheduler.hh"
+
+namespace swan
+{
+
+class Results
+{
+  public:
+    using value_type = sweep::SweepResult;
+    using const_iterator = std::vector<sweep::SweepResult>::const_iterator;
+
+    Results() = default;
+    Results(std::vector<sweep::SweepResult> results,
+            sweep::CacheStats stats)
+        : results_(std::move(results)), stats_(stats)
+    {
+    }
+
+    bool empty() const { return results_.empty(); }
+    size_t size() const { return results_.size(); }
+
+    const_iterator begin() const { return results_.begin(); }
+    const_iterator end() const { return results_.end(); }
+    const sweep::SweepResult &operator[](size_t i) const
+    {
+        return results_[i];
+    }
+
+    /** The underlying stream, for engine-level post-processing. */
+    const std::vector<sweep::SweepResult> &points() const
+    {
+        return results_;
+    }
+
+    /**
+     * First result matching the given axes; null if absent. Empty
+     * @p config / @p working_set match any value (the common
+     * single-config case).
+     */
+    const sweep::SweepResult *
+    find(std::string_view kernel_qualified, core::Impl impl, int vec_bits,
+         std::string_view config = {},
+         std::string_view working_set = {}) const
+    {
+        return sweep::findResult(results_, kernel_qualified, impl,
+                                 vec_bits, config, working_set);
+    }
+
+    /** Results containing only the points @p pred accepts (stats kept). */
+    Results
+    where(const std::function<bool(const sweep::SweepResult &)> &pred) const
+    {
+        std::vector<sweep::SweepResult> kept;
+        for (const auto &r : results_)
+            if (pred(r))
+                kept.push_back(r);
+        return Results(std::move(kept), stats_);
+    }
+
+    /** Write every point to @p os in @p format (table/csv/jsonl). */
+    void
+    emit(std::ostream &os, sweep::Format format) const
+    {
+        sweep::emitResults(os, results_, format);
+    }
+
+    /** Cache counters snapshotted when the run finished. */
+    const sweep::CacheStats &cacheStats() const { return stats_; }
+
+    /** One-line human-readable form of cacheStats(), for diagnostics. */
+    std::string
+    cacheSummary() const
+    {
+        return sweep::cacheSummary(stats_);
+    }
+
+  private:
+    std::vector<sweep::SweepResult> results_;
+    sweep::CacheStats stats_;
+};
+
+} // namespace swan
+
+#endif // SWAN_RESULTS_HH

@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Public re-export: the single-point measurement harness. core::Runner
+ * (capture one implementation's dynamic trace, replay it through a
+ * core timing model, apply the power model), the Impl axis, KernelRun
+ * and the Scalar/Auto/Neon Comparison. For grids of points, prefer
+ * swan::Experiment — it adds caching, parallelism and emitters on top
+ * of the same harness.
+ */
+
+#ifndef SWAN_RUNNER_HH
+#define SWAN_RUNNER_HH
+
+#include "core/runner.hh"
+
+#endif // SWAN_RUNNER_HH

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * swan::Session — the runtime-policy root of the public API. A Session
+ * owns everything about *how* experiments execute (worker threads,
+ * trace-memo byte budget, result-cache location and size cap, cache
+ * warm-up passes) as explicit options, replacing the scattered SWAN_*
+ * getenv calls that benches and the CLI used to hand-wire. The
+ * environment variables still work, but only as *defaults*:
+ * Session::fromEnv() reads them once into a SessionOptions value, and
+ * anything set explicitly on that value wins (explicit > environment >
+ * built-in default — see envDefaults()).
+ *
+ * A Session also owns the sweep ResultCache, so every Experiment run
+ * through one Session shares in-memory results, and Sessions pointed
+ * at the same cacheDir share results across processes.
+ *
+ * Layering (see docs/api.md):
+ *
+ *   Session (policy)  ->  Experiment (what to run)  ->  Results (view)
+ *        |                      |
+ *        +-- sweep::ResultCache +-- sweep::{expand, runSweep}
+ */
+
+#ifndef SWAN_SESSION_HH
+#define SWAN_SESSION_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sweep/cache.hh"
+#include "sweep/scheduler.hh"
+
+namespace swan
+{
+
+/**
+ * Explicit runtime policy. Field defaults are the library defaults;
+ * Session::envDefaults() overlays the SWAN_* environment on top of
+ * them, and the withX() setters make one-line explicit overrides
+ * chainable: Session(Session::envDefaults().withJobs(8)).
+ */
+struct SessionOptions
+{
+    /** Sweep worker threads; <= 0 means all hardware threads.
+     *  Results are byte-identical for any value. [env: SWAN_JOBS] */
+    int jobs = 1;
+
+    /** Cache warm-up passes fed to the core model before the measured
+     *  replay (paper Section 4.3). */
+    int warmupPasses = 1;
+
+    /** Byte budget for the in-memory packed-trace memo; over-budget
+     *  traces spill to disk during capture and are reloaded for
+     *  simulation, byte-identical results for any value. 0 = no
+     *  budget. [env: SWAN_TRACE_MEMO_BYTES] */
+    uint64_t traceMemoBytes = 0;
+
+    /** Directory of the on-disk result + packed-trace cache tier,
+     *  shared across processes; empty = in-memory cache only.
+     *  [env: SWAN_SWEEP_CACHE_DIR] */
+    std::string cacheDir;
+
+    /** Size cap for the on-disk cache directory: after every store the
+     *  least-recently-used entries are pruned until the tier fits.
+     *  0 = unbounded. [env: SWAN_SWEEP_CACHE_MAX_BYTES] */
+    uint64_t cacheMaxBytes = 0;
+
+    SessionOptions &
+    withJobs(int n)
+    {
+        jobs = n;
+        return *this;
+    }
+    SessionOptions &
+    withWarmupPasses(int n)
+    {
+        warmupPasses = n;
+        return *this;
+    }
+    SessionOptions &
+    withTraceMemoBytes(uint64_t n)
+    {
+        traceMemoBytes = n;
+        return *this;
+    }
+    SessionOptions &
+    withCacheDir(std::string dir)
+    {
+        cacheDir = std::move(dir);
+        return *this;
+    }
+    SessionOptions &
+    withCacheMaxBytes(uint64_t n)
+    {
+        cacheMaxBytes = n;
+        return *this;
+    }
+};
+
+/**
+ * One configured library instance: policy options plus the result
+ * cache they imply. Create one per process (or per isolated cache
+ * scope) and run any number of Experiments through it. Immobile — the
+ * cache is stateful, holds a mutex, and is shared by reference; the
+ * factory functions return prvalues, which C++17 constructs in place.
+ */
+class Session
+{
+  public:
+    /** Library defaults; ignores the environment entirely. */
+    Session() : Session(SessionOptions{}) {}
+
+    /** Explicit options (the usual embedding entry point). */
+    explicit Session(SessionOptions opts);
+
+    Session(const Session &) = delete;
+    Session &operator=(const Session &) = delete;
+
+    /**
+     * The SWAN_* environment overlaid on the library defaults:
+     * SWAN_JOBS, SWAN_TRACE_MEMO_BYTES, SWAN_SWEEP_CACHE_DIR,
+     * SWAN_SWEEP_CACHE_MAX_BYTES. Unset, unparsable or (for
+     * SWAN_JOBS) non-positive values leave the built-in default
+     * untouched: all-cores fan-out is an explicit option (jobs <= 0),
+     * never an ambient environment one.
+     */
+    static SessionOptions envDefaults();
+
+    /** Session(envDefaults()) — the CLI/bench entry point. */
+    static Session fromEnv() { return Session(envDefaults()); }
+
+    const SessionOptions &options() const { return opts_; }
+
+    /** The session-lifetime result cache (two-tier; see sweep/cache.hh). */
+    sweep::ResultCache &cache() const { return cache_; }
+
+    /**
+     * The scheduler configuration this session's options imply, for
+     * code that drives sweep::runSweep directly. Experiment::run()
+     * uses exactly this, so façade and direct-engine runs are
+     * byte-identical by construction.
+     */
+    sweep::SchedulerConfig schedulerConfig() const;
+
+  private:
+    SessionOptions opts_;
+    // Inline, and mutable so a const Session can serve cache lookups:
+    // captured traces record real buffer addresses and the simulation
+    // is address-sensitive, so session setup deliberately makes no
+    // heap allocation beyond its option strings — a Session-driven run
+    // leaves the same capture-time heap layout as a hand-wired one.
+    mutable sweep::ResultCache cache_;
+};
+
+} // namespace swan
+
+#endif // SWAN_SESSION_HH

@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Public re-export: the timing and power models. CoreConfig presets
+ * (prime/gold/silver and the scalability variants), simulateTrace /
+ * simulateTraceMany, and the battery-rail power model.
+ */
+
+#ifndef SWAN_SIM_HH
+#define SWAN_SIM_HH
+
+#include "sim/configs.hh"
+#include "sim/core_model.hh"
+#include "sim/power.hh"
+
+#endif // SWAN_SIM_HH

@@ -1,0 +1,13 @@
+/**
+ * @file
+ * Public re-export: the portable SIMD layer the workloads are written
+ * against (fixed-width vec<> types, NEON-style operations, the
+ * recording instrumentation hooks).
+ */
+
+#ifndef SWAN_SIMD_HH
+#define SWAN_SIMD_HH
+
+#include "simd/simd.hh"
+
+#endif // SWAN_SIMD_HH

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Public re-export: the sweep engine underneath swan::Experiment.
+ * Declarative SweepSpec grids, the work-stealing scheduler, the
+ * two-tier ResultCache and the table/csv/jsonl emitters. Most
+ * consumers want the swan::Experiment façade (swan/experiment.hh)
+ * instead; these types are public for code that post-processes
+ * SweepResult streams or embeds the engine directly.
+ */
+
+#ifndef SWAN_SWEEP_HH
+#define SWAN_SWEEP_HH
+
+#include "sweep/cache.hh"
+#include "sweep/emit.hh"
+#include "sweep/grid.hh"
+#include "sweep/scheduler.hh"
+
+#endif // SWAN_SWEEP_HH

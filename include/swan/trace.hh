@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Public re-export: dynamic instruction traces. The Instr record and
+ * recorder, MixStats instruction-class accounting, the packed
+ * (columnar varint) trace encoding, and trace file serialization.
+ */
+
+#ifndef SWAN_TRACE_HH
+#define SWAN_TRACE_HH
+
+#include "trace/instr.hh"
+#include "trace/packed.hh"
+#include "trace/recorder.hh"
+#include "trace/serialize.hh"
+#include "trace/stats.hh"
+
+#endif // SWAN_TRACE_HH

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Library version of the public swan API. The major number gates
+ * source-incompatible changes to anything under include/swan/; the
+ * same triple is exported through CMake (`find_package(swan 0.3)`).
+ */
+
+#ifndef SWAN_VERSION_HH
+#define SWAN_VERSION_HH
+
+#define SWAN_VERSION_MAJOR 0
+#define SWAN_VERSION_MINOR 3
+#define SWAN_VERSION_PATCH 0
+
+/** "major.minor.patch" */
+#define SWAN_VERSION_STRING "0.3.0"
+
+namespace swan
+{
+
+/** Runtime view of the compile-time version triple. */
+struct Version
+{
+    int major = SWAN_VERSION_MAJOR;
+    int minor = SWAN_VERSION_MINOR;
+    int patch = SWAN_VERSION_PATCH;
+};
+
+inline constexpr const char *versionString() { return SWAN_VERSION_STRING; }
+
+} // namespace swan
+
+#endif // SWAN_VERSION_HH

@@ -1,0 +1,13 @@
+/**
+ * @file
+ * Public re-export: the ISA-extension study workloads (Section 6 —
+ * predication, gather LUTs, strided loads, first-faulting loads,
+ * complex multiply, WASM SIMD portability).
+ */
+
+#ifndef SWAN_WORKLOADS_HH
+#define SWAN_WORKLOADS_HH
+
+#include "workloads/ext/ext.hh"
+
+#endif // SWAN_WORKLOADS_HH

@@ -1,0 +1,46 @@
+#!/usr/bin/env sh
+# Header hygiene for the public API surface (CI-enforced; also wired
+# into ctest as `header_hygiene`).
+#
+#  1. Every include/swan/*.hh compiles standalone (its own includes are
+#     complete; no hidden ordering dependencies).
+#  2. Nothing under bench/ or examples/ includes a src/-internal header
+#     — the public include/swan/ surface is the only supported way to
+#     consume the library.
+#
+# Usage: scripts/check_headers.sh [SRC_DIR] [CXX]
+set -eu
+
+SRC_DIR=${1:-$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)}
+CXX=${2:-${CXX:-c++}}
+
+fail=0
+
+# --- 1: each public header compiles standalone ------------------------
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+for hh in "$SRC_DIR"/include/swan/*.hh; do
+    name=$(basename "$hh")
+    tu="$tmpdir/standalone_$name.cc"
+    printf '#include "swan/%s"\n#include "swan/%s"\n' "$name" "$name" > "$tu"
+    if ! "$CXX" -std=c++20 -fsyntax-only -Wall -Wextra \
+            -I "$SRC_DIR/include" -I "$SRC_DIR/src" "$tu"; then
+        echo "check_headers: include/swan/$name does not compile standalone" >&2
+        fail=1
+    fi
+done
+
+# --- 2: bench/ and examples/ stay on the public surface ---------------
+# Allowed quoted includes: swan/... public headers and the bench's own
+# shared helper (which is itself checked below).
+bad=$(grep -n '#include "' "$SRC_DIR"/bench/*.cc "$SRC_DIR"/bench/*.hh \
+          "$SRC_DIR"/examples/*.cc |
+      grep -v '#include "swan/' |
+      grep -v '#include "bench_common.hh"' || true)
+if [ -n "$bad" ]; then
+    echo "check_headers: internal includes outside include/swan/:" >&2
+    echo "$bad" >&2
+    fail=1
+fi
+
+exit $fail

@@ -1,0 +1,61 @@
+#include "swan/session.hh"
+
+#include <cstdlib>
+
+namespace swan
+{
+
+namespace
+{
+
+/**
+ * Parse a positive integer env var; @p fallback when unset, unparsable
+ * or non-positive. SWAN_JOBS deliberately cannot express "all cores":
+ * an environment default silently fanning a sweep out to every
+ * hardware thread is a footgun, so all-cores stays an explicit choice
+ * (SessionOptions::jobs <= 0, or `--jobs 0` on the CLI).
+ */
+int
+envInt(const char *name, int fallback)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return fallback;
+    char *end = nullptr;
+    const long n = std::strtol(v, &end, 10);
+    return (end && *end == '\0' && n > 0) ? int(n) : fallback;
+}
+
+} // namespace
+
+Session::Session(SessionOptions opts)
+    : opts_(std::move(opts)), cache_(opts_.cacheDir, opts_.cacheMaxBytes)
+{
+}
+
+SessionOptions
+Session::envDefaults()
+{
+    // One parser per variable: the cache and scheduler statics already
+    // own theirs, so a format change cannot drift between the façade
+    // and the engine.
+    SessionOptions o;
+    o.jobs = envInt("SWAN_JOBS", o.jobs);
+    o.traceMemoBytes = sweep::SchedulerConfig::envTraceMemoBytes();
+    o.cacheDir = sweep::ResultCache::envDiskDir();
+    o.cacheMaxBytes = sweep::ResultCache::envMaxDiskBytes();
+    return o;
+}
+
+sweep::SchedulerConfig
+Session::schedulerConfig() const
+{
+    sweep::SchedulerConfig sc;
+    sc.jobs = opts_.jobs;
+    sc.cache = &cache_;
+    sc.warmupPasses = opts_.warmupPasses;
+    sc.traceMemoBytes = opts_.traceMemoBytes;
+    return sc;
+}
+
+} // namespace swan

@@ -1,5 +1,6 @@
 #include "sweep/cache.hh"
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
@@ -69,6 +70,20 @@ f64str(double v)
     std::ostringstream os;
     os << std::hexfloat << v;
     return os.str();
+}
+
+/**
+ * Refresh an entry's LRU stamp (file mtime) after a disk hit, so the
+ * size-cap pruner removes least-recently-*used* entries, not merely
+ * least-recently-written ones. Best-effort: a failed touch only makes
+ * the entry look older than it is.
+ */
+void
+touchEntry(const std::filesystem::path &path)
+{
+    std::error_code ec;
+    std::filesystem::last_write_time(
+        path, std::filesystem::file_time_type::clock::now(), ec);
 }
 
 } // namespace
@@ -180,7 +195,8 @@ traceKeyFor(const SweepPoint &point)
     return k;
 }
 
-ResultCache::ResultCache(std::string disk_dir) : diskDir_(std::move(disk_dir))
+ResultCache::ResultCache(std::string disk_dir, uint64_t max_disk_bytes)
+    : diskDir_(std::move(disk_dir)), maxDiskBytes_(max_disk_bytes)
 {
     if (!diskDir_.empty()) {
         std::error_code ec;
@@ -198,6 +214,27 @@ ResultCache::envDiskDir()
 }
 
 bool
+parseByteCount(const char *s, uint64_t *out)
+{
+    if (!s || !*s || *s == '-')
+        return false;
+    char *end = nullptr;
+    const unsigned long long n = std::strtoull(s, &end, 10);
+    if (!end || *end != '\0')
+        return false;
+    *out = uint64_t(n);
+    return true;
+}
+
+uint64_t
+ResultCache::envMaxDiskBytes()
+{
+    uint64_t n = 0;
+    parseByteCount(std::getenv("SWAN_SWEEP_CACHE_MAX_BYTES"), &n);
+    return n;
+}
+
+bool
 ResultCache::lookup(const CacheKey &key, core::KernelRun *out)
 {
     {
@@ -210,6 +247,7 @@ ResultCache::lookup(const CacheKey &key, core::KernelRun *out)
         }
     }
     if (!diskDir_.empty() && loadDisk(key, out)) {
+        touchEntry(std::filesystem::path(diskDir_) / (key.hex() + ".swr"));
         std::lock_guard<std::mutex> lock(mu_);
         map_.emplace(key, *out);
         ++stats_.diskHits;
@@ -229,7 +267,7 @@ ResultCache::store(const CacheKey &key, const core::KernelRun &run)
         ++stats_.stores;
     }
     if (!diskDir_.empty())
-        storeDisk(key, run);
+        pruneDisk(storeDisk(key, run));
 }
 
 CacheStats
@@ -337,6 +375,7 @@ ResultCache::lookupTrace(const TraceKey &key, trace::PackedTrace *out,
             buf.size() - at, out))
         return miss();
     *mix = seenMix;
+    touchEntry(path);
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.traceHits;
     return true;
@@ -382,8 +421,138 @@ ResultCache::storeTrace(const TraceKey &key, const trace::PackedTrace &t,
         std::filesystem::remove(tmp, ec);
         return;
     }
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.traceStores;
+    }
+    pruneDisk(blob.size());
+}
+
+namespace
+{
+
+/** True for the pruner's unit of accounting: .swr results and .swtp
+ *  packed traces. Temporaries (.tmp) and foreign files are ignored. */
+bool
+isCacheEntry(const std::filesystem::path &p)
+{
+    const auto ext = p.extension();
+    return ext == ".swr" || ext == ".swtp";
+}
+
+} // namespace
+
+uint64_t
+ResultCache::diskBytes() const
+{
+    if (diskDir_.empty())
+        return 0;
+    uint64_t total = 0;
+    std::error_code ec;
+    for (std::filesystem::directory_iterator
+             it(diskDir_, ec),
+         end;
+         !ec && it != end; it.increment(ec)) {
+        if (!isCacheEntry(it->path()))
+            continue;
+        std::error_code fec;
+        const auto size = std::filesystem::file_size(it->path(), fec);
+        if (!fec)
+            total += size;
+    }
+    return total;
+}
+
+void
+ResultCache::pruneDisk(uint64_t stored_bytes)
+{
+    if (diskDir_.empty() || maxDiskBytes_ == 0)
+        return;
+
+    // Fast path: bump the running total and skip the directory walk
+    // while it stays under the cap. Entries written by other processes
+    // are only picked up at the next full scan, so a shared capped
+    // directory can transiently overshoot by what the neighbors wrote
+    // since this process last scanned.
+    uint64_t baseline = 0;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (diskTotalKnown_) {
+            diskTotal_ += stored_bytes;
+            if (diskTotal_ <= maxDiskBytes_)
+                return;
+        }
+        baseline = diskTotal_;
+    }
+
+    struct Entry
+    {
+        std::filesystem::file_time_type mtime;
+        std::string name;
+        uint64_t size = 0;
+    };
+    std::vector<Entry> entries;
+    uint64_t total = 0;
+    std::error_code ec;
+    for (std::filesystem::directory_iterator
+             it(diskDir_, ec),
+         end;
+         !ec && it != end; it.increment(ec)) {
+        const auto &p = it->path();
+        if (!isCacheEntry(p))
+            continue;
+        std::error_code fec;
+        Entry e;
+        e.size = std::filesystem::file_size(p, fec);
+        if (fec)
+            continue;
+        e.mtime = std::filesystem::last_write_time(p, fec);
+        if (fec)
+            continue;
+        e.name = p.filename().string();
+        total += e.size;
+        entries.push_back(std::move(e));
+    }
+    // Resync the estimate. Stores racing with the scan bumped
+    // diskTotal_ past `baseline`; re-apply that delta on top of the
+    // scanned total (their files may also have been seen by the scan,
+    // so this can double-count — a deliberate over-estimate: the worst
+    // case is one extra scan, never a missed cap violation).
+    const auto resync = [&](uint64_t scanned) {
+        std::lock_guard<std::mutex> lock(mu_);
+        diskTotal_ = scanned + (diskTotal_ - baseline);
+        diskTotalKnown_ = true;
+    };
+    if (total <= maxDiskBytes_) {
+        resync(total);
+        return;
+    }
+
+    // Oldest first; mtime ties (coarse filesystem clocks) broken by
+    // name so a given directory state always prunes the same way.
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) {
+                  if (a.mtime != b.mtime)
+                      return a.mtime < b.mtime;
+                  return a.name < b.name;
+              });
+
+    const auto dir = std::filesystem::path(diskDir_);
+    uint64_t evicted = 0;
+    for (const auto &e : entries) {
+        if (total <= maxDiskBytes_)
+            break;
+        std::error_code rec;
+        // A concurrent process may have removed it already; only count
+        // (and discount) files this call actually deleted.
+        if (std::filesystem::remove(dir / e.name, rec) && !rec) {
+            total -= e.size;
+            ++evicted;
+        }
+    }
+    resync(total);
     std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.traceStores;
+    stats_.evictions += evicted;
 }
 
 bool
@@ -489,7 +658,7 @@ ResultCache::loadDisk(const CacheKey &key, core::KernelRun *out)
     return true;
 }
 
-void
+uint64_t
 ResultCache::storeDisk(const CacheKey &key, const core::KernelRun &run)
 {
     const auto dir = std::filesystem::path(diskDir_);
@@ -499,7 +668,7 @@ ResultCache::storeDisk(const CacheKey &key, const core::KernelRun &run)
     {
         std::ofstream os(tmp, std::ios::trunc);
         if (!os)
-            return;
+            return 0;
         const auto &s = run.sim;
         os << kMagic << "\n"
            << "kernel " << key.kernel << "\n"
@@ -538,12 +707,17 @@ ResultCache::storeDisk(const CacheKey &key, const core::KernelRun &run)
             os << " " << v;
         os << "\n";
         if (!os)
-            return;
+            return 0;
     }
     std::error_code ec;
+    const auto size = std::filesystem::file_size(tmp, ec);
+    const uint64_t written = ec ? 0 : uint64_t(size);
     std::filesystem::rename(tmp, path, ec);
-    if (ec)
+    if (ec) {
         std::filesystem::remove(tmp, ec);
+        return 0;
+    }
+    return written;
 }
 
 } // namespace swan::sweep

@@ -41,6 +41,15 @@ namespace swan::sweep
 uint64_t fingerprint(const sim::CoreConfig &cfg);
 uint64_t fingerprint(const core::Options &opts);
 
+/**
+ * Parse a non-negative decimal byte count (the SWAN_* budget/cap
+ * variables and their CLI flags share this one parser so format rules
+ * cannot drift). Rejects negatives — strtoull alone would wrap "-1"
+ * to 2^64-1. @return false on null/empty/unparsable input, leaving
+ * @p out untouched.
+ */
+bool parseByteCount(const char *s, uint64_t *out);
+
 /** Identity of one experiment point's result. */
 struct CacheKey
 {
@@ -104,6 +113,9 @@ struct CacheStats
     uint64_t traceMisses = 0; //!< caller captures (and stores)
     uint64_t traceStores = 0; //!< packed traces written
 
+    /** On-disk entries pruned by the size cap (LRU, .swr + .swtp). */
+    uint64_t evictions = 0;
+
     uint64_t total() const { return hits + diskHits + misses; }
 };
 
@@ -117,14 +129,30 @@ struct CacheStats
 class ResultCache
 {
   public:
-    /** @param disk_dir On-disk tier directory; empty = memory only. */
-    explicit ResultCache(std::string disk_dir = {});
+    /**
+     * @param disk_dir       On-disk tier directory; empty = memory only.
+     * @param max_disk_bytes Size cap for the on-disk tier: after every
+     *        store, least-recently-used entries (result .swr and
+     *        packed-trace .swtp files; LRU stamp = file mtime, bumped
+     *        on every disk hit, ties broken by file name so pruning is
+     *        deterministic) are removed until the tier fits.
+     *        0 = unbounded.
+     */
+    explicit ResultCache(std::string disk_dir = {},
+                         uint64_t max_disk_bytes = 0);
 
     /** SWAN_SWEEP_CACHE_DIR, or empty when unset. */
     static std::string envDiskDir();
 
-    /** Memory-only unless SWAN_SWEEP_CACHE_DIR names a directory. */
-    static ResultCache fromEnv() { return ResultCache(envDiskDir()); }
+    /** SWAN_SWEEP_CACHE_MAX_BYTES, or 0 when unset/unparsable. */
+    static uint64_t envMaxDiskBytes();
+
+    /** Memory-only unless SWAN_SWEEP_CACHE_DIR names a directory;
+     *  capped when SWAN_SWEEP_CACHE_MAX_BYTES is set. */
+    static ResultCache fromEnv()
+    {
+        return ResultCache(envDiskDir(), envMaxDiskBytes());
+    }
 
     bool lookup(const CacheKey &key, core::KernelRun *out);
     void store(const CacheKey &key, const core::KernelRun &run);
@@ -145,6 +173,11 @@ class ResultCache
                     const trace::MixStats &mix);
 
     const std::string &diskDir() const { return diskDir_; }
+    uint64_t maxDiskBytes() const { return maxDiskBytes_; }
+
+    /** Bytes currently held by the on-disk tier (.swr + .swtp). */
+    uint64_t diskBytes() const;
+
     CacheStats stats() const;
     void resetStats();
 
@@ -155,10 +188,23 @@ class ResultCache
     };
 
     bool loadDisk(const CacheKey &key, core::KernelRun *out);
-    void storeDisk(const CacheKey &key, const core::KernelRun &run);
+    /** @return bytes written (0 on failure), for the pruner's total. */
+    uint64_t storeDisk(const CacheKey &key, const core::KernelRun &run);
+
+    /**
+     * Enforce maxDiskBytes_ by deleting LRU entries; no-op uncapped.
+     * Keeps a running byte total so the common under-cap store costs
+     * one counter update, not a directory walk; the walk (and the
+     * resync with entries other processes wrote) happens only when the
+     * running total crosses the cap.
+     */
+    void pruneDisk(uint64_t stored_bytes);
 
     std::string diskDir_;
+    uint64_t maxDiskBytes_ = 0;
     mutable std::mutex mu_;
+    uint64_t diskTotal_ = 0;      //!< running on-disk byte estimate
+    bool diskTotalKnown_ = false; //!< diskTotal_ seeded by a full scan
     std::unordered_map<CacheKey, core::KernelRun, KeyHash> map_;
     CacheStats stats_;
 };

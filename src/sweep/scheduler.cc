@@ -435,12 +435,9 @@ class WorkerPool
 uint64_t
 SchedulerConfig::envTraceMemoBytes()
 {
-    const char *v = std::getenv("SWAN_TRACE_MEMO_BYTES");
-    if (!v || !*v)
-        return 0;
-    char *end = nullptr;
-    const unsigned long long n = std::strtoull(v, &end, 10);
-    return (end && *end == '\0') ? uint64_t(n) : 0;
+    uint64_t n = 0;
+    parseByteCount(std::getenv("SWAN_TRACE_MEMO_BYTES"), &n);
+    return n;
 }
 
 std::vector<SweepResult>

@@ -5,15 +5,10 @@
 #include <map>
 #include <optional>
 
-#include "core/registry.hh"
-#include "core/report.hh"
-#include "core/runner.hh"
-#include "sim/configs.hh"
-#include "sim/power.hh"
-#include "sweep/emit.hh"
-#include "sweep/scheduler.hh"
-#include "trace/serialize.hh"
-#include "trace/stats.hh"
+// The CLI is a consumer of the public API, not of src/ internals: every
+// command goes through the same include/swan/ surface an out-of-tree
+// embedding would use (the sweep forms through Session/Experiment).
+#include "swan/swan.hh"
 
 namespace swan::tools
 {
@@ -58,8 +53,15 @@ sweep grid flags (cartesian product of the axes):
   --cache-dir DIR              on-disk result + packed-trace cache
                                (also honors SWAN_SWEEP_CACHE_DIR);
                                hit/miss counters go to stderr
+  --cache-max-bytes N          size cap for the on-disk cache: after
+                               every store, least-recently-used entries
+                               are pruned until the cache fits
+                               (0 = unbounded)
 
-environment:
+environment (defaults only; explicit flags win — docs/api.md):
+  SWAN_JOBS                    default worker threads for sweeps
+  SWAN_SWEEP_CACHE_DIR         default --cache-dir
+  SWAN_SWEEP_CACHE_MAX_BYTES   default --cache-max-bytes
   SWAN_TRACE_MEMO_BYTES        cap the sweep's in-memory packed-trace
                                memo; over-budget traces spill to disk
                                during capture and reload for
@@ -104,8 +106,11 @@ struct Parsed
     std::vector<std::string> wsList;
     bool wider = false;
     int jobs = 1;
+    bool jobsSet = false;
     std::string format = "table";
     std::string cacheDir;
+    uint64_t cacheMaxBytes = 0;
+    bool cacheMaxBytesSet = false;
 };
 
 /** Parse the argument vector; returns nullopt (after a message) on error. */
@@ -239,6 +244,17 @@ parse(const std::vector<std::string> &args, std::ostream &err)
                        "(0 = all cores)\n";
                 return std::nullopt;
             }
+            p.jobsSet = true;
+        } else if (a == "--cache-max-bytes") {
+            const auto *v = value();
+            if (!v)
+                return std::nullopt;
+            if (!sweep::parseByteCount(v->c_str(), &p.cacheMaxBytes)) {
+                err << "swan: --cache-max-bytes must be a byte count "
+                       ">= 0\n";
+                return std::nullopt;
+            }
+            p.cacheMaxBytesSet = true;
         } else if (a == "--format") {
             const auto *v = value();
             if (!v)
@@ -437,26 +453,31 @@ cmdCompare(const Parsed &p, std::ostream &out, std::ostream &err)
     return cmp.verified ? 0 : 1;
 }
 
-/** Execute a grid on the engine; shared by both sweep forms. */
-std::vector<sweep::SweepResult>
-runEngine(const Parsed &p, const sweep::SweepSpec &spec, std::ostream &err,
+/**
+ * Session for the sweep forms: the SWAN_* environment supplies the
+ * defaults, explicit flags override (explicit > env > default).
+ */
+Session
+sessionFor(const Parsed &p)
+{
+    SessionOptions opts = Session::envDefaults();
+    if (p.jobsSet)
+        opts.jobs = p.jobs == 0 ? -1 : p.jobs; // 0 = all cores
+    if (!p.cacheDir.empty())
+        opts.cacheDir = p.cacheDir;
+    if (p.cacheMaxBytesSet)
+        opts.cacheMaxBytes = p.cacheMaxBytes;
+    return Session(std::move(opts));
+}
+
+/** Execute an experiment; shared by both sweep forms. */
+Results
+runEngine(const Experiment &experiment, std::ostream &err,
           std::string *engineErr)
 {
-    sweep::ResultCache cache(
-        p.cacheDir.empty() ? sweep::ResultCache::envDiskDir()
-                           : p.cacheDir);
-    sweep::SchedulerConfig sc;
-    sc.jobs = p.jobs == 0 ? -1 : p.jobs; // 0 = all cores
-    sc.cache = &cache;
-    std::vector<sweep::SweepResult> results;
-    try {
-        results = sweep::runSweep(spec, sc, engineErr);
-    } catch (const std::exception &e) {
-        *engineErr = e.what();
-        return {};
-    }
+    Results results = experiment.run(engineErr);
     if (!results.empty())
-        err << "swan: " << sweep::cacheSummary(cache.stats()) << "\n";
+        err << "swan: " << results.cacheSummary() << "\n";
     return results;
 }
 
@@ -479,28 +500,27 @@ cmdSweepKernel(const Parsed &p, std::ostream &out, std::ostream &err)
                    "Figure-5 kernels do)\n";
             return 2;
         }
-        sweep::SweepSpec grid;
-        grid.kernels.names = {p.kernel};
-        grid.impls = {core::Impl::Scalar, core::Impl::Neon};
-        grid.vecBits = {128, 256, 512, 1024};
-        grid.configs = {"wider"};
-        grid.workingSets = {ws};
+        Session session = sessionFor(p);
         std::string gerr;
-        auto results = runEngine(p, grid, err, &gerr);
+        auto results =
+            runEngine(Experiment(session)
+                          .kernel(p.kernel)
+                          .impls({core::Impl::Scalar, core::Impl::Neon})
+                          .vecBits({128, 256, 512, 1024})
+                          .config("wider")
+                          .workingSet(ws),
+                      err, &gerr);
         if (results.empty()) {
             err << "swan: " << gerr << "\n";
             return 2;
         }
         // Scalar code has no width axis: one baseline point at 128.
-        const auto *scalar =
-            sweep::findResult(results, qn, core::Impl::Scalar, 128);
-        const auto *base =
-            sweep::findResult(results, qn, core::Impl::Neon, 128);
+        const auto *scalar = results.find(qn, core::Impl::Scalar, 128);
+        const auto *base = results.find(qn, core::Impl::Neon, 128);
         core::Table t({"Width", "Cycles", "Speedup vs Scalar",
                        "Speedup vs 128-bit"});
         for (int bits : {128, 256, 512, 1024}) {
-            const auto *r =
-                sweep::findResult(results, qn, core::Impl::Neon, bits);
+            const auto *r = results.find(qn, core::Impl::Neon, bits);
             t.addRow({std::to_string(bits),
                       std::to_string(r->run.sim.cycles),
                       core::fmtX(double(scalar->run.sim.cycles) /
@@ -512,14 +532,16 @@ cmdSweepKernel(const Parsed &p, std::ostream &out, std::ostream &err)
         return 0;
     }
 
-    sweep::SweepSpec grid;
-    grid.kernels.names = {p.kernel};
-    grid.impls = {core::Impl::Scalar, core::Impl::Neon};
-    grid.vecBits = {128};
-    grid.configs = {"silver", "gold", "prime"};
-    grid.workingSets = {ws};
+    Session session = sessionFor(p);
     std::string gerr;
-    auto results = runEngine(p, grid, err, &gerr);
+    auto results =
+        runEngine(Experiment(session)
+                      .kernel(p.kernel)
+                      .impls({core::Impl::Scalar, core::Impl::Neon})
+                      .vecBits({128})
+                      .configs({"silver", "gold", "prime"})
+                      .workingSet(ws),
+                  err, &gerr);
     if (results.empty()) {
         err << "swan: " << gerr << "\n";
         return 2;
@@ -527,10 +549,8 @@ cmdSweepKernel(const Parsed &p, std::ostream &out, std::ostream &err)
     core::Table t({"Core", "Scalar cycles", "Neon cycles",
                    "Neon speedup", "Energy impr."});
     for (const char *nm : {"silver", "gold", "prime"}) {
-        const auto *s =
-            sweep::findResult(results, qn, core::Impl::Scalar, 128, nm);
-        const auto *n =
-            sweep::findResult(results, qn, core::Impl::Neon, 128, nm);
+        const auto *s = results.find(qn, core::Impl::Scalar, 128, nm);
+        const auto *n = results.find(qn, core::Impl::Neon, 128, nm);
         t.addRow({nm, std::to_string(s->run.sim.cycles),
                   std::to_string(n->run.sim.cycles),
                   core::fmtX(double(s->run.sim.cycles) /
@@ -541,47 +561,49 @@ cmdSweepKernel(const Parsed &p, std::ostream &out, std::ostream &err)
     return 0;
 }
 
-/** Flag-only grid form: declarative spec, parallel engine, emitters. */
+/** Flag-only grid form: fluent Experiment, parallel engine, emitters. */
 int
 cmdSweepGrid(const Parsed &p, std::ostream &out, std::ostream &err)
 {
-    sweep::SweepSpec grid;
-    grid.kernels.names = p.kernelList;
-    grid.kernels.library = p.library;
-    grid.kernels.widerOnly = p.wider;
+    Session session = sessionFor(p);
+    Experiment experiment(session);
+    experiment.kernels(p.kernelList)
+        .library(p.library)
+        .widerOnly(p.wider);
     if (!p.implList.empty()) {
-        grid.impls.clear();
+        std::vector<core::Impl> impls;
         for (const auto &name : p.implList) {
             if (name == "scalar")
-                grid.impls.push_back(core::Impl::Scalar);
+                impls.push_back(core::Impl::Scalar);
             else if (name == "auto")
-                grid.impls.push_back(core::Impl::Auto);
+                impls.push_back(core::Impl::Auto);
             else if (name == "neon")
-                grid.impls.push_back(core::Impl::Neon);
+                impls.push_back(core::Impl::Neon);
             else {
                 err << "swan: unknown --impls entry '" << name << "'\n";
                 return 2;
             }
         }
+        experiment.impls(std::move(impls));
     }
     if (!p.bitsList.empty())
-        grid.vecBits = p.bitsList;
+        experiment.vecBits(p.bitsList);
     if (!p.coreList.empty())
-        grid.configs = p.coreList;
+        experiment.configs(p.coreList);
     if (!p.wsList.empty())
-        grid.workingSets = p.wsList;
+        experiment.workingSets(p.wsList);
     else if (p.full)
-        grid.workingSets = {"full"};
+        experiment.workingSet("full");
 
     std::string gerr;
-    auto results = runEngine(p, grid, err, &gerr);
+    auto results = runEngine(experiment, err, &gerr);
     if (results.empty()) {
         err << "swan: " << gerr << "\n";
         return 2;
     }
     sweep::Format fmt = sweep::Format::Table;
     sweep::formatForName(p.format, &fmt); // validated at parse time
-    sweep::emitResults(out, results, fmt);
+    results.emit(out, fmt);
     return 0;
 }
 

@@ -251,19 +251,47 @@ PackedTrace::Cursor::reset()
 namespace
 {
 
+/** Strip each byte's continuation bit and fold the 7-bit groups of a
+ *  masked little-endian word into one integer (up to 56 bits). */
+inline uint64_t
+fold7(uint64_t w)
+{
+    uint64_t x = (w & 0x007f007f007f007full) |
+                 ((w & 0x7f007f007f007f00ull) >> 1);
+    x = (x & 0x00003fff00003fffull) | ((x & 0x3fff00003fff0000ull) >> 2);
+    return (x & 0x000000000fffffffull) | ((x & 0x0fffffff00000000ull) >> 4);
+}
+
 /**
- * Unchecked varint read with a one-byte fast path. Only used when the
- * caller has already established that a maximal record cannot run past
- * the end of the stream.
+ * Unchecked word-at-a-time varint read. One 8-byte load covers every
+ * varint the encoder emits for the values seen in practice: the length
+ * comes from the first clear continuation bit (ctz on the inverted msb
+ * mask), and the payload bits fold together without a per-byte loop —
+ * no data-dependent branches for anything up to 8 encoded bytes.
+ * Only used when the caller has already established that a maximal
+ * record cannot run past the end of the stream.
  */
 inline uint64_t
 rdFast(const uint8_t *&p)
 {
-    uint64_t v = *p++;
-    if (__builtin_expect(!(v & 0x80), 1))
-        return v;
-    v &= 0x7f;
-    int shift = 7;
+    uint64_t w;
+    std::memcpy(&w, p, 8);
+    if (__builtin_expect(!(w & 0x80), 1)) {
+        ++p;
+        return w & 0x7f;
+    }
+    const uint64_t stops = ~w & 0x8080808080808080ull;
+    if (__builtin_expect(stops != 0, 1)) {
+        // Bytes 0..len-1 belong to this varint (2 <= len <= 8).
+        const int len = (__builtin_ctzll(stops) >> 3) + 1;
+        p += len;
+        return fold7(w & (~0ull >> (64 - 8 * len)));
+    }
+    // 9- or 10-byte varint: all eight loaded bytes are continuation
+    // bytes; fold their 56 payload bits and finish byte-wise.
+    p += 8;
+    uint64_t v = fold7(w & 0x7f7f7f7f7f7f7f7full);
+    int shift = 56;
     while (true) {
         const uint64_t b = *p++;
         v |= (b & 0x7f) << shift;

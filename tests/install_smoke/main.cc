@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Minimal out-of-tree consumer of the installed swan package: checks
+ * that kernels registered (the whole-archive link carried the static
+ * registrars), runs one tiny Experiment through a Session, and prints
+ * a line the CI job greps for.
+ */
+
+#include <iostream>
+
+#include "swan/swan.hh"
+
+int
+main()
+{
+    using namespace swan;
+
+    const auto &kernels = core::Registry::instance().kernels();
+    if (kernels.empty()) {
+        std::cerr << "install_smoke: no kernels registered — the "
+                     "whole-archive link is broken\n";
+        return 1;
+    }
+
+    Session session;
+    const Results results = Experiment(session)
+                                .kernel("ZL/adler32")
+                                .impls({core::Impl::Scalar,
+                                        core::Impl::Neon})
+                                .config("prime")
+                                .workingSet("tiny")
+                                .run();
+    const auto *scalar =
+        results.find("ZL/adler32", core::Impl::Scalar, 128);
+    const auto *neon = results.find("ZL/adler32", core::Impl::Neon, 128);
+    if (!scalar || !neon || scalar->run.sim.cycles == 0) {
+        std::cerr << "install_smoke: experiment returned no results\n";
+        return 1;
+    }
+
+    std::cout << "install-smoke ok: " << kernels.size()
+              << " kernels, swan " << versionString() << ", adler32 Neon "
+              << core::fmtX(double(scalar->run.sim.cycles) /
+                            double(neon->run.sim.cycles))
+              << "\n";
+    return 0;
+}

@@ -27,29 +27,39 @@ main()
             .config("prime"),
         "fig02");
 
-    // Assemble per-kernel comparisons from the flat result stream.
-    std::vector<core::Comparison> comparisons;
+    // The paper's correctness check, untraced (full host speed).
     bool all_verified = true;
     for (const auto *k : bench::headlineKernels()) {
-        const auto qn = k->info.qualifiedName();
-        const auto *s = results.find(qn, core::Impl::Scalar, 128);
-        const auto *a = results.find(qn, core::Impl::Auto, 128);
-        const auto *n = results.find(qn, core::Impl::Neon, 128);
-        if (!s || !a || !n)
-            continue;
-        core::Comparison c;
-        c.info = k->info;
-        c.scalar = s->run;
-        c.autovec = a->run;
-        c.neon = n->run;
-        // The paper's correctness check, untraced (full host speed).
         auto w = k->make(core::Options::fromEnv());
         w->runScalar();
         w->runNeon(128);
-        c.verified = w->verify();
-        all_verified = all_verified && c.verified;
-        comparisons.push_back(std::move(c));
+        all_verified = all_verified && w->verify();
     }
+
+    // Per-library aggregation straight off the result stream: every
+    // Auto/Neon point pairs with its Scalar baseline, geomeans group
+    // by library symbol in registry order.
+    const auto rows = results.speedupVs(core::Impl::Scalar);
+    const auto only = [&](core::Impl impl) {
+        std::vector<Speedup> v;
+        for (const auto &r : rows)
+            if (r.point->point.impl == impl)
+                v.push_back(r);
+        return v;
+    };
+    const auto bySymbol = [](const Speedup &s) {
+        return s.point->point.spec->info.symbol;
+    };
+    const auto speed = [](const Speedup &s) { return s.speedup(); };
+    const auto energy = [](const Speedup &s) {
+        return s.energyImprovement();
+    };
+    const auto autoRows = only(core::Impl::Auto);
+    const auto neonRows = only(core::Impl::Neon);
+    const auto autoSpeed = geomeanBy(autoRows, bySymbol, speed);
+    const auto neonSpeed = geomeanBy(neonRows, bySymbol, speed);
+    const auto autoEnergy = geomeanBy(autoRows, bySymbol, energy);
+    const auto neonEnergy = geomeanBy(neonRows, bySymbol, energy);
 
     core::banner(std::cout,
                  "Figure 2: Auto / Neon performance and energy "
@@ -57,11 +67,10 @@ main()
                  "core)");
     core::Table t({"Lib", "Auto speedup", "Neon speedup", "Auto energy",
                    "Neon energy"});
-    for (const auto &s : core::summarizeByLibrary(comparisons)) {
-        t.addRow({s.symbol, core::fmtX(s.autoSpeedup),
-                  core::fmtX(s.neonSpeedup),
-                  core::fmtX(s.autoEnergyImprovement),
-                  core::fmtX(s.neonEnergyImprovement)});
+    for (const auto &[sym, v] : neonSpeed) {
+        t.addRow({sym, core::fmtX(valueFor(autoSpeed, sym)),
+                  core::fmtX(v), core::fmtX(valueFor(autoEnergy, sym)),
+                  core::fmtX(valueFor(neonEnergy, sym))});
     }
     t.print(std::cout);
 

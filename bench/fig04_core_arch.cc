@@ -33,33 +33,36 @@ main()
     core::Table t({"Lib", "Silver perf", "Gold perf", "Prime perf",
                    "Silver energy", "Gold energy", "Prime energy"});
 
+    // Every Neon point paired with its Scalar baseline on the same
+    // core; geomeans per (library, core) via the Results aggregation
+    // helpers instead of hand-rolled accumulation loops.
+    const auto rows = results.speedupVs(core::Impl::Scalar);
+    const auto onCore = [&](const char *core_name) {
+        std::vector<Speedup> v;
+        for (const auto &r : rows)
+            if (r.point->point.configName == core_name)
+                v.push_back(r);
+        return v;
+    };
+    const auto bySymbol = [](const Speedup &s) {
+        return s.point->point.spec->info.symbol;
+    };
+    std::vector<std::pair<std::string, double>> perf[3], energy[3];
+    for (int i = 0; i < 3; ++i) {
+        const auto coreRows = onCore(cores[i]);
+        perf[i] = geomeanBy(coreRows, bySymbol,
+                            [](const Speedup &s) { return s.speedup(); });
+        energy[i] = geomeanBy(coreRows, bySymbol, [](const Speedup &s) {
+            return s.energyImprovement();
+        });
+    }
     for (const auto &sym : bench::librarySymbols()) {
-        std::vector<double> perf[3], energy[3];
-        for (const auto *spec_ : bench::headlineKernels()) {
-            if (spec_->info.symbol != sym)
-                continue;
-            const auto qn = spec_->info.qualifiedName();
-            for (int i = 0; i < 3; ++i) {
-                const auto *s =
-                    results.find(qn, core::Impl::Scalar, 128, cores[i]);
-                const auto *n =
-                    results.find(qn, core::Impl::Neon, 128, cores[i]);
-                if (!s || !n)
-                    continue;
-                core::Comparison c;
-                c.info = spec_->info;
-                c.scalar = s->run;
-                c.neon = n->run;
-                perf[i].push_back(c.neonSpeedup());
-                energy[i].push_back(c.neonEnergyImprovement());
-            }
-        }
-        t.addRow({sym, core::fmtX(core::geomean(perf[0])),
-                  core::fmtX(core::geomean(perf[1])),
-                  core::fmtX(core::geomean(perf[2])),
-                  core::fmtX(core::geomean(energy[0])),
-                  core::fmtX(core::geomean(energy[1])),
-                  core::fmtX(core::geomean(energy[2]))});
+        t.addRow({sym, core::fmtX(valueFor(perf[0], sym)),
+                  core::fmtX(valueFor(perf[1], sym)),
+                  core::fmtX(valueFor(perf[2], sym)),
+                  core::fmtX(valueFor(energy[0], sym)),
+                  core::fmtX(valueFor(energy[1], sym)),
+                  core::fmtX(valueFor(energy[2], sym))});
     }
     t.print(std::cout);
     std::cout << "\nPaper anchors: more ASIMD units (Gold/Prime vs "

@@ -51,4 +51,12 @@ echo "== fig05b_more_units =="
 echo "== tab06_strided =="
 "$BUILD_DIR/tab06_strided"
 
+# Replay-engine perf gate: the fused decode->step engine must hold
+# >= 1.3x over block-delivery replay at N=3 configs (enforced here on
+# optimized builds; CI runs the smoke report-only by presetting
+# SWAN_PERF_ENFORCE=0 — noisy shared runners).
+echo "== perf_smoke (BENCH_trace_replay.json, BENCH_sim_replay.json) =="
+SWAN_PERF_ENFORCE="${SWAN_PERF_ENFORCE:-1}" "$BUILD_DIR/perf_smoke" \
+    "$BUILD_DIR/BENCH_trace_replay.json" "$BUILD_DIR/BENCH_sim_replay.json"
+
 echo "== done =="

@@ -5,8 +5,10 @@
  * widths x core-config presets x working-set presets); the Session it
  * is bound to supplies *how* (threads, caches, budgets). run() expands
  * the grid, executes it on the parallel sweep engine through the
- * session's result cache, and returns a Results view. Output order is
- * the deterministic flattened-grid order whatever the job count.
+ * session's result cache — points sharing a capture replay through
+ * the fused single-decode multi-config engine (sim::replay, see
+ * docs/trace.md) — and returns a Results view. Output order is the
+ * deterministic flattened-grid order whatever the job count.
  *
  *   Session session = Session::fromEnv();
  *   Results r = Experiment(session)

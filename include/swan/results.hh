@@ -15,6 +15,7 @@
 #include <iosfwd>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "sweep/cache.hh"
@@ -23,6 +24,59 @@
 
 namespace swan
 {
+
+/**
+ * One experiment point paired with its baseline-implementation
+ * counterpart: same kernel, core config and working set; the
+ * baseline's vector width matches the point's exactly when such a
+ * point exists, else the width-normalized 128-bit baseline (scalar
+ * code has no width axis — see sweep::expand). Produced by
+ * Results::speedupVs; the pointers reference the Results they came
+ * from and share its lifetime.
+ */
+struct Speedup
+{
+    const sweep::SweepResult *baseline = nullptr;
+    const sweep::SweepResult *point = nullptr;
+
+    /** Cycle speedup of the point over its baseline. */
+    double
+    speedup() const
+    {
+        return double(baseline->run.sim.cycles) /
+               double(point->run.sim.cycles);
+    }
+    /** Energy improvement of the point over its baseline. */
+    double
+    energyImprovement() const
+    {
+        return baseline->run.sim.energyJ / point->run.sim.energyJ;
+    }
+    /** Dynamic instruction-count reduction over the baseline. */
+    double
+    instrReduction() const
+    {
+        return double(baseline->run.mix.total()) /
+               double(point->run.mix.total());
+    }
+};
+
+/**
+ * Geometric mean of @p value over @p rows grouped by @p key, groups
+ * in first-occurrence order (for per-library aggregation that order
+ * is the registry's Table-2 order). An empty group list yields an
+ * empty result; the geomean of an empty group is 0.
+ */
+std::vector<std::pair<std::string, double>>
+geomeanBy(const std::vector<Speedup> &rows,
+          const std::function<std::string(const Speedup &)> &key,
+          const std::function<double(const Speedup &)> &value);
+
+/** The value for @p key in a geomeanBy result, or @p fallback when
+ *  the group is absent (0 — the geomean-of-nothing convention — suits
+ *  table cells). */
+double valueFor(const std::vector<std::pair<std::string, double>> &cells,
+                std::string_view key, double fallback = 0.0);
 
 class Results
 {
@@ -66,6 +120,16 @@ class Results
         return sweep::findResult(results_, kernel_qualified, impl,
                                  vec_bits, config, working_set);
     }
+
+    /**
+     * Pair every point not of @p baseline with the baseline-
+     * implementation point sharing its other axes (see Speedup for
+     * the matching rule). Unmatched points are dropped. Row order is
+     * point order, so per-kernel rows come out in registry order —
+     * the order every figure's geomeans are defined over. The
+     * returned pointers are views into this Results.
+     */
+    std::vector<Speedup> speedupVs(core::Impl baseline) const;
 
     /** Results containing only the points @p pred accepts (stats kept). */
     Results

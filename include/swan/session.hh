@@ -27,6 +27,8 @@
 #include <cstdint>
 #include <string>
 
+#include "core/options.hh"
+#include "core/runner.hh"
 #include "sweep/cache.hh"
 #include "sweep/scheduler.hh"
 
@@ -65,6 +67,12 @@ struct SessionOptions
      *  0 = unbounded. [env: SWAN_SWEEP_CACHE_MAX_BYTES] */
     uint64_t cacheMaxBytes = 0;
 
+    /** Workload input sizes for single-point runs (Session::run /
+     *  Session::compare) and anywhere else a driver needs a concrete
+     *  problem size. [env: SWAN_FULL / SWAN_FAST via
+     *  core::Options::fromEnv] */
+    core::Options workload = core::Options::defaults();
+
     SessionOptions &
     withJobs(int n)
     {
@@ -93,6 +101,12 @@ struct SessionOptions
     withCacheMaxBytes(uint64_t n)
     {
         cacheMaxBytes = n;
+        return *this;
+    }
+    SessionOptions &
+    withWorkload(core::Options opts)
+    {
+        workload = opts;
         return *this;
     }
 };
@@ -133,6 +147,31 @@ class Session
 
     /** The session-lifetime result cache (two-tier; see sweep/cache.hh). */
     sweep::ResultCache &cache() const { return cache_; }
+
+    /**
+     * Single-point legacy path: capture + simulate + apply the power
+     * model for one (kernel, implementation, core, width) using this
+     * session's workload options and warm-up passes — the
+     * Session-aware form of what drivers used to hand-wire with
+     * core::Runner(Options::fromEnv()). Makes a fresh workload from
+     * the spec; use the Workload overload to share one instance
+     * across calls (captured traces record real buffer addresses, so
+     * two runs of one instance replay the same addresses while two
+     * instances need not).
+     */
+    core::KernelRun run(const core::KernelSpec &spec, core::Impl impl,
+                        const sim::CoreConfig &cfg,
+                        int vec_bits = 128) const;
+
+    /** run() on an existing workload instance. */
+    core::KernelRun run(core::Workload &w, core::Impl impl,
+                        const sim::CoreConfig &cfg,
+                        int vec_bits = 128) const;
+
+    /** Scalar vs Auto vs Neon on one core, outputs verified (the CLI
+     *  'compare' subcommand's path). */
+    core::Comparison compare(const core::KernelSpec &spec,
+                             const sim::CoreConfig &cfg) const;
 
     /**
      * The scheduler configuration this session's options imply, for

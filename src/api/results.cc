@@ -1,0 +1,95 @@
+#include "swan/results.hh"
+
+#include <map>
+#include <string_view>
+#include <tuple>
+
+#include "core/metrics.hh"
+
+namespace swan
+{
+
+std::vector<Speedup>
+Results::speedupVs(core::Impl baseline) const
+{
+    // One pass to index the baseline points by their non-width axes,
+    // one pass to match — linear, where a rescan per point would be
+    // quadratic in the sweep size. The string_views borrow from
+    // results_, which outlives the index.
+    using Key = std::tuple<const core::KernelSpec *, std::string_view,
+                           std::string_view>;
+    std::map<Key, std::vector<const sweep::SweepResult *>> index;
+    for (const auto &b : results_)
+        if (b.point.impl == baseline)
+            index[Key{b.point.spec, b.point.configName,
+                      b.point.workingSetName}]
+                .push_back(&b);
+
+    std::vector<Speedup> out;
+    for (const auto &r : results_) {
+        if (r.point.impl == baseline)
+            continue;
+        const auto it = index.find(Key{r.point.spec, r.point.configName,
+                                       r.point.workingSetName});
+        if (it == index.end())
+            continue;
+        // Exact-width baseline wins; the width-normalized 128-bit
+        // point is the fallback (scalar/auto points have no width
+        // axis — sweep::expand collapses them to 128).
+        const sweep::SweepResult *base = nullptr;
+        for (const sweep::SweepResult *b : it->second) {
+            if (b->point.vecBits == r.point.vecBits) {
+                base = b;
+                break;
+            }
+            if (!base && b->point.vecBits == 128)
+                base = b;
+        }
+        if (base)
+            out.push_back(Speedup{base, &r});
+    }
+    return out;
+}
+
+double
+valueFor(const std::vector<std::pair<std::string, double>> &cells,
+         std::string_view key, double fallback)
+{
+    for (const auto &c : cells)
+        if (c.first == key)
+            return c.second;
+    return fallback;
+}
+
+std::vector<std::pair<std::string, double>>
+geomeanBy(const std::vector<Speedup> &rows,
+          const std::function<std::string(const Speedup &)> &key,
+          const std::function<double(const Speedup &)> &value)
+{
+    // Grouped in first-occurrence order; the per-group values keep
+    // row order, so the geomean is evaluated over the same sequence a
+    // hand-rolled per-kernel loop would produce (floating-point sums
+    // are order-sensitive — figure output depends on it).
+    std::vector<std::pair<std::string, std::vector<double>>> groups;
+    for (const auto &row : rows) {
+        const std::string k = key(row);
+        std::vector<double> *vals = nullptr;
+        for (auto &g : groups)
+            if (g.first == k) {
+                vals = &g.second;
+                break;
+            }
+        if (!vals) {
+            groups.emplace_back(k, std::vector<double>{});
+            vals = &groups.back().second;
+        }
+        vals->push_back(value(row));
+    }
+    std::vector<std::pair<std::string, double>> out;
+    out.reserve(groups.size());
+    for (const auto &g : groups)
+        out.emplace_back(g.first, core::geomean(g.second));
+    return out;
+}
+
+} // namespace swan

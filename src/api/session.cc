@@ -44,7 +44,41 @@ Session::envDefaults()
     o.traceMemoBytes = sweep::SchedulerConfig::envTraceMemoBytes();
     o.cacheDir = sweep::ResultCache::envDiskDir();
     o.cacheMaxBytes = sweep::ResultCache::envMaxDiskBytes();
+    o.workload = core::Options::fromEnv();
     return o;
+}
+
+core::KernelRun
+Session::run(core::Workload &w, core::Impl impl,
+             const sim::CoreConfig &cfg, int vec_bits) const
+{
+    const core::Runner runner(opts_.workload);
+    return runner.run(w, impl, cfg, vec_bits, opts_.warmupPasses);
+}
+
+core::KernelRun
+Session::run(const core::KernelSpec &spec, core::Impl impl,
+             const sim::CoreConfig &cfg, int vec_bits) const
+{
+    auto w = spec.make(opts_.workload);
+    return run(*w, impl, cfg, vec_bits);
+}
+
+core::Comparison
+Session::compare(const core::KernelSpec &spec,
+                 const sim::CoreConfig &cfg) const
+{
+    // One workload instance for all three implementations, like
+    // core::Runner::compare, but honoring the session's warm-up
+    // passes and workload policy.
+    core::Comparison c;
+    c.info = spec.info;
+    auto w = spec.make(opts_.workload);
+    c.scalar = run(*w, core::Impl::Scalar, cfg);
+    c.autovec = run(*w, core::Impl::Auto, cfg);
+    c.neon = run(*w, core::Impl::Neon, cfg);
+    c.verified = w->verify();
+    return c;
 }
 
 sweep::SchedulerConfig

@@ -103,10 +103,11 @@ class Runner
 
     /**
      * Capture once, replay against many core configurations in a
-     * single pass (the packed-trace pipeline: the AoS capture buffer
-     * is packed and freed before simulation, and every configuration's
-     * core model consumes each decoded block in turn). Result i is
-     * bit-identical to run() with cfgs[i].
+     * single pass on the fused engine (sim::replay): the AoS capture
+     * buffer is packed and freed before simulation, and each packed
+     * instruction is decoded once — straight into registers — with
+     * every configuration's core model stepped from the same decoded
+     * fields. Result i is bit-identical to run() with cfgs[i].
      */
     std::vector<KernelRun> runMany(Workload &w, Impl impl,
                                    const std::vector<sim::CoreConfig> &cfgs,

@@ -1,6 +1,6 @@
 #include "sim/cache.hh"
 
-#include <cassert>
+#include <stdexcept>
 
 namespace swan::sim
 {
@@ -10,8 +10,17 @@ Cache::Cache(const CacheConfig &cfg)
       numSets_(cfg.sizeBytes / (cfg.lineBytes * cfg.ways)),
       lines_(size_t(numSets_) * size_t(cfg.ways))
 {
-    assert(numSets_ > 0 && (numSets_ & (numSets_ - 1)) == 0 &&
-           "cache set count must be a power of two");
+    // Hard contract, not an assert: the line/set/tag address splits
+    // are shifts and masks, which silently map addresses to the wrong
+    // lines for non-power-of-two geometry — a Release build must
+    // reject such a config, not mis-simulate it.
+    if (numSets_ <= 0 || (numSets_ & (numSets_ - 1)) != 0)
+        throw std::invalid_argument(
+            "swan: cache set count must be a power of two");
+    if (cfg.lineBytes <= 0 ||
+        (cfg.lineBytes & (cfg.lineBytes - 1)) != 0)
+        throw std::invalid_argument(
+            "swan: cache line size must be a power of two");
 }
 
 Cache::Result
@@ -21,7 +30,7 @@ Cache::access(uint64_t addr, bool is_write)
     ++tick_;
     const uint64_t line = lineAddr(addr);
     const uint64_t set = line & uint64_t(numSets_ - 1);
-    const uint64_t tag = line / uint64_t(numSets_);
+    const uint64_t tag = tagOf(line);
     Line *base = &lines_[size_t(set) * size_t(cfg_.ways)];
 
     Result res;
@@ -64,7 +73,7 @@ Cache::probe(uint64_t addr) const
 {
     const uint64_t line = lineAddr(addr);
     const uint64_t set = line & uint64_t(numSets_ - 1);
-    const uint64_t tag = line / uint64_t(numSets_);
+    const uint64_t tag = tagOf(line);
     const Line *base = &lines_[size_t(set) * size_t(cfg_.ways)];
     for (int w = 0; w < cfg_.ways; ++w)
         if (base[w].valid && base[w].tag == tag)
@@ -139,8 +148,9 @@ MemHierarchy::Result
 MemHierarchy::load(uint64_t addr, uint32_t size, uint64_t cycle)
 {
     const uint64_t lb = uint64_t(l1_.lineBytes());
-    const uint64_t first = addr / lb;
-    const uint64_t last = (addr + (size ? size - 1 : 0)) / lb;
+    const unsigned ls = unsigned(__builtin_ctzll(lb));
+    const uint64_t first = addr >> ls;
+    const uint64_t last = (addr + (size ? size - 1 : 0)) >> ls;
 
     Result out;
     out.latency = uint64_t(l1_.latency());
@@ -202,8 +212,9 @@ MemHierarchy::Result
 MemHierarchy::store(uint64_t addr, uint32_t size, uint64_t cycle)
 {
     const uint64_t lb = uint64_t(l1_.lineBytes());
-    const uint64_t first = addr / lb;
-    const uint64_t last = (addr + (size ? size - 1 : 0)) / lb;
+    const unsigned ls = unsigned(__builtin_ctzll(lb));
+    const uint64_t first = addr >> ls;
+    const uint64_t last = (addr + (size ? size - 1 : 0)) >> ls;
 
     Result out;
     out.latency = 1;

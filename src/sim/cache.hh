@@ -34,6 +34,33 @@ class Cache
     /** Look up (and on miss, fill) the line containing @p addr. */
     Result access(uint64_t addr, bool is_write);
 
+    /**
+     * Hit-only fast path: when the line is resident, perform exactly
+     * the bookkeeping access() would (access/tick counters, LRU
+     * stamp, dirty bit) and return true; on a miss, touch nothing and
+     * return false so the caller can run the full access(). Inline so
+     * the replay loop's dominant case never leaves the step code.
+     */
+    bool
+    accessHit(uint64_t addr, bool is_write)
+    {
+        const uint64_t line = lineAddr(addr);
+        const uint64_t set = line & uint64_t(numSets_ - 1);
+        const uint64_t tag = tagOf(line);
+        Line *base = &lines_[size_t(set) * size_t(cfg_.ways)];
+        for (int w = 0; w < cfg_.ways; ++w) {
+            Line &l = base[w];
+            if (l.valid && l.tag == tag) {
+                ++accesses_;
+                ++tick_;
+                l.lru = tick_;
+                l.dirty = l.dirty || is_write;
+                return true;
+            }
+        }
+        return false;
+    }
+
     /** Look up without filling or updating stats (used by prefetch). */
     bool probe(uint64_t addr) const;
 
@@ -60,9 +87,17 @@ class Cache
         bool dirty = false;
     };
 
+    // lineBytes and numSets are asserted powers of two at
+    // construction, so the per-access address splits are shifts and
+    // masks — a runtime-divisor integer division here costs more than
+    // the rest of a hit lookup combined.
     uint64_t lineAddr(uint64_t addr) const
     {
-        return addr / uint64_t(cfg_.lineBytes);
+        return addr >> unsigned(__builtin_ctz(uint32_t(cfg_.lineBytes)));
+    }
+    uint64_t tagOf(uint64_t line) const
+    {
+        return line >> unsigned(__builtin_ctz(uint32_t(numSets_)));
     }
 
     CacheConfig cfg_;
@@ -104,6 +139,34 @@ class MemHierarchy
      * latency (1 cycle).
      */
     Result store(uint64_t addr, uint32_t size, uint64_t cycle);
+
+    /**
+     * Single-line L1-hit fast paths: bit-identical bookkeeping to
+     * load()/store() for their dominant case, inline in the caller;
+     * return false — touching nothing — when the access spans lines
+     * or misses L1, so the full path can run instead.
+     */
+    bool
+    loadHit(uint64_t addr, uint32_t size, uint64_t *latency)
+    {
+        const unsigned ls =
+            unsigned(__builtin_ctz(uint32_t(l1_.lineBytes())));
+        if ((addr >> ls) != ((addr + (size ? size - 1 : 0)) >> ls))
+            return false;
+        if (!l1_.accessHit(addr, false))
+            return false;
+        *latency = uint64_t(l1_.latency());
+        return true;
+    }
+    bool
+    storeHit(uint64_t addr, uint32_t size)
+    {
+        const unsigned ls =
+            unsigned(__builtin_ctz(uint32_t(l1_.lineBytes())));
+        if ((addr >> ls) != ((addr + (size ? size - 1 : 0)) >> ls))
+            return false;
+        return l1_.accessHit(addr, true);
+    }
 
     void reset();
     void resetStats();

@@ -1,7 +1,10 @@
 #include "sim/core_model.hh"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstring>
 #include <memory>
+#include <stdexcept>
 
 namespace swan::sim
 {
@@ -13,8 +16,21 @@ using trace::InstrClass;
 /** Latencies at or above this occupy their unit (divides, unpipelined). */
 constexpr int kUnpipelinedLat = 10;
 
+namespace
+{
+
+/** Branches between modeled mispredicts (>= 1; 0 = never). */
+inline uint64_t
+mispredictInterval(const CoreConfig &cfg)
+{
+    return uint64_t(1.0 / std::max(cfg.branchMispredictRate, 1e-6));
+}
+
+} // namespace
+
 CoreModel::CoreModel(const CoreConfig &cfg)
-    : cfg_(cfg), mem_(cfg), readyRing_(kWindow, 0),
+    : cfg_(cfg), mem_(cfg),
+      readyRing_(kWindow, 0),
       robRing_(size_t(std::max(cfg.robSize, 1)), 0)
 {
     for (size_t f = 0; f < fuFree_.size(); ++f) {
@@ -22,25 +38,46 @@ CoreModel::CoreModel(const CoreConfig &cfg)
         fuFree_[f].assign(size_t(count), 0);
         fuSlots_[f].assign(kSlots, IssueSlot{});
     }
+    st_.branchCountdown = mispredictInterval(cfg_);
 }
 
 uint64_t
-CoreModel::findIssueSlot(trace::Fu fu, uint64_t ready, int occupancy)
+CoreModel::findIssueSlot(uint8_t fu, uint64_t ready, int occupancy,
+                         uint64_t *fu_frontier)
 {
-    auto &ring = fuSlots_[size_t(fu)];
-    const uint8_t limit = uint8_t(std::max(cfg_.fuCount[size_t(fu)], 1));
-    uint64_t c = ready;
-    while (true) {
-        bool fits = true;
-        for (int k = 0; k < occupancy && fits; ++k) {
-            const auto &slot = ring[(c + uint64_t(k)) & (kSlots - 1)];
-            const uint8_t used =
-                slot.cycle == c + uint64_t(k) ? slot.used : 0;
-            fits = used < limit;
+    IssueSlot *ring = fuSlots_[fu].data();
+    const uint8_t limit = uint8_t(fuFree_[fu].size());
+    const uint64_t frontier = fu_frontier[fu];
+    // Cycles below the frontier are known full: skipping them cannot
+    // change the found slot (issue counts never decrease), it only
+    // bounds the scan — without it a saturated pool re-walks its whole
+    // backlog (up to a ROB's worth of cycles) per instruction.
+    uint64_t c = std::max(ready, frontier);
+    if (occupancy == 1) {
+        while (true) {
+            const auto &slot = ring[c & (kSlots - 1)];
+            const uint8_t used = slot.cycle == c ? slot.used : 0;
+            if (used < limit)
+                break;
+            ++c;
         }
-        if (fits)
-            break;
-        ++c;
+        // The scan proved [start, c) full; when it started at the
+        // frontier, everything below c is now known full.
+        if (ready <= frontier)
+            fu_frontier[fu] = c;
+    } else {
+        while (true) {
+            bool fits = true;
+            for (int k = 0; k < occupancy && fits; ++k) {
+                const auto &slot = ring[(c + uint64_t(k)) & (kSlots - 1)];
+                const uint8_t used =
+                    slot.cycle == c + uint64_t(k) ? slot.used : 0;
+                fits = used < limit;
+            }
+            if (fits)
+                break;
+            ++c;
+        }
     }
     // One unit is busy for `occupancy` consecutive cycles.
     for (int k = 0; k < occupancy; ++k) {
@@ -54,6 +91,37 @@ CoreModel::findIssueSlot(trace::Fu fu, uint64_t ready, int occupancy)
     return c;
 }
 
+CoreModel::StepIn
+CoreModel::stepInFor(const Instr &i)
+{
+    StepIn in;
+    in.id = i.id;
+    in.dep0 = i.dep0;
+    in.dep1 = i.dep1;
+    in.dep2 = i.dep2;
+    in.addr = i.addr;
+    in.addr2 = i.addr2;
+    in.size = i.size;
+    in.elemStride = i.elemStride;
+    in.occBase = uint8_t(i.latency >= kUnpipelinedLat ? i.latency : 1);
+    in.latency = i.latency;
+    in.fu = uint8_t(i.fu);
+    in.cls = uint8_t(i.cls);
+    in.vecBytes = i.vecBytes;
+    in.elems = uint8_t(std::max<int>(i.activeLanes, 1));
+    uint8_t flags = 0;
+    if (i.isLoad())
+        flags |= kFlagLoad;
+    if (i.isStore())
+        flags |= kFlagStore;
+    if (i.isMultiAddress())
+        flags |= kFlagMulti;
+    if (i.cls == InstrClass::Branch)
+        flags |= kFlagBranch;
+    in.flags = flags;
+    return in;
+}
+
 void
 CoreModel::onInstr(const Instr &instr)
 {
@@ -63,43 +131,41 @@ CoreModel::onInstr(const Instr &instr)
 void
 CoreModel::onBlock(const Instr *instrs, size_t n)
 {
-    if (cfg_.outOfOrder) {
-        for (size_t k = 0; k < n; ++k) {
-            const Instr &instr = instrs[k];
-            if (instr.id <= lastSeenId_) {
-                // A new replayed pass started: re-base ids.
-                idOffset_ = n_;
-            }
-            lastSeenId_ = instr.id;
-            stepOoO(instr);
-        }
-    } else {
-        for (size_t k = 0; k < n; ++k) {
-            const Instr &instr = instrs[k];
-            if (instr.id <= lastSeenId_) {
-                idOffset_ = n_;
-            }
-            lastSeenId_ = instr.id;
-            stepInOrder(instr);
-        }
+    // Same step core as the fused path: predigest a chunk, then step
+    // it. The issue frontier is scoped to this call (a zeroed
+    // frontier is always valid — it only bounds the scan, never the
+    // result).
+    uint64_t frontier[size_t(Fu::NumFus)] = {};
+    StepIn batch[trace::PackedTrace::kBlockInstrs];
+    const StepBlockFn fn = cfg_.outOfOrder
+                               ? &CoreModel::stepBlock<true, true>
+                               : &CoreModel::stepBlock<false, true>;
+    while (n) {
+        const size_t nb =
+            std::min<size_t>(n, trace::PackedTrace::kBlockInstrs);
+        for (size_t k = 0; k < nb; ++k)
+            batch[k] = stepInFor(instrs[k]);
+        fn(*this, st_, frontier, batch, nb);
+        instrs += nb;
+        n -= nb;
     }
 }
 
 uint64_t
-CoreModel::readyOf(uint64_t dep) const
+CoreModel::readyOf(const StepState &st, uint64_t dep) const
 {
     if (dep == 0)
         return 0;
-    const uint64_t eff = dep + idOffset_;
-    if (eff + kWindow <= n_)
+    const uint64_t eff = dep + st.idOffset;
+    if (eff + kWindow <= st.n)
         return 0; // long since completed
     return readyRing_[eff & (kWindow - 1)];
 }
 
 uint64_t
-CoreModel::reserveFu(Fu fu, uint64_t ready, int occupancy)
+CoreModel::reserveFu(uint8_t fu, uint64_t ready, int occupancy)
 {
-    auto &pool = fuFree_[size_t(fu)];
+    auto &pool = fuFree_[fu];
     auto it = std::min_element(pool.begin(), pool.end());
     const uint64_t start = std::max(ready, *it);
     *it = start + uint64_t(occupancy);
@@ -107,23 +173,27 @@ CoreModel::reserveFu(Fu fu, uint64_t ready, int occupancy)
 }
 
 uint64_t
-CoreModel::memComplete(const Instr &instr, uint64_t start)
+CoreModel::memComplete(const StepIn &in, uint64_t start)
 {
-    if (instr.isMultiAddress())
-        return memCompleteMulti(instr, start);
-    if (instr.isLoad()) {
-        auto r = mem_.load(instr.addr, instr.size, start);
-        return start + std::max<uint64_t>(instr.latency, r.latency);
+    if (in.flags & kFlagMulti)
+        return memCompleteMulti(in, start);
+    if (in.flags & kFlagLoad) {
+        uint64_t lat;
+        if (mem_.loadHit(in.addr, in.size, &lat))
+            return start + std::max<uint64_t>(in.latency, lat);
+        auto r = mem_.load(in.addr, in.size, start);
+        return start + std::max<uint64_t>(in.latency, r.latency);
     }
-    if (instr.isStore()) {
-        mem_.store(instr.addr, instr.size, start);
-        return start + instr.latency;
+    if (in.flags & kFlagStore) {
+        if (!mem_.storeHit(in.addr, in.size))
+            mem_.store(in.addr, in.size, start);
+        return start + in.latency;
     }
-    return start + instr.latency;
+    return start + in.latency;
 }
 
 uint64_t
-CoreModel::memCompleteMulti(const Instr &instr, uint64_t start)
+CoreModel::memCompleteMulti(const StepIn &in, uint64_t start)
 {
     // SVE/RVV-style gather/scatter and arbitrary-stride accesses crack
     // into per-element cache accesses in the LSU, lsuCrackPerCycle at a
@@ -133,186 +203,176 @@ CoreModel::memCompleteMulti(const Instr &instr, uint64_t start)
     // emit time — the right cache-line footprint for the uniform LUT
     // keys the Section 6.2 kernels generate.
     const uint64_t crack = uint64_t(std::max(cfg_.lsuCrackPerCycle, 1));
-    const int elems = std::max<int>(instr.activeLanes, 1);
-    const uint32_t elemBytes = std::max<uint32_t>(
-        instr.size / uint32_t(elems), 1);
-    const bool isLoad = instr.isLoad();
-    int64_t stride = instr.elemStride;
+    const int elems = in.elems;
+    const uint32_t elemBytes =
+        std::max<uint32_t>(in.size / uint32_t(elems), 1);
+    const bool isLoad = (in.flags & kFlagLoad) != 0;
+    int64_t stride = in.elemStride;
     if (!stride) {
         stride = elems > 1
-                     ? (int64_t(instr.addr2) - int64_t(instr.addr)) /
+                     ? (int64_t(in.addr2) - int64_t(in.addr)) /
                            (elems - 1)
                      : 0;
     }
-    uint64_t complete = start + instr.latency;
+    uint64_t complete = start + in.latency;
     for (int i = 0; i < elems; ++i) {
-        const uint64_t a = uint64_t(int64_t(instr.addr) + i * stride);
+        const uint64_t a = uint64_t(int64_t(in.addr) + i * stride);
         const uint64_t issue = start + uint64_t(i) / crack;
         if (isLoad) {
             auto r = mem_.load(a, elemBytes, issue);
             complete = std::max(complete,
-                                issue + std::max<uint64_t>(instr.latency,
+                                issue + std::max<uint64_t>(in.latency,
                                                            r.latency));
         } else {
             mem_.store(a, elemBytes, issue);
-            complete = std::max(complete, issue + instr.latency);
+            complete = std::max(complete, issue + in.latency);
         }
     }
     return complete;
 }
 
+template <bool OutOfOrder, bool CheckRestart>
 void
-CoreModel::retire(const Instr &instr, uint64_t complete)
+CoreModel::stepBlock(CoreModel &m, StepState &io, uint64_t *fu_frontier,
+                     const StepIn *ins, size_t n)
 {
-    // In-order commit, commitWidth per cycle.
-    uint64_t c = std::max(complete, commitCycle_);
-    if (c > commitCycle_) {
-        commitCycle_ = c;
-        commitCount_ = 0;
-    }
-    ++commitCount_;
-    if (commitCount_ > cfg_.commitWidth) {
-        ++commitCycle_;
-        commitCount_ = 1;
-    }
-    robRing_[n_ % robRing_.size()] = commitCycle_;
-    readyRing_[n_ & (kWindow - 1)] = complete;
+    // The whole batch runs on a local StepState copy: the
+    // per-instruction recurrence (dispatch/commit cycles and
+    // counters) stays in registers, with only the rings and the
+    // memory hierarchy going through memory. The copy cannot escape,
+    // so the compiler needs no aliasing proofs against the ring
+    // stores.
+    StepState st = io;
+    const uint32_t robSize = uint32_t(m.robRing_.size());
+    const int decodeWidth = m.cfg_.decodeWidth;
+    const int issueWidth = m.cfg_.issueWidth;
+    const int commitWidth = m.cfg_.commitWidth;
+    uint64_t *const robRing = m.robRing_.data();
+    uint64_t *const readyRing = m.readyRing_.data();
+    (void)issueWidth; // only the in-order instantiation issues in order
+    for (size_t k = 0; k < n; ++k) {
+        const StepIn &in = ins[k];
+        if constexpr (CheckRestart) {
+            if (in.id <= st.lastSeenId) {
+                // A new replayed pass started: re-base ids.
+                st.idOffset = st.n;
+            }
+            st.lastSeenId = in.id;
+        }
+        ++st.n;
+        if (++st.robIdx == robSize)
+            st.robIdx = 0;
 
-    ++byClass_[size_t(instr.cls)];
-    vecBytes_ += instr.vecBytes;
-}
+        // Dispatch: bounded by decode width and a free ROB slot (for
+        // the in-order core the rob ring is its scoreboard-like
+        // in-flight window). The ROB gate needs no "warmed past the
+        // ring" guard — slots not written yet still hold their
+        // initial 0, which cannot raise the max.
+        uint64_t d = std::max(st.dispCycle, robRing[st.robIdx]);
+        if (d > st.dispCycle) {
+            st.dispCycle = d;
+            st.dispCount = 0;
+        }
+        ++st.dispCount;
+        if (st.dispCount > decodeWidth) {
+            ++st.dispCycle;
+            st.dispCount = 1;
+        }
+        d = st.dispCycle;
 
-void
-CoreModel::stepOoO(const Instr &instr)
-{
-    ++n_;
+        // Operand readiness (dataflow); in-order issue additionally
+        // never overtakes the program-order issue point.
+        uint64_t ready = d;
+        if constexpr (!OutOfOrder)
+            ready = std::max(ready, st.lastIssue);
+        ready = std::max(ready, m.readyOf(st, in.dep0));
+        ready = std::max(ready, m.readyOf(st, in.dep1));
+        ready = std::max(ready, m.readyOf(st, in.dep2));
 
-    // Dispatch: bounded by decode width and a free ROB slot.
-    uint64_t d = dispCycle_;
-    if (n_ > robRing_.size())
-        d = std::max(d, robRing_[n_ % robRing_.size()]);
-    if (d > dispCycle_) {
-        dispCycle_ = d;
-        dispCount_ = 0;
-    }
-    ++dispCount_;
-    if (dispCount_ > cfg_.decodeWidth) {
-        ++dispCycle_;
-        dispCount_ = 1;
-    }
-    d = dispCycle_;
+        // Functional unit (divides occupy their unit for the full
+        // latency).
+        int occ = in.occBase;
+        if (in.flags & kFlagMulti) {
+            const int crack = std::max(m.cfg_.lsuCrackPerCycle, 1);
+            occ = std::max(occ, (int(in.elems) + crack - 1) / crack);
+        }
 
-    // Operand readiness (dataflow).
-    uint64_t ready = d;
-    ready = std::max(ready, readyOf(instr.dep0));
-    ready = std::max(ready, readyOf(instr.dep1));
-    ready = std::max(ready, readyOf(instr.dep2));
-
-    // Functional unit (divides occupy the unit for their full latency).
-    // Issue is out of order: younger ready instructions may take earlier
-    // cycles than stalled older ones.
-    int occ = instr.latency >= kUnpipelinedLat ? instr.latency : 1;
-    if (instr.isMultiAddress()) {
-        const int crack = std::max(cfg_.lsuCrackPerCycle, 1);
-        occ = std::max(occ, (std::max<int>(instr.activeLanes, 1) +
-                             crack - 1) / crack);
-    }
-    const uint64_t start = findIssueSlot(instr.fu, ready, occ);
-
-    const uint64_t complete = memComplete(instr, start);
-
-    // Branch handling: a fixed fraction mispredicts and redirects the
-    // front-end after resolution (front-end stall attribution).
-    if (instr.cls == InstrClass::Branch) {
-        ++branches_;
-        const uint64_t interval =
-            uint64_t(1.0 / std::max(cfg_.branchMispredictRate, 1e-6));
-        if (interval && branches_ % interval == 0) {
-            const uint64_t redirect =
-                complete + uint64_t(cfg_.branchPenalty);
-            if (redirect > dispCycle_) {
-                feStallCycles_ += redirect - dispCycle_;
-                dispCycle_ = redirect;
-                dispCount_ = 0;
+        uint64_t start;
+        if constexpr (OutOfOrder) {
+            // Out-of-order issue: younger ready instructions may take
+            // earlier cycles than stalled older ones.
+            start = m.findIssueSlot(in.fu, ready, occ, fu_frontier);
+        } else {
+            start = m.reserveFu(in.fu, ready, occ);
+            // Program-order issue, at most issueWidth per cycle.
+            if (start > st.lastIssue) {
+                st.lastIssue = start;
+                st.issueCount = 0;
+            }
+            ++st.issueCount;
+            if (st.issueCount > issueWidth) {
+                ++st.lastIssue;
+                st.issueCount = 1;
+                start = st.lastIssue;
             }
         }
-    }
 
-    retire(instr, complete);
-}
+        // Execute: pure compute completes inline; only memory
+        // operations call into the hierarchy model.
+        const uint64_t complete =
+            in.flags & (kFlagLoad | kFlagStore | kFlagMulti)
+                ? m.memComplete(in, start)
+                : start + in.latency;
 
-void
-CoreModel::stepInOrder(const Instr &instr)
-{
-    ++n_;
-
-    // Dispatch bound by decode width (no rename; small in-flight window
-    // enforced through robRing_ like a scoreboard).
-    uint64_t d = dispCycle_;
-    if (n_ > robRing_.size())
-        d = std::max(d, robRing_[n_ % robRing_.size()]);
-    if (d > dispCycle_) {
-        dispCycle_ = d;
-        dispCount_ = 0;
-    }
-    ++dispCount_;
-    if (dispCount_ > cfg_.decodeWidth) {
-        ++dispCycle_;
-        dispCount_ = 1;
-    }
-    d = dispCycle_;
-
-    uint64_t ready = std::max(d, lastIssue_);
-    ready = std::max(ready, readyOf(instr.dep0));
-    ready = std::max(ready, readyOf(instr.dep1));
-    ready = std::max(ready, readyOf(instr.dep2));
-
-    int occ = instr.latency >= kUnpipelinedLat ? instr.latency : 1;
-    if (instr.isMultiAddress()) {
-        const int crack = std::max(cfg_.lsuCrackPerCycle, 1);
-        occ = std::max(occ, (std::max<int>(instr.activeLanes, 1) +
-                             crack - 1) / crack);
-    }
-    uint64_t start = reserveFu(instr.fu, ready, occ);
-
-    // Program-order issue, at most issueWidth per cycle.
-    if (start > lastIssue_) {
-        lastIssue_ = start;
-        issueCount_ = 0;
-    }
-    ++issueCount_;
-    if (issueCount_ > cfg_.issueWidth) {
-        ++lastIssue_;
-        issueCount_ = 1;
-        start = lastIssue_;
-    }
-
-    const uint64_t complete = memComplete(instr, start);
-
-    if (instr.cls == InstrClass::Branch) {
-        ++branches_;
-        const uint64_t interval =
-            uint64_t(1.0 / std::max(cfg_.branchMispredictRate, 1e-6));
-        if (interval && branches_ % interval == 0) {
-            const uint64_t redirect =
-                complete + uint64_t(cfg_.branchPenalty);
-            if (redirect > dispCycle_) {
-                feStallCycles_ += redirect - dispCycle_;
-                dispCycle_ = redirect;
-                dispCount_ = 0;
+        // Branch handling: a fixed fraction mispredicts and redirects
+        // the front-end after resolution (front-end stall
+        // attribution).
+        if (in.flags & kFlagBranch) {
+            if (st.branchCountdown && --st.branchCountdown == 0) {
+                st.branchCountdown = mispredictInterval(m.cfg_);
+                const uint64_t redirect =
+                    complete + uint64_t(m.cfg_.branchPenalty);
+                if (redirect > st.dispCycle) {
+                    st.feStallCycles += redirect - st.dispCycle;
+                    st.dispCycle = redirect;
+                    st.dispCount = 0;
+                }
             }
         }
-    }
 
-    retire(instr, complete);
+        // Retire: in-order commit, commitWidth per cycle.
+        uint64_t c = std::max(complete, st.commitCycle);
+        if (c > st.commitCycle) {
+            st.commitCycle = c;
+            st.commitCount = 0;
+        }
+        ++st.commitCount;
+        if (st.commitCount > commitWidth) {
+            ++st.commitCycle;
+            st.commitCount = 1;
+        }
+        robRing[st.robIdx] = st.commitCycle;
+        readyRing[st.n & (kWindow - 1)] = complete;
+
+        ++m.byClass_[in.cls];
+        m.vecBytes_ += in.vecBytes;
+    }
+    if constexpr (!CheckRestart) {
+        // The caller proved ids strictly increase and start above
+        // lastSeenId, so no restart could have fired; one update at
+        // batch end keeps the resting state identical.
+        if (n)
+            st.lastSeenId = ins[n - 1].id;
+    }
+    io = st;
 }
 
 void
 CoreModel::beginMeasurement()
 {
-    instr0_ = n_;
-    cycle0_ = commitCycle_;
-    feStall0_ = feStallCycles_;
+    instr0_ = st_.n;
+    cycle0_ = st_.commitCycle;
+    feStall0_ = st_.feStallCycles;
     mem_.resetStats();
     byClass_.fill(0);
     vecBytes_ = 0;
@@ -323,8 +383,8 @@ CoreModel::finish()
 {
     SimResult r;
     r.config = cfg_.name;
-    r.instrs = n_ - instr0_;
-    r.cycles = commitCycle_ > cycle0_ ? commitCycle_ - cycle0_ : 1;
+    r.instrs = st_.n - instr0_;
+    r.cycles = st_.commitCycle > cycle0_ ? st_.commitCycle - cycle0_ : 1;
     r.ipc = double(r.instrs) / double(r.cycles);
     r.timeSec = double(r.cycles) / (cfg_.freqGHz * 1e9);
 
@@ -339,7 +399,7 @@ CoreModel::finish()
     }
     r.l1HitRate = 1.0 - mem_.l1().missRate();
 
-    const uint64_t fe = feStallCycles_ - feStall0_;
+    const uint64_t fe = st_.feStallCycles - feStall0_;
     r.feStallPct = 100.0 * double(fe) / double(r.cycles);
     const double slots = double(r.cycles) * double(cfg_.decodeWidth);
     const double lost =
@@ -354,6 +414,132 @@ CoreModel::finish()
     r.byClass = byClass_;
     r.vecBytes = vecBytes_;
     return r;
+}
+
+void
+replay(const trace::PackedTrace &trace,
+       std::span<CoreModel *const> models)
+{
+    if (models.empty())
+        return;
+
+    /**
+     * One configuration's working set in the fused loop: the model,
+     * its step function (the in-order/OoO table entry), its StepState
+     * lifted out of the model for the traversal, and the per-FU issue
+     * frontier — persistent across the whole pass, which is exactly
+     * what the Sink-delivery path cannot offer (it has nowhere to
+     * keep cross-call scratch without growing every model). Local to
+     * this friend function so it can name CoreModel's private types.
+     */
+    struct Lane
+    {
+        CoreModel *model;
+        CoreModel::StepBlockFn fnChecked; //!< restart check per instr
+        CoreModel::StepBlockFn fnMono;    //!< batch proven monotone
+        CoreModel::StepState st;
+        uint64_t frontier[size_t(Fu::NumFus)];
+    };
+
+    // Hoist the per-descriptor shape work out of the loop: one StepIn
+    // prototype per deduplicated descriptor (class/FU predicates,
+    // unpipelined occupancy, latency), built once per traversal. Both
+    // this table and the model lanes live on the stack for every
+    // realistic span — the replay path then makes no heap allocation,
+    // which benches that interleave capture and simulation on one
+    // thread rely on (the cache models are address-sensitive; see
+    // sweep/scheduler.cc).
+    constexpr uint32_t kStackDescs = 512;
+    const uint32_t dc = trace.descCount();
+    CoreModel::StepIn stackProto[kStackDescs];
+    std::vector<CoreModel::StepIn> heapProto;
+    CoreModel::StepIn *proto = stackProto;
+    if (dc > kStackDescs) {
+        heapProto.resize(dc);
+        proto = heapProto.data();
+    }
+    for (uint32_t i = 0; i < dc; ++i) {
+        Instr shape;
+        trace.expandDesc(i, &shape);
+        proto[i] = CoreModel::stepInFor(shape);
+    }
+
+    constexpr size_t kStackLanes = 8;
+    const size_t nm = models.size();
+    Lane stackLanes[kStackLanes];
+    std::vector<Lane> heapLanes;
+    Lane *lanes = stackLanes;
+    if (nm > kStackLanes) {
+        heapLanes.resize(nm);
+        lanes = heapLanes.data();
+    }
+    for (size_t i = 0; i < nm; ++i) {
+        Lane &l = lanes[i];
+        l.model = models[i];
+        if (l.model->cfg_.outOfOrder) {
+            l.fnChecked = &CoreModel::stepBlock<true, true>;
+            l.fnMono = &CoreModel::stepBlock<true, false>;
+        } else {
+            l.fnChecked = &CoreModel::stepBlock<false, true>;
+            l.fnMono = &CoreModel::stepBlock<false, false>;
+        }
+        l.st = l.model->st_;
+        std::fill(std::begin(l.frontier), std::end(l.frontier), 0);
+    }
+
+    // One decode, N models: each record is decoded into registers and
+    // merged with its shape prototype exactly once — per *batch*, not
+    // per model — and every lane then consumes the batch model-major.
+    // The batch keeps a model's pipeline rings, cache arrays and
+    // branch history hot across kBatch consecutive steps; strict
+    // per-instruction interleave measures ~10% slower (N models
+    // thrash each other out of the host's L1 and predictors). No
+    // trace::Instr is ever materialized: the batch holds predigested
+    // StepIn operands, built once for all configurations, where the
+    // Sink path re-derives them per model per instruction.
+    constexpr size_t kBatch = 4 * trace::PackedTrace::kBlockInstrs;
+    CoreModel::StepIn batch[kBatch];
+    trace::PackedTrace::Cursor cur(trace);
+    trace::PackedTrace::Decoded d;
+    while (true) {
+        size_t nb = 0;
+        uint64_t prevId = 0;
+        bool mono = true;
+        while (nb < kBatch && cur.next(d)) {
+            // Identity fields from the decoder's registers; the shape
+            // tail (size/stride/occupancy/flags) is one 16-byte copy
+            // from the descriptor prototype.
+            CoreModel::StepIn &in = batch[nb++];
+            in.id = d.id;
+            in.dep0 = d.dep0;
+            in.dep1 = d.dep1;
+            in.dep2 = d.dep2;
+            in.addr = d.addr;
+            in.addr2 = d.addr2;
+            std::memcpy(&in.size, &proto[d.desc].size,
+                        sizeof(CoreModel::StepIn) -
+                            offsetof(CoreModel::StepIn, size));
+            mono = mono && d.id > prevId;
+            prevId = d.id;
+        }
+        if (nb == 0)
+            break;
+        for (size_t i = 0; i < nm; ++i) {
+            Lane &l = lanes[i];
+            // A batch with strictly increasing ids that start above
+            // the lane's last seen id cannot contain a pass restart:
+            // the per-instruction check is dead, so run the
+            // instantiation without it.
+            const bool noRestart = mono && batch[0].id > l.st.lastSeenId;
+            (noRestart ? l.fnMono : l.fnChecked)(*l.model, l.st,
+                                                 l.frontier, batch, nb);
+        }
+    }
+    for (size_t i = 0; i < nm; ++i)
+        lanes[i].model->st_ = lanes[i].st;
+    if (!cur.ok())
+        throw std::runtime_error(
+            "swan: malformed packed trace rejected by fused replay");
 }
 
 namespace
@@ -411,14 +597,18 @@ simulateTraceMany(const trace::PackedTrace &trace,
                   const std::vector<CoreConfig> &cfgs, int warmup_passes)
 {
     return replayPasses(cfgs, warmup_passes, [&](auto &models) {
-        // Decode once per pass; every model consumes the same
-        // cache-resident block.
-        Instr block[trace::PackedTrace::kBlockInstrs];
-        trace::PackedTrace::Cursor cur(trace);
-        size_t n;
-        while ((n = cur.next(block, trace::PackedTrace::kBlockInstrs)))
-            for (auto &m : models)
-                m->onBlock(block, n);
+        // Fused replay: decode once per pass, step every model per
+        // decoded instruction (see replay()).
+        CoreModel *ptrs[16];
+        std::vector<CoreModel *> heapPtrs;
+        CoreModel **base = ptrs;
+        if (models.size() > 16) {
+            heapPtrs.resize(models.size());
+            base = heapPtrs.data();
+        }
+        for (size_t i = 0; i < models.size(); ++i)
+            base[i] = models[i].get();
+        replay(trace, std::span<CoreModel *const>(base, models.size()));
     });
 }
 

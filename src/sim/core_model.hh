@@ -14,6 +14,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -58,18 +59,38 @@ struct SimResult
     double powerW = 0.0;        //!< filled by PowerModel
 };
 
+class CoreModel;
+
+/**
+ * Fused replay: decode each packed instruction once — into registers,
+ * with no Instr staging buffer and no Sink virtual hop — and
+ * immediately step every model in @p models from the same decoded
+ * fields. Per-descriptor shape lookups (class, FU, latency, occupancy)
+ * are hoisted out of the loop into a prototype table built once per
+ * call. Bit-identical to delivering the trace through onBlock/onInstr
+ * to each model in turn. @throws std::runtime_error when the encoded
+ * stream is malformed (Cursor checked decode).
+ */
+void replay(const trace::PackedTrace &trace,
+            std::span<CoreModel *const> models);
+
 /** Incremental trace-driven core model. */
 class CoreModel : public trace::Sink
 {
   public:
     explicit CoreModel(const CoreConfig &cfg);
 
+    CoreModel(const CoreModel &) = delete;
+    CoreModel &operator=(const CoreModel &) = delete;
+
+    /** Compatibility wrapper: one instruction through the step core. */
     void onInstr(const trace::Instr &instr) override;
 
     /**
-     * Hot path: consumes a block with the in-order/out-of-order branch
-     * hoisted out of the loop and no per-instruction virtual dispatch.
-     * onInstr delegates here, so both entry points stay equivalent.
+     * Compatibility wrapper: feeds a block through the same step core
+     * the fused replay engine drives (per-model step function resolved
+     * once at construction, no per-instruction virtual dispatch), so
+     * Sink delivery and fused replay are bit-identical by construction.
      */
     void onBlock(const trace::Instr *instrs, size_t n) override;
 
@@ -87,25 +108,94 @@ class CoreModel : public trace::Sink
     const CoreConfig &config() const { return cfg_; }
 
   private:
-    void stepOoO(const trace::Instr &instr);
-    void stepInOrder(const trace::Instr &instr);
+    friend void replay(const trace::PackedTrace &trace,
+                       std::span<CoreModel *const> models);
+
+    static constexpr uint8_t kFlagLoad = 1;
+    static constexpr uint8_t kFlagStore = 2;
+    static constexpr uint8_t kFlagMulti = 4;
+    static constexpr uint8_t kFlagBranch = 8;
+
+    /**
+     * One instruction as the step core consumes it: identity fields
+     * straight from the decoder, shape fields predigested (class/FU
+     * predicates as flags, the unpipelined-occupancy rule applied).
+     * Model-independent, so the fused loop builds one StepIn per
+     * decoded instruction and feeds every configuration's model from
+     * it; the onBlock/onInstr wrappers build it from a trace::Instr.
+     */
+    struct StepIn
+    {
+        uint64_t id;
+        uint64_t dep0, dep1, dep2;
+        uint64_t addr;
+        uint64_t addr2;
+        uint32_t size;
+        int32_t elemStride;
+        uint8_t occBase;    //!< FU occupancy before LSU cracking
+        uint8_t latency;
+        uint8_t fu;         //!< trace::Fu
+        uint8_t cls;        //!< trace::InstrClass
+        uint8_t vecBytes;
+        uint8_t elems;      //!< max(activeLanes, 1)
+        uint8_t flags;      //!< kFlag* predicates
+    };
+
+    /** Predigest @p instr for the step core. */
+    static StepIn stepInFor(const trace::Instr &instr);
+
+    struct StepState;
+
+    /**
+     * The step core: consume @p n predigested instructions. The
+     * in-order/out-of-order split is a template parameter, resolved
+     * per model into a step-function table entry (the fused loop
+     * tables one per model at replay start; the wrappers pick once
+     * per block). The core operates on a caller-owned StepState plus
+     * a caller-owned per-FU issue frontier (see findIssueSlot) so the
+     * fused loop can keep both hot — and persistent — across a whole
+     * traversal; internally it runs the batch on a local StepState
+     * copy, keeping the per-instruction recurrence (dispatch/commit
+     * cycles, counters) in registers instead of memory.
+     */
+    /** CheckRestart: whether to test every instruction for a
+     *  replayed-pass id restart. The Sink wrappers must (their stream
+     *  is arbitrary); the fused driver proves batch monotonicity
+     *  while decoding and picks the check-free instantiation. */
+    template <bool OutOfOrder, bool CheckRestart>
+    static void stepBlock(CoreModel &m, StepState &st,
+                          uint64_t *fu_frontier, const StepIn *ins,
+                          size_t n);
+    using StepBlockFn = void (*)(CoreModel &m, StepState &st,
+                                 uint64_t *fu_frontier,
+                                 const StepIn *ins, size_t n);
 
     /** Completion cycle of producer @p dep (0 = long retired). */
-    uint64_t readyOf(uint64_t dep) const;
+    uint64_t readyOf(const StepState &st, uint64_t dep) const;
 
     /** Earliest cycle >= @p ready with a free unit; reserves it.
      *  In-order issue: program-order head-of-line reservation. */
-    uint64_t reserveFu(trace::Fu fu, uint64_t ready, int occupancy);
+    uint64_t reserveFu(uint8_t fu, uint64_t ready, int occupancy);
 
     /**
      * Out-of-order issue: find the earliest cycle >= @p ready with a
      * free slot in the pool's per-cycle issue table (younger
      * instructions may claim earlier cycles than stalled older ones).
+     *
+     * @p fu_frontier[fu] is a caller-owned monotone hint: every cycle
+     * below it is known to be fully issued, so the search may start
+     * there instead of at @p ready. A cycle's issue count never
+     * decreases, so skipping provably-full cycles cannot change which
+     * slot is found — results are bit-identical for any hint history,
+     * the hint only bounds the scan (saturated FU pools otherwise cost
+     * a ROB's worth of re-scanning per instruction). Single-cycle
+     * scans advance the frontier; a zeroed array is always valid.
      */
-    uint64_t findIssueSlot(trace::Fu fu, uint64_t ready, int occupancy);
+    uint64_t findIssueSlot(uint8_t fu, uint64_t ready, int occupancy,
+                           uint64_t *fu_frontier);
 
     /** Execute the memory side; returns the completion cycle. */
-    uint64_t memComplete(const trace::Instr &instr, uint64_t start);
+    uint64_t memComplete(const StepIn &in, uint64_t start);
 
     /**
      * Gather/scatter and arbitrary-stride accesses (StrideKind::Gather/
@@ -113,27 +203,14 @@ class CoreModel : public trace::Sink
      * elements per cycle; the instruction completes with its slowest
      * element.
      */
-    uint64_t memCompleteMulti(const trace::Instr &instr, uint64_t start);
-
-    /** Common post-execute bookkeeping (commit, stats). */
-    void retire(const trace::Instr &instr, uint64_t complete);
+    uint64_t memCompleteMulti(const StepIn &in, uint64_t start);
 
     static constexpr int kWindowBits = 17;
     static constexpr uint64_t kWindow = uint64_t(1) << kWindowBits;
 
-    CoreConfig cfg_;
-    MemHierarchy mem_;
-
-    uint64_t n_ = 0;            //!< instructions consumed (all passes)
-    uint64_t idOffset_ = 0;     //!< re-bases per-pass instruction ids
-    uint64_t lastSeenId_ = 0;
-
     static constexpr int kSlotBits = 14;
     static constexpr uint64_t kSlots = uint64_t(1) << kSlotBits;
 
-    std::vector<uint64_t> readyRing_;
-    std::vector<uint64_t> robRing_;
-    std::array<std::vector<uint64_t>, size_t(trace::Fu::NumFus)> fuFree_;
     /**
      * Per-pool, per-cycle issued-op counts (OoO issue model). Slots are
      * stamped with the cycle they describe, so a stale entry from a
@@ -146,16 +223,56 @@ class CoreModel : public trace::Sink
         uint64_t cycle = ~uint64_t(0);
         uint8_t used = 0;
     };
-    std::array<std::vector<IssueSlot>, size_t(trace::Fu::NumFus)> fuSlots_;
 
-    uint64_t dispCycle_ = 0;
-    int dispCount_ = 0;
-    uint64_t commitCycle_ = 0;
-    int commitCount_ = 0;
-    uint64_t lastIssue_ = 0;    //!< in-order program-order issue point
-    int issueCount_ = 0;
-    uint64_t branches_ = 0;
-    uint64_t feStallCycles_ = 0;
+    /**
+     * The step core's per-instruction mutable scalars, one compact
+     * 80-byte SoA block. Between calls it rests here in the model;
+     * during a fused traversal the replay loop owns a dense array of
+     * these (one per configuration, copied in at pass start and back
+     * out at pass end), so stepping N models per decoded instruction
+     * touches N adjacent lanes instead of N scattered member sets.
+     * Two per-instruction recurrences are folded in so the loop never
+     * divides: robIdx tracks n % robSize incrementally, and
+     * branchCountdown counts branches down to the next modeled
+     * mispredict (the 1/rate floating divide now runs once per
+     * mispredict, not once per branch).
+     *
+     * Layout note: this struct replaces the old scattered scalars
+     * byte-for-byte, keeping sizeof(CoreModel) — and with it the
+     * replay drivers' transient heap-request sizes — in the same
+     * allocator size class. Benches that interleave capture and
+     * simulation on one thread depend on the simulator's heap traffic
+     * staying stable, because captured traces carry real buffer
+     * addresses and the cache models are address-sensitive (see
+     * sweep/scheduler.cc).
+     */
+    struct StepState
+    {
+        uint64_t n = 0;           //!< instructions consumed (all passes)
+        uint64_t idOffset = 0;    //!< re-bases per-pass instruction ids
+        uint64_t lastSeenId = 0;
+        uint64_t dispCycle = 0;
+        uint64_t commitCycle = 0;
+        uint64_t lastIssue = 0;   //!< in-order program-order issue point
+        uint64_t feStallCycles = 0;
+        uint64_t branchCountdown = 0; //!< branches to the next mispredict
+        int dispCount = 0;
+        int commitCount = 0;
+        int issueCount = 0;
+        uint32_t robIdx = 0;      //!< n % robSize, maintained incrementally
+    };
+
+    CoreConfig cfg_;
+    MemHierarchy mem_;
+    StepState st_;
+
+    // Ring/pool storage. The per-pool vector layout (and construction
+    // order) is part of the same capture-determinism contract as the
+    // StepState layout note above.
+    std::vector<uint64_t> readyRing_;
+    std::vector<uint64_t> robRing_;
+    std::array<std::vector<uint64_t>, size_t(trace::Fu::NumFus)> fuFree_;
+    std::array<std::vector<IssueSlot>, size_t(trace::Fu::NumFus)> fuSlots_;
 
     // Measurement snapshot.
     uint64_t instr0_ = 0;
@@ -178,12 +295,13 @@ SimResult simulateTrace(const trace::PackedTrace &trace,
                         const CoreConfig &cfg, int warmup_passes = 1);
 
 /**
- * Single-pass multi-config replay: stream the trace once per pass and
- * feed every configuration's CoreModel block by block, so an N-config
- * sweep point costs one trace traversal (and one decode) instead of N.
- * Each model's state evolution only depends on the instruction stream
- * it sees, so result i is bit-identical to simulateTrace(trace,
- * cfgs[i], warmup_passes).
+ * Single-pass multi-config replay on the fused engine (replay()): each
+ * instruction is decoded once per pass, straight into registers, and
+ * every configuration's model steps from the same decoded fields — an
+ * N-config sweep point costs one trace traversal, one decode, and zero
+ * staging-buffer round-trips. Each model's state evolution only
+ * depends on the instruction stream it sees, so result i is
+ * bit-identical to simulateTrace(trace, cfgs[i], warmup_passes).
  */
 std::vector<SimResult>
 simulateTraceMany(const trace::PackedTrace &trace,

@@ -36,9 +36,11 @@ namespace
 /**
  * One trace group: every pending point that shares a capture identity
  * (kernel, impl, width, working set). The group's packed trace streams
- * through all of its core configurations in a single traversal
- * (sim::simulateTraceMany), so a Figure-5(b)-style six-config sweep
- * point costs one decode pass, not six.
+ * through all of its core configurations in a single fused traversal
+ * (sim::simulateTraceMany -> sim::replay: one varint decode per
+ * instruction, every config's model stepped from the same decoded
+ * registers), so a Figure-5(b)-style six-config sweep point costs one
+ * decode pass, not six — and zero Instr staging round-trips.
  *
  * Determinism notes (this is the TraceMemo of old, restructured):
  *

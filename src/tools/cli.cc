@@ -288,6 +288,27 @@ coreFor(const std::string &name)
     return sim::primeConfig();
 }
 
+/**
+ * Session for every command that executes kernels — the single-point
+ * run/compare paths and both sweep forms. The SWAN_* environment
+ * supplies the defaults, explicit flags override (explicit > env >
+ * default); no command reads the environment directly.
+ */
+Session
+sessionFor(const Parsed &p)
+{
+    SessionOptions opts = Session::envDefaults();
+    if (p.jobsSet)
+        opts.jobs = p.jobs == 0 ? -1 : p.jobs; // 0 = all cores
+    if (!p.cacheDir.empty())
+        opts.cacheDir = p.cacheDir;
+    if (p.cacheMaxBytesSet)
+        opts.cacheMaxBytes = p.cacheMaxBytes;
+    if (p.full)
+        opts.workload = core::Options::full();
+    return Session(std::move(opts));
+}
+
 std::string
 patternList(uint32_t mask)
 {
@@ -385,11 +406,12 @@ cmdRun(const Parsed &p, std::ostream &out, std::ostream &err)
             << " has no wider-register implementation\n";
         return 2;
     }
-    const auto opts =
-        p.full ? core::Options::full() : core::Options::fromEnv();
-    core::Runner runner(opts);
-    auto w = spec->make(opts);
-    auto r = runner.run(*w, p.impl, coreFor(p.coreName), p.bits);
+    // One workload instance shared with the optional trace dump below:
+    // a dumped trace must replay to the cycle count reported here, and
+    // captured traces record real buffer addresses.
+    Session session = sessionFor(p);
+    auto w = spec->make(session.options().workload);
+    auto r = session.run(*w, p.impl, coreFor(p.coreName), p.bits);
 
     if (!p.dumpTrace.empty()) {
         auto instrs = core::Runner::capture(*w, p.impl, p.bits);
@@ -429,10 +451,8 @@ cmdCompare(const Parsed &p, std::ostream &out, std::ostream &err)
         err << "swan: unknown kernel '" << p.kernel << "'\n";
         return 2;
     }
-    const auto opts =
-        p.full ? core::Options::full() : core::Options::fromEnv();
-    core::Runner runner(opts);
-    auto cmp = runner.compare(*spec, coreFor(p.coreName));
+    Session session = sessionFor(p);
+    auto cmp = session.compare(*spec, coreFor(p.coreName));
 
     core::Table t({"Impl", "Instructions", "Cycles", "IPC", "Speedup",
                    "Energy impr."});
@@ -451,23 +471,6 @@ cmdCompare(const Parsed &p, std::ostream &out, std::ostream &err)
         << core::fmtX(cmp.instrReduction()) << "\n"
         << "outputs verified: " << (cmp.verified ? "yes" : "NO") << "\n";
     return cmp.verified ? 0 : 1;
-}
-
-/**
- * Session for the sweep forms: the SWAN_* environment supplies the
- * defaults, explicit flags override (explicit > env > default).
- */
-Session
-sessionFor(const Parsed &p)
-{
-    SessionOptions opts = Session::envDefaults();
-    if (p.jobsSet)
-        opts.jobs = p.jobs == 0 ? -1 : p.jobs; // 0 = all cores
-    if (!p.cacheDir.empty())
-        opts.cacheDir = p.cacheDir;
-    if (p.cacheMaxBytesSet)
-        opts.cacheMaxBytes = p.cacheMaxBytes;
-    return Session(std::move(opts));
 }
 
 /** Execute an experiment; shared by both sweep forms. */

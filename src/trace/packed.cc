@@ -11,21 +11,25 @@
 namespace swan::trace
 {
 
+using packed_detail::kHasAddr;
+using packed_detail::kHasDep0;
+using packed_detail::kHasDep1;
+using packed_detail::kHasDep2;
+using packed_detail::kHasIdJump;
+using packed_detail::kHasMulti;
+using packed_detail::kTagFlagBits;
+
 namespace
 {
 
-// --- varint / zigzag primitives --------------------------------------
+// --- varint / zigzag encode primitives --------------------------------
+// (The decode side lives in packed_detail in the header, shared with
+// the fused replay engine's inline cursor.)
 
 inline uint64_t
 zigzag(int64_t v)
 {
     return (uint64_t(v) << 1) ^ uint64_t(v >> 63);
-}
-
-inline int64_t
-unzigzag(uint64_t v)
-{
-    return int64_t(v >> 1) ^ -int64_t(v & 1);
 }
 
 inline void
@@ -37,38 +41,6 @@ putVarint(std::string &out, uint64_t v)
     }
     out.push_back(char(uint8_t(v)));
 }
-
-/** Decode one varint; on truncation stops at @p end and returns 0. */
-inline uint64_t
-getVarint(const uint8_t *&p, const uint8_t *end)
-{
-    uint64_t v = 0;
-    int shift = 0;
-    while (p < end) {
-        const uint8_t b = *p++;
-        v |= uint64_t(b & 0x7f) << shift;
-        if (!(b & 0x80))
-            break;
-        shift += 7;
-        if (shift >= 64)
-            break;
-    }
-    return v;
-}
-
-// --- per-record tag layout --------------------------------------------
-// tag = descIndex << 6 | presence flags. A field whose flag is clear
-// contributes zero stream bytes and zero decode work: the common
-// sequential id costs nothing, and each absent dependence costs
-// nothing — a typical scalar ALU record is tag + one dep distance,
-// two bytes total.
-constexpr uint64_t kHasAddr = 1;
-constexpr uint64_t kHasMulti = 2;
-constexpr uint64_t kHasIdJump = 4;  //!< id != prevId + 1
-constexpr uint64_t kHasDep0 = 8;
-constexpr uint64_t kHasDep1 = 16;
-constexpr uint64_t kHasDep2 = 32;
-constexpr int kTagFlagBits = 6;
 
 constexpr uint64_t kFnvOffset = 1469598103934665603ull;
 constexpr uint64_t kFnvPrime = 1099511628211ull;
@@ -246,221 +218,51 @@ PackedTrace::Cursor::reset()
     mend_ = mp_ + trace_->multiLen_;
     prevId_ = 0;
     prevAddr_ = 0;
+    left_ = trace_->count_;
+    bad_ = false;
 }
 
-namespace
+void
+PackedTrace::expandDesc(uint32_t idx, Instr *out) const
 {
-
-/** Strip each byte's continuation bit and fold the 7-bit groups of a
- *  masked little-endian word into one integer (up to 56 bits). */
-inline uint64_t
-fold7(uint64_t w)
-{
-    uint64_t x = (w & 0x007f007f007f007full) |
-                 ((w & 0x7f007f007f007f00ull) >> 1);
-    x = (x & 0x00003fff00003fffull) | ((x & 0x3fff00003fff0000ull) >> 2);
-    return (x & 0x000000000fffffffull) | ((x & 0x0fffffff00000000ull) >> 4);
+    const Desc &d = descs()[idx];
+    *out = Instr{};
+    out->size = d.size;
+    out->elemStride = d.elemStride;
+    out->cls = InstrClass(d.cls);
+    out->fu = Fu(d.fu);
+    out->latency = d.latency;
+    out->vecBytes = d.vecBytes;
+    out->lanes = d.lanes;
+    out->activeLanes = d.activeLanes;
+    out->stride = StrideKind(d.stride);
 }
-
-/**
- * Unchecked word-at-a-time varint read. One 8-byte load covers every
- * varint the encoder emits for the values seen in practice: the length
- * comes from the first clear continuation bit (ctz on the inverted msb
- * mask), and the payload bits fold together without a per-byte loop —
- * no data-dependent branches for anything up to 8 encoded bytes.
- * Only used when the caller has already established that a maximal
- * record cannot run past the end of the stream.
- */
-inline uint64_t
-rdFast(const uint8_t *&p)
-{
-    uint64_t w;
-    std::memcpy(&w, p, 8);
-    if (__builtin_expect(!(w & 0x80), 1)) {
-        ++p;
-        return w & 0x7f;
-    }
-    const uint64_t stops = ~w & 0x8080808080808080ull;
-    if (__builtin_expect(stops != 0, 1)) {
-        // Bytes 0..len-1 belong to this varint (2 <= len <= 8).
-        const int len = (__builtin_ctzll(stops) >> 3) + 1;
-        p += len;
-        return fold7(w & (~0ull >> (64 - 8 * len)));
-    }
-    // 9- or 10-byte varint: all eight loaded bytes are continuation
-    // bytes; fold their 56 payload bits and finish byte-wise.
-    p += 8;
-    uint64_t v = fold7(w & 0x7f7f7f7f7f7f7f7full);
-    int shift = 56;
-    while (true) {
-        const uint64_t b = *p++;
-        v |= (b & 0x7f) << shift;
-        if (!(b & 0x80))
-            return v;
-        shift += 7;
-        if (shift >= 64)
-            return v;
-    }
-}
-
-/** Longest possible main-stream record: 6 varints of up to 10 bytes. */
-constexpr ptrdiff_t kMaxRecordBytes = 60;
-
-} // namespace
 
 size_t
 PackedTrace::Cursor::next(Instr *out, size_t max)
 {
     size_t n = 0;
     const Desc *descs = trace_ ? trace_->descs() : nullptr;
-    const uint32_t descCount = trace_ ? trace_->descCount_ : 0;
-    // Hot state in locals so the compiler keeps it in registers.
-    const uint8_t *p = p_;
-    const uint8_t *mp = mp_;
-    uint64_t prevId = prevId_;
-    uint64_t prevAddr = prevAddr_;
-    while (n < max && p < end_) {
-        uint64_t tag, id, dep0 = 0, dep1 = 0, dep2 = 0, addr = 0;
-        uint64_t multiTok = 0;
-        // Branch-free fast path: when the next 8 bytes are all
-        // single-byte varints (the overwhelmingly common case — see
-        // the tag layout above, a record is typically 2-4 bytes), the
-        // whole record is extracted from one 8-byte load with
-        // flag-indexed shifts; absent fields cost a mask, not a
-        // mispredicted branch.
-        uint64_t w;
-        if (__builtin_expect(end_ - p >= 8, 1)) {
-            std::memcpy(&w, p, 8);
-            if (__builtin_expect(!(w & 0x8080808080808080ull), 1)) {
-                tag = w & 0xff;
-                if (__builtin_expect(!(tag & kHasMulti), 1)) {
-                    const uint64_t fIdJ = (tag >> 2) & 1;
-                    const uint64_t fD0 = (tag >> 3) & 1;
-                    const uint64_t fD1 = (tag >> 4) & 1;
-                    const uint64_t fD2 = (tag >> 5) & 1;
-                    const uint64_t fA = tag & 1;
-                    const uint64_t pIdJ = 1;
-                    const uint64_t pD0 = pIdJ + fIdJ;
-                    const uint64_t pD1 = pD0 + fD0;
-                    const uint64_t pD2 = pD1 + fD1;
-                    const uint64_t pA = pD2 + fD2;
-                    p += pA + fA;
-                    id = uint64_t(
-                        int64_t(prevId + 1) +
-                        (unzigzag((w >> (8 * pIdJ)) & 0xff) &
-                         -int64_t(fIdJ)));
-                    dep0 = uint64_t(
-                        int64_t(id) -
-                        unzigzag((w >> (8 * pD0)) & 0xff)) &
-                        -uint64_t(fD0);
-                    dep1 = uint64_t(
-                        int64_t(id) -
-                        unzigzag((w >> (8 * pD1)) & 0xff)) &
-                        -uint64_t(fD1);
-                    dep2 = uint64_t(
-                        int64_t(id) -
-                        unzigzag((w >> (8 * pD2)) & 0xff)) &
-                        -uint64_t(fD2);
-                    prevAddr += uint64_t(
-                        unzigzag((w >> (8 * pA)) & 0xff) &
-                        -int64_t(fA));
-                    addr = prevAddr & -uint64_t(fA);
-                    prevId = id;
-                    const uint64_t idx = tag >> kTagFlagBits;
-                    if (idx >= descCount)
-                        break;
-                    const Desc &d = descs[idx];
-                    Instr &o = out[n++];
-                    o.id = id;
-                    o.dep0 = dep0;
-                    o.dep1 = dep1;
-                    o.dep2 = dep2;
-                    o.addr = addr;
-                    o.addr2 = 0;
-                    o.size = d.size;
-                    o.elemStride = d.elemStride;
-                    o.cls = InstrClass(d.cls);
-                    o.fu = Fu(d.fu);
-                    o.latency = d.latency;
-                    o.vecBytes = d.vecBytes;
-                    o.lanes = d.lanes;
-                    o.activeLanes = d.activeLanes;
-                    o.stride = StrideKind(d.stride);
-                    continue;
-                }
-            }
-        }
-        if (__builtin_expect(end_ - p >= kMaxRecordBytes, 1)) {
-            // Fast path: a maximal record fits, skip per-byte checks.
-            // The rare multi-address side read stays checked (the
-            // side stream may be empty).
-            tag = rdFast(p);
-            id = prevId + 1;
-            if (tag & kHasIdJump)
-                id = uint64_t(int64_t(id) + unzigzag(rdFast(p)));
-            if (tag & kHasDep0)
-                dep0 = uint64_t(int64_t(id) - unzigzag(rdFast(p)));
-            if (tag & kHasDep1)
-                dep1 = uint64_t(int64_t(id) - unzigzag(rdFast(p)));
-            if (tag & kHasDep2)
-                dep2 = uint64_t(int64_t(id) - unzigzag(rdFast(p)));
-            if (tag & kHasAddr) {
-                prevAddr += uint64_t(unzigzag(rdFast(p)));
-                addr = prevAddr;
-            }
-            if (tag & kHasMulti)
-                multiTok = getVarint(mp, mend_);
-        } else {
-            tag = getVarint(p, end_);
-            id = prevId + 1;
-            if (tag & kHasIdJump)
-                id = uint64_t(int64_t(id) +
-                              unzigzag(getVarint(p, end_)));
-            if (tag & kHasDep0)
-                dep0 = uint64_t(int64_t(id) -
-                                unzigzag(getVarint(p, end_)));
-            if (tag & kHasDep1)
-                dep1 = uint64_t(int64_t(id) -
-                                unzigzag(getVarint(p, end_)));
-            if (tag & kHasDep2)
-                dep2 = uint64_t(int64_t(id) -
-                                unzigzag(getVarint(p, end_)));
-            if (tag & kHasAddr) {
-                prevAddr += uint64_t(unzigzag(getVarint(p, end_)));
-                addr = prevAddr;
-            }
-            if (tag & kHasMulti)
-                multiTok = getVarint(mp, mend_);
-        }
-        prevId = id;
-        const uint64_t idx = tag >> kTagFlagBits;
-        if (idx >= descCount)
-            break; // corrupt stream: stop rather than read out of bounds
-        const Desc &d = descs[idx];
-
+    Decoded d;
+    while (n < max && next(d)) {
+        const Desc &dd = descs[d.desc];
         Instr &o = out[n++];
-        o.id = id;
-        o.dep0 = dep0;
-        o.dep1 = dep1;
-        o.dep2 = dep2;
-        o.addr = addr;
-        o.addr2 = tag & kHasMulti
-                      ? uint64_t(int64_t(addr) + unzigzag(multiTok))
-                      : 0;
-        o.size = d.size;
-        o.elemStride = d.elemStride;
-        o.cls = InstrClass(d.cls);
-        o.fu = Fu(d.fu);
-        o.latency = d.latency;
-        o.vecBytes = d.vecBytes;
-        o.lanes = d.lanes;
-        o.activeLanes = d.activeLanes;
-        o.stride = StrideKind(d.stride);
+        o.id = d.id;
+        o.dep0 = d.dep0;
+        o.dep1 = d.dep1;
+        o.dep2 = d.dep2;
+        o.addr = d.addr;
+        o.addr2 = d.addr2;
+        o.size = dd.size;
+        o.elemStride = dd.elemStride;
+        o.cls = InstrClass(dd.cls);
+        o.fu = Fu(dd.fu);
+        o.latency = dd.latency;
+        o.vecBytes = dd.vecBytes;
+        o.lanes = dd.lanes;
+        o.activeLanes = dd.activeLanes;
+        o.stride = StrideKind(dd.stride);
     }
-    p_ = p;
-    mp_ = mp;
-    prevId_ = prevId;
-    prevAddr_ = prevAddr;
     return n;
 }
 

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Fused replay engine equivalence (sim::replay, sim/core_model.cc):
+ * the fused decode->step path must produce SimResults byte-identical
+ * to block (onBlock) and per-instruction (onInstr) Sink delivery, for
+ * in-order and out-of-order configurations, any warm-up pass count,
+ * config groups of 1..4, and streams with mid-trace id restarts (the
+ * concatenated traces the perf smoke replays). Also covers the
+ * corrupt-trace rejection path.
+ */
+
+#include <memory>
+#include <random>
+#include <span>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/registry.hh"
+#include "core/runner.hh"
+#include "sim/core_model.hh"
+#include "trace/packed.hh"
+
+using namespace swan;
+using trace::Instr;
+using trace::PackedTrace;
+
+namespace
+{
+
+/** Recorder-shaped randomized trace (sequential 1-based ids, producer
+ *  deps behind the consumer, occasional multi-address records). */
+std::vector<Instr>
+randomTrace(size_t n, uint32_t seed)
+{
+    std::mt19937_64 rng(seed);
+    std::vector<Instr> out;
+    out.reserve(n);
+    uint64_t addr = 0x7f0000001000ull + (seed % 7) * 4096;
+    for (size_t i = 0; i < n; ++i) {
+        Instr ins;
+        ins.id = i + 1;
+        const auto dep = [&]() -> uint64_t {
+            if (i == 0 || rng() % 3 == 0)
+                return 0;
+            return 1 + rng() % i;
+        };
+        ins.dep0 = dep();
+        ins.dep1 = dep();
+        ins.cls = trace::InstrClass(
+            rng() % uint64_t(trace::InstrClass::NumClasses));
+        ins.fu = trace::Fu(rng() % uint64_t(trace::Fu::NumFus));
+        ins.latency = uint8_t(1 + rng() % 20);
+        if (ins.isVector()) {
+            ins.vecBytes = uint8_t(16 << (rng() % 3));
+            ins.lanes = uint8_t(1 + rng() % 16);
+            ins.activeLanes = uint8_t(1 + rng() % ins.lanes);
+        }
+        if (ins.isMem()) {
+            addr += rng() % 16 == 0 ? (rng() % (1 << 20)) : (rng() % 256);
+            ins.addr = addr;
+            ins.size = uint32_t(1 << (rng() % 7));
+            if (rng() % 8 == 0) {
+                static const trace::StrideKind kinds[] = {
+                    trace::StrideKind::Gather, trace::StrideKind::Scatter,
+                    trace::StrideKind::LdS, trace::StrideKind::StS};
+                ins.stride = kinds[rng() % 4];
+                ins.activeLanes = uint8_t(1 + rng() % 8);
+                ins.lanes = std::max(ins.lanes, ins.activeLanes);
+                if (ins.stride == trace::StrideKind::LdS ||
+                    ins.stride == trace::StrideKind::StS)
+                    ins.elemStride = int32_t(rng() % 4096) - 2048;
+                ins.addr2 = ins.addr + rng() % (1 << 16);
+            }
+        }
+        out.push_back(ins);
+    }
+    return out;
+}
+
+void
+expectSameResult(const sim::SimResult &a, const sim::SimResult &b)
+{
+    EXPECT_EQ(a.config, b.config);
+    EXPECT_EQ(a.instrs, b.instrs);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.ipc, b.ipc);
+    EXPECT_EQ(a.l1Mpki, b.l1Mpki);
+    EXPECT_EQ(a.l2Mpki, b.l2Mpki);
+    EXPECT_EQ(a.llcMpki, b.llcMpki);
+    EXPECT_EQ(a.feStallPct, b.feStallPct);
+    EXPECT_EQ(a.beStallPct, b.beStallPct);
+    EXPECT_EQ(a.dramReads, b.dramReads);
+    EXPECT_EQ(a.dramWrites, b.dramWrites);
+    EXPECT_EQ(a.byClass, b.byClass);
+    EXPECT_EQ(a.vecBytes, b.vecBytes);
+    EXPECT_EQ(a.l1Accesses, b.l1Accesses);
+    EXPECT_EQ(a.l2Accesses, b.l2Accesses);
+    EXPECT_EQ(a.llcAccesses, b.llcAccesses);
+}
+
+/** Warmup + measured pass through the fused engine. */
+std::vector<sim::SimResult>
+runFused(const PackedTrace &packed,
+         const std::vector<sim::CoreConfig> &cfgs, int warmup)
+{
+    std::vector<std::unique_ptr<sim::CoreModel>> models;
+    std::vector<sim::CoreModel *> ptrs;
+    for (const auto &c : cfgs) {
+        models.push_back(std::make_unique<sim::CoreModel>(c));
+        ptrs.push_back(models.back().get());
+    }
+    const std::span<sim::CoreModel *const> span(ptrs.data(), ptrs.size());
+    for (int p = 0; p < warmup; ++p)
+        sim::replay(packed, span);
+    for (auto &m : models)
+        m->beginMeasurement();
+    sim::replay(packed, span);
+    std::vector<sim::SimResult> out;
+    for (auto &m : models)
+        out.push_back(m->finish());
+    return out;
+}
+
+/** Same protocol through per-instruction virtual Sink delivery. */
+sim::SimResult
+runOnInstr(const std::vector<Instr> &instrs, const sim::CoreConfig &cfg,
+           int warmup)
+{
+    sim::CoreModel model(cfg);
+    trace::Sink *sink = &model;
+    for (int p = 0; p < warmup; ++p)
+        for (const auto &i : instrs)
+            sink->onInstr(i);
+    model.beginMeasurement();
+    for (const auto &i : instrs)
+        sink->onInstr(i);
+    return model.finish();
+}
+
+/** Same protocol through block (deliver/onBlock) delivery. */
+sim::SimResult
+runOnBlock(const PackedTrace &packed, const sim::CoreConfig &cfg,
+           int warmup)
+{
+    sim::CoreModel model(cfg);
+    for (int p = 0; p < warmup; ++p)
+        packed.deliver(model);
+    model.beginMeasurement();
+    packed.deliver(model);
+    return model.finish();
+}
+
+std::vector<sim::CoreConfig>
+fourCores()
+{
+    return {sim::primeConfig(), sim::goldConfig(), sim::silverConfig(),
+            sim::scalabilityConfig(6, 4)};
+}
+
+} // namespace
+
+TEST(FusedReplay, MatchesOnBlockAndOnInstrForInOrderAndOoO)
+{
+    const auto instrs = randomTrace(4000, 101);
+    const auto packed = PackedTrace::pack(instrs);
+    // Prime is out of order, silver in order: both step-function
+    // table entries are exercised.
+    for (const auto &cfg : {sim::primeConfig(), sim::silverConfig()}) {
+        const auto fused = runFused(packed, {cfg}, 1);
+        ASSERT_EQ(fused.size(), 1u);
+        expectSameResult(fused[0], runOnBlock(packed, cfg, 1));
+        expectSameResult(fused[0], runOnInstr(instrs, cfg, 1));
+    }
+}
+
+TEST(FusedReplay, MatchesAcrossWarmupPasses)
+{
+    const auto instrs = randomTrace(2500, 103);
+    const auto packed = PackedTrace::pack(instrs);
+    for (int warmup : {0, 1, 2, 3}) {
+        for (const auto &cfg :
+             {sim::primeConfig(), sim::silverConfig()}) {
+            const auto fused = runFused(packed, {cfg}, warmup);
+            expectSameResult(fused[0], runOnInstr(instrs, cfg, warmup));
+        }
+    }
+}
+
+TEST(FusedReplay, ConfigGroupsOneToFour)
+{
+    const auto instrs = randomTrace(3000, 107);
+    const auto packed = PackedTrace::pack(instrs);
+    const auto all = fourCores();
+    for (size_t n = 1; n <= all.size(); ++n) {
+        const std::vector<sim::CoreConfig> cfgs(all.begin(),
+                                                all.begin() + long(n));
+        const auto fused = runFused(packed, cfgs, 1);
+        const auto many = sim::simulateTraceMany(packed, cfgs, 1);
+        ASSERT_EQ(fused.size(), n);
+        ASSERT_EQ(many.size(), n);
+        for (size_t i = 0; i < n; ++i) {
+            // Each model only sees the instruction stream, so the
+            // group result is the single-config result, bit for bit —
+            // whichever entry point ran it.
+            expectSameResult(fused[i], many[i]);
+            expectSameResult(fused[i], runOnBlock(packed, cfgs[i], 1));
+            expectSameResult(fused[i], runOnInstr(instrs, cfgs[i], 1));
+        }
+    }
+}
+
+TEST(FusedReplay, HandlesMidStreamIdRestarts)
+{
+    // Concatenated captures restart ids at 1 mid-stream (the perf
+    // smoke's trace shape); the fused engine's monotone-batch fast
+    // path must fall back to the checked step for those batches.
+    auto instrs = randomTrace(1500, 109);
+    const auto b = randomTrace(700, 110);
+    const auto c = randomTrace(900, 111);
+    instrs.insert(instrs.end(), b.begin(), b.end());
+    instrs.insert(instrs.end(), c.begin(), c.end());
+    const auto packed = PackedTrace::pack(instrs);
+    for (const auto &cfg : {sim::primeConfig(), sim::silverConfig()}) {
+        const auto fused = runFused(packed, {cfg}, 1);
+        expectSameResult(fused[0], runOnInstr(instrs, cfg, 1));
+    }
+}
+
+TEST(FusedReplay, MatchesOnARealKernelTrace)
+{
+    const auto *spec = core::Registry::instance().find("ZL/adler32");
+    ASSERT_NE(spec, nullptr);
+    auto w = spec->make(core::Options());
+    const auto instrs = core::Runner::capture(*w, core::Impl::Neon, 128);
+    ASSERT_FALSE(instrs.empty());
+    const auto packed = PackedTrace::pack(instrs);
+    const auto fused =
+        runFused(packed, {sim::primeConfig(), sim::silverConfig()}, 1);
+    expectSameResult(fused[0],
+                     runOnInstr(instrs, sim::primeConfig(), 1));
+    expectSameResult(fused[1],
+                     runOnInstr(instrs, sim::silverConfig(), 1));
+}
+
+TEST(FusedReplay, EmptySpanAndEmptyTraceAreNoOps)
+{
+    const auto packed = PackedTrace::pack(randomTrace(100, 113));
+    sim::replay(packed, {}); // no models: nothing to do
+
+    const PackedTrace empty = PackedTrace::pack({});
+    sim::CoreModel model(sim::primeConfig());
+    sim::CoreModel *mp = &model;
+    sim::replay(empty, std::span<sim::CoreModel *const>(&mp, 1));
+    model.beginMeasurement();
+    const auto r = model.finish();
+    EXPECT_EQ(r.instrs, 0u);
+}

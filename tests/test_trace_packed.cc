@@ -247,6 +247,250 @@ TEST(PackedTrace, PayloadRoundTripsAndRejectsCorruption)
         reinterpret_cast<const uint8_t *>(blob.data()), 4, &junk));
 }
 
+namespace
+{
+
+// Mirror of the payload header + FNV checksum, so tests can craft
+// checksum-valid payloads whose *streams* are truncated or corrupt —
+// the class of damage the header checksum cannot catch and the
+// Cursor's checked decode must.
+struct RawHeader
+{
+    uint64_t count;
+    uint64_t mainLen;
+    uint64_t multiLen;
+    uint32_t descCount;
+    uint32_t descSize;
+    uint64_t checksum;
+};
+
+uint64_t
+fnv1a(uint64_t h, const void *data, size_t n)
+{
+    const auto *b = static_cast<const uint8_t *>(data);
+    for (size_t i = 0; i < n; ++i) {
+        h ^= b[i];
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+uint64_t
+payloadChecksum(const RawHeader &h, const uint8_t *body, size_t len)
+{
+    uint64_t c = 1469598103934665603ull;
+    c = fnv1a(c, &h.count, sizeof h.count);
+    c = fnv1a(c, &h.mainLen, sizeof h.mainLen);
+    c = fnv1a(c, &h.multiLen, sizeof h.multiLen);
+    c = fnv1a(c, &h.descCount, sizeof h.descCount);
+    c = fnv1a(c, &h.descSize, sizeof h.descSize);
+    return fnv1a(c, body, len);
+}
+
+/** Reassemble a payload blob from (possibly doctored) parts, with a
+ *  freshly valid checksum. */
+std::string
+craftPayload(RawHeader h, const std::string &body)
+{
+    h.checksum = payloadChecksum(
+        h, reinterpret_cast<const uint8_t *>(body.data()), body.size());
+    std::string out(reinterpret_cast<const char *>(&h), sizeof h);
+    out += body;
+    return out;
+}
+
+} // namespace
+
+TEST(PackedTraceChecked, CleanDecodeReportsOk)
+{
+    const auto instrs = randomTrace(2000, 51);
+    const auto packed = PackedTrace::pack(instrs);
+    PackedTrace::Cursor cur(packed);
+    PackedTrace::Decoded d;
+    size_t n = 0;
+    while (cur.next(d))
+        ++n;
+    EXPECT_EQ(n, instrs.size());
+    EXPECT_TRUE(cur.ok());
+
+    // The block form tracks the same checked state.
+    PackedTrace::Cursor blocks(packed);
+    Instr buf[PackedTrace::kBlockInstrs];
+    while (blocks.next(buf, PackedTrace::kBlockInstrs) != 0) {
+    }
+    EXPECT_TRUE(blocks.ok());
+}
+
+TEST(PackedTraceChecked, RejectsTruncatedMainStream)
+{
+    const auto instrs = randomTrace(1500, 53);
+    const auto packed = PackedTrace::pack(instrs);
+    std::string blob;
+    packed.appendPayload(&blob);
+    ASSERT_GT(blob.size(), sizeof(RawHeader));
+
+    RawHeader h;
+    std::memcpy(&h, blob.data(), sizeof h);
+    const std::string body = blob.substr(sizeof h);
+    const size_t descBytes = size_t(h.descCount) * h.descSize;
+
+    // Chop K bytes off the end of the main stream, keep the header
+    // consistent and the checksum valid: parsePayload cannot tell, so
+    // the Cursor must stop cleanly (never reading out of bounds) and
+    // flag the malformation instead of fabricating a full trace.
+    for (size_t k = 1; k <= std::min<uint64_t>(24, h.mainLen); ++k) {
+        RawHeader th = h;
+        th.mainLen = h.mainLen - k;
+        std::string tbody = body.substr(0, descBytes + size_t(th.mainLen));
+        tbody += body.substr(descBytes + size_t(h.mainLen));
+        const std::string crafted = craftPayload(th, tbody);
+
+        PackedTrace t;
+        if (!PackedTrace::parsePayload(
+                reinterpret_cast<const uint8_t *>(crafted.data()),
+                crafted.size(), &t))
+            continue; // structural reject is fine too
+        PackedTrace::Cursor cur(t);
+        PackedTrace::Decoded d;
+        size_t n = 0;
+        while (cur.next(d))
+            ++n;
+        EXPECT_FALSE(cur.ok()) << "k=" << k;
+        EXPECT_LE(n, instrs.size());
+    }
+}
+
+TEST(PackedTraceChecked, FusedReplayThrowsOnTruncatedTrace)
+{
+    const auto instrs = randomTrace(1200, 55);
+    const auto packed = PackedTrace::pack(instrs);
+    std::string blob;
+    packed.appendPayload(&blob);
+    RawHeader h;
+    std::memcpy(&h, blob.data(), sizeof h);
+    const std::string body = blob.substr(sizeof h);
+    const size_t descBytes = size_t(h.descCount) * h.descSize;
+
+    RawHeader th = h;
+    th.mainLen = h.mainLen / 2;
+    std::string tbody = body.substr(0, descBytes + size_t(th.mainLen));
+    tbody += body.substr(descBytes + size_t(h.mainLen));
+    const std::string crafted = craftPayload(th, tbody);
+    PackedTrace t;
+    ASSERT_TRUE(PackedTrace::parsePayload(
+        reinterpret_cast<const uint8_t *>(crafted.data()),
+        crafted.size(), &t));
+    EXPECT_THROW(sim::simulateTraceMany(t, {sim::primeConfig()}, 0),
+                 std::runtime_error);
+}
+
+TEST(PackedTraceChecked, RejectsTruncatedMultiStream)
+{
+    // Force multi-address records so the side stream is non-empty.
+    auto instrs = randomTrace(800, 57);
+    size_t multi = 0;
+    for (auto &i : instrs)
+        multi += i.addr2 != 0;
+    ASSERT_GT(multi, 0u);
+
+    const auto packed = PackedTrace::pack(instrs);
+    std::string blob;
+    packed.appendPayload(&blob);
+    RawHeader h;
+    std::memcpy(&h, blob.data(), sizeof h);
+    ASSERT_GT(h.multiLen, 0u);
+    const std::string body = blob.substr(sizeof h);
+
+    RawHeader th = h;
+    th.multiLen = 0;
+    const std::string crafted = craftPayload(
+        th, body.substr(0, body.size() - size_t(h.multiLen)));
+    PackedTrace t;
+    if (PackedTrace::parsePayload(
+            reinterpret_cast<const uint8_t *>(crafted.data()),
+            crafted.size(), &t)) {
+        PackedTrace::Cursor cur(t);
+        PackedTrace::Decoded d;
+        while (cur.next(d)) {
+        }
+        EXPECT_FALSE(cur.ok());
+    }
+}
+
+TEST(PackedTraceChecked, RejectsLyingInstructionCount)
+{
+    const auto instrs = randomTrace(600, 59);
+    const auto packed = PackedTrace::pack(instrs);
+    std::string blob;
+    packed.appendPayload(&blob);
+    RawHeader h;
+    std::memcpy(&h, blob.data(), sizeof h);
+    const std::string body = blob.substr(sizeof h);
+
+    for (int64_t delta : {int64_t(-1), int64_t(1), int64_t(100)}) {
+        RawHeader th = h;
+        th.count = uint64_t(int64_t(h.count) + delta);
+        const std::string crafted = craftPayload(th, body);
+        PackedTrace t;
+        ASSERT_TRUE(PackedTrace::parsePayload(
+            reinterpret_cast<const uint8_t *>(crafted.data()),
+            crafted.size(), &t));
+        PackedTrace::Cursor cur(t);
+        PackedTrace::Decoded d;
+        while (cur.next(d)) {
+        }
+        // Count understates -> trailing stream bytes; overstates ->
+        // stream runs dry early. Both are malformations.
+        EXPECT_FALSE(cur.ok()) << "delta=" << delta;
+    }
+}
+
+TEST(PackedTraceChecked, FuzzedStreamBytesNeverCrashTheDecoder)
+{
+    const auto instrs = randomTrace(1000, 61);
+    const auto packed = PackedTrace::pack(instrs);
+    std::string blob;
+    packed.appendPayload(&blob);
+    RawHeader h;
+    std::memcpy(&h, blob.data(), sizeof h);
+    const size_t descBytes = size_t(h.descCount) * h.descSize;
+    const std::string body = blob.substr(sizeof h);
+
+    std::mt19937_64 rng(63);
+    for (int round = 0; round < 64; ++round) {
+        std::string fuzzed = body;
+        // Corrupt 1-4 bytes inside the varint streams (checksum is
+        // recomputed, so only the Cursor's own checking stands between
+        // the damage and the consumer).
+        const int flips = 1 + int(rng() % 4);
+        for (int f = 0; f < flips; ++f) {
+            const size_t at =
+                descBytes + size_t(rng() % (fuzzed.size() - descBytes));
+            fuzzed[at] = char(uint8_t(fuzzed[at]) ^ uint8_t(1 + rng() % 255));
+        }
+        const std::string crafted = craftPayload(h, fuzzed);
+        PackedTrace t;
+        if (!PackedTrace::parsePayload(
+                reinterpret_cast<const uint8_t *>(crafted.data()),
+                crafted.size(), &t))
+            continue;
+        // Decoding must terminate without reading out of bounds and
+        // never fabricate more records than advertised; a stream the
+        // cursor calls ok must have decoded exactly `count`.
+        PackedTrace::Cursor cur(t);
+        PackedTrace::Decoded d;
+        size_t n = 0;
+        while (cur.next(d)) {
+            ASSERT_LT(d.desc, t.descCount());
+            ++n;
+        }
+        EXPECT_LE(n, size_t(h.count));
+        if (cur.ok()) {
+            EXPECT_EQ(n, size_t(h.count));
+        }
+    }
+}
+
 TEST(PackedTrace, ReleaseStorageEmptiesTheTrace)
 {
     const auto instrs = randomTrace(500, 5);

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_memory_system.dir/bench/ablate_memory_system.cc.o"
+  "CMakeFiles/ablate_memory_system.dir/bench/ablate_memory_system.cc.o.d"
+  "ablate_memory_system"
+  "ablate_memory_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_memory_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_working_set.dir/bench/ablate_working_set.cc.o"
+  "CMakeFiles/ablate_working_set.dir/bench/ablate_working_set.cc.o.d"
+  "ablate_working_set"
+  "ablate_working_set.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_working_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

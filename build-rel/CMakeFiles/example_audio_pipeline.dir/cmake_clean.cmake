@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_audio_pipeline.dir/examples/audio_pipeline.cc.o"
+  "CMakeFiles/example_audio_pipeline.dir/examples/audio_pipeline.cc.o.d"
+  "example_audio_pipeline"
+  "example_audio_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_audio_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

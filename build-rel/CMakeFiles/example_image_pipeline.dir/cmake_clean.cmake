@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_image_pipeline.dir/examples/image_pipeline.cc.o"
+  "CMakeFiles/example_image_pipeline.dir/examples/image_pipeline.cc.o.d"
+  "example_image_pipeline"
+  "example_image_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_image_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_isa_futures.dir/examples/isa_futures.cc.o"
+  "CMakeFiles/example_isa_futures.dir/examples/isa_futures.cc.o.d"
+  "example_isa_futures"
+  "example_isa_futures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_isa_futures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_isa_futures.
+# This may be replaced when dependencies are built.

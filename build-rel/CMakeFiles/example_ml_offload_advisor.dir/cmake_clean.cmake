@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_ml_offload_advisor.dir/examples/ml_offload_advisor.cc.o"
+  "CMakeFiles/example_ml_offload_advisor.dir/examples/ml_offload_advisor.cc.o.d"
+  "example_ml_offload_advisor"
+  "example_ml_offload_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_ml_offload_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_wasm_port.dir/examples/wasm_port.cc.o"
+  "CMakeFiles/example_wasm_port.dir/examples/wasm_port.cc.o.d"
+  "example_wasm_port"
+  "example_wasm_port.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_wasm_port.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_complex_mul.dir/bench/ext_complex_mul.cc.o"
+  "CMakeFiles/ext_complex_mul.dir/bench/ext_complex_mul.cc.o.d"
+  "ext_complex_mul"
+  "ext_complex_mul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_complex_mul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_firstfault.dir/bench/ext_firstfault.cc.o"
+  "CMakeFiles/ext_firstfault.dir/bench/ext_firstfault.cc.o.d"
+  "ext_firstfault"
+  "ext_firstfault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_firstfault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

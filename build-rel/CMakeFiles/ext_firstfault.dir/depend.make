@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_firstfault.
+# This may be replaced when dependencies are built.

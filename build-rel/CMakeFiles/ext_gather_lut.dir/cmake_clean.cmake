@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_gather_lut.dir/bench/ext_gather_lut.cc.o"
+  "CMakeFiles/ext_gather_lut.dir/bench/ext_gather_lut.cc.o.d"
+  "ext_gather_lut"
+  "ext_gather_lut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_gather_lut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_predication.dir/bench/ext_predication.cc.o"
+  "CMakeFiles/ext_predication.dir/bench/ext_predication.cc.o.d"
+  "ext_predication"
+  "ext_predication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_predication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_strided.dir/bench/ext_strided.cc.o"
+  "CMakeFiles/ext_strided.dir/bench/ext_strided.cc.o.d"
+  "ext_strided"
+  "ext_strided.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_strided.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_wasm_simd.dir/bench/ext_wasm_simd.cc.o"
+  "CMakeFiles/ext_wasm_simd.dir/bench/ext_wasm_simd.cc.o.d"
+  "ext_wasm_simd"
+  "ext_wasm_simd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_wasm_simd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

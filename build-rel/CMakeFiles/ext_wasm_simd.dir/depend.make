@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_wasm_simd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_perf_energy.dir/bench/fig02_perf_energy.cc.o"
+  "CMakeFiles/fig02_perf_energy.dir/bench/fig02_perf_energy.cc.o.d"
+  "fig02_perf_energy"
+  "fig02_perf_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_perf_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_power.dir/bench/fig03_power.cc.o"
+  "CMakeFiles/fig03_power.dir/bench/fig03_power.cc.o.d"
+  "fig03_power"
+  "fig03_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_core_arch.dir/bench/fig04_core_arch.cc.o"
+  "CMakeFiles/fig04_core_arch.dir/bench/fig04_core_arch.cc.o.d"
+  "fig04_core_arch"
+  "fig04_core_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_core_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05a_wider_registers.dir/bench/fig05a_wider_registers.cc.o"
+  "CMakeFiles/fig05a_wider_registers.dir/bench/fig05a_wider_registers.cc.o.d"
+  "fig05a_wider_registers"
+  "fig05a_wider_registers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05a_wider_registers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig05a_wider_registers.
+# This may be replaced when dependencies are built.

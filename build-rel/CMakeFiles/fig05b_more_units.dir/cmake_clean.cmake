@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05b_more_units.dir/bench/fig05b_more_units.cc.o"
+  "CMakeFiles/fig05b_more_units.dir/bench/fig05b_more_units.cc.o.d"
+  "fig05b_more_units"
+  "fig05b_more_units.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05b_more_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

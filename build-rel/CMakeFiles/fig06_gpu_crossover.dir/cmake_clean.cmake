@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_gpu_crossover.dir/bench/fig06_gpu_crossover.cc.o"
+  "CMakeFiles/fig06_gpu_crossover.dir/bench/fig06_gpu_crossover.cc.o.d"
+  "fig06_gpu_crossover"
+  "fig06_gpu_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_gpu_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench_simd.dir/bench/microbench_simd.cc.o"
+  "CMakeFiles/microbench_simd.dir/bench/microbench_simd.cc.o.d"
+  "microbench_simd"
+  "microbench_simd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_simd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec52_intensity.dir/bench/sec52_intensity.cc.o"
+  "CMakeFiles/sec52_intensity.dir/bench/sec52_intensity.cc.o.d"
+  "sec52_intensity"
+  "sec52_intensity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec52_intensity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

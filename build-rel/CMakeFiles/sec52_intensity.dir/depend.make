@@ -1,0 +1,2 @@
+# Empty dependencies file for sec52_intensity.
+# This may be replaced when dependencies are built.

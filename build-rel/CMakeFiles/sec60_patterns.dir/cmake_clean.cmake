@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec60_patterns.dir/bench/sec60_patterns.cc.o"
+  "CMakeFiles/sec60_patterns.dir/bench/sec60_patterns.cc.o.d"
+  "sec60_patterns"
+  "sec60_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec60_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

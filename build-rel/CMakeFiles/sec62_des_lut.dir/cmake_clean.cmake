@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec62_des_lut.dir/bench/sec62_des_lut.cc.o"
+  "CMakeFiles/sec62_des_lut.dir/bench/sec62_des_lut.cc.o.d"
+  "sec62_des_lut"
+  "sec62_des_lut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec62_des_lut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

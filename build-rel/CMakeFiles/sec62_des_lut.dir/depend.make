@@ -1,0 +1,2 @@
+# Empty dependencies file for sec62_des_lut.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swan_cli.dir/src/tools/swan_cli.cc.o"
+  "CMakeFiles/swan_cli.dir/src/tools/swan_cli.cc.o.d"
+  "swan"
+  "swan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swan_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/api/experiment.cc" "CMakeFiles/swan_core.dir/src/api/experiment.cc.o" "gcc" "CMakeFiles/swan_core.dir/src/api/experiment.cc.o.d"
+  "/root/repo/src/api/results.cc" "CMakeFiles/swan_core.dir/src/api/results.cc.o" "gcc" "CMakeFiles/swan_core.dir/src/api/results.cc.o.d"
+  "/root/repo/src/api/session.cc" "CMakeFiles/swan_core.dir/src/api/session.cc.o" "gcc" "CMakeFiles/swan_core.dir/src/api/session.cc.o.d"
+  "/root/repo/src/autovec/legality.cc" "CMakeFiles/swan_core.dir/src/autovec/legality.cc.o" "gcc" "CMakeFiles/swan_core.dir/src/autovec/legality.cc.o.d"
+  "/root/repo/src/core/kernel.cc" "CMakeFiles/swan_core.dir/src/core/kernel.cc.o" "gcc" "CMakeFiles/swan_core.dir/src/core/kernel.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "CMakeFiles/swan_core.dir/src/core/metrics.cc.o" "gcc" "CMakeFiles/swan_core.dir/src/core/metrics.cc.o.d"
+  "/root/repo/src/core/options.cc" "CMakeFiles/swan_core.dir/src/core/options.cc.o" "gcc" "CMakeFiles/swan_core.dir/src/core/options.cc.o.d"
+  "/root/repo/src/core/registry.cc" "CMakeFiles/swan_core.dir/src/core/registry.cc.o" "gcc" "CMakeFiles/swan_core.dir/src/core/registry.cc.o.d"
+  "/root/repo/src/core/report.cc" "CMakeFiles/swan_core.dir/src/core/report.cc.o" "gcc" "CMakeFiles/swan_core.dir/src/core/report.cc.o.d"
+  "/root/repo/src/core/runner.cc" "CMakeFiles/swan_core.dir/src/core/runner.cc.o" "gcc" "CMakeFiles/swan_core.dir/src/core/runner.cc.o.d"
+  "/root/repo/src/gpu/offload_model.cc" "CMakeFiles/swan_core.dir/src/gpu/offload_model.cc.o" "gcc" "CMakeFiles/swan_core.dir/src/gpu/offload_model.cc.o.d"
+  "/root/repo/src/sim/cache.cc" "CMakeFiles/swan_core.dir/src/sim/cache.cc.o" "gcc" "CMakeFiles/swan_core.dir/src/sim/cache.cc.o.d"
+  "/root/repo/src/sim/configs.cc" "CMakeFiles/swan_core.dir/src/sim/configs.cc.o" "gcc" "CMakeFiles/swan_core.dir/src/sim/configs.cc.o.d"
+  "/root/repo/src/sim/core_model.cc" "CMakeFiles/swan_core.dir/src/sim/core_model.cc.o" "gcc" "CMakeFiles/swan_core.dir/src/sim/core_model.cc.o.d"
+  "/root/repo/src/sim/dram.cc" "CMakeFiles/swan_core.dir/src/sim/dram.cc.o" "gcc" "CMakeFiles/swan_core.dir/src/sim/dram.cc.o.d"
+  "/root/repo/src/sim/power.cc" "CMakeFiles/swan_core.dir/src/sim/power.cc.o" "gcc" "CMakeFiles/swan_core.dir/src/sim/power.cc.o.d"
+  "/root/repo/src/simd/crypto_tables.cc" "CMakeFiles/swan_core.dir/src/simd/crypto_tables.cc.o" "gcc" "CMakeFiles/swan_core.dir/src/simd/crypto_tables.cc.o.d"
+  "/root/repo/src/simd/emit.cc" "CMakeFiles/swan_core.dir/src/simd/emit.cc.o" "gcc" "CMakeFiles/swan_core.dir/src/simd/emit.cc.o.d"
+  "/root/repo/src/simd/half.cc" "CMakeFiles/swan_core.dir/src/simd/half.cc.o" "gcc" "CMakeFiles/swan_core.dir/src/simd/half.cc.o.d"
+  "/root/repo/src/sweep/cache.cc" "CMakeFiles/swan_core.dir/src/sweep/cache.cc.o" "gcc" "CMakeFiles/swan_core.dir/src/sweep/cache.cc.o.d"
+  "/root/repo/src/sweep/emit.cc" "CMakeFiles/swan_core.dir/src/sweep/emit.cc.o" "gcc" "CMakeFiles/swan_core.dir/src/sweep/emit.cc.o.d"
+  "/root/repo/src/sweep/grid.cc" "CMakeFiles/swan_core.dir/src/sweep/grid.cc.o" "gcc" "CMakeFiles/swan_core.dir/src/sweep/grid.cc.o.d"
+  "/root/repo/src/sweep/scheduler.cc" "CMakeFiles/swan_core.dir/src/sweep/scheduler.cc.o" "gcc" "CMakeFiles/swan_core.dir/src/sweep/scheduler.cc.o.d"
+  "/root/repo/src/tools/cli.cc" "CMakeFiles/swan_core.dir/src/tools/cli.cc.o" "gcc" "CMakeFiles/swan_core.dir/src/tools/cli.cc.o.d"
+  "/root/repo/src/trace/instr.cc" "CMakeFiles/swan_core.dir/src/trace/instr.cc.o" "gcc" "CMakeFiles/swan_core.dir/src/trace/instr.cc.o.d"
+  "/root/repo/src/trace/packed.cc" "CMakeFiles/swan_core.dir/src/trace/packed.cc.o" "gcc" "CMakeFiles/swan_core.dir/src/trace/packed.cc.o.d"
+  "/root/repo/src/trace/recorder.cc" "CMakeFiles/swan_core.dir/src/trace/recorder.cc.o" "gcc" "CMakeFiles/swan_core.dir/src/trace/recorder.cc.o.d"
+  "/root/repo/src/trace/serialize.cc" "CMakeFiles/swan_core.dir/src/trace/serialize.cc.o" "gcc" "CMakeFiles/swan_core.dir/src/trace/serialize.cc.o.d"
+  "/root/repo/src/trace/stats.cc" "CMakeFiles/swan_core.dir/src/trace/stats.cc.o" "gcc" "CMakeFiles/swan_core.dir/src/trace/stats.cc.o.d"
+  "/root/repo/src/workloads/boringssl/boringssl.cc" "CMakeFiles/swan_core.dir/src/workloads/boringssl/boringssl.cc.o" "gcc" "CMakeFiles/swan_core.dir/src/workloads/boringssl/boringssl.cc.o.d"
+  "/root/repo/src/workloads/ext/complex_study.cc" "CMakeFiles/swan_core.dir/src/workloads/ext/complex_study.cc.o" "gcc" "CMakeFiles/swan_core.dir/src/workloads/ext/complex_study.cc.o.d"
+  "/root/repo/src/workloads/ext/firstfault_study.cc" "CMakeFiles/swan_core.dir/src/workloads/ext/firstfault_study.cc.o" "gcc" "CMakeFiles/swan_core.dir/src/workloads/ext/firstfault_study.cc.o.d"
+  "/root/repo/src/workloads/ext/lut_study.cc" "CMakeFiles/swan_core.dir/src/workloads/ext/lut_study.cc.o" "gcc" "CMakeFiles/swan_core.dir/src/workloads/ext/lut_study.cc.o.d"
+  "/root/repo/src/workloads/ext/predication_study.cc" "CMakeFiles/swan_core.dir/src/workloads/ext/predication_study.cc.o" "gcc" "CMakeFiles/swan_core.dir/src/workloads/ext/predication_study.cc.o.d"
+  "/root/repo/src/workloads/ext/stride_study.cc" "CMakeFiles/swan_core.dir/src/workloads/ext/stride_study.cc.o" "gcc" "CMakeFiles/swan_core.dir/src/workloads/ext/stride_study.cc.o.d"
+  "/root/repo/src/workloads/ext/wasm_study.cc" "CMakeFiles/swan_core.dir/src/workloads/ext/wasm_study.cc.o" "gcc" "CMakeFiles/swan_core.dir/src/workloads/ext/wasm_study.cc.o.d"
+  "/root/repo/src/workloads/libjpeg/libjpeg.cc" "CMakeFiles/swan_core.dir/src/workloads/libjpeg/libjpeg.cc.o" "gcc" "CMakeFiles/swan_core.dir/src/workloads/libjpeg/libjpeg.cc.o.d"
+  "/root/repo/src/workloads/libopus/libopus.cc" "CMakeFiles/swan_core.dir/src/workloads/libopus/libopus.cc.o" "gcc" "CMakeFiles/swan_core.dir/src/workloads/libopus/libopus.cc.o.d"
+  "/root/repo/src/workloads/libpng/libpng.cc" "CMakeFiles/swan_core.dir/src/workloads/libpng/libpng.cc.o" "gcc" "CMakeFiles/swan_core.dir/src/workloads/libpng/libpng.cc.o.d"
+  "/root/repo/src/workloads/libvpx/libvpx.cc" "CMakeFiles/swan_core.dir/src/workloads/libvpx/libvpx.cc.o" "gcc" "CMakeFiles/swan_core.dir/src/workloads/libvpx/libvpx.cc.o.d"
+  "/root/repo/src/workloads/libwebp/libwebp.cc" "CMakeFiles/swan_core.dir/src/workloads/libwebp/libwebp.cc.o" "gcc" "CMakeFiles/swan_core.dir/src/workloads/libwebp/libwebp.cc.o.d"
+  "/root/repo/src/workloads/optroutines/optroutines.cc" "CMakeFiles/swan_core.dir/src/workloads/optroutines/optroutines.cc.o" "gcc" "CMakeFiles/swan_core.dir/src/workloads/optroutines/optroutines.cc.o.d"
+  "/root/repo/src/workloads/pffft/pffft.cc" "CMakeFiles/swan_core.dir/src/workloads/pffft/pffft.cc.o" "gcc" "CMakeFiles/swan_core.dir/src/workloads/pffft/pffft.cc.o.d"
+  "/root/repo/src/workloads/skia/skia.cc" "CMakeFiles/swan_core.dir/src/workloads/skia/skia.cc.o" "gcc" "CMakeFiles/swan_core.dir/src/workloads/skia/skia.cc.o.d"
+  "/root/repo/src/workloads/webaudio/webaudio.cc" "CMakeFiles/swan_core.dir/src/workloads/webaudio/webaudio.cc.o" "gcc" "CMakeFiles/swan_core.dir/src/workloads/webaudio/webaudio.cc.o.d"
+  "/root/repo/src/workloads/xnnpack/xnnpack.cc" "CMakeFiles/swan_core.dir/src/workloads/xnnpack/xnnpack.cc.o" "gcc" "CMakeFiles/swan_core.dir/src/workloads/xnnpack/xnnpack.cc.o.d"
+  "/root/repo/src/workloads/zlib/zlib.cc" "CMakeFiles/swan_core.dir/src/workloads/zlib/zlib.cc.o" "gcc" "CMakeFiles/swan_core.dir/src/workloads/zlib/zlib.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

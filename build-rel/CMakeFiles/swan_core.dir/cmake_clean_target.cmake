@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libswan_core.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab02_libraries.dir/bench/tab02_libraries.cc.o"
+  "CMakeFiles/tab02_libraries.dir/bench/tab02_libraries.cc.o.d"
+  "tab02_libraries"
+  "tab02_libraries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_libraries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab03_baseline_config.dir/bench/tab03_baseline_config.cc.o"
+  "CMakeFiles/tab03_baseline_config.dir/bench/tab03_baseline_config.cc.o.d"
+  "tab03_baseline_config"
+  "tab03_baseline_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab03_baseline_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab04_autovec.dir/bench/tab04_autovec.cc.o"
+  "CMakeFiles/tab04_autovec.dir/bench/tab04_autovec.cc.o.d"
+  "tab04_autovec"
+  "tab04_autovec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab04_autovec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

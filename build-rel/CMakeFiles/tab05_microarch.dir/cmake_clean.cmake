@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab05_microarch.dir/bench/tab05_microarch.cc.o"
+  "CMakeFiles/tab05_microarch.dir/bench/tab05_microarch.cc.o.d"
+  "tab05_microarch"
+  "tab05_microarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab05_microarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab06_strided.dir/bench/tab06_strided.cc.o"
+  "CMakeFiles/tab06_strided.dir/bench/tab06_strided.cc.o.d"
+  "tab06_strided"
+  "tab06_strided.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab06_strided.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

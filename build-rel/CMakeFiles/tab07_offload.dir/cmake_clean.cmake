@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab07_offload.dir/bench/tab07_offload.cc.o"
+  "CMakeFiles/tab07_offload.dir/bench/tab07_offload.cc.o.d"
+  "tab07_offload"
+  "tab07_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab07_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

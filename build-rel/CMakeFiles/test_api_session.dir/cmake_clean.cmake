@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_api_session.dir/tests/test_api_session.cc.o"
+  "CMakeFiles/test_api_session.dir/tests/test_api_session.cc.o.d"
+  "test_api_session"
+  "test_api_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_api_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_autovec.dir/tests/test_autovec.cc.o"
+  "CMakeFiles/test_autovec.dir/tests/test_autovec.cc.o.d"
+  "test_autovec"
+  "test_autovec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_autovec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ext_wasm.dir/tests/test_ext_wasm.cc.o"
+  "CMakeFiles/test_ext_wasm.dir/tests/test_ext_wasm.cc.o.d"
+  "test_ext_wasm"
+  "test_ext_wasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ext_wasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpu.dir/tests/test_gpu.cc.o"
+  "CMakeFiles/test_gpu.dir/tests/test_gpu.cc.o.d"
+  "test_gpu"
+  "test_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

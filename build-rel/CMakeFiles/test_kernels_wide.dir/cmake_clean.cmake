@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernels_wide.dir/tests/test_kernels_wide.cc.o"
+  "CMakeFiles/test_kernels_wide.dir/tests/test_kernels_wide.cc.o.d"
+  "test_kernels_wide"
+  "test_kernels_wide.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernels_wide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_metadata_consistency.dir/tests/test_metadata_consistency.cc.o"
+  "CMakeFiles/test_metadata_consistency.dir/tests/test_metadata_consistency.cc.o.d"
+  "test_metadata_consistency"
+  "test_metadata_consistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_metadata_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

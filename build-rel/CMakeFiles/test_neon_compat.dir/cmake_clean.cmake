@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_neon_compat.dir/tests/test_neon_compat.cc.o"
+  "CMakeFiles/test_neon_compat.dir/tests/test_neon_compat.cc.o.d"
+  "test_neon_compat"
+  "test_neon_compat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_neon_compat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_neon_compat.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_options.dir/tests/test_options.cc.o"
+  "CMakeFiles/test_options.dir/tests/test_options.cc.o.d"
+  "test_options"
+  "test_options.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_options.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

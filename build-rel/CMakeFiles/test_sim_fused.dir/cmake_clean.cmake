@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_fused.dir/tests/test_sim_fused.cc.o"
+  "CMakeFiles/test_sim_fused.dir/tests/test_sim_fused.cc.o.d"
+  "test_sim_fused"
+  "test_sim_fused.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_fused.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_multiaddr.dir/tests/test_sim_multiaddr.cc.o"
+  "CMakeFiles/test_sim_multiaddr.dir/tests/test_sim_multiaddr.cc.o.d"
+  "test_sim_multiaddr"
+  "test_sim_multiaddr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_multiaddr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simd_arith.dir/tests/test_simd_arith.cc.o"
+  "CMakeFiles/test_simd_arith.dir/tests/test_simd_arith.cc.o.d"
+  "test_simd_arith"
+  "test_simd_arith.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simd_arith.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simd_crypto.dir/tests/test_simd_crypto.cc.o"
+  "CMakeFiles/test_simd_crypto.dir/tests/test_simd_crypto.cc.o.d"
+  "test_simd_crypto"
+  "test_simd_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simd_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simd_permute.dir/tests/test_simd_permute.cc.o"
+  "CMakeFiles/test_simd_permute.dir/tests/test_simd_permute.cc.o.d"
+  "test_simd_permute"
+  "test_simd_permute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simd_permute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simd_sve.dir/tests/test_simd_sve.cc.o"
+  "CMakeFiles/test_simd_sve.dir/tests/test_simd_sve.cc.o.d"
+  "test_simd_sve"
+  "test_simd_sve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simd_sve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simd_wasm.dir/tests/test_simd_wasm.cc.o"
+  "CMakeFiles/test_simd_wasm.dir/tests/test_simd_wasm.cc.o.d"
+  "test_simd_wasm"
+  "test_simd_wasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simd_wasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

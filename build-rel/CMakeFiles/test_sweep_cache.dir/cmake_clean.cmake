@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sweep_cache.dir/tests/test_sweep_cache.cc.o"
+  "CMakeFiles/test_sweep_cache.dir/tests/test_sweep_cache.cc.o.d"
+  "test_sweep_cache"
+  "test_sweep_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sweep_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

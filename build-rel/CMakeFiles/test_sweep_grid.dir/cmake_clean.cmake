@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sweep_grid.dir/tests/test_sweep_grid.cc.o"
+  "CMakeFiles/test_sweep_grid.dir/tests/test_sweep_grid.cc.o.d"
+  "test_sweep_grid"
+  "test_sweep_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sweep_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

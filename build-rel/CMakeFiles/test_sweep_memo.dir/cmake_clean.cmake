@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sweep_memo.dir/tests/test_sweep_memo.cc.o"
+  "CMakeFiles/test_sweep_memo.dir/tests/test_sweep_memo.cc.o.d"
+  "test_sweep_memo"
+  "test_sweep_memo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sweep_memo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

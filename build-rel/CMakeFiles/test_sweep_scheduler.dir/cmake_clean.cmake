@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sweep_scheduler.dir/tests/test_sweep_scheduler.cc.o"
+  "CMakeFiles/test_sweep_scheduler.dir/tests/test_sweep_scheduler.cc.o.d"
+  "test_sweep_scheduler"
+  "test_sweep_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sweep_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_packed.dir/tests/test_trace_packed.cc.o"
+  "CMakeFiles/test_trace_packed.dir/tests/test_trace_packed.cc.o.d"
+  "test_trace_packed"
+  "test_trace_packed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_packed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

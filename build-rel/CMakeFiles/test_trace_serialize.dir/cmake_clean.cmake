@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_serialize.dir/tests/test_trace_serialize.cc.o"
+  "CMakeFiles/test_trace_serialize.dir/tests/test_trace_serialize.cc.o.d"
+  "test_trace_serialize"
+  "test_trace_serialize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_serialize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

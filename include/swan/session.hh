@@ -44,8 +44,33 @@ namespace swan
 struct SessionOptions
 {
     /** Sweep worker threads; <= 0 means all hardware threads.
-     *  Results are byte-identical for any value. [env: SWAN_JOBS] */
+     *  Results are byte-identical for any value. In a sharded sweep
+     *  this is the pool width of every shard process. [env: SWAN_JOBS] */
     int jobs = 1;
+
+    /**
+     * Sweep worker *processes*: shards > 1 runs every Experiment's
+     * simulation phase on the multi-process sharded backend — the
+     * shards fork after the capture phase, claim work units via atomic
+     * lockfiles in the on-disk cache tier (cacheDir, or a private
+     * per-run directory when no cache is configured) and publish
+     * results as ordinary cache entries the parent merges back
+     * deterministically. Emitter output is byte-identical for any
+     * shards x jobs combination, crashed shards included (the parent
+     * re-executes whatever a dead shard left behind). 1 = in-process.
+     * [env: SWAN_SHARDS]
+     */
+    int shards = 1;
+
+    /**
+     * Execution backend for the simulation phase (sweep/backend.hh):
+     * Threaded (default; upgraded to Sharded when shards > 1), Inline
+     * (serial, for tests/debug) or Sharded explicitly. Byte-identical
+     * results whatever the choice — this is purely a placement policy.
+     * Explicit API option only, deliberately not an environment
+     * variable: `shards` is the deployment knob.
+     */
+    sweep::Backend backend = sweep::Backend::Threaded;
 
     /** Cache warm-up passes fed to the core model before the measured
      *  replay (paper Section 4.3). */
@@ -77,6 +102,18 @@ struct SessionOptions
     withJobs(int n)
     {
         jobs = n;
+        return *this;
+    }
+    SessionOptions &
+    withShards(int n)
+    {
+        shards = n;
+        return *this;
+    }
+    SessionOptions &
+    withBackend(sweep::Backend b)
+    {
+        backend = b;
         return *this;
     }
     SessionOptions &
@@ -132,11 +169,11 @@ class Session
 
     /**
      * The SWAN_* environment overlaid on the library defaults:
-     * SWAN_JOBS, SWAN_TRACE_MEMO_BYTES, SWAN_SWEEP_CACHE_DIR,
-     * SWAN_SWEEP_CACHE_MAX_BYTES. Unset, unparsable or (for
-     * SWAN_JOBS) non-positive values leave the built-in default
-     * untouched: all-cores fan-out is an explicit option (jobs <= 0),
-     * never an ambient environment one.
+     * SWAN_JOBS, SWAN_SHARDS, SWAN_TRACE_MEMO_BYTES,
+     * SWAN_SWEEP_CACHE_DIR, SWAN_SWEEP_CACHE_MAX_BYTES. Unset,
+     * unparsable or (for SWAN_JOBS / SWAN_SHARDS) non-positive values
+     * leave the built-in default untouched: all-cores fan-out is an
+     * explicit option (jobs <= 0), never an ambient environment one.
      */
     static SessionOptions envDefaults();
 

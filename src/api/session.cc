@@ -13,7 +13,9 @@ namespace
  * or non-positive. SWAN_JOBS deliberately cannot express "all cores":
  * an environment default silently fanning a sweep out to every
  * hardware thread is a footgun, so all-cores stays an explicit choice
- * (SessionOptions::jobs <= 0, or `--jobs 0` on the CLI).
+ * (SessionOptions::jobs <= 0, or `--jobs 0` on the CLI). SWAN_SHARDS
+ * shares the rule: forking a process fleet is opt-in per value, never
+ * an ambient "as many as possible".
  */
 int
 envInt(const char *name, int fallback)
@@ -41,6 +43,9 @@ Session::envDefaults()
     // and the engine.
     SessionOptions o;
     o.jobs = envInt("SWAN_JOBS", o.jobs);
+    o.shards = envInt("SWAN_SHARDS", o.shards);
+    if (o.shards > sweep::ShardedBackend::kMaxShards)
+        o.shards = sweep::ShardedBackend::kMaxShards;
     o.traceMemoBytes = sweep::SchedulerConfig::envTraceMemoBytes();
     o.cacheDir = sweep::ResultCache::envDiskDir();
     o.cacheMaxBytes = sweep::ResultCache::envMaxDiskBytes();
@@ -86,6 +91,8 @@ Session::schedulerConfig() const
 {
     sweep::SchedulerConfig sc;
     sc.jobs = opts_.jobs;
+    sc.backend = opts_.backend;
+    sc.shards = opts_.shards;
     sc.cache = &cache_;
     sc.warmupPasses = opts_.warmupPasses;
     sc.traceMemoBytes = opts_.traceMemoBytes;

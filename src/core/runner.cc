@@ -64,13 +64,13 @@ Runner::runMany(Workload &w, Impl impl,
         // The 64-byte-per-instr AoS buffer dies here; simulation runs
         // off the packed encoding.
     }
+    // Results come out of the replay engine power-complete (the power
+    // model is fused into CoreModel::finish).
     auto sims = sim::simulateTraceMany(packed, cfgs, warmup_passes);
     std::vector<KernelRun> out(cfgs.size());
     for (size_t i = 0; i < cfgs.size(); ++i) {
         out[i].mix = mix;
         out[i].sim = std::move(sims[i]);
-        sim::applyPowerModel(out[i].sim,
-                             sim::PowerParams::forConfig(cfgs[i]));
     }
     return out;
 }

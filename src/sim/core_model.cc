@@ -1,5 +1,7 @@
 #include "sim/core_model.hh"
 
+#include "sim/power.hh"
+
 #include <algorithm>
 #include <cstddef>
 #include <cstring>
@@ -413,6 +415,13 @@ CoreModel::finish()
 
     r.byClass = byClass_;
     r.vecBytes = vecBytes_;
+    // Power model fused into the finish path: the energy/power fields
+    // are a closed-form function of the counters gathered above, so
+    // computing them here makes every replay entry point emit
+    // power-complete results in the same pass — no driver needs a
+    // separate applyPowerModel() step (it stays available for custom
+    // PowerParams; re-applying is idempotent).
+    applyPowerModel(r, PowerParams::forConfig(cfg_));
     return r;
 }
 

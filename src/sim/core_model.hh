@@ -102,7 +102,11 @@ class CoreModel : public trace::Sink
      */
     void beginMeasurement();
 
-    /** Finalize and return the metrics of the measured region. */
+    /** Finalize and return the metrics of the measured region. The
+     *  power model is fused into this finish path: energyJ/powerW are
+     *  computed from the final counters in the same pass
+     *  (PowerParams::forConfig presets; see sim/power.hh), so every
+     *  replay entry point returns power-complete results. */
     SimResult finish();
 
     const CoreConfig &config() const { return cfg_; }

@@ -38,17 +38,23 @@ struct PowerParams
     static PowerParams forConfig(const CoreConfig &cfg);
 };
 
-/** Fill result.energyJ / result.powerW from the event counts. */
+/**
+ * Fill result.energyJ / result.powerW from the event counts.
+ * CoreModel::finish already applies this with the per-config presets
+ * (the power model is fused into the replay's finish path), so only
+ * custom PowerParams studies need to call it; re-applying is
+ * idempotent — the fields are recomputed from the counters.
+ */
 void applyPowerModel(SimResult &result, const PowerParams &params);
 
-/** Convenience: simulate + power in one step. */
+/** Convenience wrapper from before the power model was fused into
+ *  CoreModel::finish; kept for API compatibility — now exactly
+ *  simulateTrace(). */
 inline SimResult
 simulateWithPower(const std::vector<trace::Instr> &instrs,
                   const CoreConfig &cfg, int warmup_passes = 1)
 {
-    SimResult r = simulateTrace(instrs, cfg, warmup_passes);
-    applyPowerModel(r, PowerParams::forConfig(cfg));
-    return r;
+    return simulateTrace(instrs, cfg, warmup_passes);
 }
 
 } // namespace swan::sim

@@ -1,0 +1,38 @@
+#include "sweep/backend.hh"
+
+namespace swan::sweep
+{
+
+bool
+backendForName(const std::string &name, Backend *out)
+{
+    if (name == "threaded")
+        *out = Backend::Threaded;
+    else if (name == "inline")
+        *out = Backend::Inline;
+    else if (name == "sharded")
+        *out = Backend::Sharded;
+    else
+        return false;
+    return true;
+}
+
+std::string_view
+name(Backend backend)
+{
+    switch (backend) {
+      case Backend::Inline: return "inline";
+      case Backend::Sharded: return "sharded";
+      case Backend::Threaded:
+      default: return "threaded";
+    }
+}
+
+void
+InlineBackend::run(const BackendJob &job)
+{
+    for (size_t u = 0; u < job.units; ++u)
+        job.execute(job.arg, u);
+}
+
+} // namespace swan::sweep

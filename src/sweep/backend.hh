@@ -1,0 +1,200 @@
+/**
+ * @file
+ * The execution-backend seam of the sweep engine. The scheduler
+ * (sweep/scheduler.cc) owns everything that must stay backend-agnostic
+ * — result-cache lookups, capture-identity grouping, the serial
+ * capture phase under the trace-memo byte budget — and hands the
+ * finished work units (one unit per trace group: a packed trace plus
+ * every core configuration that replays it) to an ExecutionBackend,
+ * which only decides *where* the simulation phase runs:
+ *
+ *   runSweep: lookups -> grouping -> captures -> backend.run(job)
+ *                                                |
+ *                  InlineBackend    calling thread, serial (tests/debug)
+ *                  ThreadedBackend  work-stealing thread pool (default)
+ *                  ShardedBackend   N forked worker processes claiming
+ *                                   units in the on-disk cache tier
+ *
+ * Work units are pure functions of (packed trace, core configs): a
+ * unit's results do not depend on which thread, process or machine
+ * executes it, and the on-disk result format round-trips doubles as
+ * hexfloat (bit-exact). That is what makes the seam sound: emitter
+ * output is byte-identical across backends and across any
+ * `shards x jobs` combination, by construction.
+ *
+ * The backends are instantiated by the scheduler strictly AFTER the
+ * last capture (on the stack, per run). Nothing in this header may be
+ * allocated or resolved before phase 1 ends: captured traces carry
+ * real buffer addresses and the cache models are address-sensitive,
+ * so pre-capture heap traffic that varies with the backend choice
+ * would break byte-identity between backends (see the determinism
+ * notes in sweep/scheduler.cc).
+ *
+ * Claim protocol (ShardedBackend). Every unit has a content-stable
+ * 64-bit token (hashed from its points' cache keys). A shard claims a
+ * unit by atomically creating `c<run>-<token>.claim` in the shared
+ * directory (open with O_CREAT|O_EXCL — the lockfile analogue of the
+ * cache tier's write-then-rename stores) and writing its pid into it;
+ * losing the race means another shard owns the unit. Finished units
+ * land in the shared directory as ordinary checksummed `.swr` cache
+ * entries, which the parent merges back deterministically after every
+ * child has exited. Units that were claimed but never stored (a
+ * crashed or killed shard) are re-executed by the parent, which still
+ * holds every captured trace — recovery output is bit-identical to
+ * what the dead shard would have produced. Claim files whose pid no
+ * longer exists are removed at the start of the next sharded run
+ * (stale-claim cleanup), so a crash cannot poison the directory.
+ */
+
+#ifndef SWAN_SWEEP_BACKEND_HH
+#define SWAN_SWEEP_BACKEND_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace swan::sweep
+{
+
+class ResultCache;
+
+/** Which execution backend runs a sweep's simulation phase. */
+enum class Backend
+{
+    /** Work-stealing thread pool in this process (the default). */
+    Threaded,
+    /** Serial on the calling thread: no pool, no threads — the
+     *  debuggable backend. Note that simulation then allocates on the
+     *  capture thread, so *subsequent* fresh captures in the same
+     *  process may shift by the documented ~0.1% cache-layout
+     *  tolerance (sweep/cache.hh); within one sweep, results are
+     *  byte-identical to every other backend. */
+    Inline,
+    /** N forked worker processes claiming units from the on-disk
+     *  cache tier; requires POSIX, degrades to Threaded elsewhere. */
+    Sharded,
+};
+
+/** Parse "threaded" / "inline" / "sharded"; false on anything else. */
+bool backendForName(const std::string &name, Backend *out);
+
+/** Human-readable backend name, for diagnostics. */
+std::string_view name(Backend backend);
+
+/**
+ * One sweep's work, as a backend sees it: `units` opaque work units
+ * executed through C-style hooks (function pointer + context, so a
+ * backend never depends on the scheduler's internals and the hot
+ * structures stay trivially shareable across fork()).
+ */
+struct BackendJob
+{
+    /** Number of work units (trace groups). */
+    size_t units = 0;
+    /** Worker threads per executing process (already resolved and
+     *  clamped by the scheduler; >= 1). */
+    int jobs = 1;
+    /** Opaque scheduler context handed back to every hook. */
+    void *arg = nullptr;
+
+    /**
+     * Simulate unit @p u, record its results and store them through
+     * the scheduler's caches. Thread-safe and noexcept (failures are
+     * recorded scheduler-side); in a sharded run it executes inside
+     * the claiming child process, or inside the parent on recovery.
+     */
+    void (*execute)(void *arg, size_t u) = nullptr;
+
+    /**
+     * Content-stable identity of unit @p u for cross-process claims:
+     * equal between any two processes executing the same grid, and
+     * distinct between different grids sharing one cache directory.
+     * Null for backends that never leave the process.
+     */
+    uint64_t (*token)(void *arg, size_t u) = nullptr;
+
+    /**
+     * Parent-side merge: fill unit @p u's results from the shared
+     * disk tier. @return false when any of the unit's results is
+     * missing (the unit's shard died before storing) — the backend
+     * then re-executes the unit locally. Null for in-process backends.
+     */
+    bool (*serve)(void *arg, size_t u) = nullptr;
+
+    /**
+     * Disk-backed cache shared by the shard processes: claims and
+     * child stats live next to its `.swr`/`.swtp` entries. Null for
+     * in-process backends. The scheduler guarantees a non-empty
+     * diskDir() when a sharded run is requested (substituting a
+     * private temp directory when the session cache is memory-only).
+     */
+    ResultCache *shareCache = nullptr;
+};
+
+/**
+ * Executes a BackendJob's units. Implementations are stateless apart
+ * from their knobs and are constructed on the stack per run; run()
+ * blocks until every unit has executed (or been merged) and may be
+ * called once per instance.
+ */
+class ExecutionBackend
+{
+  public:
+    virtual ~ExecutionBackend() = default;
+
+    virtual void run(const BackendJob &job) = 0;
+};
+
+/** Serial execution on the calling thread. */
+class InlineBackend final : public ExecutionBackend
+{
+  public:
+    void run(const BackendJob &job) override;
+};
+
+/**
+ * The work-stealing thread pool, extracted unchanged from the
+ * pre-seam scheduler: per-worker mutex-guarded rings dealt round-robin
+ * (adjacent groups of one kernel tend to cost the same), workers pop
+ * their own front and steal from the back of the fullest victim. The
+ * pool's jobs-sized state lives in one anonymous mmap region and its
+ * threads are raw pthreads spawned only inside run() — i.e. strictly
+ * after the last capture — with serialized exits, keeping the pool
+ * invisible to malloc; see the WorkerPool notes in backend_threaded.cc
+ * for why that is load-bearing for capture determinism.
+ */
+class ThreadedBackend final : public ExecutionBackend
+{
+  public:
+    void run(const BackendJob &job) override;
+};
+
+/**
+ * Multi-process sharded execution: fork `shards` worker processes,
+ * each running a ThreadedBackend over the units it wins via atomic
+ * lockfile claims in the shared cache directory (see the claim
+ * protocol above), then deterministically merge the children's `.swr`
+ * entries back into the parent's result vector in unit order,
+ * re-executing any unit a dead shard left behind. Children exit via
+ * _exit(): they share the parent's stdio buffers and must never flush
+ * them. Cache statistics of the children are aggregated back into the
+ * shared cache so `Results::cacheStats()` reflects the whole fleet.
+ */
+class ShardedBackend final : public ExecutionBackend
+{
+  public:
+    /** @param shards worker processes (clamped to [1, kMaxShards]). */
+    explicit ShardedBackend(int shards);
+
+    void run(const BackendJob &job) override;
+
+    static constexpr int kMaxShards = 256;
+
+  private:
+    int shards_;
+};
+
+} // namespace swan::sweep
+
+#endif // SWAN_SWEEP_BACKEND_HH

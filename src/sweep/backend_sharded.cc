@@ -1,0 +1,386 @@
+/**
+ * @file
+ * ShardedBackend: multi-process sweep execution on top of the on-disk
+ * cache tier. The parent has already captured every packed trace
+ * (phase 1 is backend-agnostic), so the children fork *after* the last
+ * capture and inherit the traces copy-on-write; each child runs the
+ * ordinary threaded pool, gated per unit by an atomic lockfile claim
+ * in the shared cache directory, and publishes results as the cache
+ * tier's ordinary checksummed `.swr` entries. The parent then merges
+ * the entries back in unit order and re-executes whatever a dead shard
+ * claimed but never stored. Because a work unit is a pure function of
+ * (trace, configs) and the `.swr` format round-trips doubles bit-exactly
+ * (hexfloat), the merged output is byte-identical to a threaded run —
+ * including after crash recovery.
+ *
+ * File naming in the shared directory (`<h>` = 16 hex digits):
+ *
+ *   c<run>-<token>.claim   unit claim; content "pid <pid>\n"
+ *   s<run>-<pid>-<N>.stats shard N's cache-counter delta, absorbed and
+ *                          deleted by its parent <pid>; content
+ *                          "pid <pid>\n" + one counter line
+ *
+ * `<run>` is a content hash of every unit token, so two identical
+ * concurrent commands share claims (each unit simulated once across
+ * both fleets) while different grids sharing one cache directory never
+ * interfere. Claims are removed when the run's parent finishes; claim
+ * or stats files whose pid no longer exists are swept at the start of
+ * the next sharded run (stale-claim cleanup), so a crashed fleet can
+ * never poison the directory.
+ */
+
+#include "sweep/backend.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "sweep/cache.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define SWAN_BACKEND_HAVE_FORK 1
+#include <cerrno>
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace swan::sweep
+{
+
+ShardedBackend::ShardedBackend(int shards)
+    : shards_(std::clamp(shards, 1, kMaxShards))
+{
+}
+
+#ifndef SWAN_BACKEND_HAVE_FORK
+
+void
+ShardedBackend::run(const BackendJob &job)
+{
+    // No fork() on this platform: degrade to the in-process pool.
+    // Results are byte-identical either way; only the process fan-out
+    // is lost.
+    ThreadedBackend().run(job);
+}
+
+#else
+
+namespace
+{
+
+bool
+claimPath(char *buf, size_t n, const char *dir, uint64_t run,
+          uint64_t token)
+{
+    const int w = std::snprintf(buf, n, "%s/c%016llx-%016llx.claim", dir,
+                                static_cast<unsigned long long>(run),
+                                static_cast<unsigned long long>(token));
+    return w > 0 && size_t(w) < n;
+}
+
+bool
+statsPath(char *buf, size_t n, const char *dir, uint64_t run,
+          long parent_pid, int shard)
+{
+    const int w = std::snprintf(buf, n, "%s/s%016llx-%ld-%d.stats", dir,
+                                static_cast<unsigned long long>(run),
+                                parent_pid, shard);
+    return w > 0 && size_t(w) < n;
+}
+
+/**
+ * Atomically claim the file at @p path for this process: O_CREAT|O_EXCL
+ * either creates it (claim won) or fails with EEXIST (another shard —
+ * possibly of a concurrent identical run — owns the unit).
+ */
+bool
+tryClaim(const char *path)
+{
+    const int fd = ::open(path, O_WRONLY | O_CREAT | O_EXCL, 0644);
+    if (fd < 0)
+        return false;
+    char line[64];
+    const int w = std::snprintf(line, sizeof line, "pid %ld\n",
+                                static_cast<long>(::getpid()));
+    if (w > 0) {
+        // The pid is advisory (stale-claim liveness probes); a short
+        // write only makes the claim look stale earlier than it is.
+        [[maybe_unused]] ssize_t rc = ::write(fd, line, size_t(w));
+    }
+    ::close(fd);
+    return true;
+}
+
+/**
+ * Remove `.claim`/`.stats` files owned by processes that no longer
+ * exist. Both kinds open with a "pid <n>" line. Claims of live
+ * processes — this run's concurrent twin, or another grid mid-flight —
+ * are left alone. A claim with no readable pid line is only stale
+ * once it is old: tryClaim's create and pid write are two syscalls,
+ * so a freshly created claim can legitimately be observed mid-write
+ * by a concurrent run's cleanup and must not be deleted under a live
+ * claimant.
+ */
+void
+cleanStaleClaims(const std::string &dir)
+{
+    constexpr auto kMidWriteGrace = std::chrono::minutes(1);
+    std::error_code ec;
+    for (std::filesystem::directory_iterator it(dir, ec), end;
+         !ec && it != end; it.increment(ec)) {
+        const auto &p = it->path();
+        const auto ext = p.extension();
+        if (ext != ".claim" && ext != ".stats")
+            continue;
+        long pid = -1;
+        {
+            std::ifstream in(p);
+            std::string tag;
+            if (!(in >> tag >> pid) || tag != "pid")
+                pid = -1;
+        }
+        bool stale = false;
+        if (pid > 0) {
+            stale = ::kill(pid_t(pid), 0) != 0 && errno == ESRCH;
+        } else {
+            std::error_code mec;
+            const auto mtime = std::filesystem::last_write_time(p, mec);
+            stale = !mec &&
+                    std::filesystem::file_time_type::clock::now() -
+                            mtime >
+                        kMidWriteGrace;
+        }
+        if (stale) {
+            std::error_code rec;
+            std::filesystem::remove(p, rec);
+        }
+    }
+}
+
+struct ClaimCtx
+{
+    const BackendJob *job;
+    const char *dir;
+    uint64_t run;
+};
+
+/** Claim-gated unit executor: first process to create the unit's
+ *  claim file simulates it; everyone else skips. */
+void
+claimedExecute(void *arg, size_t u)
+{
+    const auto *c = static_cast<const ClaimCtx *>(arg);
+    char path[3584];
+    if (!claimPath(path, sizeof path, c->dir, c->run,
+                   c->job->token(c->job->arg, u)))
+        return;
+    if (!tryClaim(path))
+        return;
+    c->job->execute(c->job->arg, u);
+}
+
+CacheStats
+statsDelta(const CacheStats &now, const CacheStats &before)
+{
+    CacheStats d;
+    d.hits = now.hits - before.hits;
+    d.diskHits = now.diskHits - before.diskHits;
+    d.misses = now.misses - before.misses;
+    d.stores = now.stores - before.stores;
+    d.traceHits = now.traceHits - before.traceHits;
+    d.traceMisses = now.traceMisses - before.traceMisses;
+    d.traceStores = now.traceStores - before.traceStores;
+    d.evictions = now.evictions - before.evictions;
+    return d;
+}
+
+void
+writeStats(const char *path, long parent_pid, const CacheStats &d)
+{
+    char buf[512];
+    const int w = std::snprintf(
+        buf, sizeof buf,
+        "pid %ld\n%llu %llu %llu %llu %llu %llu %llu %llu\n", parent_pid,
+        static_cast<unsigned long long>(d.hits),
+        static_cast<unsigned long long>(d.diskHits),
+        static_cast<unsigned long long>(d.misses),
+        static_cast<unsigned long long>(d.stores),
+        static_cast<unsigned long long>(d.traceHits),
+        static_cast<unsigned long long>(d.traceMisses),
+        static_cast<unsigned long long>(d.traceStores),
+        static_cast<unsigned long long>(d.evictions));
+    if (w <= 0 || size_t(w) >= sizeof buf)
+        return;
+    const int fd = ::open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        return;
+    [[maybe_unused]] ssize_t rc = ::write(fd, buf, size_t(w));
+    ::close(fd);
+}
+
+bool
+readStats(const char *path, CacheStats *out)
+{
+    std::ifstream in(path);
+    std::string tag;
+    long pid = 0;
+    if (!(in >> tag >> pid) || tag != "pid")
+        return false;
+    CacheStats d;
+    if (!(in >> d.hits >> d.diskHits >> d.misses >> d.stores >>
+          d.traceHits >> d.traceMisses >> d.traceStores >> d.evictions))
+        return false;
+    *out = d;
+    return true;
+}
+
+/**
+ * One shard child's whole life. Runs the standard threaded pool over
+ * every unit with the claim gate in front, then exports this child's
+ * cache-counter delta for the parent to absorb. The caller _exit()s
+ * with the return value — a child must never unwind into the parent's
+ * atexit handlers or flush its inherited stdio buffers.
+ */
+int
+childMain(const BackendJob &job, uint64_t run, const char *dir,
+          int shard, long parent_pid, const CacheStats &before)
+{
+    // Test hook (tests/test_sweep_backend.cc): the named shard claims
+    // one unit and dies without executing or recording anything,
+    // exactly like a mid-simulation crash — the parent's recovery
+    // path must re-execute the claimed unit.
+    if (const char *crash = std::getenv("SWAN_SHARD_TEST_CRASH");
+        crash && std::atoi(crash) == shard) {
+        for (size_t u = 0; u < job.units; ++u) {
+            char path[3584];
+            if (claimPath(path, sizeof path, dir, run,
+                          job.token(job.arg, u)) &&
+                tryClaim(path))
+                break;
+        }
+        return 9;
+    }
+
+    ClaimCtx ctx{&job, dir, run};
+    BackendJob sub = job;
+    sub.arg = &ctx;
+    sub.execute = &claimedExecute;
+    ThreadedBackend().run(sub);
+
+    char path[3584];
+    if (statsPath(path, sizeof path, dir, run, parent_pid, shard))
+        writeStats(path, parent_pid,
+                   statsDelta(job.shareCache->stats(), before));
+    return 0;
+}
+
+} // namespace
+
+void
+ShardedBackend::run(const BackendJob &job)
+{
+    if (job.units == 0)
+        return;
+    if (!job.shareCache || job.shareCache->diskDir().empty() ||
+        !job.token || !job.serve) {
+        // No shared tier to claim/merge through: stay in-process.
+        ThreadedBackend().run(job);
+        return;
+    }
+    const std::string &dir = job.shareCache->diskDir();
+
+    // Content hash of the whole run's unit tokens: scopes claims to
+    // this grid, shared with concurrent identical commands only.
+    uint64_t run = kFnv64Seed;
+    for (size_t u = 0; u < job.units; ++u)
+        run = fnvMix64(run, job.token(job.arg, u));
+
+    cleanStaleClaims(dir);
+
+    const int shards = int(std::min<size_t>(size_t(shards_), job.units));
+    const CacheStats before = job.shareCache->stats();
+    const long parentPid = static_cast<long>(::getpid());
+    pid_t pids[kMaxShards];
+    for (int s = 0; s < shards; ++s) {
+        const pid_t pid = ::fork();
+        if (pid == 0) {
+            // Child: straight to _exit — never unwind into the
+            // parent's stack, atexit handlers or stdio buffers.
+            ::_exit(childMain(job, run, dir.c_str(), s, parentPid,
+                              before));
+        }
+        // fork() failure leaves a negative pid: the units that shard
+        // would have claimed fall through to parent recovery below.
+        pids[s] = pid;
+    }
+    for (int s = 0; s < shards; ++s) {
+        if (pids[s] <= 0)
+            continue;
+        int status = 0;
+        while (::waitpid(pids[s], &status, 0) < 0 && errno == EINTR) {
+        }
+        // Abnormal exits are not fatal: the merge below detects any
+        // unit the shard failed to publish and re-executes it.
+    }
+
+    // Aggregate the children's cache counters so Results::cacheStats()
+    // reflects the whole fleet, then drop the transport files.
+    for (int s = 0; s < shards; ++s) {
+        char path[3584];
+        if (!statsPath(path, sizeof path, dir.c_str(), run, parentPid, s))
+            continue;
+        CacheStats d;
+        if (readStats(path, &d))
+            job.shareCache->absorbStats(d);
+        ::unlink(path);
+    }
+
+    // Deterministic merge in unit order; whatever a dead shard (or a
+    // concurrent run's still-working shard) left unpublished is
+    // re-executed right here — the parent still holds every captured
+    // trace, so recovery output is bit-identical to what the missing
+    // shard would have produced.
+    std::vector<size_t> missing;
+    for (size_t u = 0; u < job.units; ++u)
+        if (!job.serve(job.arg, u))
+            missing.push_back(u);
+    if (!missing.empty()) {
+        struct Remap
+        {
+            const BackendJob *job;
+            const size_t *units;
+        } remap{&job, missing.data()};
+        BackendJob sub;
+        sub.units = missing.size();
+        sub.jobs = job.jobs;
+        sub.arg = &remap;
+        sub.execute = [](void *a, size_t i) {
+            const auto *r = static_cast<const Remap *>(a);
+            r->job->execute(r->job->arg, r->units[i]);
+        };
+        ThreadedBackend().run(sub);
+    }
+
+    // Release this run's claims (idempotent against a concurrent
+    // identical run's parent doing the same).
+    for (size_t u = 0; u < job.units; ++u) {
+        char path[3584];
+        if (claimPath(path, sizeof path, dir.c_str(), run,
+                      job.token(job.arg, u)))
+            ::unlink(path);
+    }
+}
+
+#endif // SWAN_BACKEND_HAVE_FORK
+
+} // namespace swan::sweep

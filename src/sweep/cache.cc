@@ -89,6 +89,16 @@ touchEntry(const std::filesystem::path &path)
 } // namespace
 
 uint64_t
+fnvMix64(uint64_t h, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xff;
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+uint64_t
 fingerprint(const sim::CoreConfig &cfg)
 {
     Fnv f;
@@ -268,6 +278,39 @@ ResultCache::store(const CacheKey &key, const core::KernelRun &run)
     }
     if (!diskDir_.empty())
         pruneDisk(storeDisk(key, run));
+}
+
+bool
+ResultCache::lookupQuiet(const CacheKey &key, core::KernelRun *out)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = map_.find(key);
+        if (it != map_.end()) {
+            *out = it->second;
+            return true;
+        }
+    }
+    if (!diskDir_.empty() && loadDisk(key, out)) {
+        std::lock_guard<std::mutex> lock(mu_);
+        map_.emplace(key, *out);
+        return true;
+    }
+    return false;
+}
+
+void
+ResultCache::absorbStats(const CacheStats &delta)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.hits += delta.hits;
+    stats_.diskHits += delta.diskHits;
+    stats_.misses += delta.misses;
+    stats_.stores += delta.stores;
+    stats_.traceHits += delta.traceHits;
+    stats_.traceMisses += delta.traceMisses;
+    stats_.traceStores += delta.traceStores;
+    stats_.evictions += delta.evictions;
 }
 
 CacheStats

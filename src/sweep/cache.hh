@@ -41,6 +41,15 @@ namespace swan::sweep
 uint64_t fingerprint(const sim::CoreConfig &cfg);
 uint64_t fingerprint(const core::Options &opts);
 
+/** FNV-1a seed shared by every 64-bit hash in the sweep engine. */
+constexpr uint64_t kFnv64Seed = 1469598103934665603ull;
+
+/** Continue an FNV-1a hash over the 8 bytes of @p v (little-endian
+ *  byte order, same constants as the cache-key hashes). Seed with
+ *  kFnv64Seed. Used to derive the sharded backend's content-stable
+ *  unit/run tokens from cache-key hashes. */
+uint64_t fnvMix64(uint64_t h, uint64_t v);
+
 /**
  * Parse a non-negative decimal byte count (the SWAN_* budget/cap
  * variables and their CLI flags share this one parser so format rules
@@ -156,6 +165,23 @@ class ResultCache
 
     bool lookup(const CacheKey &key, core::KernelRun *out);
     void store(const CacheKey &key, const core::KernelRun &run);
+
+    /**
+     * lookup() without touching the hit/miss counters (or the LRU
+     * mtime stamp): the sharded backend's parent-side merge reads
+     * results the very same run just computed in a shard child, which
+     * must not masquerade as cache traffic in the run's reported
+     * stats. Fills the in-memory tier on a disk read like lookup().
+     */
+    bool lookupQuiet(const CacheKey &key, core::KernelRun *out);
+
+    /**
+     * Add @p delta to this cache's counters. The sharded backend
+     * collects each shard child's counter delta (the child's cache is
+     * a fork-time copy, so its counters die with it) and feeds them
+     * back through here, making stats() reflect the whole fleet.
+     */
+    void absorbStats(const CacheStats &delta);
 
     /**
      * Packed-trace tier: serve a previously captured trace off disk so

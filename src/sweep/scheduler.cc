@@ -1,13 +1,13 @@
 #include "sweep/scheduler.hh"
 
-#include <condition_variable>
+#include <atomic>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <memory>
 #include <mutex>
-#include <new>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 #include <tuple>
@@ -23,7 +23,6 @@
 #endif
 
 #include "core/registry.hh"
-#include "sim/power.hh"
 #include "trace/packed.hh"
 #include "trace/stats.hh"
 
@@ -94,343 +93,6 @@ processToken()
     return uint64_t(reinterpret_cast<uintptr_t>(&anchor));
 #endif
 }
-
-/**
- * One worker's mutex-guarded ring of group indices. The ring storage
- * is a caller-provided slice of the pool's mmap arena — a WorkQueue
- * never touches malloc.
- */
-struct WorkQueue
-{
-    std::mutex mu;
-    size_t *ring = nullptr; //!< capacity cap entries, externally owned
-    size_t cap = 0;
-    size_t head = 0;
-    size_t count = 0;
-
-    void
-    pushBack(size_t v)
-    {
-        std::lock_guard<std::mutex> lock(mu);
-        ring[(head + count) % cap] = v;
-        ++count;
-    }
-
-    bool
-    popFront(size_t *out)
-    {
-        std::lock_guard<std::mutex> lock(mu);
-        if (count == 0)
-            return false;
-        *out = ring[head];
-        head = (head + 1) % cap;
-        --count;
-        return true;
-    }
-
-    bool
-    stealBack(size_t *out)
-    {
-        std::lock_guard<std::mutex> lock(mu);
-        if (count == 0)
-            return false;
-        --count;
-        *out = ring[(head + count) % cap];
-        return true;
-    }
-
-    size_t
-    size()
-    {
-        std::lock_guard<std::mutex> lock(mu);
-        return count;
-    }
-};
-
-/**
- * Work-stealing pool for the simulation phase.
- *
- * The threads are created once per sweep, strictly AFTER the last
- * capture, and exit when the sweep ends. That placement is
- * load-bearing for determinism: thread stacks (and the worker arenas
- * glibc creates at each worker's first malloc) are jobs-count-many
- * mappings, and captured workload buffers above malloc's mmap
- * threshold are placed in whatever address-space layout exists at
- * capture time — spawning before captures would make those addresses,
- * and therefore the address-sensitive simulated cycle counts, a
- * function of `--jobs`. Workers never run on the calling thread:
- * simulation must allocate from worker arenas only, keeping the
- * capture thread's heap evolution a pure function of the capture
- * sequence across sweeps.
- *
- * For the same contract, the pool's own jobs-sized state (queues,
- * rings, worker slots, thread handles) lives in one anonymous mmap
- * region rather than on the heap, and on POSIX the threads are raw
- * pthreads fed from those slots: mmap keeps the pool's footprint
- * invisible to malloc, and std::thread is avoided because its invoke
- * state is parent-allocated but child-freed — a cross-thread free
- * whose chunks return to the parent's arena in thread-exit order,
- * i.e. nondeterministically.
- */
-class WorkerPool
-{
-  public:
-    /**
-     * @param jobs  worker threads (>= 1)
-     * @param cap   upper bound on groups per run() batch
-     * @param fn    group executor; must not throw
-     * @param ctx   opaque pointer handed back to @p fn
-     */
-    WorkerPool(int jobs, size_t cap, void (*fn)(void *, size_t),
-               void *ctx)
-        : execute_(fn), ctx_(ctx), jobs_(size_t(jobs))
-    {
-        cap = std::max<size_t>(cap, 1);
-        const size_t queuesOff = 0;
-        const size_t ringsOff =
-            alignUp(queuesOff + jobs_ * sizeof(WorkQueue), 64);
-        const size_t slotsOff =
-            alignUp(ringsOff + jobs_ * cap * sizeof(size_t), 64);
-        const size_t threadsOff =
-            alignUp(slotsOff + jobs_ * sizeof(Slot), 64);
-        const size_t total = threadsOff + jobs_ * sizeof(ThreadHandle);
-        arena_ = mapArena(total);
-
-        queues_ = reinterpret_cast<WorkQueue *>(arena_ + queuesOff);
-        auto *rings = reinterpret_cast<size_t *>(arena_ + ringsOff);
-        slots_ = reinterpret_cast<Slot *>(arena_ + slotsOff);
-        threads_ = reinterpret_cast<ThreadHandle *>(arena_ + threadsOff);
-        arenaBytes_ = total;
-
-        for (size_t t = 0; t < jobs_; ++t) {
-            WorkQueue *q = new (&queues_[t]) WorkQueue();
-            q->ring = rings + t * cap;
-            q->cap = cap;
-            new (&slots_[t]) Slot{this, int(t)};
-        }
-        for (size_t t = 0; t < jobs_; ++t) {
-            try {
-                spawn(&threads_[t], &slots_[t]);
-            } catch (...) {
-                // Tear down the workers already running before the
-                // members they block on are destroyed.
-                shutdown(t);
-                throw;
-            }
-        }
-    }
-
-    ~WorkerPool() { shutdown(jobs_); }
-
-    WorkerPool(const WorkerPool &) = delete;
-    WorkerPool &operator=(const WorkerPool &) = delete;
-
-    /** Run groups [0, n); blocks until every one has executed. */
-    void
-    run(size_t n)
-    {
-        if (n == 0)
-            return;
-        {
-            std::lock_guard<std::mutex> lock(mu_);
-            // Deal indices round-robin so initial shares interleave
-            // the grid (adjacent groups of one kernel tend to cost
-            // the same).
-            for (size_t i = 0; i < n; ++i)
-                queues_[i % jobs_].pushBack(i);
-            remaining_ = n;
-            ++generation_;
-        }
-        wake_.notify_all();
-        std::unique_lock<std::mutex> lock(mu_);
-        done_.wait(lock, [this] { return remaining_ == 0; });
-    }
-
-  private:
-    struct Slot
-    {
-        WorkerPool *pool;
-        int self;
-    };
-
-    /** Stop and join the first @p spawned workers, then free state. */
-    void
-    shutdown(size_t spawned)
-    {
-        // Workers exit strictly in worker-index order (each waits for
-        // its turn, and the next turn is granted only after the
-        // previous thread fully terminated): thread teardown releases
-        // allocator state back to shared lists, and an exit race would
-        // leave those lists — and therefore the next sweep's capture
-        // addresses — ordered by scheduling luck.
-        {
-            std::lock_guard<std::mutex> lock(mu_);
-            stop_ = true;
-            exitTurn_ = 0;
-        }
-        wake_.notify_all();
-        for (size_t t = 0; t < spawned; ++t) {
-            join(&threads_[t]);
-            std::lock_guard<std::mutex> lock(mu_);
-            exitTurn_ = t + 1;
-            wake_.notify_all();
-        }
-        for (size_t t = 0; t < jobs_; ++t)
-            queues_[t].~WorkQueue();
-        unmapArena(arena_, arenaBytes_);
-    }
-
-#ifdef SWAN_POOL_HAVE_PTHREAD
-    using ThreadHandle = pthread_t;
-
-    static void
-    spawn(ThreadHandle *h, Slot *slot)
-    {
-        if (pthread_create(h, nullptr, &WorkerPool::entry, slot) != 0)
-            throw std::runtime_error("sweep: cannot spawn worker");
-    }
-    static void join(ThreadHandle *h) { pthread_join(*h, nullptr); }
-#else
-    using ThreadHandle = std::thread;
-
-    static void
-    spawn(ThreadHandle *h, Slot *slot)
-    {
-        new (h) std::thread(&WorkerPool::entry, slot);
-    }
-    static void
-    join(ThreadHandle *h)
-    {
-        h->join();
-        h->~thread();
-    }
-#endif
-
-    static size_t
-    alignUp(size_t v, size_t a)
-    {
-        return (v + a - 1) / a * a;
-    }
-
-    uint8_t *
-    mapArena(size_t n)
-    {
-#ifdef SWAN_POOL_HAVE_PTHREAD
-        void *p = ::mmap(nullptr, n, PROT_READ | PROT_WRITE,
-                         MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
-        if (p != MAP_FAILED) {
-            arenaMapped_ = true;
-            return static_cast<uint8_t *>(p);
-        }
-#endif
-        return static_cast<uint8_t *>(::operator new(n));
-    }
-
-    void
-    unmapArena(uint8_t *p, size_t n)
-    {
-#ifdef SWAN_POOL_HAVE_PTHREAD
-        if (arenaMapped_) {
-            ::munmap(p, n);
-            return;
-        }
-#endif
-        (void)n;
-        ::operator delete(p);
-    }
-
-    static void *
-    entry(void *arg)
-    {
-        auto *slot = static_cast<Slot *>(arg);
-        slot->pool->workerLoop(slot->self);
-        return nullptr;
-    }
-
-    void
-    workerLoop(int self)
-    {
-        uint64_t seen = 0;
-        while (true) {
-            {
-                std::unique_lock<std::mutex> lock(mu_);
-                wake_.wait(lock, [&] {
-                    return stop_ || generation_ != seen;
-                });
-                if (stop_) {
-                    // Serialized teardown: see the destructor.
-                    wake_.wait(lock, [&] {
-                        return exitTurn_ == size_t(self);
-                    });
-                    return;
-                }
-                seen = generation_;
-            }
-            drain(self);
-        }
-    }
-
-    void
-    drain(int self)
-    {
-        size_t gi;
-        while (true) {
-            if (queues_[size_t(self)].popFront(&gi)) {
-                finish(gi);
-                continue;
-            }
-            // Own queue drained: steal from the fullest victim.
-            int victim = -1;
-            size_t most = 0;
-            for (int v = 0; v < int(jobs_); ++v) {
-                if (v == self)
-                    continue;
-                const size_t n = queues_[size_t(v)].size();
-                if (n > most) {
-                    most = n;
-                    victim = v;
-                }
-            }
-            // No queue had work at scan time: batch over for this
-            // worker (nobody pushes mid-batch, so emptiness is stable
-            // once observed).
-            if (victim < 0)
-                return;
-            // Lost the steal race: rescan, another victim may still
-            // hold work.
-            if (!queues_[size_t(victim)].stealBack(&gi))
-                continue;
-            finish(gi);
-        }
-    }
-
-    void
-    finish(size_t gi)
-    {
-        // Must not throw; errors are recorded by the callback itself.
-        execute_(ctx_, gi);
-        std::lock_guard<std::mutex> lock(mu_);
-        if (--remaining_ == 0)
-            done_.notify_all();
-    }
-
-    void (*execute_)(void *, size_t);
-    void *ctx_;
-    size_t jobs_;
-    uint8_t *arena_ = nullptr;
-    size_t arenaBytes_ = 0;
-    bool arenaMapped_ = false;
-    WorkQueue *queues_ = nullptr;
-    Slot *slots_ = nullptr;
-    ThreadHandle *threads_ = nullptr;
-    std::mutex mu_;
-    std::condition_variable wake_;
-    std::condition_variable done_;
-    uint64_t generation_ = 0;
-    size_t remaining_ = 0;
-    size_t exitTurn_ = 0;
-    bool stop_ = false;
-};
 
 } // namespace
 
@@ -531,10 +193,19 @@ runSweep(const std::vector<SweepPoint> &points, const SchedulerConfig &cfg)
         return w > 0 && size_t(w) < buf_len;
     };
 
+    // Where executed results are stored. Normally the configured
+    // cache; a sharded run re-points this at a cache that owns a disk
+    // tier (the session's, or a private per-run directory) so shard
+    // children can publish results the parent merges — resolved after
+    // phase 1, see the backend block below.
+    ResultCache *storeCache = cfg.cache;
+
     // Phase 2 worker: replay one group's trace through all of its
-    // configurations in a single pass; results land by point index.
-    // Evicted traces are reloaded from their spill file (bit-identical
-    // by checksum, so eviction cannot change any result).
+    // configurations in a single pass; results land by point index
+    // power-complete (the power model is fused into the replay's
+    // finish path — see sim::CoreModel::finish). Evicted traces are
+    // reloaded from their spill file (bit-identical by checksum, so
+    // eviction cannot change any result).
     const auto executeGroup = [&](size_t gi) {
         try {
             TraceGroup &g = groups[gi];
@@ -573,10 +244,17 @@ runSweep(const std::vector<SweepPoint> &points, const SchedulerConfig &cfg)
                 r.run = core::KernelRun{};
                 r.run.mix = g.mix;
                 r.run.sim = std::move(sims[j]);
-                sim::applyPowerModel(
-                    r.run.sim, sim::PowerParams::forConfig(p.config));
-                if (cfg.cache)
-                    cfg.cache->store(keyFor(p, cfg.warmupPasses), r.run);
+                const CacheKey key = keyFor(p, cfg.warmupPasses);
+                if (storeCache)
+                    storeCache->store(key, r.run);
+                // A private shard-transport cache substitutes for a
+                // memory-only session cache; keep the session tier
+                // warm too (dead weight in a shard child, which takes
+                // its copy of the session map to _exit, but exactly
+                // what a threaded run would have stored in the parent
+                // and in parent-side recovery).
+                if (cfg.cache && cfg.cache != storeCache)
+                    cfg.cache->store(key, r.run);
             }
         } catch (const std::exception &e) {
             recordError(e.what());
@@ -675,22 +353,145 @@ runSweep(const std::vector<SweepPoint> &points, const SchedulerConfig &cfg)
         }
     }
 
-    // Phase 2: the worker pool spawns only now, after the last
-    // capture (see WorkerPool on why that ordering matters), and
-    // work-steals over the groups.
+    // ---- Execution backend (phase 2) --------------------------------
+    // Everything from here on happens strictly AFTER the last capture:
+    // backend choice, shard bookkeeping and the merge may allocate
+    // freely without touching the capture-time heap layout, which is
+    // why no backend state exists any earlier (see sweep/backend.hh).
+
+    // Resolve the backend: shards > 1 upgrades the default threaded
+    // backend to the sharded one; explicit Inline/Sharded always win.
+    Backend kind = cfg.backend;
+    if (kind == Backend::Threaded && cfg.shards > 1)
+        kind = Backend::Sharded;
+
+    // A sharded run needs a disk tier the shard children and the
+    // parent share. When the session cache is memory-only (or absent),
+    // a private per-run directory substitutes — it exists purely as
+    // the shard transport and is deleted after the merge.
+    std::optional<ResultCache> privateShare;
+    std::string privateShareDir;
+    if (kind == Backend::Sharded &&
+        (!storeCache || storeCache->diskDir().empty())) {
+        static std::atomic<uint64_t> shardRunSeq{0};
+        std::error_code ec;
+        const auto tmp = std::filesystem::temp_directory_path(ec);
+        if (!ec) {
+            privateShareDir =
+                (tmp / ("swan-shards-" + std::to_string(processToken()) +
+                        "-" + std::to_string(shardRunSeq++)))
+                    .string();
+            privateShare.emplace(privateShareDir);
+        }
+        if (privateShare && !privateShare->diskDir().empty()) {
+            storeCache = &*privateShare;
+        } else {
+            // Unusable temp directory: stay in-process (results are
+            // byte-identical either way; only the fan-out is lost).
+            kind = Backend::Threaded;
+            privateShare.reset();
+        }
+    }
+
+    // Content-stable unit identities for cross-process claims: a hash
+    // of every point key the unit produces (kernel, impl, width,
+    // config and options fingerprints, warm-up) — equal between any
+    // two processes executing the same grid, distinct between grids.
+    // Precomputed once (sharded runs only): the backend reads tokens
+    // per unit per process, and the keys hash strings.
+    std::vector<uint64_t> unitTokens;
+    if (kind == Backend::Sharded) {
+        unitTokens.resize(groups.size());
+        for (size_t gi = 0; gi < groups.size(); ++gi) {
+            uint64_t h = kFnv64Seed;
+            for (size_t idx : groups[gi].points)
+                h = fnvMix64(h,
+                             keyFor(points[idx], cfg.warmupPasses).hash());
+            unitTokens[gi] = h;
+        }
+    }
+    const auto unitToken = [&](size_t gi) { return unitTokens[gi]; };
+
+    // Parent-side merge of one unit from the shared disk tier —
+    // quietly: these are results this very run computed in a shard
+    // child, not cache traffic (the children's own counters are
+    // absorbed separately). False when any point is missing; the
+    // backend then re-executes the whole unit via executeGroup, which
+    // overwrites every point and stores what the dead shard could not.
+    const auto serveGroup = [&](size_t gi) -> bool {
+        const TraceGroup &g = groups[gi];
+        std::vector<CacheKey> keys;
+        keys.reserve(g.points.size());
+        // Probe every point before the commit loop below, so a
+        // partially published unit never half-stores into the session
+        // tier before recovery re-executes (and re-stores) all of it.
+        for (size_t idx : g.points) {
+            keys.push_back(keyFor(points[idx], cfg.warmupPasses));
+            if (!storeCache->lookupQuiet(keys.back(), &results[idx].run))
+                return false;
+        }
+        for (size_t j = 0; j < g.points.size(); ++j) {
+            SweepResult &r = results[g.points[j]];
+            r.cacheHit = false; // simulated by this run, in a child
+            if (cfg.cache && cfg.cache != storeCache)
+                cfg.cache->store(keys[j], r.run);
+        }
+        return true;
+    };
+
     {
         using Exec = decltype(executeGroup);
-        WorkerPool pool(jobs, groups.size(),
-                        [](void *ctx, size_t gi) {
-                            (*static_cast<const Exec *>(ctx))(gi);
-                        },
-                        const_cast<void *>(
-                            static_cast<const void *>(&executeGroup)));
-        pool.run(groups.size());
+        using Token = decltype(unitToken);
+        using Serve = decltype(serveGroup);
+        struct Hooks
+        {
+            const Exec *exec;
+            const Token *token;
+            const Serve *serve;
+        } hooks{&executeGroup, &unitToken, &serveGroup};
+
+        BackendJob job;
+        job.units = groups.size();
+        job.jobs = jobs;
+        job.arg = &hooks;
+        job.execute = [](void *a, size_t u) {
+            (*static_cast<const Hooks *>(a)->exec)(u);
+        };
+        job.token = [](void *a, size_t u) {
+            return (*static_cast<const Hooks *>(a)->token)(u);
+        };
+        job.serve = [](void *a, size_t u) {
+            return (*static_cast<const Hooks *>(a)->serve)(u);
+        };
+        job.shareCache = kind == Backend::Sharded ? storeCache : nullptr;
+
+        switch (kind) {
+          case Backend::Inline: {
+            InlineBackend backend;
+            backend.run(job);
+            break;
+          }
+          case Backend::Sharded: {
+            ShardedBackend backend(cfg.shards);
+            backend.run(job);
+            break;
+          }
+          case Backend::Threaded:
+          default: {
+            ThreadedBackend backend;
+            backend.run(job);
+            break;
+          }
+        }
     }
     // Traces and group bookkeeping are freed when `groups` goes out of
     // scope — on this thread, in insertion order.
 
+    if (privateShare) {
+        privateShare.reset();
+        std::error_code ec;
+        std::filesystem::remove_all(privateShareDir, ec);
+    }
     if (spillDirMade) {
         std::error_code ec;
         std::filesystem::remove_all(spillDir, ec);

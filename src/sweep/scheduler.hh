@@ -4,17 +4,18 @@
  * order): cache lookups, then one packed-trace capture per distinct
  * (kernel, impl, width, working set) — traces carry real buffer
  * addresses and the cache models are address-sensitive, so the heap
- * must evolve identically whatever the job count. Phase 2 (parallel):
- * the pending points are grouped by capture identity and every group
- * replays its trace through all of its core configurations in a single
- * traversal (sim::simulateTraceMany); groups fan out over a
- * work-stealing thread pool — each worker owns a deque of group
- * indices, pops from its own front and steals from the back of the
- * fullest victim when it drains. Simulation is a pure function of
- * (trace, configs) and results land in a pre-sized vector at their
- * point index, so `--jobs 1` and `--jobs 8` produce byte-equal
- * reports; the same determinism (seeded inputs, trace-driven model)
- * is what makes the result cache sound.
+ * must evolve identically whatever the job count. Phase 2: the pending
+ * points are grouped by capture identity and every group replays its
+ * trace through all of its core configurations in a single traversal
+ * (sim::simulateTraceMany); the groups are handed as opaque work units
+ * to a pluggable ExecutionBackend (sweep/backend.hh) — serial inline,
+ * the default work-stealing thread pool, or a fleet of forked shard
+ * processes claiming units in the on-disk cache tier. Simulation is a
+ * pure function of (trace, configs) and results land in a pre-sized
+ * vector at their point index, so every backend, every `--jobs` value
+ * and every shard count produces byte-equal reports; the same
+ * determinism (seeded inputs, trace-driven model) is what makes the
+ * result cache sound.
  *
  * The trace memo holds packed traces (trace::PackedTrace, mmap-backed)
  * under an optional byte budget (SWAN_TRACE_MEMO_BYTES): when live
@@ -37,6 +38,7 @@
 #include <vector>
 
 #include "core/runner.hh"
+#include "sweep/backend.hh"
 #include "sweep/cache.hh"
 #include "sweep/grid.hh"
 
@@ -54,8 +56,26 @@ struct SweepResult
 /** Scheduler knobs. */
 struct SchedulerConfig
 {
-    /** Worker threads; <= 0 means std::thread::hardware_concurrency. */
+    /** Worker threads; <= 0 means std::thread::hardware_concurrency.
+     *  In a sharded run this is the pool width of every shard child
+     *  (and of the parent's recovery pool). */
     int jobs = 1;
+    /**
+     * Execution backend for the simulation phase (sweep/backend.hh).
+     * Threaded is upgraded to Sharded when shards > 1; an explicit
+     * Inline or Sharded choice always wins. Results are byte-identical
+     * whatever the choice.
+     */
+    Backend backend = Backend::Threaded;
+    /**
+     * Worker processes for the sharded backend; 1 = in-process. A
+     * sharded run claims work units in the on-disk cache tier (the
+     * configured cache directory, or a private per-run directory when
+     * the cache is memory-only). Session policy, not an engine env
+     * var: SWAN_SHARDS is read by swan::Session::envDefaults, never
+     * here.
+     */
+    int shards = 1;
     /** Optional result cache shared across sweeps / benches. */
     ResultCache *cache = nullptr;
     /** Cache warm-up passes fed to the core model (paper Section 4.3). */

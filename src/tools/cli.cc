@@ -49,6 +49,12 @@ sweep grid flags (cartesian product of the axes):
   --ws default|full|tiny|scalability[,..]  working-set presets
   --jobs N                     worker threads (default 1; same output
                                for any N)
+  --shards N                   worker processes (default 1): fork N
+                               shards that claim work units in the
+                               on-disk cache tier and merge results
+                               deterministically — byte-identical
+                               output for any shards x jobs combo
+                               (accepted by sweep and compare)
   --format table|csv|jsonl     report format (default table)
   --cache-dir DIR              on-disk result + packed-trace cache
                                (also honors SWAN_SWEEP_CACHE_DIR);
@@ -60,6 +66,7 @@ sweep grid flags (cartesian product of the axes):
 
 environment (defaults only; explicit flags win — docs/api.md):
   SWAN_JOBS                    default worker threads for sweeps
+  SWAN_SHARDS                  default worker processes for sweeps
   SWAN_SWEEP_CACHE_DIR         default --cache-dir
   SWAN_SWEEP_CACHE_MAX_BYTES   default --cache-max-bytes
   SWAN_TRACE_MEMO_BYTES        cap the sweep's in-memory packed-trace
@@ -107,6 +114,8 @@ struct Parsed
     bool wider = false;
     int jobs = 1;
     bool jobsSet = false;
+    int shards = 1;
+    bool shardsSet = false;
     std::string format = "table";
     std::string cacheDir;
     uint64_t cacheMaxBytes = 0;
@@ -245,6 +254,19 @@ parse(const std::vector<std::string> &args, std::ostream &err)
                 return std::nullopt;
             }
             p.jobsSet = true;
+        } else if (a == "--shards") {
+            const auto *v = value();
+            if (!v)
+                return std::nullopt;
+            char *end = nullptr;
+            p.shards = int(std::strtol(v->c_str(), &end, 10));
+            if (end == v->c_str() || *end != '\0' || p.shards < 1 ||
+                p.shards > sweep::ShardedBackend::kMaxShards) {
+                err << "swan: --shards must be a number in [1, "
+                    << sweep::ShardedBackend::kMaxShards << "]\n";
+                return std::nullopt;
+            }
+            p.shardsSet = true;
         } else if (a == "--cache-max-bytes") {
             const auto *v = value();
             if (!v)
@@ -300,6 +322,8 @@ sessionFor(const Parsed &p)
     SessionOptions opts = Session::envDefaults();
     if (p.jobsSet)
         opts.jobs = p.jobs == 0 ? -1 : p.jobs; // 0 = all cores
+    if (p.shardsSet)
+        opts.shards = p.shards;
     if (!p.cacheDir.empty())
         opts.cacheDir = p.cacheDir;
     if (p.cacheMaxBytesSet)
@@ -628,8 +652,7 @@ cmdSimulate(const Parsed &p, std::ostream &out, std::ostream &err)
         return 2;
     }
     const auto cfg = coreFor(p.coreName);
-    auto r = sim::simulateTrace(*instrs, cfg);
-    sim::applyPowerModel(r, sim::PowerParams::forConfig(cfg));
+    auto r = sim::simulateTrace(*instrs, cfg); // power-complete (fused)
     trace::MixStats mix;
     mix.addTrace(*instrs);
 

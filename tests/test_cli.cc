@@ -103,6 +103,15 @@ TEST(CliUsage, BadImplCoreBitsRejected)
     EXPECT_EQ(cli({"run", "ZL/adler32", "--bits", "96"}).code, 2);
 }
 
+TEST(CliUsage, BadShardsRejected)
+{
+    for (const char *v : {"0", "-2", "abc", "100000"}) {
+        auto r = cli({"sweep", "--kernels", "ZL/adler32", "--shards", v});
+        EXPECT_EQ(r.code, 2) << v;
+        EXPECT_NE(r.err.find("--shards"), std::string::npos) << v;
+    }
+}
+
 TEST(CliUsage, WiderBitsRequireWiderKernel)
 {
     // PF/fft_forward is not one of the eight Figure-5 kernels.

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Tests of the execution-backend seam (sweep/backend.hh): byte-identity
+ * of emitter output across {inline, threaded, sharded} x jobs x shards,
+ * shard-crash recovery (a killed shard's claimed units are re-executed
+ * by the parent), stale-claim cleanup, and the fleet-wide cache-stats
+ * aggregation.
+ *
+ * Like test_sweep_scheduler.cc's jobs matrix, the compared sweeps
+ * replay traces pinned on disk (primed once with a different
+ * warm-up-pass count so the result cache never hits and every run
+ * actually schedules and simulates): with the instruction streams
+ * fixed, any cross-backend difference can only come from the
+ * execution layer itself — claiming, forking, merging, recovery.
+ * Fresh-capture identity across backends is additionally enforced
+ * end-to-end by the CI smoke (separate `swan sweep --shards N`
+ * processes).
+ */
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "sweep/backend.hh"
+#include "sweep/cache.hh"
+#include "sweep/emit.hh"
+#include "sweep/scheduler.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define SWAN_TEST_HAVE_FORK 1
+#endif
+
+using namespace swan;
+
+namespace
+{
+
+/** A small but multi-kernel, multi-config grid: 6 trace groups. */
+sweep::SweepSpec
+smallGrid()
+{
+    sweep::SweepSpec spec;
+    spec.kernels.names = {"ZL/adler32", "ZL/crc32", "OR/memcpy"};
+    spec.impls = {core::Impl::Scalar, core::Impl::Neon};
+    spec.configs = {"prime", "silver"};
+    spec.workingSets = {"tiny"};
+    return spec;
+}
+
+std::string
+render(const std::vector<sweep::SweepResult> &results)
+{
+    std::ostringstream os;
+    sweep::emitResults(os, results, sweep::Format::JsonLines);
+    return os.str();
+}
+
+/** Scratch cache directory, primed so every backend run replays the
+ *  same pinned traces and simulates every point. */
+class BackendFixture : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        std::string err;
+        points_ = sweep::expand(smallGrid(), &err);
+        ASSERT_FALSE(points_.empty()) << err;
+        dir_ = std::filesystem::temp_directory_path() /
+               ("swan_backend_" + std::to_string(::getpid()));
+        std::filesystem::remove_all(dir_);
+        sweep::ResultCache prime(dir_.string());
+        sweep::SchedulerConfig sc;
+        sc.cache = &prime;
+        sc.warmupPasses = 2; // prime traces, never the default results
+        sweep::runSweep(points_, sc);
+        dropResults();
+    }
+
+    void TearDown() override { std::filesystem::remove_all(dir_); }
+
+    /** Drop stored results (keep the traces) so the next run
+     *  simulates instead of replaying the result cache. */
+    void
+    dropResults()
+    {
+        for (const auto &e : std::filesystem::directory_iterator(dir_))
+            if (e.path().extension() == ".swr")
+                std::filesystem::remove(e.path());
+    }
+
+    std::string
+    runWith(sweep::Backend backend, int jobs, int shards,
+            sweep::CacheStats *stats = nullptr)
+    {
+        dropResults();
+        sweep::ResultCache cache(dir_.string());
+        sweep::SchedulerConfig sc;
+        sc.backend = backend;
+        sc.jobs = jobs;
+        sc.shards = shards;
+        sc.cache = &cache;
+        const auto out = render(sweep::runSweep(points_, sc));
+        EXPECT_EQ(cache.stats().traceHits, 6u)
+            << name(backend) << " jobs=" << jobs << " shards=" << shards;
+        if (stats)
+            *stats = cache.stats();
+        return out;
+    }
+
+    std::vector<sweep::SweepPoint> points_;
+    std::filesystem::path dir_;
+};
+
+} // namespace
+
+TEST(SweepBackend, NamesRoundTrip)
+{
+    for (auto b : {sweep::Backend::Threaded, sweep::Backend::Inline,
+                   sweep::Backend::Sharded}) {
+        sweep::Backend parsed;
+        ASSERT_TRUE(
+            sweep::backendForName(std::string(sweep::name(b)), &parsed));
+        EXPECT_EQ(parsed, b);
+    }
+    sweep::Backend b;
+    EXPECT_FALSE(sweep::backendForName("fancy", &b));
+}
+
+TEST_F(BackendFixture, MatrixProducesByteIdenticalOutput)
+{
+    const std::string reference =
+        runWith(sweep::Backend::Inline, 1, 1);
+    ASSERT_FALSE(reference.empty());
+
+    for (int jobs : {1, 4})
+        EXPECT_EQ(reference, runWith(sweep::Backend::Threaded, jobs, 1))
+            << "threaded jobs=" << jobs;
+
+#ifdef SWAN_TEST_HAVE_FORK
+    for (int shards : {1, 2, 3})
+        for (int jobs : {1, 4})
+            EXPECT_EQ(reference,
+                      runWith(sweep::Backend::Sharded, jobs, shards))
+                << "sharded shards=" << shards << " jobs=" << jobs;
+
+    // shards > 1 upgrades the default threaded backend.
+    EXPECT_EQ(reference, runWith(sweep::Backend::Threaded, 2, 2));
+#endif
+}
+
+#ifdef SWAN_TEST_HAVE_FORK
+
+TEST_F(BackendFixture, ShardedAggregatesFleetCacheStats)
+{
+    sweep::CacheStats stats;
+    const auto out = runWith(sweep::Backend::Sharded, 2, 2, &stats);
+    ASSERT_FALSE(out.empty());
+    // A cold sharded run must report exactly what a threaded run
+    // reports: one miss (parent, phase 1a) and one store (shard
+    // children, absorbed back) per point.
+    EXPECT_EQ(stats.misses, points_.size());
+    EXPECT_EQ(stats.stores, points_.size());
+    EXPECT_EQ(stats.hits, 0u);
+    EXPECT_EQ(stats.diskHits, 0u);
+}
+
+TEST_F(BackendFixture, CrashedShardUnitsAreReExecutedByTheParent)
+{
+    const std::string reference = runWith(sweep::Backend::Inline, 1, 1);
+
+    // Shard 0 claims one unit and dies without publishing anything —
+    // exactly a mid-simulation crash. The parent must detect the
+    // claimed-but-missing unit at merge time and re-execute it from
+    // the traces it still holds, byte-identically.
+    ASSERT_EQ(::setenv("SWAN_SHARD_TEST_CRASH", "0", 1), 0);
+    sweep::CacheStats stats;
+    const auto out = runWith(sweep::Backend::Sharded, 2, 2, &stats);
+    ASSERT_EQ(::unsetenv("SWAN_SHARD_TEST_CRASH"), 0);
+
+    EXPECT_EQ(reference, out);
+    // Every point was still simulated and stored exactly once
+    // (surviving shard + parent recovery).
+    EXPECT_EQ(stats.stores, points_.size());
+}
+
+TEST_F(BackendFixture, StaleClaimsAreSweptLiveOnesKept)
+{
+    // A claim whose pid is long dead must be removed by the next
+    // sharded run; a claim owned by a live process (here: ourselves)
+    // must survive. Neither may affect results: a foreign live claim
+    // simply routes its unit through parent recovery.
+    const auto stale = dir_ / "c0123456789abcdef-00000000deadbeef.claim";
+    const auto live = dir_ / "cfedcba9876543210-00000000cafef00d.claim";
+    {
+        std::ofstream(stale) << "pid 999999999\n";
+        std::ofstream(live) << "pid " << ::getpid() << "\n";
+    }
+    const std::string reference = runWith(sweep::Backend::Inline, 1, 1);
+    const auto out = runWith(sweep::Backend::Sharded, 1, 2);
+
+    EXPECT_EQ(reference, out);
+    EXPECT_FALSE(std::filesystem::exists(stale));
+    EXPECT_TRUE(std::filesystem::exists(live));
+    std::filesystem::remove(live);
+}
+
+#endif // SWAN_TEST_HAVE_FORK

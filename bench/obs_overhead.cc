@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Observability overhead smoke: the swan::obs contract is that
+ * telemetry costs one relaxed atomic load per span site when no
+ * collector is attached, and call-granularity recording (two clock
+ * reads + one slot write per phase span, never a per-instruction
+ * cost) when one is. This bench holds the fused replay engine —
+ * the path the sweeps spend their wall-clock in — to that contract:
+ * it times simulateTraceMany over the perf_smoke capture mix with
+ * metrics off and again with a live Collector draining to the real
+ * ReportSink + ChromeTraceSink, checks the SimResults are identical,
+ * and writes BENCH_sweep_obs.json (argv[1] overrides the path; the
+ * sink outputs land next to it as <stem>.report.json /
+ * <stem>.trace.jsonl).
+ *
+ * The gate: metrics-on wall time <= 1.02x metrics-off. Like the
+ * perf_smoke gates it is report-only by default and becomes a hard
+ * failure in an optimized build run with SWAN_PERF_ENFORCE=1 (which
+ * bench/run_all.sh sets). Result divergence is always a hard failure.
+ */
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "bench_common.hh"
+#include "swan/obs.hh"
+#include "swan/trace.hh"
+
+using namespace swan;
+
+namespace
+{
+
+double
+secondsOf(const std::function<void()> &fn, int reps)
+{
+    // Best-of-N wall time: robust against scheduler noise.
+    double best = 1e100;
+    for (int r = 0; r < reps; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        fn();
+        const auto t1 = std::chrono::steady_clock::now();
+        best = std::min(best,
+                        std::chrono::duration<double>(t1 - t0).count());
+    }
+    return best;
+}
+
+bool
+sameSim(const sim::SimResult &a, const sim::SimResult &b)
+{
+    return a.instrs == b.instrs && a.cycles == b.cycles &&
+           a.dramReads == b.dramReads && a.dramWrites == b.dramWrites &&
+           a.l1Accesses == b.l1Accesses && a.byClass == b.byClass;
+}
+
+std::string
+fmtJson(double v)
+{
+    std::ostringstream os;
+    os.precision(6);
+    os << v;
+    return os.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string jsonPath =
+        argc > 1 ? argv[1] : "BENCH_sweep_obs.json";
+    std::string stem = jsonPath;
+    if (stem.size() > 5 && stem.rfind(".json") == stem.size() - 5)
+        stem.resize(stem.size() - 5);
+
+    // The perf_smoke capture mix (compression + memcpy, Neon and
+    // Scalar), tiled to a DRAM-resident size so the timed region is
+    // the real streaming-replay regime. Smaller default than
+    // perf_smoke: an overhead *ratio* converges faster than absolute
+    // throughput (SWAN_OBS_SMOKE_MB overrides).
+    std::vector<trace::Instr> instrs;
+    for (const char *name : {"ZL/adler32", "ZL/crc32", "OR/memcpy"}) {
+        const auto *spec = core::Registry::instance().find(name);
+        if (!spec) {
+            std::cerr << "obs_overhead: unknown kernel " << name << "\n";
+            return 1;
+        }
+        for (auto impl : {core::Impl::Scalar, core::Impl::Neon}) {
+            auto w = spec->make(core::Options::fromEnv());
+            auto t = core::Runner::capture(*w, impl, 128);
+            instrs.insert(instrs.end(), t.begin(), t.end());
+        }
+    }
+    size_t targetMb = 96;
+    if (const char *v = std::getenv("SWAN_OBS_SMOKE_MB"))
+        if (std::atoi(v) > 0)
+            targetMb = size_t(std::atoi(v));
+    const size_t targetInstrs =
+        targetMb * (size_t(1) << 20) / sizeof(trace::Instr);
+    const std::vector<trace::Instr> seed = instrs;
+    instrs.reserve(std::max(targetInstrs, seed.size()));
+    while (instrs.size() + seed.size() <= targetInstrs)
+        instrs.insert(instrs.end(), seed.begin(), seed.end());
+    const size_t n = instrs.size();
+    const auto packed = trace::PackedTrace::pack(instrs);
+
+    const std::vector<sim::CoreConfig> cfgs = {
+        sim::primeConfig(), sim::goldConfig(), sim::silverConfig()};
+    const int reps = 3;
+    // Each rep feeds warmup+measure = 2 passes over every config.
+    const double passInstrs = 2.0 * double(n) * double(cfgs.size());
+
+    // Metrics off: the span sites must compile down to one relaxed
+    // load + untaken branch each.
+    const auto refOff = sim::simulateTraceMany(packed, cfgs, 1);
+    const double tOff = secondsOf(
+        [&] { sim::simulateTraceMany(packed, cfgs, 1); }, reps);
+
+    // Metrics on: a live registry with the two shipped sinks. The
+    // collector stays active across every timed rep so each fused
+    // traversal records its Replay span.
+    obs::Collector collector;
+    if (!collector.start()) {
+        std::cerr << "obs_overhead: telemetry registry unavailable\n";
+        return 1;
+    }
+    const auto refOn = sim::simulateTraceMany(packed, cfgs, 1);
+    const double tOn = secondsOf(
+        [&] { sim::simulateTraceMany(packed, cfgs, 1); }, reps);
+    collector.addSink(
+        std::make_unique<obs::ReportSink>(stem + ".report.json"));
+    collector.addSink(
+        std::make_unique<obs::ChromeTraceSink>(stem + ".trace.jsonl"));
+    std::string merr;
+    if (!collector.finish(sweep::CacheStats{}, &merr)) {
+        std::cerr << "obs_overhead: " << merr << "\n";
+        return 1;
+    }
+
+    for (size_t i = 0; i < cfgs.size(); ++i) {
+        if (!sameSim(refOff[i], refOn[i])) {
+            std::cerr << "obs_overhead: metrics-on replay diverged "
+                         "from metrics-off\n";
+            return 1;
+        }
+    }
+
+    const double ipsOff = passInstrs / tOff;
+    const double ipsOn = passInstrs / tOn;
+    const double ratio = tOn / tOff;
+
+    core::banner(std::cout, "Observability overhead smoke");
+    core::Table t({"leg", "Minstr/s", "vs metrics off"});
+    t.addRow({"metrics off", core::fmt(ipsOff / 1e6, 1),
+              core::fmtX(1.0, 2)});
+    t.addRow({"metrics on", core::fmt(ipsOn / 1e6, 1),
+              core::fmtX(ipsOff / ipsOn, 2)});
+    t.print(std::cout);
+    std::cout << "trace: " << n << " instrs x " << cfgs.size()
+              << " configs; metrics-on/off wall ratio "
+              << core::fmt(ratio, 4) << " (gate <= 1.02)\n";
+
+    {
+        std::ofstream os(jsonPath, std::ios::trunc);
+        os << "{\n"
+           << "  \"bench\": \"sweep_obs\",\n"
+           << "  \"n_instrs\": " << n << ",\n"
+           << "  \"n_configs\": " << cfgs.size() << ",\n"
+           << "  \"metrics_off_instrs_per_sec\": " << fmtJson(ipsOff)
+           << ",\n"
+           << "  \"metrics_on_instrs_per_sec\": " << fmtJson(ipsOn)
+           << ",\n"
+           << "  \"overhead_ratio\": " << fmtJson(ratio) << ",\n"
+           << "  \"overhead_gate\": 1.02,\n"
+           << "  \"results_identical\": true\n"
+           << "}\n";
+        if (!os) {
+            std::cerr << "obs_overhead: cannot write " << jsonPath
+                      << "\n";
+            return 1;
+        }
+        std::cout << "wrote " << jsonPath << "\n";
+    }
+
+    // Enforced only in an optimized build when the caller opts in
+    // (bench/run_all.sh does); CI publishes the JSON report-only.
+    constexpr double kOverheadGate = 1.02;
+#ifdef NDEBUG
+    const char *enf = std::getenv("SWAN_PERF_ENFORCE");
+    const bool gateEnforced = enf && enf[0] == '1';
+#else
+    const bool gateEnforced = false;
+#endif
+    if (ratio > kOverheadGate) {
+        std::cerr << "obs_overhead: metrics-on overhead "
+                  << core::fmt((ratio - 1.0) * 100.0, 2)
+                  << "% exceeds the " << (kOverheadGate - 1.0) * 100.0
+                  << "% gate"
+                  << (gateEnforced ? "" : " (report-only)") << "\n";
+        if (gateEnforced)
+            return 1;
+    }
+    return 0;
+}

@@ -86,4 +86,12 @@ echo "== perf_smoke (BENCH_trace_replay.json, BENCH_sim_replay.json) =="
 SWAN_PERF_ENFORCE="${SWAN_PERF_ENFORCE:-1}" "$BUILD_DIR/perf_smoke" \
     "$BUILD_DIR/BENCH_trace_replay.json" "$BUILD_DIR/BENCH_sim_replay.json"
 
+# Observability overhead gate: fused replay with a live telemetry
+# collector + sinks must stay within 2% of metrics-off wall time
+# (call-granularity spans, never per-instruction cost). Same
+# SWAN_PERF_ENFORCE policy as perf_smoke.
+echo "== obs_overhead (BENCH_sweep_obs.json) =="
+SWAN_PERF_ENFORCE="${SWAN_PERF_ENFORCE:-1}" "$BUILD_DIR/obs_overhead" \
+    "$BUILD_DIR/BENCH_sweep_obs.json"
+
 echo "== done =="

@@ -68,6 +68,20 @@ class Experiment
     /** Override the session's cache warm-up passes for this grid. */
     Experiment &warmupPasses(int passes);
 
+    // --- streaming -----------------------------------------------------
+    /**
+     * Stream every finished row as results land, strictly in the
+     * deterministic point-index (flattened-grid) order — the same
+     * order the Results view iterates. The RowOrigin tells where each
+     * row came from: the result cache, in-process simulation, or a
+     * shard process merged by the parent. Invoked from sweep worker
+     * threads (serialized by the engine, never concurrently) and
+     * strictly after the capture phase, so the callback may allocate
+     * freely; it must not re-enter the session. Pass nullptr to clear.
+     * Powers `swan sweep --progress`.
+     */
+    Experiment &onRow(sweep::RowCallback callback);
+
     /** The declarative spec this builder has accumulated. */
     const sweep::SweepSpec &spec() const { return spec_; }
 
@@ -90,6 +104,7 @@ class Experiment
   private:
     Session *session_;
     sweep::SweepSpec spec_;
+    sweep::RowCallback onRow_;
 };
 
 } // namespace swan

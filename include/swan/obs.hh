@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Public re-export: the swan::obs telemetry subsystem — the
+ * phase-structured span registry (obs/telemetry.hh) and the sink
+ * layer (obs/report.hh: run-report aggregation, Chrome trace-event
+ * output, the Collector scope). Most consumers get telemetry
+ * implicitly through SessionOptions::metricsOut / SWAN_METRICS; these
+ * types are public for embedders that attach custom sinks or bracket
+ * their own code with obs::Span guards.
+ */
+
+#ifndef SWAN_OBS_HH
+#define SWAN_OBS_HH
+
+#include "obs/report.hh"
+#include "obs/telemetry.hh"
+
+#endif // SWAN_OBS_HH

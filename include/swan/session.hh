@@ -98,6 +98,19 @@ struct SessionOptions
      *  core::Options::fromEnv] */
     core::Options workload = core::Options::defaults();
 
+    /**
+     * Telemetry output stem: when non-empty, every Experiment::run()
+     * through the session collects swan::obs spans and writes
+     * `<stem>.report.json` (per-phase wall/CPU aggregate, replay
+     * throughput, fleet cache traffic, per-shard breakdown) and
+     * `<stem>.trace.jsonl` (Chrome trace events — load in Perfetto or
+     * chrome://tracing; see docs/observability.md). Collection is
+     * malloc-free on the recording path, so emitter output stays
+     * byte-identical with metrics on or off. Empty = no collection
+     * (spans compile to a single relaxed load). [env: SWAN_METRICS]
+     */
+    std::string metricsOut;
+
     SessionOptions &
     withJobs(int n)
     {
@@ -146,6 +159,12 @@ struct SessionOptions
         workload = opts;
         return *this;
     }
+    SessionOptions &
+    withMetricsOut(std::string stem)
+    {
+        metricsOut = std::move(stem);
+        return *this;
+    }
 };
 
 /**
@@ -170,7 +189,8 @@ class Session
     /**
      * The SWAN_* environment overlaid on the library defaults:
      * SWAN_JOBS, SWAN_SHARDS, SWAN_TRACE_MEMO_BYTES,
-     * SWAN_SWEEP_CACHE_DIR, SWAN_SWEEP_CACHE_MAX_BYTES. Unset,
+     * SWAN_SWEEP_CACHE_DIR, SWAN_SWEEP_CACHE_MAX_BYTES,
+     * SWAN_METRICS. Unset,
      * unparsable or (for SWAN_JOBS / SWAN_SHARDS) non-positive values
      * leave the built-in default untouched: all-cores fan-out is an
      * explicit option (jobs <= 0), never an ambient environment one.

@@ -12,6 +12,7 @@
  *   swan/trace.hh       instruction traces, mix stats, packed encoding
  *   swan/sweep.hh       the engine under Experiment (specs, scheduler,
  *                       cache, emitters)
+ *   swan/obs.hh         telemetry spans, run reports, trace sinks
  *   swan/report.hh      tables and number formatting
  *
  * Domain extras, included separately where needed: swan/gpu.hh,
@@ -24,6 +25,7 @@
 #include "swan/error.hh"
 #include "swan/experiment.hh"
 #include "swan/kernels.hh"
+#include "swan/obs.hh"
 #include "swan/report.hh"
 #include "swan/results.hh"
 #include "swan/runner.hh"

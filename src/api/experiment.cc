@@ -1,8 +1,10 @@
 #include "swan/experiment.hh"
 
+#include <memory>
 #include <stdexcept>
 #include <utility>
 
+#include "obs/report.hh"
 #include "swan/error.hh"
 #include "sweep/scheduler.hh"
 
@@ -105,17 +107,56 @@ Experiment::warmupPasses(int passes)
     return *this;
 }
 
+Experiment &
+Experiment::onRow(sweep::RowCallback callback)
+{
+    onRow_ = std::move(callback);
+    return *this;
+}
+
 Results
 Experiment::run(std::string *err) const
 {
-    const sweep::SchedulerConfig sc = session_->schedulerConfig();
+    sweep::SchedulerConfig sc = session_->schedulerConfig();
+    sc.onRow = onRow_;
+
+    // Telemetry scope (SessionOptions::metricsOut / SWAN_METRICS):
+    // activated BEFORE the sweep so the grid-expand and capture spans
+    // are covered, flushed after the last result lands. The collector
+    // allocates nothing on the recording path (obs/telemetry.hh), so
+    // results are byte-identical with metrics on or off; if another
+    // collector already owns the registry this run simply goes
+    // uncollected.
+    // Activation only — sink construction waits until after the sweep
+    // (they are read at finish()): even a pre-capture string allocation
+    // would shift the capture-time heap layout and so the recorded
+    // buffer addresses.
+    const std::string &stem = session_->options().metricsOut;
+    obs::Collector collector;
+    if (!stem.empty())
+        collector.start();
+
     std::vector<sweep::SweepResult> results;
     try {
         results = sweep::runSweep(spec_, sc, err);
     } catch (const std::exception &e) {
         if (err)
             *err = e.what();
-        return Results();
+        return Results(); // ~Collector releases without flushing
+    }
+    if (collector.active()) {
+        collector.addSink(
+            std::make_unique<obs::ReportSink>(stem + ".report.json"));
+        collector.addSink(
+            std::make_unique<obs::ChromeTraceSink>(stem +
+                                                   ".trace.jsonl"));
+        // Metrics failures are advisory: the sweep's results are
+        // valid either way, so surface the diagnostic without
+        // emptying the return.
+        std::string merr;
+        if (!collector.finish(session_->cache().stats(), &merr) && err &&
+            err->empty())
+            *err = merr;
     }
     if (results.empty())
         return Results();

@@ -50,6 +50,8 @@ Session::envDefaults()
     o.cacheDir = sweep::ResultCache::envDiskDir();
     o.cacheMaxBytes = sweep::ResultCache::envMaxDiskBytes();
     o.workload = core::Options::fromEnv();
+    if (const char *v = std::getenv("SWAN_METRICS"); v && *v)
+        o.metricsOut = v;
     return o;
 }
 

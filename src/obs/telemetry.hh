@@ -1,0 +1,269 @@
+/**
+ * @file
+ * swan::obs — phase-structured telemetry for the sweep pipeline.
+ *
+ * A Telemetry instance is a lock-free span registry: every pipeline
+ * phase (grid expand, cache lookup, capture, pack, spill, decode/
+ * replay, publish, shard merge, recovery) brackets itself with a Span
+ * guard, and the guard appends one fixed-size SpanRec to a shared
+ * buffer with a single atomic fetch_add. When no collector is active
+ * the guard is a relaxed pointer load and a branch — no clock reads,
+ * no stores, no allocation — so instrumented code is measurably
+ * indistinguishable from uninstrumented code (bench/obs_overhead.cc
+ * gates this at <= 2% on the fused-replay hot path).
+ *
+ * Determinism contract (why this file is written the way it is): the
+ * sweep engine guarantees byte-identical emitter output across
+ * backends, job counts and shard counts, and that guarantee rests on
+ * the capture thread's heap evolving identically whatever the
+ * configuration — captured traces carry real buffer addresses and the
+ * cache models are address-sensitive (sweep/cache.hh). Telemetry
+ * therefore NEVER touches malloc on the recording path: the instance
+ * and its record buffer live in one anonymous mmap region (like the
+ * threaded backend's WorkerPool arena), record() is an index bump
+ * plus a struct store into that region, and overflow drops records
+ * (counted) instead of growing. Collection may allocate freely — it
+ * happens before the first capture (start) and after the last result
+ * lands (snapshot/flush).
+ *
+ * Shard transport: a forked shard child inherits the active instance
+ * copy-on-write. The child tags itself with setShard(), records into
+ * its private copy, and writes the records made since the fork fence
+ * to a small text snapshot file next to the cache tier's `.stats`
+ * delta files; the parent absorbs every shard's snapshot after
+ * waitpid, so one flush sees the whole fleet.
+ */
+
+#ifndef SWAN_OBS_TELEMETRY_HH
+#define SWAN_OBS_TELEMETRY_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace swan::obs
+{
+
+/** The span taxonomy, one value per pipeline phase. */
+enum class Phase : uint8_t
+{
+    Sweep = 0,   //!< whole runSweep envelope (one per sweep)
+    GridExpand,  //!< spec -> flattened point list
+    CacheLookup, //!< result probe (phase 1a) / packed-trace disk read
+    Capture,     //!< instrumented kernel execution -> Instr stream
+    Pack,        //!< Instr stream -> varint PackedTrace
+    Spill,       //!< memo-budget eviction write / worker reload
+    Replay,      //!< fused multi-config packed-trace traversal
+    Publish,     //!< result stores into the cache tiers
+    Shard,       //!< one shard child process, fork to _exit
+    Merge,       //!< parent-side merge of shard-published units
+    Recovery,    //!< parent re-execution of units a dead shard left
+};
+
+constexpr size_t kPhaseCount = size_t(Phase::Recovery) + 1;
+
+/** Lower-case stable phase name ("grid_expand", "replay", ...). */
+std::string_view name(Phase p);
+
+/** One closed span. Fixed-size and trivially copyable: records cross
+ *  process boundaries via text snapshots and live in a shared mmap. */
+struct SpanRec
+{
+    uint64_t t0Ns = 0;  //!< CLOCK_MONOTONIC at open
+    uint64_t t1Ns = 0;  //!< CLOCK_MONOTONIC at close
+    uint64_t cpuNs = 0; //!< thread CPU time consumed inside the span
+    /** Phase-specific payload: instructions decoded (Replay: decoded
+     *  instructions x configs x passes), bytes (Pack/Spill), points
+     *  (CacheLookup/Publish), units (Merge/Recovery). */
+    uint64_t arg = 0;
+    uint32_t tid = 0; //!< stable-per-thread id (hashed, truncated)
+    Phase phase = Phase::Sweep;
+    int8_t shard = -1; //!< owning shard, -1 = parent process
+};
+
+/** Sweep-level metadata stamped by the scheduler for the run report. */
+struct RunMeta
+{
+    uint64_t points = 0; //!< grid points in the sweep
+    uint64_t units = 0;  //!< trace groups scheduled (pending only)
+    int jobs = 1;
+    int shards = 1;
+    char backend[16] = {0}; //!< resolved backend name
+};
+
+/**
+ * The span registry. At most one instance is active per process;
+ * create it with start() before the work to observe, read it with
+ * snapshot()/meta()/dropped() after, and destroy it with release().
+ * record() is safe from any thread and from forked children (each
+ * child records into its copy-on-write clone of the buffer).
+ */
+class Telemetry
+{
+  public:
+    static constexpr size_t kDefaultCapacity = 1 << 16;
+
+    /** The recording target, or null when collection is off. A single
+     *  relaxed load: this is the whole cost of an unobserved Span. */
+    static Telemetry *
+    active()
+    {
+        return g_active.load(std::memory_order_relaxed);
+    }
+
+    /** The instance created by start(), active or stopped. */
+    static Telemetry *instance();
+
+    /** Create and activate the process-wide instance (one anonymous
+     *  mmap region, no malloc). False if one already exists. */
+    static bool start(size_t capacity = kDefaultCapacity);
+
+    /** Stop recording; the instance stays readable until release(). */
+    static void stop();
+
+    /** Unmap the instance. No-op when none exists. All Span guards
+     *  must be closed first. */
+    static void release();
+
+    /** Tag this process as shard @p s (children call it right after
+     *  fork; -1 = parent). Also marks the snapshot fence: a later
+     *  writeSnapshot() exports only records made after this call.
+     *  Always callable, collector active or not. */
+    static void setShard(int s);
+
+    /** The current process's shard tag (-1 in the parent). */
+    static int shard();
+
+    void record(const SpanRec &rec);
+
+    /** Records accepted so far (excludes dropped). */
+    size_t count() const;
+
+    /** Records dropped on buffer overflow. */
+    uint64_t dropped() const
+    {
+        return dropped_.load(std::memory_order_relaxed);
+    }
+
+    /** Copy of every accepted record, in record order. Allocates;
+     *  call outside the capture window. */
+    std::vector<SpanRec> snapshot() const;
+
+    void setMeta(const RunMeta &meta);
+    RunMeta meta() const;
+
+    /**
+     * Export the records made since the setShard() fence as a text
+     * snapshot at @p path ("pid <pid>" header first, like the sharded
+     * backend's `.stats` files, so stale-file cleanup can probe the
+     * owner's liveness). Child-side; uses stdio on a caller-built
+     * path only — a shard child must not unwind or flush foreign
+     * buffers.
+     */
+    bool writeSnapshot(const char *path) const;
+
+    /**
+     * Parent-side: read a child snapshot and append its records to
+     * this instance (shard tag taken from the file header). Returns
+     * records absorbed, 0 on a missing/corrupt file (a crashed shard
+     * degrades to missing telemetry, never to an error).
+     */
+    size_t absorbSnapshot(const char *path);
+
+    /** CLOCK_MONOTONIC, nanoseconds. */
+    static uint64_t nowNs();
+
+    /** This thread's CPU clock, nanoseconds (0 where unsupported). */
+    static uint64_t cpuNowNs();
+
+    /** Stable-per-thread 32-bit id for SpanRec::tid. */
+    static uint32_t threadId();
+
+  private:
+    Telemetry(SpanRec *buf, size_t cap, size_t map_bytes)
+        : cap_(cap), mapBytes_(map_bytes), buf_(buf)
+    {
+    }
+
+    static std::atomic<Telemetry *> g_active;
+
+    std::atomic<size_t> n_{0};
+    std::atomic<uint64_t> dropped_{0};
+    size_t cap_;
+    size_t mapBytes_;
+    SpanRec *buf_;
+    size_t fence_ = 0; //!< first record owned by this (child) process
+    bool mapped_ = false;
+
+    // Meta fields are plain atomics so the scheduler can stamp them
+    // mid-run without a lock (and without tearing a torn read at
+    // flush time).
+    std::atomic<uint64_t> metaPoints_{0};
+    std::atomic<uint64_t> metaUnits_{0};
+    std::atomic<int> metaJobs_{1};
+    std::atomic<int> metaShards_{1};
+    char backend_[16] = {0};
+};
+
+/**
+ * RAII span guard. Construct at phase entry, closes at scope exit (or
+ * explicitly via close()). When no collector is active the whole
+ * guard is one relaxed load; when one is, open/close each read two
+ * clocks and close() appends one record — still malloc-free, so spans
+ * may bracket the capture phase itself.
+ */
+class Span
+{
+  public:
+    explicit Span(Phase phase, uint64_t arg = 0)
+        : t_(Telemetry::active()), phase_(phase), arg_(arg)
+    {
+        if (t_) {
+            t0_ = Telemetry::nowNs();
+            cpu0_ = Telemetry::cpuNowNs();
+        }
+    }
+
+    ~Span() { close(); }
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+    /** Add to the phase payload (e.g. bytes discovered mid-span). */
+    void
+    addArg(uint64_t delta)
+    {
+        if (t_)
+            arg_ += delta;
+    }
+
+    void
+    close()
+    {
+        if (!t_)
+            return;
+        SpanRec r;
+        r.t0Ns = t0_;
+        r.t1Ns = Telemetry::nowNs();
+        r.cpuNs = Telemetry::cpuNowNs() - cpu0_;
+        r.arg = arg_;
+        r.tid = Telemetry::threadId();
+        r.phase = phase_;
+        r.shard = int8_t(Telemetry::shard());
+        t_->record(r);
+        t_ = nullptr;
+    }
+
+  private:
+    Telemetry *t_;
+    Phase phase_;
+    uint64_t arg_;
+    uint64_t t0_ = 0;
+    uint64_t cpu0_ = 0;
+};
+
+} // namespace swan::obs
+
+#endif // SWAN_OBS_TELEMETRY_HH

@@ -1,5 +1,6 @@
 #include "sim/core_model.hh"
 
+#include "obs/telemetry.hh"
 #include "sim/power.hh"
 
 #include <algorithm>
@@ -605,6 +606,13 @@ std::vector<SimResult>
 simulateTraceMany(const trace::PackedTrace &trace,
                   const std::vector<CoreConfig> &cfgs, int warmup_passes)
 {
+    // One telemetry span per fused traversal set; arg = instruction
+    // steps (decoded instructions x configs x passes). A single
+    // relaxed load when no collector is attached — this is the hot
+    // path the obs overhead bench gates (bench/obs_overhead.cc).
+    obs::Span span(obs::Phase::Replay,
+                   uint64_t(trace.size()) * cfgs.size() *
+                       uint64_t(warmup_passes + 1));
     return replayPasses(cfgs, warmup_passes, [&](auto &models) {
         // Fused replay: decode once per pass, step every model per
         // decoded instruction (see replay()).
@@ -626,6 +634,9 @@ simulateTraceMany(const std::vector<Instr> &instrs,
                   const std::vector<CoreConfig> &cfgs, int warmup_passes)
 {
     constexpr size_t kBlock = trace::PackedTrace::kBlockInstrs;
+    obs::Span span(obs::Phase::Replay,
+                   uint64_t(instrs.size()) * cfgs.size() *
+                       uint64_t(warmup_passes + 1));
     return replayPasses(cfgs, warmup_passes, [&](auto &models) {
         for (size_t at = 0; at < instrs.size(); at += kBlock) {
             const size_t n = std::min(kBlock, instrs.size() - at);

@@ -34,8 +34,9 @@
  * 64-bit token (hashed from its points' cache keys). A shard claims a
  * unit by atomically creating `c<run>-<token>.claim` in the shared
  * directory (open with O_CREAT|O_EXCL — the lockfile analogue of the
- * cache tier's write-then-rename stores) and writing its pid into it;
- * losing the race means another shard owns the unit. Finished units
+ * cache tier's write-then-rename stores) and writing its pid and
+ * shard index into it; losing the race means another shard owns the
+ * unit. Finished units
  * land in the shared directory as ordinary checksummed `.swr` cache
  * entries, which the parent merges back deterministically after every
  * child has exited. Units that were claimed but never stored (a
@@ -116,11 +117,14 @@ struct BackendJob
 
     /**
      * Parent-side merge: fill unit @p u's results from the shared
-     * disk tier. @return false when any of the unit's results is
-     * missing (the unit's shard died before storing) — the backend
-     * then re-executes the unit locally. Null for in-process backends.
+     * disk tier. @p shard is the claiming shard parsed from the
+     * unit's claim file (-1 when unknown), threaded through so row
+     * streaming and telemetry can attribute the unit. @return false
+     * when any of the unit's results is missing (the unit's shard
+     * died before storing) — the backend then re-executes the unit
+     * locally. Null for in-process backends.
      */
-    bool (*serve)(void *arg, size_t u) = nullptr;
+    bool (*serve)(void *arg, size_t u, int shard) = nullptr;
 
     /**
      * Disk-backed cache shared by the shard processes: claims and

@@ -15,18 +15,23 @@
  *
  * File naming in the shared directory (`<h>` = 16 hex digits):
  *
- *   c<run>-<token>.claim   unit claim; content "pid <pid>\n"
- *   s<run>-<pid>-<N>.stats shard N's cache-counter delta, absorbed and
- *                          deleted by its parent <pid>; content
- *                          "pid <pid>\n" + one counter line
+ *   c<run>-<token>.claim    unit claim; content "pid <pid>\nshard <N>\n"
+ *   s<run>-<pid>-<N>.stats  shard N's cache-counter delta, absorbed and
+ *                           deleted by its parent <pid>; content
+ *                           "pid <pid>\n" + one counter line
+ *   o<run>-<pid>-<N>.obsnap shard N's telemetry-span snapshot (written
+ *                           only when a collector is active — see
+ *                           obs/telemetry.hh), absorbed and deleted by
+ *                           its parent <pid>; "pid <pid>\n" header too
  *
  * `<run>` is a content hash of every unit token, so two identical
  * concurrent commands share claims (each unit simulated once across
  * both fleets) while different grids sharing one cache directory never
- * interfere. Claims are removed when the run's parent finishes; claim
- * or stats files whose pid no longer exists are swept at the start of
- * the next sharded run (stale-claim cleanup), so a crashed fleet can
- * never poison the directory.
+ * interfere. Claims are removed when the run's parent finishes; claim,
+ * stats or snapshot files whose pid no longer exists are swept at the
+ * start of the next sharded run (stale-claim cleanup, counted in
+ * CacheStats::staleClaimsSwept), so a crashed fleet can never poison
+ * the directory.
  */
 
 #include "sweep/backend.hh"
@@ -42,6 +47,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/telemetry.hh"
 #include "sweep/cache.hh"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -98,49 +104,78 @@ statsPath(char *buf, size_t n, const char *dir, uint64_t run,
     return w > 0 && size_t(w) < n;
 }
 
+bool
+obsPath(char *buf, size_t n, const char *dir, uint64_t run,
+        long parent_pid, int shard)
+{
+    const int w = std::snprintf(buf, n, "%s/o%016llx-%ld-%d.obsnap", dir,
+                                static_cast<unsigned long long>(run),
+                                parent_pid, shard);
+    return w > 0 && size_t(w) < n;
+}
+
 /**
  * Atomically claim the file at @p path for this process: O_CREAT|O_EXCL
  * either creates it (claim won) or fails with EEXIST (another shard —
  * possibly of a concurrent identical run — owns the unit).
  */
 bool
-tryClaim(const char *path)
+tryClaim(const char *path, int shard)
 {
     const int fd = ::open(path, O_WRONLY | O_CREAT | O_EXCL, 0644);
     if (fd < 0)
         return false;
     char line[64];
-    const int w = std::snprintf(line, sizeof line, "pid %ld\n",
-                                static_cast<long>(::getpid()));
+    const int w = std::snprintf(line, sizeof line, "pid %ld\nshard %d\n",
+                                static_cast<long>(::getpid()), shard);
     if (w > 0) {
-        // The pid is advisory (stale-claim liveness probes); a short
-        // write only makes the claim look stale earlier than it is.
+        // The pid is advisory (stale-claim liveness probes, merge-time
+        // shard attribution); a short write only makes the claim look
+        // stale earlier than it is.
         [[maybe_unused]] ssize_t rc = ::write(fd, line, size_t(w));
     }
     ::close(fd);
     return true;
 }
 
+/** The claiming shard recorded in a claim file, -1 when unknown (a
+ *  pre-shard-line writer, a mid-write race, or no claim at all). */
+int
+readClaimShard(const char *path)
+{
+    std::ifstream in(path);
+    std::string tag;
+    long pid = 0;
+    int shard = -1;
+    if (!(in >> tag >> pid) || tag != "pid")
+        return -1;
+    if (!(in >> tag >> shard) || tag != "shard" || shard < 0)
+        return -1;
+    return shard;
+}
+
 /**
- * Remove `.claim`/`.stats` files owned by processes that no longer
- * exist. Both kinds open with a "pid <n>" line. Claims of live
- * processes — this run's concurrent twin, or another grid mid-flight —
- * are left alone. A claim with no readable pid line is only stale
- * once it is old: tryClaim's create and pid write are two syscalls,
- * so a freshly created claim can legitimately be observed mid-write
- * by a concurrent run's cleanup and must not be deleted under a live
- * claimant.
+ * Remove `.claim`/`.stats`/`.obsnap` files owned by processes that no
+ * longer exist; @return how many were removed (surfaced as
+ * CacheStats::staleClaimsSwept). All three kinds open with a
+ * "pid <n>" line. Claims of live processes — this run's concurrent
+ * twin, or another grid mid-flight — are left alone. A claim with no
+ * readable pid line is only stale once it is old: tryClaim's create
+ * and pid write are two syscalls, so a freshly created claim can
+ * legitimately be observed mid-write by a concurrent run's cleanup
+ * and must not be deleted under a live claimant.
  */
-void
+uint64_t
 cleanStaleClaims(const std::string &dir)
 {
     constexpr auto kMidWriteGrace = std::chrono::minutes(1);
+    uint64_t swept = 0;
     std::error_code ec;
     for (std::filesystem::directory_iterator it(dir, ec), end;
          !ec && it != end; it.increment(ec)) {
         const auto &p = it->path();
         const auto ext = p.extension();
-        if (ext != ".claim" && ext != ".stats")
+        if (ext != ".claim" && ext != ".stats" && ext != ".obsnap")
             continue;
         long pid = -1;
         {
@@ -162,9 +197,11 @@ cleanStaleClaims(const std::string &dir)
         }
         if (stale) {
             std::error_code rec;
-            std::filesystem::remove(p, rec);
+            if (std::filesystem::remove(p, rec) && !rec)
+                ++swept;
         }
     }
+    return swept;
 }
 
 struct ClaimCtx
@@ -172,6 +209,7 @@ struct ClaimCtx
     const BackendJob *job;
     const char *dir;
     uint64_t run;
+    int shard;
 };
 
 /** Claim-gated unit executor: first process to create the unit's
@@ -184,7 +222,7 @@ claimedExecute(void *arg, size_t u)
     if (!claimPath(path, sizeof path, c->dir, c->run,
                    c->job->token(c->job->arg, u)))
         return;
-    if (!tryClaim(path))
+    if (!tryClaim(path, c->shard))
         return;
     c->job->execute(c->job->arg, u);
 }
@@ -255,6 +293,11 @@ int
 childMain(const BackendJob &job, uint64_t run, const char *dir,
           int shard, long parent_pid, const CacheStats &before)
 {
+    // Tag this process (and its telemetry records) as shard `shard`;
+    // also fences the fork-inherited span buffer so the snapshot
+    // below exports only what this child recorded.
+    obs::Telemetry::setShard(shard);
+
     // Test hook (tests/test_sweep_backend.cc): the named shard claims
     // one unit and dies without executing or recording anything,
     // exactly like a mid-simulation crash — the parent's recovery
@@ -265,22 +308,30 @@ childMain(const BackendJob &job, uint64_t run, const char *dir,
             char path[3584];
             if (claimPath(path, sizeof path, dir, run,
                           job.token(job.arg, u)) &&
-                tryClaim(path))
+                tryClaim(path, shard))
                 break;
         }
         return 9;
     }
 
-    ClaimCtx ctx{&job, dir, run};
-    BackendJob sub = job;
-    sub.arg = &ctx;
-    sub.execute = &claimedExecute;
-    ThreadedBackend().run(sub);
+    {
+        // One envelope span per shard child, so even a shard that
+        // loses every claim race is visible in the trace.
+        obs::Span life(obs::Phase::Shard, uint64_t(job.units));
+        ClaimCtx ctx{&job, dir, run, shard};
+        BackendJob sub = job;
+        sub.arg = &ctx;
+        sub.execute = &claimedExecute;
+        ThreadedBackend().run(sub);
+    }
 
     char path[3584];
     if (statsPath(path, sizeof path, dir, run, parent_pid, shard))
         writeStats(path, parent_pid,
                    statsDelta(job.shareCache->stats(), before));
+    if (const obs::Telemetry *t = obs::Telemetry::instance();
+        t && obsPath(path, sizeof path, dir, run, parent_pid, shard))
+        t->writeSnapshot(path);
     return 0;
 }
 
@@ -305,7 +356,11 @@ ShardedBackend::run(const BackendJob &job)
     for (size_t u = 0; u < job.units; ++u)
         run = fnvMix64(run, job.token(job.arg, u));
 
-    cleanStaleClaims(dir);
+    if (const uint64_t swept = cleanStaleClaims(dir)) {
+        CacheStats d;
+        d.staleClaimsSwept = swept;
+        job.shareCache->absorbStats(d);
+    }
 
     const int shards = int(std::min<size_t>(size_t(shards_), job.units));
     const CacheStats before = job.shareCache->stats();
@@ -334,7 +389,10 @@ ShardedBackend::run(const BackendJob &job)
     }
 
     // Aggregate the children's cache counters so Results::cacheStats()
-    // reflects the whole fleet, then drop the transport files.
+    // reflects the whole fleet, then drop the transport files. The
+    // telemetry snapshots ride the same channel: each shard's spans
+    // are absorbed into the parent's registry so one flush sees the
+    // whole fleet.
     for (int s = 0; s < shards; ++s) {
         char path[3584];
         if (!statsPath(path, sizeof path, dir.c_str(), run, parentPid, s))
@@ -344,6 +402,14 @@ ShardedBackend::run(const BackendJob &job)
             job.shareCache->absorbStats(d);
         ::unlink(path);
     }
+    for (int s = 0; s < shards; ++s) {
+        char path[3584];
+        if (!obsPath(path, sizeof path, dir.c_str(), run, parentPid, s))
+            continue;
+        if (obs::Telemetry *t = obs::Telemetry::instance())
+            t->absorbSnapshot(path);
+        ::unlink(path);
+    }
 
     // Deterministic merge in unit order; whatever a dead shard (or a
     // concurrent run's still-working shard) left unpublished is
@@ -351,10 +417,23 @@ ShardedBackend::run(const BackendJob &job)
     // trace, so recovery output is bit-identical to what the missing
     // shard would have produced.
     std::vector<size_t> missing;
-    for (size_t u = 0; u < job.units; ++u)
-        if (!job.serve(job.arg, u))
-            missing.push_back(u);
+    {
+        obs::Span merge(obs::Phase::Merge, uint64_t(job.units));
+        for (size_t u = 0; u < job.units; ++u) {
+            char path[3584];
+            int shard = -1;
+            if (claimPath(path, sizeof path, dir.c_str(), run,
+                          job.token(job.arg, u)))
+                shard = readClaimShard(path);
+            if (!job.serve(job.arg, u, shard))
+                missing.push_back(u);
+        }
+    }
     if (!missing.empty()) {
+        obs::Span recovery(obs::Phase::Recovery, missing.size());
+        CacheStats d;
+        d.recoveredUnits = missing.size();
+        job.shareCache->absorbStats(d);
         struct Remap
         {
             const BackendJob *job;

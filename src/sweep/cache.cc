@@ -311,6 +311,8 @@ ResultCache::absorbStats(const CacheStats &delta)
     stats_.traceMisses += delta.traceMisses;
     stats_.traceStores += delta.traceStores;
     stats_.evictions += delta.evictions;
+    stats_.staleClaimsSwept += delta.staleClaimsSwept;
+    stats_.recoveredUnits += delta.recoveredUnits;
 }
 
 CacheStats

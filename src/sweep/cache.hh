@@ -125,6 +125,17 @@ struct CacheStats
     /** On-disk entries pruned by the size cap (LRU, .swr + .swtp). */
     uint64_t evictions = 0;
 
+    // Sharded-backend bookkeeping (parent-side; zero for in-process
+    // runs). Surfaced here because the shared cache directory is where
+    // the claim protocol lives and absorbStats() is how fleet counters
+    // already travel.
+    /** Stale `.claim`/`.stats`/`.obsnap` files (dead-pid owners) swept
+     *  at the start of a sharded run. */
+    uint64_t staleClaimsSwept = 0;
+    /** Work units re-executed by the parent because the claiming
+     *  shard died before publishing (crash recovery). */
+    uint64_t recoveredUnits = 0;
+
     uint64_t total() const { return hits + diskHits + misses; }
 };
 

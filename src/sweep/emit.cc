@@ -153,6 +153,10 @@ cacheSummary(const CacheStats &stats)
         s += "; traces: " + std::to_string(stats.traceHits) +
              " disk hits, " + std::to_string(stats.traceStores) +
              " stored";
+    if (stats.staleClaimsSwept || stats.recoveredUnits)
+        s += "; sharded: " + std::to_string(stats.staleClaimsSwept) +
+             " stale claims swept, " +
+             std::to_string(stats.recoveredUnits) + " units recovered";
     return s;
 }
 

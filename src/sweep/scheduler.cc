@@ -1,5 +1,6 @@
 #include "sweep/scheduler.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <filesystem>
@@ -23,6 +24,7 @@
 #endif
 
 #include "core/registry.hh"
+#include "obs/telemetry.hh"
 #include "trace/packed.hh"
 #include "trace/stats.hh"
 
@@ -104,6 +106,21 @@ SchedulerConfig::envTraceMemoBytes()
     return n;
 }
 
+std::string
+describe(const RowOrigin &origin)
+{
+    switch (origin.kind) {
+      case RowOrigin::Kind::Cache:
+        return "cache";
+      case RowOrigin::Kind::Computed:
+        return "computed";
+      case RowOrigin::Kind::Shard:
+        return origin.shard < 0 ? "shard ?"
+                                : "shard " + std::to_string(origin.shard);
+    }
+    return "unknown";
+}
+
 std::vector<SweepResult>
 runSweep(const std::vector<SweepPoint> &points, const SchedulerConfig &cfg)
 {
@@ -115,6 +132,10 @@ runSweep(const std::vector<SweepPoint> &points, const SchedulerConfig &cfg)
     if (points.empty())
         return results;
 
+    // The whole-sweep telemetry envelope (malloc-free guard; a single
+    // relaxed load when no collector is active — see obs/telemetry.hh).
+    obs::Span sweepSpan(obs::Phase::Sweep, points.size());
+
     int jobs = cfg.jobs;
     if (jobs <= 0)
         jobs = int(std::thread::hardware_concurrency());
@@ -123,19 +144,35 @@ runSweep(const std::vector<SweepPoint> &points, const SchedulerConfig &cfg)
 
     // Phase 1a (serial, point-index order): result-cache lookups.
     std::vector<size_t> pending;
-    for (size_t i = 0; i < points.size(); ++i) {
-        const SweepPoint &p = points[i];
-        SweepResult &r = results[i];
-        r.point = p;
-        if (cfg.cache &&
-            cfg.cache->lookup(keyFor(p, cfg.warmupPasses), &r.run)) {
-            r.cacheHit = true;
-            continue;
+    {
+        obs::Span lookupSpan(obs::Phase::CacheLookup, points.size());
+        for (size_t i = 0; i < points.size(); ++i) {
+            const SweepPoint &p = points[i];
+            SweepResult &r = results[i];
+            r.point = p;
+            if (cfg.cache &&
+                cfg.cache->lookup(keyFor(p, cfg.warmupPasses), &r.run)) {
+                r.cacheHit = true;
+                continue;
+            }
+            pending.push_back(i);
         }
-        pending.push_back(i);
     }
-    if (pending.empty())
+    if (pending.empty()) {
+        // Fully warm sweep: every row is a cache hit, streamed in
+        // point order right here (no captures happen, so the callback
+        // may allocate freely).
+        if (cfg.onRow) {
+            RowOrigin o;
+            o.kind = RowOrigin::Kind::Cache;
+            o.total = results.size();
+            for (size_t i = 0; i < results.size(); ++i) {
+                o.done = i + 1;
+                cfg.onRow(results[i], o);
+            }
+        }
         return results;
+    }
 
     // Phase 1b: group the pending points by capture identity, in
     // first-occurrence order (which is point-index order).
@@ -161,6 +198,43 @@ runSweep(const std::vector<SweepPoint> &points, const SchedulerConfig &cfg)
         std::lock_guard<std::mutex> lock(errMu);
         if (firstError.empty())
             firstError = what;
+    };
+
+    // Row streaming (cfg.onRow): completion states per point, emitted
+    // strictly in point-index order behind an advancing frontier. The
+    // state vector stays EMPTY (disengaged, no allocation) until after
+    // the last capture — workers and the parent merge then mark points
+    // done as units land. Encoding: 0 pending, 1 cache hit, 2 computed
+    // in-process, 3+k merged from shard k-1 (3 = unknown shard).
+    std::mutex rowMu;
+    std::vector<uint16_t> rowState;
+    size_t rowNext = 0;
+    // Emit every ready row at the frontier; call with rowMu held.
+    const auto rowFlush = [&]() {
+        while (rowNext < rowState.size() && rowState[rowNext]) {
+            const uint16_t s = rowState[rowNext];
+            RowOrigin o;
+            o.total = rowState.size();
+            o.done = rowNext + 1;
+            if (s == 1) {
+                o.kind = RowOrigin::Kind::Cache;
+            } else if (s == 2) {
+                o.kind = RowOrigin::Kind::Computed;
+            } else {
+                o.kind = RowOrigin::Kind::Shard;
+                o.shard = int(s) - 4;
+            }
+            cfg.onRow(results[rowNext], o);
+            ++rowNext;
+        }
+    };
+    const auto rowComplete = [&](size_t idx, uint16_t st) {
+        // Shard children skip: their rows surface in the parent merge.
+        if (rowState.empty() || obs::Telemetry::shard() >= 0)
+            return;
+        std::lock_guard<std::mutex> lock(rowMu);
+        rowState[idx] = st;
+        rowFlush();
     };
 
     // Private spill directory for memo-budget evictions, independent
@@ -214,6 +288,7 @@ runSweep(const std::vector<SweepPoint> &points, const SchedulerConfig &cfg)
             if (g.spilled) {
                 // Worker-side reload; worker-arena allocations are
                 // free to happen here (captures are long done).
+                obs::Span reload(obs::Phase::Spill);
                 char path[3328];
                 std::string blob;
                 std::error_code ec;
@@ -226,6 +301,7 @@ runSweep(const std::vector<SweepPoint> &points, const SchedulerConfig &cfg)
                             blob.clear();
                     }
                 }
+                reload.addArg(blob.size());
                 if (blob.empty() ||
                     !trace::PackedTrace::parsePayload(
                         reinterpret_cast<const uint8_t *>(blob.data()),
@@ -237,25 +313,31 @@ runSweep(const std::vector<SweepPoint> &points, const SchedulerConfig &cfg)
             }
             auto sims = sim::simulateTraceMany(*t, g.configs,
                                                cfg.warmupPasses);
-            for (size_t j = 0; j < g.points.size(); ++j) {
-                const size_t idx = g.points[j];
-                const SweepPoint &p = points[idx];
-                SweepResult &r = results[idx];
-                r.run = core::KernelRun{};
-                r.run.mix = g.mix;
-                r.run.sim = std::move(sims[j]);
-                const CacheKey key = keyFor(p, cfg.warmupPasses);
-                if (storeCache)
-                    storeCache->store(key, r.run);
-                // A private shard-transport cache substitutes for a
-                // memory-only session cache; keep the session tier
-                // warm too (dead weight in a shard child, which takes
-                // its copy of the session map to _exit, but exactly
-                // what a threaded run would have stored in the parent
-                // and in parent-side recovery).
-                if (cfg.cache && cfg.cache != storeCache)
-                    cfg.cache->store(key, r.run);
+            {
+                obs::Span publish(obs::Phase::Publish, g.points.size());
+                for (size_t j = 0; j < g.points.size(); ++j) {
+                    const size_t idx = g.points[j];
+                    const SweepPoint &p = points[idx];
+                    SweepResult &r = results[idx];
+                    r.run = core::KernelRun{};
+                    r.run.mix = g.mix;
+                    r.run.sim = std::move(sims[j]);
+                    const CacheKey key = keyFor(p, cfg.warmupPasses);
+                    if (storeCache)
+                        storeCache->store(key, r.run);
+                    // A private shard-transport cache substitutes for
+                    // a memory-only session cache; keep the session
+                    // tier warm too (dead weight in a shard child,
+                    // which takes its copy of the session map to
+                    // _exit, but exactly what a threaded run would
+                    // have stored in the parent and in parent-side
+                    // recovery).
+                    if (cfg.cache && cfg.cache != storeCache)
+                        cfg.cache->store(key, r.run);
+                }
             }
+            for (size_t idx : g.points)
+                rowComplete(idx, 2);
         } catch (const std::exception &e) {
             recordError(e.what());
         }
@@ -273,17 +355,34 @@ runSweep(const std::vector<SweepPoint> &points, const SchedulerConfig &cfg)
     trace::PackedTrace::Scratch packScratch;
     const auto acquireTrace = [&](TraceGroup &g) {
         const SweepPoint &p = points[g.points.front()];
-        trace::PackedTrace t;
-        if (cfg.cache &&
-            cfg.cache->lookupTrace(traceKeyFor(p), &t, &g.mix)) {
-            g.trace = std::make_shared<trace::PackedTrace>(std::move(t));
-            return;
+        {
+            // Packed-trace tier probe (and, on a hit, the disk read);
+            // arg = bytes served. Span guards are malloc-free, so
+            // bracketing the capture window is safe by construction.
+            obs::Span probe(obs::Phase::CacheLookup);
+            trace::PackedTrace t;
+            if (cfg.cache &&
+                cfg.cache->lookupTrace(traceKeyFor(p), &t, &g.mix)) {
+                probe.addArg(t.byteSize());
+                g.trace =
+                    std::make_shared<trace::PackedTrace>(std::move(t));
+                return;
+            }
         }
         auto w = p.spec->make(p.options);
-        core::Runner::captureInto(*w, p.impl, p.vecBits, &captureBuf);
+        {
+            obs::Span capture(obs::Phase::Capture);
+            core::Runner::captureInto(*w, p.impl, p.vecBits,
+                                      &captureBuf);
+            capture.addArg(captureBuf.size());
+        }
         g.mix.addTrace(captureBuf);
-        g.trace = std::make_shared<trace::PackedTrace>(
-            trace::PackedTrace::pack(captureBuf, &packScratch));
+        {
+            obs::Span pack(obs::Phase::Pack);
+            g.trace = std::make_shared<trace::PackedTrace>(
+                trace::PackedTrace::pack(captureBuf, &packScratch));
+            pack.addArg(g.trace->byteSize());
+        }
         if (cfg.cache)
             cfg.cache->storeTrace(traceKeyFor(p), *g.trace, g.mix);
     };
@@ -294,6 +393,7 @@ runSweep(const std::vector<SweepPoint> &points, const SchedulerConfig &cfg)
         TraceGroup &g = groups[gi];
         if (!spillDir[0])
             return false;
+        obs::Span spill(obs::Phase::Spill, g.trace->byteSize());
 #ifdef SWAN_POOL_HAVE_PTHREAD
         if (!spillDirMade) {
             if (::mkdir(spillDir, 0700) != 0 && errno != EEXIST)
@@ -359,6 +459,17 @@ runSweep(const std::vector<SweepPoint> &points, const SchedulerConfig &cfg)
     // freely without touching the capture-time heap layout, which is
     // why no backend state exists any earlier (see sweep/backend.hh).
 
+    // Engage row streaming (allocates — post-capture on purpose) and
+    // drain the leading cache hits.
+    if (cfg.onRow) {
+        rowState.assign(points.size(), 0);
+        for (size_t i = 0; i < points.size(); ++i)
+            if (results[i].cacheHit)
+                rowState[i] = 1;
+        std::lock_guard<std::mutex> lock(rowMu);
+        rowFlush();
+    }
+
     // Resolve the backend: shards > 1 upgrades the default threaded
     // backend to the sharded one; explicit Inline/Sharded always win.
     Backend kind = cfg.backend;
@@ -393,6 +504,23 @@ runSweep(const std::vector<SweepPoint> &points, const SchedulerConfig &cfg)
         }
     }
 
+    // Stamp the run's shape on the active telemetry instance, now
+    // that the backend choice is final.
+    if (obs::Telemetry *t = obs::Telemetry::active()) {
+        obs::RunMeta m;
+        m.points = points.size();
+        m.units = groups.size();
+        m.jobs = jobs;
+        m.shards = kind == Backend::Sharded
+                       ? std::clamp(cfg.shards, 1,
+                                    ShardedBackend::kMaxShards)
+                       : 1;
+        const std::string_view nm = name(kind);
+        std::snprintf(m.backend, sizeof m.backend, "%.*s",
+                      int(nm.size()), nm.data());
+        t->setMeta(m);
+    }
+
     // Content-stable unit identities for cross-process claims: a hash
     // of every point key the unit produces (kernel, impl, width,
     // config and options fingerprints, warm-up) — equal between any
@@ -418,7 +546,7 @@ runSweep(const std::vector<SweepPoint> &points, const SchedulerConfig &cfg)
     // absorbed separately). False when any point is missing; the
     // backend then re-executes the whole unit via executeGroup, which
     // overwrites every point and stores what the dead shard could not.
-    const auto serveGroup = [&](size_t gi) -> bool {
+    const auto serveGroup = [&](size_t gi, int shard) -> bool {
         const TraceGroup &g = groups[gi];
         std::vector<CacheKey> keys;
         keys.reserve(g.points.size());
@@ -436,6 +564,8 @@ runSweep(const std::vector<SweepPoint> &points, const SchedulerConfig &cfg)
             if (cfg.cache && cfg.cache != storeCache)
                 cfg.cache->store(keys[j], r.run);
         }
+        for (size_t idx : g.points)
+            rowComplete(idx, uint16_t(4 + std::max(shard, -1)));
         return true;
     };
 
@@ -460,8 +590,8 @@ runSweep(const std::vector<SweepPoint> &points, const SchedulerConfig &cfg)
         job.token = [](void *a, size_t u) {
             return (*static_cast<const Hooks *>(a)->token)(u);
         };
-        job.serve = [](void *a, size_t u) {
-            return (*static_cast<const Hooks *>(a)->serve)(u);
+        job.serve = [](void *a, size_t u, int shard) {
+            return (*static_cast<const Hooks *>(a)->serve)(u, shard);
         };
         job.shareCache = kind == Backend::Sharded ? storeCache : nullptr;
 
@@ -488,6 +618,19 @@ runSweep(const std::vector<SweepPoint> &points, const SchedulerConfig &cfg)
     // scope — on this thread, in insertion order.
 
     if (privateShare) {
+        // The sharded-run bookkeeping counters (stale-claim sweeps,
+        // crash-recovered units) landed in the private transport
+        // cache; carry them over so the session's stats see them
+        // before the transport directory disappears.
+        if (cfg.cache) {
+            const CacheStats ps = privateShare->stats();
+            if (ps.staleClaimsSwept || ps.recoveredUnits) {
+                CacheStats d;
+                d.staleClaimsSwept = ps.staleClaimsSwept;
+                d.recoveredUnits = ps.recoveredUnits;
+                cfg.cache->absorbStats(d);
+            }
+        }
         privateShare.reset();
         std::error_code ec;
         std::filesystem::remove_all(privateShareDir, ec);
@@ -504,7 +647,12 @@ runSweep(const std::vector<SweepPoint> &points, const SchedulerConfig &cfg)
 std::vector<SweepResult>
 runSweep(const SweepSpec &spec, const SchedulerConfig &cfg, std::string *err)
 {
-    auto points = expand(spec, err);
+    std::vector<SweepPoint> points;
+    {
+        obs::Span span(obs::Phase::GridExpand);
+        points = expand(spec, err);
+        span.addArg(points.size());
+    }
     if (points.empty())
         return {};
     SchedulerConfig c = cfg;

@@ -34,6 +34,8 @@
 #define SWAN_SWEEP_SCHEDULER_HH
 
 #include <cstdint>
+#include <functional>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -52,6 +54,33 @@ struct SweepResult
     core::KernelRun run;
     bool cacheHit = false;  //!< served by the cache, not simulated
 };
+
+/** Where a streamed row's result came from (SchedulerConfig::onRow). */
+struct RowOrigin
+{
+    enum class Kind
+    {
+        Cache,    //!< served by the result cache, not simulated
+        Computed, //!< simulated in this process (any in-process
+                  //!< backend, or sharded crash recovery)
+        Shard,    //!< simulated by shard `shard`, merged by the parent
+    };
+
+    Kind kind = Kind::Computed;
+    int shard = -1;  //!< valid for Kind::Shard; -1 = unknown shard
+    size_t done = 0; //!< rows emitted so far, this one included
+    size_t total = 0;
+};
+
+/** "cache", "computed" or "shard N", for tickers and logs. */
+std::string describe(const RowOrigin &origin);
+
+/**
+ * Row-streaming callback: one finished point, in point-index order.
+ * See SchedulerConfig::onRow for the invocation contract.
+ */
+using RowCallback =
+    std::function<void(const SweepResult &, const RowOrigin &)>;
 
 /** Scheduler knobs. */
 struct SchedulerConfig
@@ -87,6 +116,20 @@ struct SchedulerConfig
      * 0 = unlimited. Defaults to SWAN_TRACE_MEMO_BYTES (bytes).
      */
     uint64_t traceMemoBytes = envTraceMemoBytes();
+
+    /**
+     * Stream every finished row, strictly in point-index order, as
+     * results land (cache hits first, then each computed/merged point
+     * as soon as every lower-indexed point is done). Invoked from
+     * worker threads (or the parent merge thread in a sharded run,
+     * which is also where shard-computed rows surface — never from a
+     * shard child), serialized by the scheduler: implementations need
+     * no locking of their own but must not block for long. The
+     * callback fires strictly after the capture phase, so it may
+     * allocate freely without touching the determinism contract.
+     * Null = no streaming (zero overhead).
+     */
+    RowCallback onRow;
 
     /** Parse SWAN_TRACE_MEMO_BYTES; 0 when unset or unparsable. */
     static uint64_t envTraceMemoBytes();

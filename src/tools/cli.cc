@@ -28,6 +28,7 @@ commands:
   sweep <kernel> --what X      sweep widths (Fig. 5a) or cores (Fig. 4)
   sweep [grid flags]           run a declarative experiment grid on the
                                parallel sweep engine (docs/sweep.md)
+  version                      print the swan version (also --version, -V)
   help                         this text
 
 options:
@@ -56,6 +57,17 @@ sweep grid flags (cartesian product of the axes):
                                output for any shards x jobs combo
                                (accepted by sweep and compare)
   --format table|csv|jsonl     report format (default table)
+  --progress                   stream one line per finished row to
+                               stderr, in deterministic point order,
+                               tagged with its origin (cache, computed,
+                               or shard N)
+  --metrics-out STEM           collect swan::obs telemetry over the
+                               sweep and write STEM.report.json
+                               (per-phase times, throughput, cache and
+                               shard traffic) plus STEM.trace.jsonl
+                               (Chrome trace events — open in Perfetto
+                               or chrome://tracing); results stay
+                               byte-identical (docs/observability.md)
   --cache-dir DIR              on-disk result + packed-trace cache
                                (also honors SWAN_SWEEP_CACHE_DIR);
                                hit/miss counters go to stderr
@@ -69,6 +81,7 @@ environment (defaults only; explicit flags win — docs/api.md):
   SWAN_SHARDS                  default worker processes for sweeps
   SWAN_SWEEP_CACHE_DIR         default --cache-dir
   SWAN_SWEEP_CACHE_MAX_BYTES   default --cache-max-bytes
+  SWAN_METRICS                 default --metrics-out stem
   SWAN_TRACE_MEMO_BYTES        cap the sweep's in-memory packed-trace
                                memo; over-budget traces spill to disk
                                during capture and reload for
@@ -120,6 +133,8 @@ struct Parsed
     std::string cacheDir;
     uint64_t cacheMaxBytes = 0;
     bool cacheMaxBytesSet = false;
+    bool progress = false;
+    std::string metricsOut;
 };
 
 /** Parse the argument vector; returns nullopt (after a message) on error. */
@@ -292,6 +307,13 @@ parse(const std::vector<std::string> &args, std::ostream &err)
             if (!v)
                 return std::nullopt;
             p.cacheDir = *v;
+        } else if (a == "--progress") {
+            p.progress = true;
+        } else if (a == "--metrics-out") {
+            const auto *v = value();
+            if (!v)
+                return std::nullopt;
+            p.metricsOut = *v;
         } else {
             err << "swan: unknown argument '" << a << "'\n";
             return std::nullopt;
@@ -328,6 +350,8 @@ sessionFor(const Parsed &p)
         opts.cacheDir = p.cacheDir;
     if (p.cacheMaxBytesSet)
         opts.cacheMaxBytes = p.cacheMaxBytes;
+    if (!p.metricsOut.empty())
+        opts.metricsOut = p.metricsOut;
     if (p.full)
         opts.workload = core::Options::full();
     return Session(std::move(opts));
@@ -497,11 +521,23 @@ cmdCompare(const Parsed &p, std::ostream &out, std::ostream &err)
     return cmp.verified ? 0 : 1;
 }
 
-/** Execute an experiment; shared by both sweep forms. */
+/** Execute an experiment; shared by both sweep forms. With
+ *  --progress, stream one stderr line per finished row (deterministic
+ *  point order, Experiment::onRow) tagged with the row's origin. */
 Results
-runEngine(const Experiment &experiment, std::ostream &err,
+runEngine(Experiment &experiment, bool progress, std::ostream &err,
           std::string *engineErr)
 {
+    if (progress)
+        experiment.onRow([&err](const sweep::SweepResult &r,
+                                const sweep::RowOrigin &o) {
+            err << "swan: [" << o.done << "/" << o.total << "] "
+                << r.point.spec->info.qualifiedName() << " "
+                << core::name(r.point.impl) << " " << r.point.vecBits
+                << "-bit " << r.point.configName << " "
+                << r.point.workingSetName << " <- " << sweep::describe(o)
+                << "\n";
+        });
     Results results = experiment.run(engineErr);
     if (!results.empty())
         err << "swan: " << results.cacheSummary() << "\n";
@@ -536,7 +572,7 @@ cmdSweepKernel(const Parsed &p, std::ostream &out, std::ostream &err)
                           .vecBits({128, 256, 512, 1024})
                           .config("wider")
                           .workingSet(ws),
-                      err, &gerr);
+                      p.progress, err, &gerr);
         if (results.empty()) {
             err << "swan: " << gerr << "\n";
             return 2;
@@ -568,7 +604,7 @@ cmdSweepKernel(const Parsed &p, std::ostream &out, std::ostream &err)
                       .vecBits({128})
                       .configs({"silver", "gold", "prime"})
                       .workingSet(ws),
-                  err, &gerr);
+                  p.progress, err, &gerr);
     if (results.empty()) {
         err << "swan: " << gerr << "\n";
         return 2;
@@ -623,7 +659,7 @@ cmdSweepGrid(const Parsed &p, std::ostream &out, std::ostream &err)
         experiment.workingSet("full");
 
     std::string gerr;
-    auto results = runEngine(experiment, err, &gerr);
+    auto results = runEngine(experiment, p.progress, err, &gerr);
     if (results.empty()) {
         err << "swan: " << gerr << "\n";
         return 2;
@@ -680,6 +716,11 @@ runCli(const std::vector<std::string> &args, std::ostream &out,
         return 2;
     if (p->command == "help" || p->command == "--help") {
         out << kUsage;
+        return 0;
+    }
+    if (p->command == "version" || p->command == "--version" ||
+        p->command == "-V") {
+        out << "swan " << versionString() << "\n";
         return 0;
     }
     if (p->command == "list")

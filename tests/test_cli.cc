@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include "core/registry.hh"
+#include "swan/version.hh"
 #include "tools/cli.hh"
 
 using swan::tools::runCli;
@@ -55,6 +56,17 @@ TEST(CliUsage, HelpSucceeds)
     auto r = cli({"help"});
     EXPECT_EQ(r.code, 0);
     EXPECT_NE(r.out.find("commands:"), std::string::npos);
+}
+
+TEST(CliUsage, VersionPrintsLibraryVersion)
+{
+    for (const char *spelling : {"version", "--version", "-V"}) {
+        auto r = cli({spelling});
+        EXPECT_EQ(r.code, 0) << spelling;
+        EXPECT_EQ(r.out, std::string("swan ") + swan::versionString() +
+                             "\n")
+            << spelling;
+    }
 }
 
 TEST(CliUsage, UnknownCommandFails)

@@ -1,0 +1,619 @@
+/**
+ * @file
+ * Tests of swan::obs (obs/telemetry.hh, obs/report.hh): the span
+ * registry lifecycle, overflow accounting, report aggregation and the
+ * two built-in sinks — plus the properties the rest of the engine
+ * depends on, checked end-to-end on pinned traces:
+ *
+ *  - emitter output is byte-identical with a collector attached or
+ *    not, across {inline, threaded, sharded} x jobs x shards;
+ *  - the fleet-wide Replay aggregate of a sharded run (parent merge +
+ *    absorbed shard snapshots) equals the threaded run's — shard
+ *    children observe the same work, not a resampling of it;
+ *  - onRow streams every row exactly once, strictly in point-index
+ *    order, with truthful origins, on every backend;
+ *  - crash recovery and stale-claim sweeps surface in CacheStats.
+ *
+ * The registry is process-global, so every test that starts a
+ * collector releases it before returning (ObsFixture enforces this).
+ */
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/report.hh"
+#include "obs/telemetry.hh"
+#include "sweep/backend.hh"
+#include "sweep/cache.hh"
+#include "sweep/emit.hh"
+#include "sweep/scheduler.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define SWAN_TEST_HAVE_FORK 1
+#endif
+
+using namespace swan;
+
+namespace
+{
+
+/** Guard: no test may leak the process-global registry. */
+class ObsFixture : public ::testing::Test
+{
+  protected:
+    void SetUp() override { ASSERT_EQ(obs::Telemetry::instance(), nullptr); }
+    void TearDown() override { obs::Telemetry::release(); }
+};
+
+obs::SpanRec
+rec(obs::Phase phase, uint64_t t0, uint64_t t1, uint64_t arg = 0,
+    int shard = -1)
+{
+    obs::SpanRec r;
+    r.phase = phase;
+    r.t0Ns = t0;
+    r.t1Ns = t1;
+    r.cpuNs = (t1 - t0) / 2;
+    r.arg = arg;
+    r.tid = 7;
+    r.shard = int8_t(shard);
+    return r;
+}
+
+std::string
+slurp(const std::filesystem::path &p)
+{
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+} // namespace
+
+TEST(ObsPhase, NamesAreStableAndDistinct)
+{
+    std::vector<std::string> seen;
+    for (size_t i = 0; i < obs::kPhaseCount; ++i) {
+        const auto n = obs::name(obs::Phase(i));
+        EXPECT_FALSE(n.empty());
+        EXPECT_EQ(std::count(seen.begin(), seen.end(), std::string(n)), 0)
+            << n;
+        seen.emplace_back(n);
+    }
+    EXPECT_EQ(obs::name(obs::Phase::Replay), "replay");
+    EXPECT_EQ(obs::name(obs::Phase::GridExpand), "grid_expand");
+}
+
+TEST_F(ObsFixture, SpanIsInertWithoutACollector)
+{
+    ASSERT_EQ(obs::Telemetry::active(), nullptr);
+    {
+        obs::Span s(obs::Phase::Capture, 123);
+        s.addArg(1);
+    } // must not crash, must record nowhere
+    EXPECT_EQ(obs::Telemetry::active(), nullptr);
+    EXPECT_EQ(obs::Telemetry::instance(), nullptr);
+}
+
+TEST_F(ObsFixture, LifecycleStartStopRelease)
+{
+    ASSERT_TRUE(obs::Telemetry::start(16));
+    EXPECT_FALSE(obs::Telemetry::start(16)) << "second start must refuse";
+    auto *t = obs::Telemetry::active();
+    ASSERT_NE(t, nullptr);
+    EXPECT_EQ(t, obs::Telemetry::instance());
+
+    { obs::Span s(obs::Phase::Pack, 42); }
+    EXPECT_EQ(t->count(), 1u);
+
+    obs::Telemetry::stop();
+    EXPECT_EQ(obs::Telemetry::active(), nullptr);
+    { obs::Span s(obs::Phase::Pack); } // post-stop spans are inert
+    EXPECT_EQ(t->count(), 1u);
+    EXPECT_EQ(obs::Telemetry::instance(), t) << "readable until release";
+
+    const auto snap = t->snapshot();
+    ASSERT_EQ(snap.size(), 1u);
+    EXPECT_EQ(snap[0].phase, obs::Phase::Pack);
+    EXPECT_EQ(snap[0].arg, 42u);
+    EXPECT_GE(snap[0].t1Ns, snap[0].t0Ns);
+
+    obs::Telemetry::release();
+    EXPECT_EQ(obs::Telemetry::instance(), nullptr);
+    ASSERT_TRUE(obs::Telemetry::start(16)) << "fresh start after release";
+}
+
+TEST_F(ObsFixture, NestedSpansRecordInnerFirstWithinOuterWindow)
+{
+    ASSERT_TRUE(obs::Telemetry::start(16));
+    {
+        obs::Span outer(obs::Phase::Sweep);
+        {
+            obs::Span inner(obs::Phase::Replay, 5);
+        }
+    }
+    auto *t = obs::Telemetry::instance();
+    const auto snap = t->snapshot();
+    ASSERT_EQ(snap.size(), 2u);
+    // Guards close at scope exit: the inner span lands first, and its
+    // window nests inside the outer one.
+    EXPECT_EQ(snap[0].phase, obs::Phase::Replay);
+    EXPECT_EQ(snap[1].phase, obs::Phase::Sweep);
+    EXPECT_GE(snap[0].t0Ns, snap[1].t0Ns);
+    EXPECT_LE(snap[0].t1Ns, snap[1].t1Ns);
+}
+
+TEST_F(ObsFixture, OverflowDropsAndCounts)
+{
+    ASSERT_TRUE(obs::Telemetry::start(4));
+    for (int i = 0; i < 10; ++i)
+        obs::Span s(obs::Phase::Publish);
+    auto *t = obs::Telemetry::instance();
+    EXPECT_EQ(t->count(), 4u);
+    EXPECT_EQ(t->dropped(), 6u);
+    EXPECT_EQ(t->snapshot().size(), 4u);
+}
+
+TEST_F(ObsFixture, SnapshotFileRoundTripsWithShardTag)
+{
+    ASSERT_TRUE(obs::Telemetry::start(16));
+    auto *t = obs::Telemetry::instance();
+    t->record(rec(obs::Phase::Capture, 100, 200, 7));
+    // A "child" fences, records, snapshots: only the post-fence record
+    // must cross, and it must come back carrying the child's shard tag.
+    obs::Telemetry::setShard(3);
+    t->record(rec(obs::Phase::Replay, 300, 500, 11));
+    const auto path = std::filesystem::temp_directory_path() /
+                      ("swan_obs_snap_" + std::to_string(::getpid()));
+    ASSERT_TRUE(t->writeSnapshot(path.string().c_str()));
+    obs::Telemetry::setShard(-1);
+
+    const size_t before = t->count();
+    EXPECT_EQ(t->absorbSnapshot(path.string().c_str()), 1u);
+    std::filesystem::remove(path);
+    ASSERT_EQ(t->count(), before + 1);
+    const auto snap = t->snapshot();
+    const auto &back = snap.back();
+    EXPECT_EQ(back.phase, obs::Phase::Replay);
+    EXPECT_EQ(back.t0Ns, 300u);
+    EXPECT_EQ(back.t1Ns, 500u);
+    EXPECT_EQ(back.arg, 11u);
+    EXPECT_EQ(int(back.shard), 3);
+}
+
+TEST(ObsReport, AggregatesPerPhaseAndPerShard)
+{
+    std::vector<obs::SpanRec> records = {
+        rec(obs::Phase::Sweep, 0, 1000),
+        rec(obs::Phase::Replay, 100, 400, 10),
+        rec(obs::Phase::Replay, 200, 300, 30, 0),
+        rec(obs::Phase::Replay, 150, 650, 60, 1),
+    };
+    obs::RunMeta meta;
+    meta.points = 4;
+    meta.units = 2;
+    sweep::CacheStats cache;
+    cache.misses = 4;
+    const auto report = obs::buildReport(records, meta, 9, cache);
+
+    const auto &replay = report.phases[size_t(obs::Phase::Replay)];
+    EXPECT_EQ(replay.count, 3u);
+    EXPECT_EQ(replay.wallNs, 300u + 100u + 500u);
+    EXPECT_EQ(replay.minNs, 100u);
+    EXPECT_EQ(replay.maxNs, 500u);
+    EXPECT_EQ(replay.argTotal, 100u);
+    EXPECT_EQ(report.phases[size_t(obs::Phase::Capture)].count, 0u);
+    EXPECT_EQ(report.droppedSpans, 9u);
+    EXPECT_EQ(report.wallNs, 1000u) << "the Sweep envelope";
+    EXPECT_EQ(report.cache.misses, 4u);
+    // replay throughput = argTotal / wall seconds, in M/s.
+    EXPECT_NEAR(report.replayMinstrPerS(), 100.0 * 1e3 / 900.0, 1e-9);
+
+    // Parent first, then shards ascending; only processes that
+    // recorded appear.
+    ASSERT_EQ(report.shards.size(), 3u);
+    EXPECT_EQ(report.shards[0].shard, -1);
+    EXPECT_EQ(report.shards[1].shard, 0);
+    EXPECT_EQ(report.shards[2].shard, 1);
+    EXPECT_EQ(report.shards[0].phases[size_t(obs::Phase::Replay)].count,
+              1u);
+    EXPECT_EQ(
+        report.shards[2].phases[size_t(obs::Phase::Replay)].argTotal, 60u);
+}
+
+TEST(ObsReport, JsonAndChromeTraceSerializeEveryShard)
+{
+    std::vector<obs::SpanRec> records = {
+        rec(obs::Phase::Sweep, 1000, 3000),
+        rec(obs::Phase::Replay, 1100, 1400, 10, 0),
+        rec(obs::Phase::Replay, 1200, 1300, 30, 1),
+    };
+    obs::RunMeta meta;
+    const auto report =
+        obs::buildReport(records, meta, 0, sweep::CacheStats{});
+
+    std::ostringstream js;
+    obs::writeReportJson(js, report);
+    const std::string j = js.str();
+    EXPECT_NE(j.find("\"swan_obs_version\""), std::string::npos);
+    EXPECT_NE(j.find("\"phase\": \"replay\""), std::string::npos);
+    EXPECT_NE(j.find("\"misses\": 0"), std::string::npos)
+        << "stable spacing: CI greps this";
+    EXPECT_EQ(j.find("\"phase\": \"capture\""), std::string::npos)
+        << "phases with no spans are skipped";
+
+    std::ostringstream ct;
+    obs::writeChromeTrace(ct, records);
+    const std::string c = ct.str();
+    // Parent is pid 1, shard N is pid N + 2; each named once.
+    EXPECT_NE(c.find("\"name\": \"swan parent\""), std::string::npos);
+    EXPECT_NE(c.find("\"name\": \"swan shard 0\""), std::string::npos);
+    EXPECT_NE(c.find("\"name\": \"swan shard 1\""), std::string::npos);
+    EXPECT_NE(c.find("\"pid\": 1"), std::string::npos);
+    EXPECT_NE(c.find("\"pid\": 2"), std::string::npos);
+    EXPECT_NE(c.find("\"pid\": 3"), std::string::npos);
+    // Timestamps are normalized to the earliest t0 (microseconds).
+    EXPECT_NE(c.find("\"ts\": 0.000"), std::string::npos);
+}
+
+TEST_F(ObsFixture, CollectorFeedsSinksAndReleases)
+{
+    const auto dir = std::filesystem::temp_directory_path() /
+                     ("swan_obs_sink_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir);
+
+    obs::Collector collector;
+    ASSERT_TRUE(collector.start(64));
+    EXPECT_TRUE(collector.active());
+    { obs::Span s(obs::Phase::Replay, 1000); }
+    collector.addSink(std::make_unique<obs::ReportSink>(
+        (dir / "r.report.json").string()));
+    collector.addSink(std::make_unique<obs::ChromeTraceSink>(
+        (dir / "r.trace.jsonl").string()));
+    std::string err;
+    EXPECT_TRUE(collector.finish(sweep::CacheStats{}, &err)) << err;
+    EXPECT_EQ(obs::Telemetry::instance(), nullptr) << "finish releases";
+
+    const std::string report = slurp(dir / "r.report.json");
+    EXPECT_NE(report.find("\"phase\": \"replay\""), std::string::npos);
+    const std::string trace = slurp(dir / "r.trace.jsonl");
+    EXPECT_NE(trace.find("\"name\": \"replay\""), std::string::npos);
+    std::filesystem::remove_all(dir);
+}
+
+TEST_F(ObsFixture, CollectorReportsSinkFailure)
+{
+    obs::Collector collector;
+    ASSERT_TRUE(collector.start(64));
+    collector.addSink(std::make_unique<obs::ReportSink>(
+        "/nonexistent-dir-for-swan-obs/x.json"));
+    std::string err;
+    EXPECT_FALSE(collector.finish(sweep::CacheStats{}, &err));
+    EXPECT_FALSE(err.empty());
+}
+
+// ---------------------------------------------------------------------
+// End-to-end properties on pinned traces (the test_sweep_backend.cc
+// fixture recipe: prime the trace tier with a different warm-up count
+// so every compared run actually schedules and simulates).
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+sweep::SweepSpec
+smallGrid()
+{
+    sweep::SweepSpec spec;
+    spec.kernels.names = {"ZL/adler32", "ZL/crc32", "OR/memcpy"};
+    spec.impls = {core::Impl::Scalar, core::Impl::Neon};
+    spec.configs = {"prime", "silver"};
+    spec.workingSets = {"tiny"};
+    return spec;
+}
+
+std::string
+render(const std::vector<sweep::SweepResult> &results)
+{
+    std::ostringstream os;
+    sweep::emitResults(os, results, sweep::Format::JsonLines);
+    return os.str();
+}
+
+class ObsBackendFixture : public ObsFixture
+{
+  protected:
+    void
+    SetUp() override
+    {
+        ObsFixture::SetUp();
+        std::string err;
+        points_ = sweep::expand(smallGrid(), &err);
+        ASSERT_FALSE(points_.empty()) << err;
+        dir_ = std::filesystem::temp_directory_path() /
+               ("swan_obs_backend_" + std::to_string(::getpid()));
+        std::filesystem::remove_all(dir_);
+        sweep::ResultCache prime(dir_.string());
+        sweep::SchedulerConfig sc;
+        sc.cache = &prime;
+        sc.warmupPasses = 2;
+        sweep::runSweep(points_, sc);
+        dropResults();
+    }
+
+    void
+    TearDown() override
+    {
+        std::filesystem::remove_all(dir_);
+        ObsFixture::TearDown();
+    }
+
+    void
+    dropResults()
+    {
+        for (const auto &e : std::filesystem::directory_iterator(dir_))
+            if (e.path().extension() == ".swr")
+                std::filesystem::remove(e.path());
+    }
+
+    struct RunOutcome
+    {
+        std::string emitted;
+        std::vector<obs::SpanRec> spans; //!< empty unless collected
+        obs::RunMeta meta;
+        sweep::CacheStats stats;
+    };
+
+    RunOutcome
+    runWith(sweep::Backend backend, int jobs, int shards, bool collect,
+            sweep::RowCallback on_row = nullptr)
+    {
+        dropResults();
+        RunOutcome out;
+        if (collect) {
+            EXPECT_TRUE(obs::Telemetry::start());
+        }
+        {
+            sweep::ResultCache cache(dir_.string());
+            sweep::SchedulerConfig sc;
+            sc.backend = backend;
+            sc.jobs = jobs;
+            sc.shards = shards;
+            sc.cache = &cache;
+            sc.onRow = std::move(on_row);
+            out.emitted = render(sweep::runSweep(points_, sc));
+            out.stats = cache.stats();
+        }
+        if (collect) {
+            auto *t = obs::Telemetry::instance();
+            obs::Telemetry::stop();
+            out.spans = t->snapshot();
+            out.meta = t->meta();
+            obs::Telemetry::release();
+        }
+        return out;
+    }
+
+    obs::PhaseStats
+    phaseTotal(const std::vector<obs::SpanRec> &spans, obs::Phase phase)
+    {
+        obs::PhaseStats total;
+        for (const auto &r : spans)
+            if (r.phase == phase)
+                total.add(r);
+        return total;
+    }
+
+    std::vector<sweep::SweepPoint> points_;
+    std::filesystem::path dir_;
+};
+
+} // namespace
+
+TEST_F(ObsBackendFixture, CollectionNeverChangesEmitterOutput)
+{
+    const std::string reference =
+        runWith(sweep::Backend::Inline, 1, 1, false).emitted;
+    ASSERT_FALSE(reference.empty());
+
+    EXPECT_EQ(reference,
+              runWith(sweep::Backend::Inline, 1, 1, true).emitted);
+    for (int jobs : {1, 4}) {
+        EXPECT_EQ(reference,
+                  runWith(sweep::Backend::Threaded, jobs, 1, true).emitted)
+            << "threaded jobs=" << jobs;
+    }
+#ifdef SWAN_TEST_HAVE_FORK
+    for (int shards : {2, 3})
+        EXPECT_EQ(reference,
+                  runWith(sweep::Backend::Sharded, 2, shards, true).emitted)
+            << "sharded shards=" << shards;
+#endif
+}
+
+TEST_F(ObsBackendFixture, ThreadedRunRecordsTheWholePipeline)
+{
+    const auto run = runWith(sweep::Backend::Threaded, 2, 1, true);
+    ASSERT_FALSE(run.spans.empty());
+    EXPECT_EQ(phaseTotal(run.spans, obs::Phase::Sweep).count, 1u);
+    // 6 pinned trace groups: 6 disk probes (hits), 6 fused replays, 6
+    // publishes — and zero captures or packs.
+    EXPECT_EQ(phaseTotal(run.spans, obs::Phase::Replay).count, 6u);
+    EXPECT_EQ(phaseTotal(run.spans, obs::Phase::Publish).count, 6u);
+    EXPECT_GT(phaseTotal(run.spans, obs::Phase::Replay).argTotal, 0u);
+    EXPECT_EQ(phaseTotal(run.spans, obs::Phase::Capture).count, 0u);
+    EXPECT_EQ(phaseTotal(run.spans, obs::Phase::Pack).count, 0u);
+    EXPECT_EQ(std::string(run.meta.backend), "threaded");
+    EXPECT_EQ(run.meta.points, points_.size());
+    EXPECT_EQ(run.meta.units, 6u);
+    EXPECT_EQ(run.meta.jobs, 2);
+    EXPECT_EQ(run.meta.shards, 1);
+}
+
+TEST_F(ObsBackendFixture, ColdRunRecordsCaptureAndPack)
+{
+    // A second cache dir with no pinned traces: the capture window
+    // itself must be spanned (malloc-free guards make that legal).
+    const auto cold = std::filesystem::temp_directory_path() /
+                      ("swan_obs_cold_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(cold);
+    ASSERT_TRUE(obs::Telemetry::start());
+    {
+        sweep::ResultCache cache(cold.string());
+        sweep::SchedulerConfig sc;
+        sc.cache = &cache;
+        sweep::runSweep(points_, sc);
+    }
+    auto *t = obs::Telemetry::instance();
+    obs::Telemetry::stop();
+    const auto spans = t->snapshot();
+    obs::Telemetry::release();
+    std::filesystem::remove_all(cold);
+
+    EXPECT_EQ(phaseTotal(spans, obs::Phase::Capture).count, 6u);
+    EXPECT_EQ(phaseTotal(spans, obs::Phase::Pack).count, 6u);
+    EXPECT_GT(phaseTotal(spans, obs::Phase::Capture).argTotal, 0u)
+        << "arg = instructions captured";
+}
+
+#ifdef SWAN_TEST_HAVE_FORK
+
+TEST_F(ObsBackendFixture, ShardedFleetAggregateEqualsThreadedTotals)
+{
+    const auto threaded = runWith(sweep::Backend::Threaded, 2, 1, true);
+    const auto sharded = runWith(sweep::Backend::Sharded, 2, 2, true);
+    ASSERT_EQ(threaded.emitted, sharded.emitted);
+
+    // Same fleet-wide work: every unit replayed and published exactly
+    // once somewhere, and the instruction-step payload is identical.
+    const auto tr = phaseTotal(threaded.spans, obs::Phase::Replay);
+    const auto sr = phaseTotal(sharded.spans, obs::Phase::Replay);
+    EXPECT_EQ(sr.count, tr.count);
+    EXPECT_EQ(sr.argTotal, tr.argTotal);
+    EXPECT_EQ(phaseTotal(sharded.spans, obs::Phase::Publish).count,
+              phaseTotal(threaded.spans, obs::Phase::Publish).count);
+
+    // Every shard contributed at least its lifetime envelope, so a
+    // Perfetto load of this run shows every process.
+    EXPECT_EQ(phaseTotal(sharded.spans, obs::Phase::Shard).count, 2u);
+    bool saw0 = false, saw1 = false;
+    for (const auto &r : sharded.spans) {
+        saw0 = saw0 || r.shard == 0;
+        saw1 = saw1 || r.shard == 1;
+        if (r.shard >= 0) {
+            EXPECT_NE(r.phase, obs::Phase::Merge)
+                << "merging is parent work";
+        }
+    }
+    EXPECT_TRUE(saw0);
+    EXPECT_TRUE(saw1);
+    EXPECT_EQ(phaseTotal(sharded.spans, obs::Phase::Merge).count, 1u);
+    EXPECT_EQ(std::string(sharded.meta.backend), "sharded");
+    EXPECT_EQ(sharded.meta.shards, 2);
+}
+
+TEST_F(ObsBackendFixture, CrashRecoveryIsCountedAndSpanned)
+{
+    const std::string reference =
+        runWith(sweep::Backend::Inline, 1, 1, false).emitted;
+    ASSERT_EQ(::setenv("SWAN_SHARD_TEST_CRASH", "0", 1), 0);
+    const auto run = runWith(sweep::Backend::Sharded, 2, 2, true);
+    ASSERT_EQ(::unsetenv("SWAN_SHARD_TEST_CRASH"), 0);
+
+    EXPECT_EQ(reference, run.emitted);
+    EXPECT_GT(run.stats.recoveredUnits, 0u);
+    EXPECT_EQ(phaseTotal(run.spans, obs::Phase::Recovery).count, 1u);
+    EXPECT_EQ(phaseTotal(run.spans, obs::Phase::Recovery).argTotal,
+              run.stats.recoveredUnits);
+}
+
+TEST_F(ObsBackendFixture, StaleClaimSweepsAreCounted)
+{
+    const auto stale = dir_ / "c0123456789abcdef-00000000deadbeef.claim";
+    std::ofstream(stale) << "pid 999999999\nshard 0\n";
+    const auto run = runWith(sweep::Backend::Sharded, 1, 2, false);
+    ASSERT_FALSE(run.emitted.empty());
+    EXPECT_FALSE(std::filesystem::exists(stale));
+    EXPECT_EQ(run.stats.staleClaimsSwept, 1u);
+}
+
+#endif // SWAN_TEST_HAVE_FORK
+
+TEST_F(ObsBackendFixture, OnRowStreamsEveryRowInPointOrder)
+{
+    struct Seen
+    {
+        size_t index;
+        sweep::RowOrigin::Kind kind;
+        int shard;
+    };
+    const auto collect = [&](std::vector<Seen> *seen) {
+        return [seen](const sweep::SweepResult &r,
+                      const sweep::RowOrigin &o) {
+            seen->push_back({r.point.index, o.kind, o.shard});
+            EXPECT_EQ(o.done, seen->size());
+            EXPECT_EQ(o.total, 0u + 12u);
+        };
+    };
+
+    // Cold-cache path: every row computed in-process.
+    std::vector<Seen> computed;
+    runWith(sweep::Backend::Threaded, 4, 1, false, collect(&computed));
+    ASSERT_EQ(computed.size(), points_.size());
+    for (size_t i = 0; i < computed.size(); ++i) {
+        EXPECT_EQ(computed[i].index, i);
+        EXPECT_EQ(computed[i].kind, sweep::RowOrigin::Kind::Computed);
+    }
+
+    // Fully-warm path: the previous run stored every result, so now
+    // every row streams as a cache hit (runWith drops results first,
+    // so re-prime by running once more without dropping).
+    {
+        sweep::ResultCache cache(dir_.string());
+        sweep::SchedulerConfig sc;
+        sc.cache = &cache;
+        sweep::runSweep(points_, sc);
+        std::vector<Seen> warm;
+        sc.onRow = collect(&warm);
+        sweep::runSweep(points_, sc);
+        ASSERT_EQ(warm.size(), points_.size());
+        for (size_t i = 0; i < warm.size(); ++i) {
+            EXPECT_EQ(warm[i].index, i);
+            EXPECT_EQ(warm[i].kind, sweep::RowOrigin::Kind::Cache);
+        }
+    }
+
+#ifdef SWAN_TEST_HAVE_FORK
+    // Sharded: rows surface from the parent merge, tagged with the
+    // publishing shard; order stays point order.
+    std::vector<Seen> merged;
+    runWith(sweep::Backend::Sharded, 2, 2, false, collect(&merged));
+    ASSERT_EQ(merged.size(), points_.size());
+    bool anyShard = false;
+    for (size_t i = 0; i < merged.size(); ++i) {
+        EXPECT_EQ(merged[i].index, i);
+        if (merged[i].kind == sweep::RowOrigin::Kind::Shard) {
+            anyShard = true;
+            EXPECT_GE(merged[i].shard, 0);
+            EXPECT_LT(merged[i].shard, 2);
+        }
+    }
+    EXPECT_TRUE(anyShard);
+#endif
+
+    const sweep::RowOrigin cacheOrigin{sweep::RowOrigin::Kind::Cache};
+    EXPECT_EQ(sweep::describe(cacheOrigin), "cache");
+    sweep::RowOrigin shardOrigin;
+    shardOrigin.kind = sweep::RowOrigin::Kind::Shard;
+    shardOrigin.shard = 2;
+    EXPECT_EQ(sweep::describe(shardOrigin), "shard 2");
+}

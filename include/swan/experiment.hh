@@ -68,6 +68,25 @@ class Experiment
     /** Override the session's cache warm-up passes for this grid. */
     Experiment &warmupPasses(int passes);
 
+    // --- fault axis ------------------------------------------------------
+    /**
+     * Fault-injection scenarios as a sweep axis, one grid point per
+     * entry per (kernel, width, config, working set) combination. Each
+     * entry is a `scenario[:key=value]...` spec — "none",
+     * "dram-spike:seed=7:intensity=16", "cache-flush", ... (catalog:
+     * swan/faults.hh or `swan sweep --faults=help`). Faults perturb
+     * replay only, never capture, so faulted points share the clean
+     * points' captured traces but never their cached results; identical
+     * seeds give byte-identical results on every backend. Empty (the
+     * default) inherits SessionOptions::faults; the session default
+     * empty too = clean simulation only.
+     */
+    Experiment &faults(std::vector<std::string> scenarios);
+    /** Append one fault scenario to the axis. */
+    Experiment &fault(std::string scenario);
+    /** Alias of faults(), mirroring SessionOptions::withFaults. */
+    Experiment &withFaults(std::vector<std::string> scenarios);
+
     // --- streaming -----------------------------------------------------
     /**
      * Stream every finished row as results land, strictly in the

@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Public surface: fault-injection scenarios and the replay payload
+ * seam. Re-exports sim::FaultSpec / sim::FaultObserver / the
+ * sim::ReplayObserver observer API (via sim/core_model.hh) for
+ * embedders that attach custom payloads or build fault sweeps
+ * programmatically — most users only need the string axis on
+ * swan::Experiment::faults() / SessionOptions::withFaults() /
+ * `swan sweep --faults`. See docs/faults.md.
+ */
+
+#ifndef SWAN_PUBLIC_FAULTS_HH
+#define SWAN_PUBLIC_FAULTS_HH
+
+#include "sim/faults.hh"
+
+#endif // SWAN_PUBLIC_FAULTS_HH

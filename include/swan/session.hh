@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/options.hh"
 #include "core/runner.hh"
@@ -92,6 +93,24 @@ struct SessionOptions
      *  0 = unbounded. [env: SWAN_SWEEP_CACHE_MAX_BYTES] */
     uint64_t cacheMaxBytes = 0;
 
+    /**
+     * Sharded-run deadline watchdog: kill shard processes that make no
+     * observable progress (no share-directory change) for this many
+     * milliseconds; their claimed units are recovered by the parent
+     * through the ordinary bit-identical crash path. 0 = wait forever.
+     * [env: SWAN_SHARD_TIMEOUT_MS]
+     */
+    uint64_t shardTimeoutMs = 0;
+
+    /**
+     * Default fault-scenario axis for Experiments run through this
+     * session (each `scenario[:key=value]...` string is one sweep-axis
+     * value — see swan/faults.hh and `swan sweep --faults=help`).
+     * Empty = clean simulation only. An Experiment's own faults() axis
+     * overrides this entirely.
+     */
+    std::vector<std::string> faults;
+
     /** Workload input sizes for single-point runs (Session::run /
      *  Session::compare) and anywhere else a driver needs a concrete
      *  problem size. [env: SWAN_FULL / SWAN_FAST via
@@ -154,6 +173,18 @@ struct SessionOptions
         return *this;
     }
     SessionOptions &
+    withShardTimeoutMs(uint64_t ms)
+    {
+        shardTimeoutMs = ms;
+        return *this;
+    }
+    SessionOptions &
+    withFaults(std::vector<std::string> scenarios)
+    {
+        faults = std::move(scenarios);
+        return *this;
+    }
+    SessionOptions &
     withWorkload(core::Options opts)
     {
         workload = opts;
@@ -188,9 +219,9 @@ class Session
 
     /**
      * The SWAN_* environment overlaid on the library defaults:
-     * SWAN_JOBS, SWAN_SHARDS, SWAN_TRACE_MEMO_BYTES,
-     * SWAN_SWEEP_CACHE_DIR, SWAN_SWEEP_CACHE_MAX_BYTES,
-     * SWAN_METRICS. Unset,
+     * SWAN_JOBS, SWAN_SHARDS, SWAN_SHARD_TIMEOUT_MS,
+     * SWAN_TRACE_MEMO_BYTES, SWAN_SWEEP_CACHE_DIR,
+     * SWAN_SWEEP_CACHE_MAX_BYTES, SWAN_METRICS. Unset,
      * unparsable or (for SWAN_JOBS / SWAN_SHARDS) non-positive values
      * leave the built-in default untouched: all-cores fan-out is an
      * explicit option (jobs <= 0), never an ambient environment one.

@@ -16,7 +16,7 @@
  *   swan/report.hh      tables and number formatting
  *
  * Domain extras, included separately where needed: swan/gpu.hh,
- * swan/autovec.hh, swan/workloads.hh, swan/simd.hh.
+ * swan/autovec.hh, swan/workloads.hh, swan/simd.hh, swan/faults.hh.
  */
 
 #ifndef SWAN_SWAN_HH

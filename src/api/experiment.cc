@@ -14,6 +14,7 @@ namespace swan
 Experiment::Experiment(Session &session) : session_(&session)
 {
     spec_.warmupPasses = session.options().warmupPasses;
+    spec_.faults = session.options().faults;
 }
 
 Experiment &
@@ -105,6 +106,26 @@ Experiment::warmupPasses(int passes)
 {
     spec_.warmupPasses = passes;
     return *this;
+}
+
+Experiment &
+Experiment::faults(std::vector<std::string> scenarios)
+{
+    spec_.faults = std::move(scenarios);
+    return *this;
+}
+
+Experiment &
+Experiment::fault(std::string scenario)
+{
+    spec_.faults.push_back(std::move(scenario));
+    return *this;
+}
+
+Experiment &
+Experiment::withFaults(std::vector<std::string> scenarios)
+{
+    return faults(std::move(scenarios));
 }
 
 Experiment &

@@ -46,6 +46,9 @@ Session::envDefaults()
     o.shards = envInt("SWAN_SHARDS", o.shards);
     if (o.shards > sweep::ShardedBackend::kMaxShards)
         o.shards = sweep::ShardedBackend::kMaxShards;
+    if (uint64_t ms = 0;
+        sweep::parseByteCount(std::getenv("SWAN_SHARD_TIMEOUT_MS"), &ms))
+        o.shardTimeoutMs = ms;
     o.traceMemoBytes = sweep::SchedulerConfig::envTraceMemoBytes();
     o.cacheDir = sweep::ResultCache::envDiskDir();
     o.cacheMaxBytes = sweep::ResultCache::envMaxDiskBytes();
@@ -98,6 +101,7 @@ Session::schedulerConfig() const
     sc.cache = &cache_;
     sc.warmupPasses = opts_.warmupPasses;
     sc.traceMemoBytes = opts_.traceMemoBytes;
+    sc.shardTimeoutMs = opts_.shardTimeoutMs;
     return sc;
 }
 

@@ -74,12 +74,14 @@ RunReport::replayMinstrPerS() const
 
 RunReport
 buildReport(const std::vector<SpanRec> &records, const RunMeta &meta,
-            uint64_t dropped_spans, const sweep::CacheStats &cache)
+            uint64_t dropped_spans, const sweep::CacheStats &cache,
+            uint64_t corrupt_snapshots)
 {
     RunReport rep;
     rep.meta = meta;
     rep.cache = cache;
     rep.droppedSpans = dropped_spans;
+    rep.corruptSnapshots = corrupt_snapshots;
 
     std::map<int, std::array<PhaseStats, kPhaseCount>> byShard;
     for (const SpanRec &r : records) {
@@ -113,6 +115,7 @@ writeReportJson(std::ostream &os, const RunReport &rep)
        << rep.meta.backend << "\"},\n";
     os << "  \"wall_ns\": " << rep.wallNs << ",\n";
     os << "  \"dropped_spans\": " << rep.droppedSpans << ",\n";
+    os << "  \"corrupt_obsnaps\": " << rep.corruptSnapshots << ",\n";
     char rate[64];
     std::snprintf(rate, sizeof rate, "%.3f", rep.replayMinstrPerS());
     os << "  \"replay_minstr_per_s\": " << rate << ",\n";
@@ -133,6 +136,7 @@ writeReportJson(std::ostream &os, const RunReport &rep)
        << c.traceHits << ", \"trace_misses\": " << c.traceMisses
        << ", \"trace_stores\": " << c.traceStores
        << ", \"evictions\": " << c.evictions
+       << ", \"corrupt_quarantined\": " << c.corruptEntriesQuarantined
        << ", \"stale_claims_swept\": " << c.staleClaimsSwept
        << ", \"recovered_units\": " << c.recoveredUnits << "}\n";
     os << "}\n";
@@ -259,7 +263,8 @@ Collector::finish(const sweep::CacheStats &cache, std::string *err)
     if (t) {
         const std::vector<SpanRec> records = t->snapshot();
         const RunReport rep =
-            buildReport(records, t->meta(), t->dropped(), cache);
+            buildReport(records, t->meta(), t->dropped(), cache,
+                        t->corruptSnapshots());
         for (auto &sink : sinks_) {
             std::string serr;
             if (!sink->consume(rep, records, &serr)) {

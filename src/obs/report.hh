@@ -64,6 +64,10 @@ struct RunReport
 
     sweep::CacheStats cache; //!< fleet-wide (absorbed) cache counters
     uint64_t droppedSpans = 0;
+    /** Shard snapshot files rejected as corrupt at merge time (see
+     *  Telemetry::corruptSnapshots); their shards appear in the
+     *  report with no telemetry, like crashed shards. */
+    uint64_t corruptSnapshots = 0;
     uint64_t wallNs = 0; //!< the Sweep envelope's wall time
 
     /** Fused-replay throughput over the whole fleet, in millions of
@@ -74,7 +78,8 @@ struct RunReport
 
 RunReport buildReport(const std::vector<SpanRec> &records,
                       const RunMeta &meta, uint64_t dropped_spans,
-                      const sweep::CacheStats &cache);
+                      const sweep::CacheStats &cache,
+                      uint64_t corrupt_snapshots = 0);
 
 /** Serialize @p report as the stable run-report JSON object. */
 void writeReportJson(std::ostream &os, const RunReport &report);

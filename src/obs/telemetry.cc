@@ -238,25 +238,40 @@ Telemetry::writeSnapshot(const char *path) const
 size_t
 Telemetry::absorbSnapshot(const char *path)
 {
+    // A missing snapshot is an expected outcome (a crashed shard, or
+    // one forked before the collector started): silent zero. Only a
+    // file that exists but cannot be parsed end-to-end is corrupt.
     std::ifstream in(path);
+    if (!in.is_open())
+        return 0;
+    const auto corrupt = [this] {
+        corruptSnapshots_.fetch_add(1, std::memory_order_relaxed);
+        return size_t(0);
+    };
     std::string tag;
     long pid = 0;
     int shard = -1;
     size_t n = 0;
     if (!(in >> tag >> pid) || tag != "pid")
-        return 0;
-    if (!(in >> tag >> shard) || tag != "shard")
-        return 0;
+        return corrupt();
+    if (!(in >> tag >> shard) || tag != "shard" || shard < -1 ||
+        shard > 127)
+        return corrupt();
     if (!(in >> tag >> n) || tag != "count")
-        return 0;
-    size_t absorbed = 0;
+        return corrupt();
+    // Validate the whole payload before recording any of it: a
+    // truncated or garbage snapshot absorbs NOTHING — half a shard's
+    // spans would silently skew every phase total in the report — and
+    // the fleet merge proceeds as if the shard had crashed.
+    std::vector<SpanRec> recs;
+    recs.reserve(std::min(n, cap_));
     for (size_t i = 0; i < n; ++i) {
         unsigned phase = 0, tid = 0;
         unsigned long long t0 = 0, t1 = 0, cpu = 0, arg = 0;
         if (!(in >> phase >> t0 >> t1 >> cpu >> arg >> tid))
-            break;
+            return corrupt();
         if (phase >= kPhaseCount)
-            continue;
+            continue; // a newer writer's phase: skip, stay compatible
         SpanRec r;
         r.phase = Phase(phase);
         r.t0Ns = t0;
@@ -265,10 +280,11 @@ Telemetry::absorbSnapshot(const char *path)
         r.arg = arg;
         r.tid = uint32_t(tid);
         r.shard = int8_t(shard);
-        record(r);
-        ++absorbed;
+        recs.push_back(r);
     }
-    return absorbed;
+    for (const SpanRec &r : recs)
+        record(r);
+    return recs.size();
 }
 
 uint64_t

@@ -166,11 +166,23 @@ class Telemetry
 
     /**
      * Parent-side: read a child snapshot and append its records to
-     * this instance (shard tag taken from the file header). Returns
-     * records absorbed, 0 on a missing/corrupt file (a crashed shard
-     * degrades to missing telemetry, never to an error).
+     * this instance (shard tag taken from the file header). The whole
+     * payload is parsed and validated first — a snapshot that exists
+     * but is garbage or truncated (a killed shard mid-write, a bad
+     * sector) absorbs NOTHING and bumps corruptSnapshots(), exactly
+     * like a crashed shard's missing file; a half-absorbed snapshot
+     * would silently skew every phase total. Returns records absorbed,
+     * 0 on a missing or corrupt file — never an error.
      */
     size_t absorbSnapshot(const char *path);
+
+    /** Snapshot files absorbSnapshot() rejected as corrupt (existing
+     *  but unparseable end-to-end); surfaced in the run report. */
+    uint64_t
+    corruptSnapshots() const
+    {
+        return corruptSnapshots_.load(std::memory_order_relaxed);
+    }
 
     /** CLOCK_MONOTONIC, nanoseconds. */
     static uint64_t nowNs();
@@ -191,6 +203,7 @@ class Telemetry
 
     std::atomic<size_t> n_{0};
     std::atomic<uint64_t> dropped_{0};
+    std::atomic<uint64_t> corruptSnapshots_{0};
     size_t cap_;
     size_t mapBytes_;
     SpanRec *buf_;

@@ -78,6 +78,22 @@ class Cache
     int lineBytes() const { return cfg_.lineBytes; }
     int latency() const { return cfg_.latency; }
 
+    /**
+     * Invalidate every line without touching the access/miss counters
+     * or the LRU clock. Fault-injection actuator: a cache-flush storm
+     * (sim::ReplayObserver payload) models an adversarial context
+     * switch / cache-maintenance burst, so subsequent accesses re-miss
+     * and the re-fill traffic shows up in the normal statistics.
+     */
+    void
+    flushAll()
+    {
+        for (Line &l : lines_) {
+            l.valid = false;
+            l.dirty = false;
+        }
+    }
+
   private:
     struct Line
     {
@@ -174,6 +190,24 @@ class MemHierarchy
     const Cache &l1() const { return l1_; }
     const Cache &l2() const { return l2_; }
     const Cache &llc() const { return llc_; }
+
+    /**
+     * Fault-injection actuators (see sim/faults.hh). dram() exposes
+     * the mutable DRAM model so payloads can retime it mid-replay;
+     * flushCaches() invalidates all three levels at once. Statistics
+     * are deliberately untouched — a fault perturbs *state*, and its
+     * cost surfaces through the ordinary miss/traffic counters.
+     */
+    Dram &dram() { return dram_; }
+    const Dram &dram() const { return dram_; }
+    void
+    flushCaches()
+    {
+        l1_.flushAll();
+        l2_.flushAll();
+        llc_.flushAll();
+    }
+
     uint64_t dramReads() const { return dramReads_; }
     uint64_t dramWrites() const { return dramWrites_; }
     uint64_t dramAccesses() const { return dramReads_ + dramWrites_; }

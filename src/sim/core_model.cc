@@ -426,9 +426,73 @@ CoreModel::finish()
     return r;
 }
 
+ReplayObserver::~ReplayObserver() = default;
+
 void
-replay(const trace::PackedTrace &trace,
-       std::span<CoreModel *const> models)
+ReplayObserver::begin(std::span<CoreModel *const>)
+{
+}
+
+uint64_t
+ReplayObserver::nextBoundary(uint64_t)
+{
+    return kNoBoundary;
+}
+
+void
+ReplayObserver::atBoundary(uint64_t, std::span<CoreModel *const>)
+{
+}
+
+void
+ReplayObserver::end(uint64_t, std::span<CoreModel *const>)
+{
+}
+
+uint32_t
+ReplayObserver::elemClamp() const
+{
+    return 0;
+}
+
+uint64_t
+ReplayObserver::dramLatency(const CoreModel &m)
+{
+    return m.mem_.dram().latency();
+}
+
+void
+ReplayObserver::setDramLatency(CoreModel &m, uint64_t latency_cycles)
+{
+    m.mem_.dram().setLatency(latency_cycles);
+}
+
+void
+ReplayObserver::flushCaches(CoreModel &m)
+{
+    m.mem_.flushCaches();
+}
+
+double
+ReplayObserver::branchMispredictRate(const CoreModel &m)
+{
+    return m.cfg_.branchMispredictRate;
+}
+
+void
+ReplayObserver::setBranchMispredictRate(CoreModel &m, double rate)
+{
+    m.cfg_.branchMispredictRate = rate;
+    m.st_.branchCountdown = mispredictInterval(m.cfg_);
+}
+
+namespace detail
+{
+
+template <bool HasObserver>
+void
+replayWith(const trace::PackedTrace &trace,
+           std::span<CoreModel *const> models, ReplayObserver *payload)
 {
     if (models.empty())
         return;
@@ -507,15 +571,39 @@ replay(const trace::PackedTrace &trace,
     // trace::Instr is ever materialized: the batch holds predigested
     // StepIn operands, built once for all configurations, where the
     // Sink path re-derives them per model per instruction.
+    // Observer bookkeeping: the traversal position (instructions
+    // stepped so far) and the next boundary the payload asked for.
+    // Both exist only in the HasObserver instantiation — every use is
+    // behind if constexpr, so the observer-free replay() stays the
+    // exact historic loop.
+    [[maybe_unused]] uint64_t pos = 0;
+    [[maybe_unused]] uint64_t boundary = ReplayObserver::kNoBoundary;
+    if constexpr (HasObserver) {
+        payload->begin(models);
+        boundary = payload->nextBoundary(0);
+    }
+
     constexpr size_t kBatch = 4 * trace::PackedTrace::kBlockInstrs;
     CoreModel::StepIn batch[kBatch];
     trace::PackedTrace::Cursor cur(trace);
     trace::PackedTrace::Decoded d;
     while (true) {
+        size_t cap = kBatch;
+        [[maybe_unused]] uint32_t clamp = 0;
+        if constexpr (HasObserver) {
+            // Never step across a requested boundary: cap the batch so
+            // the callback fires exactly when pos reaches it (a stale
+            // boundary at or before pos degrades to single stepping).
+            if (boundary != ReplayObserver::kNoBoundary) {
+                const uint64_t room = boundary > pos ? boundary - pos : 1;
+                cap = size_t(std::min<uint64_t>(cap, room));
+            }
+            clamp = payload->elemClamp();
+        }
         size_t nb = 0;
         uint64_t prevId = 0;
         bool mono = true;
-        while (nb < kBatch && cur.next(d)) {
+        while (nb < cap && cur.next(d)) {
             // Identity fields from the decoder's registers; the shape
             // tail (size/stride/occupancy/flags) is one 16-byte copy
             // from the descriptor prototype.
@@ -529,6 +617,28 @@ replay(const trace::PackedTrace &trace,
             std::memcpy(&in.size, &proto[d.desc].size,
                         sizeof(CoreModel::StepIn) -
                             offsetof(CoreModel::StepIn, size));
+            if constexpr (HasObserver) {
+                // Firstfault-style partial progress: truncate a
+                // multi-element access to a prefix of its lanes,
+                // keeping the per-element footprint and stride
+                // invariant (addr2 is re-derived so the implied
+                // stride survives the element-count change).
+                if (clamp && (in.flags & CoreModel::kFlagMulti) &&
+                    uint32_t(in.elems) > clamp) {
+                    const uint32_t oldElems = in.elems;
+                    const uint32_t elemBytes =
+                        std::max<uint32_t>(in.size / oldElems, 1);
+                    if (in.elemStride == 0 && oldElems > 1) {
+                        const int64_t stride =
+                            (int64_t(in.addr2) - int64_t(in.addr)) /
+                            int64_t(oldElems - 1);
+                        in.addr2 = uint64_t(int64_t(in.addr) +
+                                            stride * int64_t(clamp - 1));
+                    }
+                    in.elems = uint8_t(clamp);
+                    in.size = elemBytes * clamp;
+                }
+            }
             mono = mono && d.id > prevId;
             prevId = d.id;
         }
@@ -544,12 +654,52 @@ replay(const trace::PackedTrace &trace,
             (noRestart ? l.fnMono : l.fnChecked)(*l.model, l.st,
                                                  l.frontier, batch, nb);
         }
+        if constexpr (HasObserver) {
+            pos += nb;
+            if (boundary != ReplayObserver::kNoBoundary &&
+                pos >= boundary) {
+                // Sync the register-resident lane state into the
+                // models so the payload sees (and may perturb)
+                // architectural state, then reload it.
+                for (size_t i = 0; i < nm; ++i)
+                    lanes[i].model->st_ = lanes[i].st;
+                payload->atBoundary(pos, models);
+                for (size_t i = 0; i < nm; ++i)
+                    lanes[i].st = lanes[i].model->st_;
+                boundary = payload->nextBoundary(pos);
+            }
+        }
     }
     for (size_t i = 0; i < nm; ++i)
         lanes[i].model->st_ = lanes[i].st;
+    if constexpr (HasObserver)
+        payload->end(pos, models);
     if (!cur.ok())
         throw std::runtime_error(
             "swan: malformed packed trace rejected by fused replay");
+}
+
+template void replayWith<false>(const trace::PackedTrace &,
+                                std::span<CoreModel *const>,
+                                ReplayObserver *);
+template void replayWith<true>(const trace::PackedTrace &,
+                               std::span<CoreModel *const>,
+                               ReplayObserver *);
+
+} // namespace detail
+
+void
+replay(const trace::PackedTrace &trace,
+       std::span<CoreModel *const> models)
+{
+    detail::replayWith<false>(trace, models, nullptr);
+}
+
+void
+replay(const trace::PackedTrace &trace, std::span<CoreModel *const> models,
+       ReplayObserver &payload)
+{
+    detail::replayWith<true>(trace, models, &payload);
 }
 
 namespace

@@ -74,6 +74,98 @@ class CoreModel;
 void replay(const trace::PackedTrace &trace,
             std::span<CoreModel *const> models);
 
+/**
+ * Payload seam on the fused replay engine: a ReplayObserver rides the
+ * single decode pass and is called back at *instruction boundaries* it
+ * chooses, without the engine paying anything when no observer is
+ * attached — the observer-free replay() above compiles to the exact
+ * loop it always was (the driver is a template on the presence of the
+ * payload, and the empty instantiation is bit-identical; the
+ * BENCH_sim_replay.json fused-over-block gates enforce it).
+ *
+ * Protocol, per traversal of replay(trace, models, payload):
+ *  - begin(models) once, before any instruction is decoded;
+ *  - nextBoundary(pos) returns the next instruction index (relative to
+ *    this traversal; the first instruction is index 0, so "boundary b"
+ *    fires after b instructions have been stepped) at which the
+ *    observer wants control, or kNoBoundary for "never". The engine
+ *    caps its decode batches so it never steps across a boundary;
+ *    boundaries at or before pos are treated as pos + 1.
+ *  - atBoundary(pos, models) runs with every model's architectural
+ *    state synced (the engine writes its register-resident per-lane
+ *    state back to the models first, and reloads it after), so the
+ *    observer may freely inspect or perturb the models;
+ *  - end(total, models) once, after the last instruction, state synced.
+ *
+ * Observers derive from this class; the protected statics below are
+ * the *actuators* — the only sanctioned channel for perturbing a model
+ * mid-replay (ReplayObserver is a friend of CoreModel so payloads
+ * never grow ad-hoc friendships). sim/faults.hh builds the
+ * fault-injection scenario family on exactly this surface.
+ */
+class ReplayObserver
+{
+  public:
+    /** Sentinel for nextBoundary(): no further callbacks wanted. */
+    static constexpr uint64_t kNoBoundary = ~uint64_t(0);
+
+    virtual ~ReplayObserver();
+
+    /** Traversal start; default does nothing. */
+    virtual void begin(std::span<CoreModel *const> models);
+
+    /** Next instruction boundary wanted; default kNoBoundary. */
+    virtual uint64_t nextBoundary(uint64_t pos);
+
+    /** Control at a requested boundary; default does nothing. */
+    virtual void atBoundary(uint64_t pos, std::span<CoreModel *const> models);
+
+    /** Traversal end after @p total instructions; default nothing. */
+    virtual void end(uint64_t total, std::span<CoreModel *const> models);
+
+    /**
+     * Partial-progress regime: when nonzero, multi-element memory ops
+     * (gather/scatter/strided) are truncated to at most this many
+     * elements while decoding — a firstfault-style fault where a
+     * vector op makes progress on a prefix of its lanes only. Sampled
+     * once per decode batch (batches never cross a boundary, so a
+     * boundary is where the clamp may change). Default 0 = off.
+     */
+    virtual uint32_t elemClamp() const;
+
+  protected:
+    //! @name Actuators (privileged CoreModel access for payloads)
+    //!@{
+    static uint64_t dramLatency(const CoreModel &m);
+    static void setDramLatency(CoreModel &m, uint64_t latency_cycles);
+    static void flushCaches(CoreModel &m);
+    static double branchMispredictRate(const CoreModel &m);
+    /** Set the modeled mispredict rate and restart the branch
+     *  countdown so the new rate takes effect immediately. */
+    static void setBranchMispredictRate(CoreModel &m, double rate);
+    //!@}
+};
+
+/**
+ * Fused replay with an attached payload. Decode order, step order and
+ * model evolution are identical to the observer-free replay() as long
+ * as the payload does not perturb the models; a perturbing payload
+ * changes *model state only*, never the decoded stream.
+ */
+void replay(const trace::PackedTrace &trace,
+            std::span<CoreModel *const> models, ReplayObserver &payload);
+
+namespace detail
+{
+/** Shared driver behind both replay() overloads (defined in
+ *  core_model.cc): HasObserver = false must compile to the historic
+ *  observer-free loop, bit for bit. */
+template <bool HasObserver>
+void replayWith(const trace::PackedTrace &trace,
+                std::span<CoreModel *const> models,
+                ReplayObserver *payload);
+} // namespace detail
+
 /** Incremental trace-driven core model. */
 class CoreModel : public trace::Sink
 {
@@ -114,6 +206,11 @@ class CoreModel : public trace::Sink
   private:
     friend void replay(const trace::PackedTrace &trace,
                        std::span<CoreModel *const> models);
+    template <bool HasObserver>
+    friend void detail::replayWith(const trace::PackedTrace &trace,
+                                   std::span<CoreModel *const> models,
+                                   ReplayObserver *payload);
+    friend class ReplayObserver;
 
     static constexpr uint8_t kFlagLoad = 1;
     static constexpr uint8_t kFlagStore = 2;

@@ -50,6 +50,14 @@ class Dram
 
     uint64_t accesses() const { return accesses_; }
 
+    uint64_t latency() const { return latency_; }
+
+    /** Retime the idle-access latency mid-run. Fault-injection
+     *  actuator (sim::ReplayObserver payloads model DRAM latency
+     *  spikes with it); queued transfers keep their issue order, only
+     *  the data-ready offset changes. */
+    void setLatency(uint64_t latency_cycles) { latency_ = latency_cycles; }
+
   private:
     uint64_t latency_;
     double service_;

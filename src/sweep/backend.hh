@@ -184,12 +184,22 @@ class ThreadedBackend final : public ExecutionBackend
  * _exit(): they share the parent's stdio buffers and must never flush
  * them. Cache statistics of the children are aggregated back into the
  * shared cache so `Results::cacheStats()` reflects the whole fleet.
+ *
+ * Deadline watchdog: with a nonzero timeout the parent polls the fleet
+ * instead of blocking in waitpid, fingerprinting the share directory
+ * (claims, stores, stats — any shard progress changes it) each tick.
+ * If the fingerprint sits still past the deadline the remaining
+ * children are SIGKILLed; a killed shard is indistinguishable from a
+ * crashed one, so its claimed units flow through the ordinary
+ * bit-identical recovery path and the sweep still completes.
  */
 class ShardedBackend final : public ExecutionBackend
 {
   public:
-    /** @param shards worker processes (clamped to [1, kMaxShards]). */
-    explicit ShardedBackend(int shards);
+    /** @param shards worker processes (clamped to [1, kMaxShards]).
+     *  @param timeout_ms watchdog deadline: kill shards that make no
+     *         observable progress for this long; 0 = wait forever. */
+    explicit ShardedBackend(int shards, uint64_t timeout_ms = 0);
 
     void run(const BackendJob &job) override;
 
@@ -197,6 +207,7 @@ class ShardedBackend final : public ExecutionBackend
 
   private:
     int shards_;
+    uint64_t timeoutMs_;
 };
 
 } // namespace swan::sweep

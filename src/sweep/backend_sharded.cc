@@ -63,8 +63,8 @@
 namespace swan::sweep
 {
 
-ShardedBackend::ShardedBackend(int shards)
-    : shards_(std::clamp(shards, 1, kMaxShards))
+ShardedBackend::ShardedBackend(int shards, uint64_t timeout_ms)
+    : shards_(std::clamp(shards, 1, kMaxShards)), timeoutMs_(timeout_ms)
 {
 }
 
@@ -239,6 +239,8 @@ statsDelta(const CacheStats &now, const CacheStats &before)
     d.traceMisses = now.traceMisses - before.traceMisses;
     d.traceStores = now.traceStores - before.traceStores;
     d.evictions = now.evictions - before.evictions;
+    d.corruptEntriesQuarantined =
+        now.corruptEntriesQuarantined - before.corruptEntriesQuarantined;
     return d;
 }
 
@@ -248,15 +250,16 @@ writeStats(const char *path, long parent_pid, const CacheStats &d)
     char buf[512];
     const int w = std::snprintf(
         buf, sizeof buf,
-        "pid %ld\n%llu %llu %llu %llu %llu %llu %llu %llu\n", parent_pid,
-        static_cast<unsigned long long>(d.hits),
+        "pid %ld\n%llu %llu %llu %llu %llu %llu %llu %llu %llu\n",
+        parent_pid, static_cast<unsigned long long>(d.hits),
         static_cast<unsigned long long>(d.diskHits),
         static_cast<unsigned long long>(d.misses),
         static_cast<unsigned long long>(d.stores),
         static_cast<unsigned long long>(d.traceHits),
         static_cast<unsigned long long>(d.traceMisses),
         static_cast<unsigned long long>(d.traceStores),
-        static_cast<unsigned long long>(d.evictions));
+        static_cast<unsigned long long>(d.evictions),
+        static_cast<unsigned long long>(d.corruptEntriesQuarantined));
     if (w <= 0 || size_t(w) >= sizeof buf)
         return;
     const int fd = ::open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
@@ -276,10 +279,37 @@ readStats(const char *path, CacheStats *out)
         return false;
     CacheStats d;
     if (!(in >> d.hits >> d.diskHits >> d.misses >> d.stores >>
-          d.traceHits >> d.traceMisses >> d.traceStores >> d.evictions))
+          d.traceHits >> d.traceMisses >> d.traceStores >> d.evictions >>
+          d.corruptEntriesQuarantined))
         return false;
     *out = d;
     return true;
+}
+
+/**
+ * Order-insensitive fingerprint of the share directory (file names and
+ * sizes, commutatively combined — directory_iterator order is
+ * unspecified and may differ between scans of an unchanged directory).
+ * Every kind of shard progress moves it: a new claim, a published
+ * `.swr`/`.swtp` entry growing the tier, a stats or telemetry snapshot.
+ * The watchdog compares successive fingerprints; only a fleet that
+ * changes *nothing* for the whole deadline is declared wedged.
+ */
+uint64_t
+shareDirSignature(const std::string &dir)
+{
+    uint64_t sig = 0;
+    std::error_code ec;
+    for (std::filesystem::directory_iterator it(dir, ec), end;
+         !ec && it != end; it.increment(ec)) {
+        uint64_t h = kFnv64Seed;
+        for (const char ch : it->path().filename().string())
+            h = (h ^ uint8_t(ch)) * 1099511628211ull;
+        std::error_code sec;
+        const auto sz = it->file_size(sec);
+        sig += fnvMix64(h, sec ? 0 : uint64_t(sz));
+    }
+    return sig;
 }
 
 /**
@@ -312,6 +342,24 @@ childMain(const BackendJob &job, uint64_t run, const char *dir,
                 break;
         }
         return 9;
+    }
+
+    // Test hook, sibling of the crash hook above: the named shard
+    // claims one unit and then wedges — alive but making no progress,
+    // the failure mode waitpid alone can never resolve. The parent's
+    // deadline watchdog must SIGKILL it and recover the claimed unit
+    // through the ordinary crash path.
+    if (const char *hang = std::getenv("SWAN_SHARD_TEST_HANG");
+        hang && std::atoi(hang) == shard) {
+        for (size_t u = 0; u < job.units; ++u) {
+            char path[3584];
+            if (claimPath(path, sizeof path, dir, run,
+                          job.token(job.arg, u)) &&
+                tryClaim(path, shard))
+                break;
+        }
+        for (;;)
+            ::pause();
     }
 
     {
@@ -378,14 +426,62 @@ ShardedBackend::run(const BackendJob &job)
         // would have claimed fall through to parent recovery below.
         pids[s] = pid;
     }
-    for (int s = 0; s < shards; ++s) {
-        if (pids[s] <= 0)
-            continue;
-        int status = 0;
-        while (::waitpid(pids[s], &status, 0) < 0 && errno == EINTR) {
+    // Reap the fleet. Abnormal exits are not fatal either way: the
+    // merge below detects any unit a shard failed to publish and
+    // re-executes it. With a deadline configured the parent polls
+    // (WNOHANG) and fingerprints the share directory between polls; a
+    // fleet whose directory footprint sits still for the whole
+    // deadline is wedged — SIGKILL turns it into the already-handled
+    // crashed-shard case.
+    if (timeoutMs_ == 0) {
+        for (int s = 0; s < shards; ++s) {
+            if (pids[s] <= 0)
+                continue;
+            int status = 0;
+            while (::waitpid(pids[s], &status, 0) < 0 && errno == EINTR) {
+            }
         }
-        // Abnormal exits are not fatal: the merge below detects any
-        // unit the shard failed to publish and re-executes it.
+    } else {
+        const auto deadline = std::chrono::milliseconds(timeoutMs_);
+        const uint64_t tickUs =
+            std::clamp<uint64_t>(timeoutMs_ * 1000 / 8, 5000, 100000);
+        int alive = 0;
+        for (int s = 0; s < shards; ++s)
+            alive += pids[s] > 0;
+        uint64_t lastSig = shareDirSignature(dir);
+        auto lastChange = std::chrono::steady_clock::now();
+        bool killed = false;
+        while (alive > 0) {
+            for (int s = 0; s < shards; ++s) {
+                if (pids[s] <= 0)
+                    continue;
+                int status = 0;
+                const pid_t r = ::waitpid(pids[s], &status, WNOHANG);
+                if (r == pids[s] ||
+                    (r < 0 && errno != EINTR && errno != EAGAIN)) {
+                    pids[s] = -1;
+                    --alive;
+                    // An exit is progress: the survivors now own the
+                    // dead shard's share of the remaining units.
+                    lastChange = std::chrono::steady_clock::now();
+                }
+            }
+            if (alive == 0)
+                break;
+            const uint64_t sig = shareDirSignature(dir);
+            const auto now = std::chrono::steady_clock::now();
+            if (sig != lastSig) {
+                lastSig = sig;
+                lastChange = now;
+            } else if (!killed && now - lastChange >= deadline) {
+                for (int s = 0; s < shards; ++s)
+                    if (pids[s] > 0)
+                        ::kill(pids[s], SIGKILL);
+                killed = true;
+                // Keep looping: the kills still have to be reaped.
+            }
+            ::usleep(useconds_t(tickUs));
+        }
     }
 
     // Aggregate the children's cache counters so Results::cacheStats()

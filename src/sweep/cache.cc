@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <string_view>
 
 namespace swan::sweep
 {
@@ -154,6 +155,11 @@ CacheKey::hash() const
     f.u64(configFp);
     f.u64(optionsFp);
     f.i32(warmupPasses);
+    // Clean points (faultFp == 0) hash exactly as they did before the
+    // fault axis existed, so pre-fault disk tiers keep their hits;
+    // faulted points get a disjoint hash (and file stem).
+    if (faultFp)
+        f.u64(faultFp);
     return f.h;
 }
 
@@ -173,6 +179,13 @@ keyFor(const SweepPoint &point, int warmup_passes)
     k.configFp = fingerprint(point.config);
     k.optionsFp = fingerprint(point.options);
     k.warmupPasses = warmup_passes;
+    // XOR-fold the 64-bit fingerprint; pin nonzero so an enabled
+    // scenario can never alias the clean key even if the fold lands
+    // on zero.
+    const uint64_t fp = point.fault().fingerprint();
+    k.faultFp = uint32_t(fp) ^ uint32_t(fp >> 32);
+    if (fp != 0 && k.faultFp == 0)
+        k.faultFp = 1;
     return k;
 }
 
@@ -197,6 +210,8 @@ TraceKey::hex() const
 TraceKey
 traceKeyFor(const SweepPoint &point)
 {
+    // No fault field: faults perturb replay, never capture, so faulted
+    // and clean points share one captured trace.
     TraceKey k;
     k.kernel = point.spec->info.qualifiedName();
     k.impl = point.impl;
@@ -256,12 +271,25 @@ ResultCache::lookup(const CacheKey &key, core::KernelRun *out)
             return true;
         }
     }
-    if (!diskDir_.empty() && loadDisk(key, out)) {
-        touchEntry(std::filesystem::path(diskDir_) / (key.hex() + ".swr"));
-        std::lock_guard<std::mutex> lock(mu_);
-        map_.emplace(key, *out);
-        ++stats_.diskHits;
-        return true;
+    if (!diskDir_.empty()) {
+        const auto path =
+            std::filesystem::path(diskDir_) / (key.hex() + ".swr");
+        switch (loadDisk(key, out)) {
+        case DiskLoad::Hit: {
+            touchEntry(path);
+            std::lock_guard<std::mutex> lock(mu_);
+            map_.emplace(key, *out);
+            ++stats_.diskHits;
+            return true;
+        }
+        case DiskLoad::Corrupt: {
+            std::lock_guard<std::mutex> lock(mu_);
+            quarantineEntry(path.string());
+            break;
+        }
+        case DiskLoad::Miss:
+            break;
+        }
     }
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.misses;
@@ -291,10 +319,26 @@ ResultCache::lookupQuiet(const CacheKey &key, core::KernelRun *out)
             return true;
         }
     }
-    if (!diskDir_.empty() && loadDisk(key, out)) {
-        std::lock_guard<std::mutex> lock(mu_);
-        map_.emplace(key, *out);
-        return true;
+    if (!diskDir_.empty()) {
+        switch (loadDisk(key, out)) {
+        case DiskLoad::Hit: {
+            std::lock_guard<std::mutex> lock(mu_);
+            map_.emplace(key, *out);
+            return true;
+        }
+        case DiskLoad::Corrupt: {
+            // Quiet about hit/miss traffic, not about damage: a
+            // corrupt entry is quarantined (and counted) on whichever
+            // path finds it first.
+            const auto path =
+                std::filesystem::path(diskDir_) / (key.hex() + ".swr");
+            std::lock_guard<std::mutex> lock(mu_);
+            quarantineEntry(path.string());
+            break;
+        }
+        case DiskLoad::Miss:
+            break;
+        }
     }
     return false;
 }
@@ -311,8 +355,22 @@ ResultCache::absorbStats(const CacheStats &delta)
     stats_.traceMisses += delta.traceMisses;
     stats_.traceStores += delta.traceStores;
     stats_.evictions += delta.evictions;
+    stats_.corruptEntriesQuarantined += delta.corruptEntriesQuarantined;
     stats_.staleClaimsSwept += delta.staleClaimsSwept;
     stats_.recoveredUnits += delta.recoveredUnits;
+}
+
+void
+ResultCache::quarantineEntry(const std::string &path)
+{
+    // Rename, never delete: the damaged bytes stay on disk for
+    // post-mortem, out of the lookup namespace. The rename is the
+    // cross-process race arbiter — every shard that trips over the
+    // same bad entry tries it, exactly one succeeds and counts it.
+    std::error_code ec;
+    std::filesystem::rename(path, path + ".quarantined", ec);
+    if (!ec)
+        ++stats_.corruptEntriesQuarantined;
 }
 
 CacheStats
@@ -332,9 +390,14 @@ ResultCache::resetStats()
 namespace
 {
 
-/** v1 on-disk packed-trace entry: magic, key echo, checksummed payload. */
+/** v2 on-disk packed-trace entry: magic, version, whole-blob FNV-1a
+ *  checksum, key echo, mix counters, payload. The blob checksum covers
+ *  everything after itself — the payload carries its own internal
+ *  checksum, but the key echo and mix counters would otherwise be
+ *  trusted unverified, and a flipped counter byte must quarantine the
+ *  entry, not silently skew a warm run's instruction mix. */
 constexpr char kTraceMagic[4] = {'S', 'W', 'T', 'P'};
-constexpr uint32_t kTraceTierVersion = 1;
+constexpr uint32_t kTraceTierVersion = 2;
 
 template <typename T>
 void
@@ -369,6 +432,16 @@ ResultCache::lookupTrace(const TraceKey &key, trace::PackedTrace *out,
         return miss();
     const auto path =
         std::filesystem::path(diskDir_) / (key.hex() + ".swtp");
+    // Structural damage (bad magic, truncation, checksum failure in
+    // the payload) quarantines the entry so the next lookup does not
+    // pay another full validation pass on the same bad bytes; a
+    // well-formed foreign entry stays a plain miss.
+    const auto corrupt = [this, &path] {
+        std::lock_guard<std::mutex> lock(mu_);
+        quarantineEntry(path.string());
+        ++stats_.traceMisses;
+        return false;
+    };
     // Single sized read: a trace blob can be tens of MB, so avoid the
     // ostringstream route's extra full copies.
     std::error_code ec;
@@ -388,18 +461,27 @@ ResultCache::lookupTrace(const TraceKey &key, trace::PackedTrace *out,
     if (!readRaw(buf, &at, &magic) ||
         std::memcmp(magic, kTraceMagic, 4) != 0 ||
         !readRaw(buf, &at, &version) || version != kTraceTierVersion)
-        return miss();
+        return corrupt();
+    // Whole-blob checksum: any damaged byte after this field — key
+    // echo, counters or payload — reads as corruption, never as data.
+    uint64_t want = 0;
+    if (!readRaw(buf, &at, &want))
+        return corrupt();
+    Fnv blobSum;
+    blobSum.bytes(buf.data() + at, buf.size() - at);
+    if (blobSum.h != want)
+        return corrupt();
     // Key echo: a hash collision or stale rename must read as a miss.
     uint32_t kernelLen = 0;
     if (!readRaw(buf, &at, &kernelLen) || buf.size() - at < kernelLen)
-        return miss();
+        return corrupt();
     TraceKey seen;
     seen.kernel.assign(buf.data() + at, kernelLen);
     at += kernelLen;
     int32_t impl = -1;
     if (!readRaw(buf, &at, &impl) || !readRaw(buf, &at, &seen.vecBits) ||
         !readRaw(buf, &at, &seen.optionsFp))
-        return miss();
+        return corrupt();
     seen.impl = core::Impl(impl);
     if (!(seen == key))
         return miss();
@@ -407,18 +489,18 @@ ResultCache::lookupTrace(const TraceKey &key, trace::PackedTrace *out,
     uint32_t mixLen = 0;
     if (!readRaw(buf, &at, &mixLen) ||
         (buf.size() - at) / sizeof(uint64_t) < mixLen)
-        return miss();
+        return corrupt();
     std::vector<uint64_t> counters(mixLen);
     for (auto &v : counters)
         if (!readRaw(buf, &at, &v))
-            return miss();
+            return corrupt();
     trace::MixStats seenMix;
     if (!trace::MixStats::fromCounters(counters, &seenMix))
-        return miss();
+        return corrupt();
     if (!trace::PackedTrace::parsePayload(
             reinterpret_cast<const uint8_t *>(buf.data()) + at,
             buf.size() - at, out))
-        return miss();
+        return corrupt();
     *mix = seenMix;
     touchEntry(path);
     std::lock_guard<std::mutex> lock(mu_);
@@ -438,6 +520,8 @@ ResultCache::storeTrace(const TraceKey &key, const trace::PackedTrace &t,
                  counters.size() * sizeof(uint64_t) + 64);
     blob.append(kTraceMagic, 4);
     appendRaw(&blob, kTraceTierVersion);
+    const size_t sumAt = blob.size();
+    appendRaw(&blob, uint64_t(0)); // blob checksum, patched below
     appendRaw(&blob, uint32_t(key.kernel.size()));
     blob.append(key.kernel);
     appendRaw(&blob, int32_t(key.impl));
@@ -447,6 +531,12 @@ ResultCache::storeTrace(const TraceKey &key, const trace::PackedTrace &t,
     for (uint64_t v : counters)
         appendRaw(&blob, v);
     t.appendPayload(&blob);
+    {
+        Fnv blobSum;
+        blobSum.bytes(blob.data() + sumAt + sizeof(uint64_t),
+                      blob.size() - sumAt - sizeof(uint64_t));
+        std::memcpy(blob.data() + sumAt, &blobSum.h, sizeof blobSum.h);
+    }
 
     const auto dir = std::filesystem::path(diskDir_);
     const auto path = dir / (key.hex() + ".swtp");
@@ -476,13 +566,15 @@ ResultCache::storeTrace(const TraceKey &key, const trace::PackedTrace &t,
 namespace
 {
 
-/** True for the pruner's unit of accounting: .swr results and .swtp
- *  packed traces. Temporaries (.tmp) and foreign files are ignored. */
+/** True for the pruner's unit of accounting: .swr results, .swtp
+ *  packed traces, and .quarantined corpses (never served, but they
+ *  hold disk and age out under the same LRU cap). Temporaries (.tmp)
+ *  and foreign files are ignored. */
 bool
 isCacheEntry(const std::filesystem::path &p)
 {
     const auto ext = p.extension();
-    return ext == ".swr" || ext == ".swtp";
+    return ext == ".swr" || ext == ".swtp" || ext == ".quarantined";
 }
 
 } // namespace
@@ -600,19 +692,52 @@ ResultCache::pruneDisk(uint64_t stored_bytes)
     stats_.evictions += evicted;
 }
 
-bool
+ResultCache::DiskLoad
 ResultCache::loadDisk(const CacheKey &key, core::KernelRun *out)
 {
     const auto path =
         std::filesystem::path(diskDir_) / (key.hex() + ".swr");
-    std::ifstream in(path);
-    if (!in)
-        return false;
+    std::error_code ec;
+    const auto fsize = std::filesystem::file_size(path, ec);
+    if (ec)
+        return DiskLoad::Miss; // absent: the ordinary cold-cache case
+    std::string buf(fsize, '\0');
+    {
+        std::ifstream raw(path, std::ios::binary);
+        if (!raw || !raw.read(buf.data(), std::streamsize(fsize)))
+            return DiskLoad::Miss; // unreadable: cannot judge the bytes
+    }
 
+    size_t bodyStart = buf.find('\n');
+    if (bodyStart == std::string::npos ||
+        buf.compare(0, bodyStart, kMagic) != 0)
+        return DiskLoad::Corrupt;
+    ++bodyStart;
+    // Self-checksum line (entries written since the quarantine tier;
+    // older entries simply lack it and skip verification): FNV-1a over
+    // every byte after this line, so any flipped bit or truncation in
+    // the body is detected before a field of it is trusted.
+    constexpr std::string_view kChecksumTag = "checksum ";
+    if (buf.compare(bodyStart, kChecksumTag.size(), kChecksumTag) == 0) {
+        const size_t eol = buf.find('\n', bodyStart);
+        if (eol == std::string::npos)
+            return DiskLoad::Corrupt;
+        const std::string cs = buf.substr(
+            bodyStart + kChecksumTag.size(),
+            eol - bodyStart - kChecksumTag.size());
+        char *endp = nullptr;
+        const uint64_t want = std::strtoull(cs.c_str(), &endp, 16);
+        if (endp == cs.c_str() || *endp != '\0')
+            return DiskLoad::Corrupt;
+        bodyStart = eol + 1;
+        Fnv f;
+        f.bytes(buf.data() + bodyStart, buf.size() - bodyStart);
+        if (f.h != want)
+            return DiskLoad::Corrupt;
+    }
+
+    std::istringstream in(buf.substr(bodyStart));
     std::string line;
-    if (!std::getline(in, line) || line != kMagic)
-        return false;
-
     core::KernelRun run;
     CacheKey seen;
     std::vector<uint64_t> mixFlat;
@@ -644,6 +769,8 @@ ResultCache::loadDisk(const CacheKey &key, core::KernelRun *out)
             ls >> std::hex >> seen.optionsFp >> std::dec;
         else if (tag == "warmup")
             rd(seen.warmupPasses);
+        else if (tag == "fault_fp")
+            ls >> std::hex >> seen.faultFp >> std::dec;
         else if (tag == "sim.config")
             rd(s.config);
         else if (tag == "sim.instrs")
@@ -694,13 +821,15 @@ ResultCache::loadDisk(const CacheKey &key, core::KernelRun *out)
             haveMix = true;
         }
     }
-    // A hash collision or stale entry must read as a miss.
-    if (!(seen == key) || !haveMix)
-        return false;
-    if (!trace::MixStats::fromCounters(mixFlat, &run.mix))
-        return false;
+    // Structural damage first (a checksum-less legacy entry truncated
+    // mid-body lands here), then the key echo: a hash collision or
+    // stale rename is a foreign-but-intact entry — a plain miss.
+    if (!haveMix || !trace::MixStats::fromCounters(mixFlat, &run.mix))
+        return DiskLoad::Corrupt;
+    if (!(seen == key))
+        return DiskLoad::Miss;
     *out = run;
-    return true;
+    return DiskLoad::Hit;
 }
 
 uint64_t
@@ -710,19 +839,24 @@ ResultCache::storeDisk(const CacheKey &key, const core::KernelRun &run)
     const auto path = dir / (key.hex() + ".swr");
     // Write-then-rename so concurrent readers never see a torn entry.
     const auto tmp = dir / (key.hex() + ".tmp");
+    // The body is built in memory first so the header can carry its
+    // FNV-1a self-checksum (what loadDisk verifies before trusting a
+    // single field).
+    std::ostringstream os;
     {
-        std::ofstream os(tmp, std::ios::trunc);
-        if (!os)
-            return 0;
         const auto &s = run.sim;
-        os << kMagic << "\n"
-           << "kernel " << key.kernel << "\n"
+        os << "kernel " << key.kernel << "\n"
            << "impl " << int(key.impl) << "\n"
            << "vec_bits " << key.vecBits << "\n"
            << "config_fp " << hex64(key.configFp) << "\n"
            << "options_fp " << hex64(key.optionsFp) << "\n"
-           << "warmup " << key.warmupPasses << "\n"
-           << "sim.config " << s.config << "\n"
+           << "warmup " << key.warmupPasses << "\n";
+        // Written only for faulted keys: clean .swr bodies stay
+        // byte-identical to pre-fault builds (the reader treats a
+        // missing tag as faultFp 0).
+        if (key.faultFp)
+            os << "fault_fp " << hex64(uint64_t(key.faultFp)) << "\n";
+        os << "sim.config " << s.config << "\n"
            << "sim.instrs " << s.instrs << "\n"
            << "sim.cycles " << s.cycles << "\n"
            << "sim.ipc " << f64str(s.ipc) << "\n"
@@ -751,7 +885,18 @@ ResultCache::storeDisk(const CacheKey &key, const core::KernelRun &run)
         for (auto v : run.mix.counters())
             os << " " << v;
         os << "\n";
-        if (!os)
+    }
+    const std::string body = os.str();
+    Fnv sum;
+    sum.bytes(body.data(), body.size());
+    {
+        std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+        if (!f)
+            return 0;
+        f << kMagic << "\n"
+          << "checksum " << hex64(sum.h) << "\n";
+        f.write(body.data(), std::streamsize(body.size()));
+        if (!f)
             return 0;
     }
     std::error_code ec;

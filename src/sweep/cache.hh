@@ -68,12 +68,25 @@ struct CacheKey
     uint64_t configFp = 0;
     uint64_t optionsFp = 0;
     int warmupPasses = 1;
+    /**
+     * 32-bit fold of sim::FaultSpec::fingerprint() (keyFor keeps it
+     * nonzero for any enabled scenario); 0 = clean. Nonzero values
+     * join the hash, so faulted and clean points can never collide in
+     * either tier, while clean keys (and their on-disk file stems and
+     * bodies) are unchanged from pre-fault builds. uint32_t in what
+     * was padding after warmupPasses: memory-tier nodes are allocated
+     * while a sweep is still capturing, so sizeof(CacheKey) must not
+     * grow (the same capture-time heap-layout contract as
+     * SweepPoint::faultId).
+     */
+    uint32_t faultFp = 0;
 
     bool operator==(const CacheKey &o) const
     {
         return kernel == o.kernel && impl == o.impl &&
                vecBits == o.vecBits && configFp == o.configFp &&
-               optionsFp == o.optionsFp && warmupPasses == o.warmupPasses;
+               optionsFp == o.optionsFp &&
+               warmupPasses == o.warmupPasses && faultFp == o.faultFp;
     }
 
     uint64_t hash() const;
@@ -125,6 +138,13 @@ struct CacheStats
     /** On-disk entries pruned by the size cap (LRU, .swr + .swtp). */
     uint64_t evictions = 0;
 
+    /** Structurally corrupt on-disk entries (bad magic, truncation,
+     *  checksum mismatch) renamed to `<name>.quarantined` and served
+     *  as misses. A wrong-but-well-formed entry (key echo mismatch
+     *  under a hash collision) stays a plain miss — quarantine is for
+     *  damaged bytes, not foreign entries. */
+    uint64_t corruptEntriesQuarantined = 0;
+
     // Sharded-backend bookkeeping (parent-side; zero for in-process
     // runs). Surfaced here because the shared cache directory is where
     // the claim protocol lives and absorbStats() is how fleet counters
@@ -145,6 +165,10 @@ struct CacheStats
  * Disk entries are validated against the full key (not just its hash)
  * and ignored on any mismatch or parse error, so a stale or corrupt
  * cache directory degrades to a miss, never to a wrong result.
+ * Structurally damaged entries (truncation, checksum mismatch, bad
+ * magic) are additionally renamed to `<name>.quarantined` — counted in
+ * CacheStats::corruptEntriesQuarantined — so a bad sector cannot cost
+ * a validation pass on every future lookup of that key.
  */
 class ResultCache
 {
@@ -224,9 +248,23 @@ class ResultCache
         size_t operator()(const CacheKey &k) const { return k.hash(); }
     };
 
-    bool loadDisk(const CacheKey &key, core::KernelRun *out);
+    /** Disk-tier lookup outcome: Corrupt means the entry's bytes are
+     *  damaged (not merely foreign) — the caller quarantines it. */
+    enum class DiskLoad
+    {
+        Miss,
+        Hit,
+        Corrupt,
+    };
+
+    DiskLoad loadDisk(const CacheKey &key, core::KernelRun *out);
     /** @return bytes written (0 on failure), for the pruner's total. */
     uint64_t storeDisk(const CacheKey &key, const core::KernelRun &run);
+
+    /** Rename a damaged entry to `<path>.quarantined` so it is never
+     *  re-served (still budget-counted and prunable); counts it only
+     *  when this process won the rename race. Called with mu_ held. */
+    void quarantineEntry(const std::string &path);
 
     /**
      * Enforce maxDiskBytes_ by deleting LRU entries; no-op uncapped.

@@ -44,7 +44,15 @@ class Emitter
     virtual void end(std::ostream &os) { (void)os; }
 };
 
-std::unique_ptr<Emitter> makeEmitter(Format format);
+/** @param fault_column include the "fault" identifier column (set iff
+ *  the sweep had a fault axis — see anyFaulted; clean sweeps keep the
+ *  historic schema byte-for-byte). */
+std::unique_ptr<Emitter> makeEmitter(Format format,
+                                     bool fault_column = false);
+
+/** Does any result carry an enabled fault scenario? (Decides the
+ *  fault column for a whole report.) */
+bool anyFaulted(const std::vector<SweepResult> &results);
 
 /** begin + every point in index order + end. */
 void emitResults(std::ostream &os, const std::vector<SweepResult> &results,

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cctype>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
 
 #include "core/registry.hh"
 
@@ -10,6 +13,42 @@ namespace swan::sweep
 
 namespace
 {
+
+/**
+ * Process-wide fault-scenario table behind SweepPoint::faultId.
+ * Everything is lazily constructed and id 0 (clean) is served from
+ * statics that never touch it, so a clean expansion performs zero
+ * heap allocation here — the same capture-time heap-layout contract
+ * that keeps sizeof(SweepPoint) fixed (see grid.hh). A deque gives
+ * stable references, so accessors can return a reference that
+ * outlives the lock while a concurrent expand() interns new entries.
+ */
+struct FaultEntry
+{
+    std::string name;
+    sim::FaultSpec spec;
+};
+
+std::mutex &
+faultTableMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+std::deque<FaultEntry> &
+faultTable()
+{
+    static std::deque<FaultEntry> t;
+    return t;
+}
+
+const FaultEntry &
+cleanFault()
+{
+    static const FaultEntry e{"none", sim::FaultSpec{}};
+    return e;
+}
 
 /** Parse a Figure 5(b) name like "4W-2V"; false if not of that shape. */
 bool
@@ -44,6 +83,41 @@ parseScalability(const std::string &name, int *ways, int *vunits)
 }
 
 } // namespace
+
+const sim::FaultSpec &
+SweepPoint::fault() const
+{
+    if (faultId == 0)
+        return cleanFault().spec;
+    std::lock_guard<std::mutex> lock(faultTableMutex());
+    return faultTable()[faultId - 1].spec;
+}
+
+const std::string &
+SweepPoint::faultName() const
+{
+    if (faultId == 0)
+        return cleanFault().name;
+    std::lock_guard<std::mutex> lock(faultTableMutex());
+    return faultTable()[faultId - 1].name;
+}
+
+uint16_t
+internFault(const std::string &name, const sim::FaultSpec &spec)
+{
+    if (!spec.enabled() && (name.empty() || name == "none"))
+        return 0;
+    const uint64_t fp = spec.fingerprint();
+    std::lock_guard<std::mutex> lock(faultTableMutex());
+    auto &t = faultTable();
+    for (size_t i = 0; i < t.size(); ++i)
+        if (t[i].name == name && t[i].spec.fingerprint() == fp)
+            return uint16_t(i + 1);
+    if (t.size() >= 0xFFFF)
+        throw std::length_error("fault-scenario table overflow");
+    t.push_back({name, spec});
+    return uint16_t(t.size());
+}
 
 bool
 configForName(const std::string &name, int vec_bits, sim::CoreConfig *out)
@@ -161,34 +235,56 @@ expand(const SweepSpec &spec, std::string *err)
         wsOptions.push_back(o);
     }
 
+    // Fault axis: an empty list is the historic clean grid — note the
+    // clean path neither interns nor allocates (faultIds stays a
+    // never-allocated empty vector), preserving the pre-fault heap
+    // sequence ahead of capture. Otherwise every entry is validated
+    // here so a typo'd scenario fails the whole expand with the
+    // catalog attached (see FaultSpec::parse), before any capture or
+    // simulation runs.
+    std::vector<uint16_t> faultIds;
+    for (const auto &fname : spec.faults) {
+        sim::FaultSpec f;
+        std::string ferr;
+        if (!sim::FaultSpec::parse(fname, &f, &ferr))
+            return fail(ferr);
+        faultIds.push_back(internFault(fname, f));
+    }
+    const size_t faultCount = faultIds.empty() ? 1 : faultIds.size();
+
     std::vector<SweepPoint> points;
     for (const auto *k : kernels) {
         for (size_t wi = 0; wi < spec.workingSets.size(); ++wi) {
-            for (const auto &cfgName : spec.configs) {
-                for (core::Impl impl : spec.impls) {
-                    bool emittedScalar = false;
-                    for (int bits : spec.vecBits) {
-                        // Scalar/Auto code has no width axis.
-                        if (impl != core::Impl::Neon) {
-                            if (emittedScalar)
+            for (size_t fi = 0; fi < faultCount; ++fi) {
+                for (const auto &cfgName : spec.configs) {
+                    for (core::Impl impl : spec.impls) {
+                        bool emittedScalar = false;
+                        for (int bits : spec.vecBits) {
+                            // Scalar/Auto code has no width axis.
+                            if (impl != core::Impl::Neon) {
+                                if (emittedScalar)
+                                    continue;
+                                emittedScalar = true;
+                                bits = 128;
+                            } else if (bits != 128 &&
+                                       !k->info.widerWidths) {
                                 continue;
-                            emittedScalar = true;
-                            bits = 128;
-                        } else if (bits != 128 && !k->info.widerWidths) {
-                            continue;
+                            }
+                            SweepPoint p;
+                            p.index = points.size();
+                            p.spec = k;
+                            p.impl = impl;
+                            p.vecBits = bits;
+                            p.configName = cfgName;
+                            if (!configForName(cfgName, bits, &p.config))
+                                return fail("unknown core config '" +
+                                            cfgName + "'");
+                            p.workingSetName = spec.workingSets[wi];
+                            p.options = wsOptions[wi];
+                            p.faultId =
+                                faultIds.empty() ? 0 : faultIds[fi];
+                            points.push_back(std::move(p));
                         }
-                        SweepPoint p;
-                        p.index = points.size();
-                        p.spec = k;
-                        p.impl = impl;
-                        p.vecBits = bits;
-                        p.configName = cfgName;
-                        if (!configForName(cfgName, bits, &p.config))
-                            return fail("unknown core config '" +
-                                        cfgName + "'");
-                        p.workingSetName = spec.workingSets[wi];
-                        p.options = wsOptions[wi];
-                        points.push_back(std::move(p));
                     }
                 }
             }

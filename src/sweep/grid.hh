@@ -13,12 +13,14 @@
 #define SWAN_SWEEP_GRID_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "core/kernel.hh"
 #include "core/runner.hh"
 #include "sim/configs.hh"
+#include "sim/faults.hh"
 
 namespace swan::sweep
 {
@@ -50,6 +52,13 @@ struct SweepSpec
     std::vector<int> vecBits{128};
     std::vector<std::string> configs{"prime"};
     std::vector<std::string> workingSets{"default"};
+    /**
+     * Fault-scenario axis (sim::FaultSpec::parse syntax; see
+     * sim/faults.hh). Empty means clean-only — the historic grid,
+     * expanded without a fault dimension. "none" is an explicit clean
+     * point inside a fault sweep.
+     */
+    std::vector<std::string> faults;
     int warmupPasses = 1;
 };
 
@@ -59,12 +68,40 @@ struct SweepPoint
     size_t index = 0;           //!< position in the expanded grid
     const core::KernelSpec *spec = nullptr;
     core::Impl impl = core::Impl::Neon;
-    int vecBits = 128;
+    uint16_t vecBits = 128;     //!< 128..1024 (uint16_t: see faultId)
+    /**
+     * Interned fault-scenario id (internFault); 0 = clean. An id into
+     * a process-wide table rather than an embedded sim::FaultSpec +
+     * label, packed into what was padding next to vecBits, so
+     * sizeof(SweepPoint) is unchanged from the pre-fault grid. That
+     * is a determinism requirement, not thrift: the expanded points
+     * vector (and every SweepResult) is allocated while a sweep is
+     * still capturing, and captured traces record real buffer
+     * addresses — growing the struct shifts the capture-time heap
+     * layout and with it the address-sensitive cycle counts of clean
+     * sweeps that must stay byte-identical to pre-fault builds.
+     */
+    uint16_t faultId = 0;
     std::string configName;
     sim::CoreConfig config;
     std::string workingSetName;
     core::Options options;
+
+    /** Parsed scenario (a disabled spec when clean). */
+    const sim::FaultSpec &fault() const;
+    /** Axis label ("none" when clean). */
+    const std::string &faultName() const;
 };
+
+/**
+ * Intern a parsed fault scenario into the process-wide table and
+ * return its SweepPoint::faultId. A disabled spec labelled "none" (or
+ * unlabelled) interns as 0 — the clean id — without touching the
+ * table, so clean expansions allocate nothing. Thread-safe; ids are
+ * stable for the life of the process (shard children inherit the
+ * table through fork).
+ */
+uint16_t internFault(const std::string &name, const sim::FaultSpec &spec);
 
 /**
  * Resolve a core-configuration preset: "prime", "gold", "silver",
@@ -93,7 +130,8 @@ core::Options scalabilityOptions(core::Options base);
 
 /**
  * Flatten @p spec into ordered points: kernel-major, then working set,
- * core config, implementation, vector width. Combinations that cannot
+ * fault scenario, core config, implementation, vector width.
+ * Combinations that cannot
  * run are dropped, not errors: widths above 128 on kernels without a
  * width-generic Neon implementation, and duplicate (Scalar, Auto)
  * points that differ only in vector width (scalar code has no width

@@ -311,8 +311,52 @@ runSweep(const std::vector<SweepPoint> &points, const SchedulerConfig &cfg)
                 }
                 t = &reloaded;
             }
-            auto sims = sim::simulateTraceMany(*t, g.configs,
-                                               cfg.warmupPasses);
+            // Partition the group's points by fault scenario: a fused
+            // traversal perturbs every model it steps, so points with
+            // different faults (or none) replay in separate traversals
+            // over the SAME shared trace — capture identity is
+            // fault-blind (faults perturb replay, never capture). A
+            // clean group takes the historic single call with the
+            // historic allocation sequence — the partition scratch
+            // below must not exist on that path, because group replay
+            // interleaves with later captures on the inline backend
+            // and extra allocations would shift the buffer addresses
+            // those captures record. Partition order is
+            // first-occurrence point order, so results stay a pure
+            // function of the grid.
+            std::vector<sim::SimResult> sims;
+            bool anyFault = false;
+            for (size_t j : g.points)
+                anyFault = anyFault || points[j].faultId != 0;
+            if (!anyFault) {
+                sims = sim::simulateTraceMany(*t, g.configs,
+                                              cfg.warmupPasses);
+            } else {
+                sims.resize(g.points.size());
+                std::vector<char> simDone(g.points.size(), 0);
+                for (size_t j = 0; j < g.points.size(); ++j) {
+                    if (simDone[j])
+                        continue;
+                    const sim::FaultSpec &fault =
+                        points[g.points[j]].fault();
+                    const uint64_t fp = fault.fingerprint();
+                    std::vector<size_t> part;
+                    std::vector<sim::CoreConfig> partCfgs;
+                    for (size_t k = j; k < g.points.size(); ++k) {
+                        if (simDone[k] ||
+                            points[g.points[k]].fault().fingerprint() !=
+                                fp)
+                            continue;
+                        simDone[k] = 1;
+                        part.push_back(k);
+                        partCfgs.push_back(g.configs[k]);
+                    }
+                    auto partSims = sim::simulateTraceMany(
+                        *t, partCfgs, fault, cfg.warmupPasses);
+                    for (size_t k = 0; k < part.size(); ++k)
+                        sims[part[k]] = std::move(partSims[k]);
+                }
+            }
             {
                 obs::Span publish(obs::Phase::Publish, g.points.size());
                 for (size_t j = 0; j < g.points.size(); ++j) {
@@ -602,7 +646,7 @@ runSweep(const std::vector<SweepPoint> &points, const SchedulerConfig &cfg)
             break;
           }
           case Backend::Sharded: {
-            ShardedBackend backend(cfg.shards);
+            ShardedBackend backend(cfg.shards, cfg.shardTimeoutMs);
             backend.run(job);
             break;
           }
@@ -624,10 +668,12 @@ runSweep(const std::vector<SweepPoint> &points, const SchedulerConfig &cfg)
         // before the transport directory disappears.
         if (cfg.cache) {
             const CacheStats ps = privateShare->stats();
-            if (ps.staleClaimsSwept || ps.recoveredUnits) {
+            if (ps.staleClaimsSwept || ps.recoveredUnits ||
+                ps.corruptEntriesQuarantined) {
                 CacheStats d;
                 d.staleClaimsSwept = ps.staleClaimsSwept;
                 d.recoveredUnits = ps.recoveredUnits;
+                d.corruptEntriesQuarantined = ps.corruptEntriesQuarantined;
                 cfg.cache->absorbStats(d);
             }
         }

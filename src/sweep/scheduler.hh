@@ -118,6 +118,17 @@ struct SchedulerConfig
     uint64_t traceMemoBytes = envTraceMemoBytes();
 
     /**
+     * Sharded-backend deadline watchdog: if no shard makes publish/
+     * claim progress (observed as changes in the share directory) for
+     * this many milliseconds, the remaining shard children are killed
+     * and their claimed units recovered through the ordinary
+     * bit-identical crash-recovery path. 0 = disabled (wait forever).
+     * Session policy: SWAN_SHARD_TIMEOUT_MS is read by
+     * swan::Session::envDefaults, never here.
+     */
+    uint64_t shardTimeoutMs = 0;
+
+    /**
      * Stream every finished row, strictly in point-index order, as
      * results land (cache hits first, then each computed/merged point
      * as soon as every lower-indexed point is done). Invoked from

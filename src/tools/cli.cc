@@ -8,6 +8,7 @@
 // The CLI is a consumer of the public API, not of src/ internals: every
 // command goes through the same include/swan/ surface an out-of-tree
 // embedding would use (the sweep forms through Session/Experiment).
+#include "swan/faults.hh"
 #include "swan/swan.hh"
 
 namespace swan::tools
@@ -48,6 +49,14 @@ sweep grid flags (cartesian product of the axes):
   --bits 128,256,...           vector-width axis (default 128)
   --cores prime,gold,4W-2V,..  core presets; also "wider" and "NW-MV"
   --ws default|full|tiny|scalability[,..]  working-set presets
+  --faults LIST                fault-injection axis: comma-separated
+                               scenario[:key=value]... specs, e.g.
+                               "none,dram-spike:seed=7:intensity=16";
+                               identical seeds give byte-identical
+                               results on every backend, and faulted
+                               points never share cache entries with
+                               clean ones. --faults=help prints the
+                               scenario catalog (docs/faults.md)
   --jobs N                     worker threads (default 1; same output
                                for any N)
   --shards N                   worker processes (default 1): fork N
@@ -56,6 +65,10 @@ sweep grid flags (cartesian product of the axes):
                                deterministically — byte-identical
                                output for any shards x jobs combo
                                (accepted by sweep and compare)
+  --shard-timeout-ms N         sharded-run watchdog: kill shards that
+                               make no observable progress for N ms
+                               and recover their units bit-identically
+                               (0 = wait forever, the default)
   --format table|csv|jsonl     report format (default table)
   --progress                   stream one line per finished row to
                                stderr, in deterministic point order,
@@ -79,6 +92,7 @@ sweep grid flags (cartesian product of the axes):
 environment (defaults only; explicit flags win — docs/api.md):
   SWAN_JOBS                    default worker threads for sweeps
   SWAN_SHARDS                  default worker processes for sweeps
+  SWAN_SHARD_TIMEOUT_MS        default --shard-timeout-ms
   SWAN_SWEEP_CACHE_DIR         default --cache-dir
   SWAN_SWEEP_CACHE_MAX_BYTES   default --cache-max-bytes
   SWAN_METRICS                 default --metrics-out stem
@@ -124,7 +138,11 @@ struct Parsed
     std::vector<int> bitsList;
     std::vector<std::string> coreList;
     std::vector<std::string> wsList;
+    std::vector<std::string> faultList;
+    bool faultsHelp = false;
     bool wider = false;
+    uint64_t shardTimeoutMs = 0;
+    bool shardTimeoutSet = false;
     int jobs = 1;
     bool jobsSet = false;
     int shards = 1;
@@ -255,6 +273,38 @@ parse(const std::vector<std::string> &args, std::ostream &err)
             if (!v)
                 return std::nullopt;
             p.wsList = splitList(*v);
+        } else if (a == "--faults" || a == "--faults=help") {
+            if (a == "--faults=help") {
+                p.faultsHelp = true;
+                continue;
+            }
+            const auto *v = value();
+            if (!v)
+                return std::nullopt;
+            if (*v == "help") {
+                p.faultsHelp = true;
+                continue;
+            }
+            p.faultList = splitList(*v);
+            // Validate here so a typo'd scenario prints the catalog
+            // before any session or kernel work starts.
+            for (const auto &spec : p.faultList) {
+                sim::FaultSpec f;
+                std::string ferr;
+                if (!sim::FaultSpec::parse(spec, &f, &ferr)) {
+                    err << "swan: " << ferr << "\n";
+                    return std::nullopt;
+                }
+            }
+        } else if (a == "--shard-timeout-ms") {
+            const auto *v = value();
+            if (!v)
+                return std::nullopt;
+            if (!sweep::parseByteCount(v->c_str(), &p.shardTimeoutMs)) {
+                err << "swan: --shard-timeout-ms must be a number >= 0\n";
+                return std::nullopt;
+            }
+            p.shardTimeoutSet = true;
         } else if (a == "--wider") {
             p.wider = true;
         } else if (a == "--jobs") {
@@ -346,6 +396,10 @@ sessionFor(const Parsed &p)
         opts.jobs = p.jobs == 0 ? -1 : p.jobs; // 0 = all cores
     if (p.shardsSet)
         opts.shards = p.shards;
+    if (p.shardTimeoutSet)
+        opts.shardTimeoutMs = p.shardTimeoutMs;
+    if (!p.faultList.empty())
+        opts.faults = p.faultList;
     if (!p.cacheDir.empty())
         opts.cacheDir = p.cacheDir;
     if (p.cacheMaxBytesSet)
@@ -673,6 +727,10 @@ cmdSweepGrid(const Parsed &p, std::ostream &out, std::ostream &err)
 int
 cmdSweep(const Parsed &p, std::ostream &out, std::ostream &err)
 {
+    if (p.faultsHelp) {
+        out << sim::FaultSpec::catalog();
+        return 0;
+    }
     if (!p.kernel.empty())
         return cmdSweepKernel(p, out, err);
     return cmdSweepGrid(p, out, err);

@@ -190,6 +190,54 @@ TEST_F(ObsFixture, SnapshotFileRoundTripsWithShardTag)
     EXPECT_EQ(int(back.shard), 3);
 }
 
+TEST_F(ObsFixture, CorruptSnapshotAbsorbsNothingAndIsCounted)
+{
+    ASSERT_TRUE(obs::Telemetry::start(16));
+    auto *t = obs::Telemetry::instance();
+    const auto path = std::filesystem::temp_directory_path() /
+                      ("swan_obs_corrupt_" + std::to_string(::getpid()));
+
+    // A missing snapshot is the ordinary crashed-shard outcome —
+    // silent zero, not corruption.
+    std::filesystem::remove(path);
+    EXPECT_EQ(t->absorbSnapshot(path.string().c_str()), 0u);
+    EXPECT_EQ(t->corruptSnapshots(), 0u);
+
+    // Garbage header.
+    { std::ofstream(path) << "garbage\n"; }
+    EXPECT_EQ(t->absorbSnapshot(path.string().c_str()), 0u);
+    EXPECT_EQ(t->corruptSnapshots(), 1u);
+
+    // Truncated payload: two records declared, one present. The half
+    // payload must be absorbed in whole or not at all — here: not at
+    // all, so a dying shard cannot skew the fleet's phase totals.
+    {
+        std::ofstream(path)
+            << "pid 1\nshard 2\ncount 2\n1 100 200 50 0 7\n";
+    }
+    const size_t before = t->count();
+    EXPECT_EQ(t->absorbSnapshot(path.string().c_str()), 0u);
+    EXPECT_EQ(t->corruptSnapshots(), 2u);
+    EXPECT_EQ(t->count(), before);
+
+    // Nonsense shard tag.
+    { std::ofstream(path) << "pid 1\nshard 999\ncount 0\n"; }
+    EXPECT_EQ(t->absorbSnapshot(path.string().c_str()), 0u);
+    EXPECT_EQ(t->corruptSnapshots(), 3u);
+
+    // An unknown phase from a newer writer is skipped, not corrupt:
+    // the known record still lands.
+    {
+        std::ofstream(path) << "pid 1\nshard 0\ncount 2\n"
+                            << "99 1 2 0 0 7\n1 100 200 50 11 7\n";
+    }
+    EXPECT_EQ(t->absorbSnapshot(path.string().c_str()), 1u);
+    EXPECT_EQ(t->corruptSnapshots(), 3u);
+    EXPECT_EQ(t->count(), before + 1);
+
+    std::filesystem::remove(path);
+}
+
 TEST(ObsReport, AggregatesPerPhaseAndPerShard)
 {
     std::vector<obs::SpanRec> records = {

@@ -189,6 +189,34 @@ TEST_F(BackendFixture, CrashedShardUnitsAreReExecutedByTheParent)
     EXPECT_EQ(stats.stores, points_.size());
 }
 
+TEST_F(BackendFixture, HungShardIsKilledByWatchdogAndRecovered)
+{
+    const std::string reference = runWith(sweep::Backend::Inline, 1, 1);
+
+    // Shard 0 claims one unit and then hangs forever — a wedged NFS
+    // mount or a livelocked child, not a crash. With a deadline
+    // configured, the parent's watchdog must notice the share
+    // directory has stopped changing, kill the fleet, and recover the
+    // claimed-but-unpublished unit bit-identically (the kill lands in
+    // exactly the crashed-shard merge path).
+    ASSERT_EQ(::setenv("SWAN_SHARD_TEST_HANG", "0", 1), 0);
+    dropResults();
+    sweep::ResultCache cache(dir_.string());
+    sweep::SchedulerConfig sc;
+    sc.backend = sweep::Backend::Sharded;
+    sc.jobs = 1;
+    sc.shards = 2;
+    sc.shardTimeoutMs = 1500;
+    sc.cache = &cache;
+    const auto out = render(sweep::runSweep(points_, sc));
+    ASSERT_EQ(::unsetenv("SWAN_SHARD_TEST_HANG"), 0);
+
+    EXPECT_EQ(reference, out);
+    EXPECT_GE(cache.stats().recoveredUnits, 1u);
+    // Every point still simulated and stored exactly once.
+    EXPECT_EQ(cache.stats().stores, points_.size());
+}
+
 TEST_F(BackendFixture, StaleClaimsAreSweptLiveOnesKept)
 {
     // A claim whose pid is long dead must be removed by the next

@@ -171,6 +171,127 @@ TEST(SweepCache, CorruptDiskEntryDegradesToMiss)
     core::KernelRun run;
     EXPECT_FALSE(cache.lookup(key, &run));
     EXPECT_EQ(cache.stats().misses, 1u);
+    // Truncation is structural damage: the entry is quarantined, not
+    // left in place to fail validation on every future lookup.
+    EXPECT_EQ(cache.stats().corruptEntriesQuarantined, 1u);
+    EXPECT_FALSE(std::filesystem::exists(path));
+    EXPECT_TRUE(std::filesystem::exists(path.string() + ".quarantined"));
+    std::filesystem::remove_all(dir);
+}
+
+TEST(SweepCache, FlippedResultEntryIsQuarantinedAndRecomputedIdentically)
+{
+    const auto dir = tempDir("bitflip");
+    std::string err;
+    auto points = sweep::expand(adlerSpec(), &err);
+    ASSERT_EQ(points.size(), 1u) << err;
+    const auto key = sweep::keyFor(points[0], 1);
+
+    std::ostringstream cold;
+    {
+        sweep::ResultCache cache(dir);
+        sweep::SchedulerConfig sc;
+        sc.cache = &cache;
+        sweep::emitResults(cold, sweep::runSweep(points, sc),
+                           sweep::Format::JsonLines);
+    }
+    // Flip one body byte (a bad sector, not a truncation): the entry
+    // still parses line-by-line but its checksum no longer matches.
+    const auto path = std::filesystem::path(dir) / (key.hex() + ".swr");
+    ASSERT_TRUE(std::filesystem::exists(path));
+    {
+        std::fstream f(path, std::ios::in | std::ios::out |
+                                 std::ios::binary);
+        f.seekg(0, std::ios::end);
+        const auto size = f.tellg();
+        f.seekp(std::streamoff(size) - 2);
+        char c = 0;
+        f.seekg(std::streamoff(size) - 2);
+        f.get(c);
+        f.seekp(std::streamoff(size) - 2);
+        f.put(c == '1' ? '2' : '1');
+    }
+
+    std::ostringstream recompute;
+    {
+        sweep::ResultCache cache(dir);
+        sweep::SchedulerConfig sc;
+        sc.cache = &cache;
+        sweep::emitResults(recompute, sweep::runSweep(points, sc),
+                           sweep::Format::JsonLines);
+        EXPECT_EQ(cache.stats().misses, 1u);
+        EXPECT_EQ(cache.stats().diskHits, 0u);
+        EXPECT_EQ(cache.stats().corruptEntriesQuarantined, 1u);
+        EXPECT_EQ(cache.stats().stores, 1u);
+    }
+    EXPECT_TRUE(std::filesystem::exists(path.string() + ".quarantined"));
+    // The quarantined bytes must never be served again; the recompute
+    // replays the pinned trace, so its report is byte-identical.
+    EXPECT_EQ(cold.str(), recompute.str());
+    std::filesystem::remove_all(dir);
+}
+
+TEST(SweepCache, CorruptTraceEntryIsQuarantinedAndRecaptured)
+{
+    const auto dir = tempDir("badtrace");
+    std::string err;
+    auto points = sweep::expand(adlerSpec(), &err);
+    ASSERT_EQ(points.size(), 1u) << err;
+
+    {
+        sweep::ResultCache cache(dir);
+        sweep::SchedulerConfig sc;
+        sc.cache = &cache;
+        sweep::runSweep(points, sc);
+        EXPECT_EQ(cache.stats().traceStores, 1u);
+    }
+    // Damage the packed trace and drop the stored result so the next
+    // run must reach for the trace tier.
+    const auto tpath = std::filesystem::path(dir) /
+                       (sweep::traceKeyFor(points[0]).hex() + ".swtp");
+    ASSERT_TRUE(std::filesystem::exists(tpath));
+    {
+        std::fstream f(tpath, std::ios::in | std::ios::out |
+                                  std::ios::binary);
+        f.seekg(0, std::ios::end);
+        const auto mid = std::streamoff(f.tellg()) / 2;
+        char c = 0;
+        f.seekg(mid);
+        f.get(c);
+        f.seekp(mid);
+        f.put(char(c ^ 0x40));
+    }
+    for (const auto &e : std::filesystem::directory_iterator(dir))
+        if (e.path().extension() == ".swr")
+            std::filesystem::remove(e.path());
+
+    std::ostringstream recapture, warm;
+    {
+        sweep::ResultCache cache(dir);
+        sweep::SchedulerConfig sc;
+        sc.cache = &cache;
+        sweep::emitResults(recapture, sweep::runSweep(points, sc),
+                           sweep::Format::JsonLines);
+        // The damaged trace degrades to a capture (not an abort), is
+        // quarantined, and a fresh trace is stored in its place.
+        EXPECT_EQ(cache.stats().traceHits, 0u);
+        EXPECT_EQ(cache.stats().traceMisses, 1u);
+        EXPECT_EQ(cache.stats().traceStores, 1u);
+        EXPECT_EQ(cache.stats().corruptEntriesQuarantined, 1u);
+    }
+    EXPECT_TRUE(
+        std::filesystem::exists(tpath.string() + ".quarantined"));
+    {
+        // The re-stored trace and result serve a warm run byte-for-byte.
+        sweep::ResultCache cache(dir);
+        sweep::SchedulerConfig sc;
+        sc.cache = &cache;
+        sweep::emitResults(warm, sweep::runSweep(points, sc),
+                           sweep::Format::JsonLines);
+        EXPECT_EQ(cache.stats().diskHits, 1u);
+        EXPECT_EQ(cache.stats().corruptEntriesQuarantined, 0u);
+    }
+    EXPECT_EQ(recapture.str(), warm.str());
     std::filesystem::remove_all(dir);
 }
 
@@ -200,5 +321,9 @@ TEST(SweepCache, WrongKeyedEntryIsIgnored)
     core::KernelRun run;
     EXPECT_FALSE(cache.lookup(other, &run));
     EXPECT_TRUE(cache.lookup(key, &run));
+    // Foreign-but-well-formed bytes are not corruption: the entry
+    // stays in place and nothing is quarantined.
+    EXPECT_EQ(cache.stats().corruptEntriesQuarantined, 0u);
+    EXPECT_TRUE(std::filesystem::exists(to));
     std::filesystem::remove_all(dir);
 }

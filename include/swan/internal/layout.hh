@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Centralized layout pins for every capture-phase type.
+ *
+ * The sweep engine's byte-identity guarantee rests on the capture
+ * thread's heap evolving identically run over run: captured traces
+ * record real buffer addresses and the cache models are
+ * address-sensitive (sweep/cache.hh). The types below are allocated
+ * *while a sweep is still capturing* — grow one of them and every
+ * later capture's addresses shift, silently drifting the simulated
+ * cycle counts that clean sweeps must reproduce byte-for-byte (PR 7
+ * root-caused exactly such a padding regression by hand; these
+ * asserts make the next one a compile error with a message instead).
+ *
+ * Contract (enforced by tools/lint/swan_lint.py, check `layout-pin`):
+ * a type tagged SWAN_CAPTURE_TYPE at its definition must have a pin
+ * here, and every pin must name a tagged type. New state for a pinned
+ * type goes into existing padding, an interning side table, or
+ * post-capture storage — never into the struct itself. If a size MUST
+ * change, update the pin in the same commit and re-verify bench
+ * stdout byte-identity against the pre-change tree (pristine-worktree
+ * diff; see docs/lint.md).
+ *
+ * The pinned values are the LP64 libstdc++ layout the determinism
+ * test matrix runs on; other ABIs build unpinned (the lint still
+ * enforces tag/pin bookkeeping everywhere).
+ */
+
+#ifndef SWAN_INTERNAL_LAYOUT_HH
+#define SWAN_INTERNAL_LAYOUT_HH
+
+#include <cstddef>
+
+#include "sim/core_model.hh"
+#include "sweep/cache.hh"
+#include "sweep/grid.hh"
+#include "swan/internal/contracts.hh"
+
+#if defined(__GLIBCXX__) && defined(__LP64__)
+#define SWAN_LAYOUT_PINS_APPLY 1
+#else
+#define SWAN_LAYOUT_PINS_APPLY 0
+#endif
+
+#if SWAN_LAYOUT_PINS_APPLY
+/** Pin sizeof(Type) to exactly Bytes. */
+#define SWAN_PIN(Type, Bytes)                                             \
+    static_assert(sizeof(Type) == (Bytes),                                \
+                  #Type " changed size: capture-phase types must not "    \
+                        "grow (include/swan/internal/layout.hh)")
+/** Pin an exported size constant (private nested types expose one). */
+#define SWAN_PIN_VALUE(Type, Expr, Bytes)                                 \
+    static_assert((Expr) == (Bytes),                                      \
+                  #Type " changed size: capture-phase types must not "    \
+                        "grow (include/swan/internal/layout.hh)")
+/**
+ * Pin sizeof(Type) to the glibc malloc size class of Bytes: chunks
+ * round request+8 up to 16, so two sizes in one class are
+ * heap-indistinguishable. Used where the contract is the transient
+ * heap-request size, not the exact byte count.
+ */
+#define SWAN_PIN_CLASS(Type, Bytes)                                       \
+    static_assert((sizeof(Type) + 23) / 16 == ((Bytes) + 23) / 16,        \
+                  #Type " left its malloc size class: replay-transient "  \
+                        "heap requests must stay stable "                 \
+                        "(include/swan/internal/layout.hh)")
+#else
+#define SWAN_PIN(Type, Bytes) static_assert(sizeof(Type) > 0, "")
+#define SWAN_PIN_VALUE(Type, Expr, Bytes) static_assert((Expr) > 0, "")
+#define SWAN_PIN_CLASS(Type, Bytes) static_assert(sizeof(Type) > 0, "")
+#endif
+
+// One expanded grid point. The points vector (and every SweepResult
+// holding one) is allocated before the sweep's captures finish;
+// PR 7's fault axis fit in former padding to keep this exact value.
+SWAN_PIN(swan::sweep::SweepPoint, 344);
+
+// Result-cache key: memory-tier nodes are allocated while capturing.
+// faultFp lives in former padding after warmupPasses for this pin.
+SWAN_PIN(swan::sweep::CacheKey, 64);
+
+// The step core's per-instruction mutable scalars — the SoA lane
+// block the fused replay copies per configuration. The fused loop's
+// lane arrays and batch sizing are tuned to this footprint.
+SWAN_PIN_VALUE(StepState, swan::sim::CoreModel::kStepStateBytes, 80);
+
+// CoreModel is allocated transiently by replay drivers that
+// interleave with capture on one thread; the contract is its malloc
+// size class (the seed's 1312-byte layout), not the exact size.
+SWAN_PIN_CLASS(swan::sim::CoreModel, 1312);
+
+#endif // SWAN_INTERNAL_LAYOUT_HH

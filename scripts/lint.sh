@@ -1,0 +1,102 @@
+#!/usr/bin/env sh
+# One lint entry point for the tree (CI job `lint`; ctest wires the
+# individual pieces as `header_hygiene` and `swan_lint`):
+#
+#   headers    every include/swan/*.hh compiles standalone, and nothing
+#              under bench/ or examples/ includes a src/-internal
+#              header (the public include/swan/ surface is the only
+#              supported way in).
+#   swan-lint  the determinism-contract static analysis,
+#              tools/lint/swan_lint.py (docs/lint.md). Driven by a
+#              build directory's compile_commands.json when one is
+#              available ($BUILD_DIR, else ./build), else a plain
+#              src/ + include/ walk.
+#   tidy       clang-tidy with the checked-in .clang-tidy over the
+#              library sources. Skipped with a notice when clang-tidy
+#              is not installed (the dev container ships only g++);
+#              CI installs it.
+#   all        all of the above (default).
+#
+# Usage: scripts/lint.sh [headers|swan-lint|tidy|all] [SRC_DIR] [CXX]
+set -eu
+
+MODE=${1:-all}
+SRC_DIR=${2:-$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)}
+CXX=${3:-${CXX:-c++}}
+BUILD_DIR=${BUILD_DIR:-$SRC_DIR/build}
+
+fail=0
+
+check_headers() {
+    # --- each public header compiles standalone (twice, to catch a
+    # missing include guard) -------------------------------------------
+    tmpdir=$(mktemp -d)
+    trap 'rm -rf "$tmpdir"' EXIT
+    for hh in "$SRC_DIR"/include/swan/*.hh; do
+        name=$(basename "$hh")
+        tu="$tmpdir/standalone_$name.cc"
+        printf '#include "swan/%s"\n#include "swan/%s"\n' \
+            "$name" "$name" > "$tu"
+        if ! "$CXX" -std=c++20 -fsyntax-only -Wall -Wextra \
+                -I "$SRC_DIR/include" -I "$SRC_DIR/src" "$tu"; then
+            echo "lint: include/swan/$name does not compile standalone" >&2
+            fail=1
+        fi
+    done
+
+    # --- bench/ and examples/ stay on the public surface --------------
+    # Allowed quoted includes: swan/... public headers and the bench's
+    # own shared helper (which is itself checked above).
+    bad=$(grep -n '#include "' "$SRC_DIR"/bench/*.cc "$SRC_DIR"/bench/*.hh \
+              "$SRC_DIR"/examples/*.cc |
+          grep -v '#include "swan/' |
+          grep -v '#include "bench_common.hh"' || true)
+    if [ -n "$bad" ]; then
+        echo "lint: internal includes outside include/swan/:" >&2
+        echo "$bad" >&2
+        fail=1
+    fi
+}
+
+check_swan_lint() {
+    if [ -f "$BUILD_DIR/compile_commands.json" ]; then
+        python3 "$SRC_DIR/tools/lint/swan_lint.py" -p "$BUILD_DIR" \
+            || fail=1
+    else
+        echo "lint: no $BUILD_DIR/compile_commands.json; walking" \
+             "src/ + include/ directly" >&2
+        python3 "$SRC_DIR/tools/lint/swan_lint.py" --root "$SRC_DIR" \
+            || fail=1
+    fi
+}
+
+check_tidy() {
+    if ! command -v clang-tidy >/dev/null 2>&1; then
+        echo "lint: clang-tidy not installed; skipping (CI runs it)" >&2
+        return 0
+    fi
+    if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+        echo "lint: tidy needs $BUILD_DIR/compile_commands.json" \
+             "(configure first, or set BUILD_DIR)" >&2
+        fail=1
+        return 0
+    fi
+    # Library sources only; .clang-tidy's HeaderFilterRegex keeps the
+    # header diagnostics scoped to src/ + include/ as well.
+    find "$SRC_DIR/src" -name '*.cc' | sort | \
+        xargs clang-tidy -p "$BUILD_DIR" --quiet || fail=1
+}
+
+case "$MODE" in
+  headers)   check_headers ;;
+  swan-lint) check_swan_lint ;;
+  tidy)      check_tidy ;;
+  all)       check_headers; check_swan_lint; check_tidy ;;
+  *)
+    echo "usage: scripts/lint.sh [headers|swan-lint|tidy|all]" \
+         "[SRC_DIR] [CXX]" >&2
+    exit 2
+    ;;
+esac
+
+exit $fail

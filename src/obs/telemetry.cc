@@ -1,5 +1,7 @@
 #include "obs/telemetry.hh"
 
+#include "swan/internal/contracts.hh"
+
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -162,12 +164,17 @@ Telemetry::shard()
 void
 Telemetry::record(const SpanRec &rec)
 {
+    // The recording path is a no-alloc region: spans bracket the
+    // capture phase itself, so any heap traffic here would perturb
+    // the capture-time layout metrics-on runs must share with
+    // metrics-off runs (file comment; docs/lint.md).
+    SWAN_NOALLOC_BEGIN("obs::Telemetry::record");
     const size_t i = n_.fetch_add(1, std::memory_order_relaxed);
-    if (i >= cap_) {
+    if (i < cap_)
+        buf_[i] = rec;
+    else
         dropped_.fetch_add(1, std::memory_order_relaxed);
-        return;
-    }
-    buf_[i] = rec;
+    SWAN_NOALLOC_END();
 }
 
 size_t

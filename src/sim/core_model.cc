@@ -245,6 +245,11 @@ CoreModel::stepBlock(CoreModel &m, StepState &io, uint64_t *fu_frontier,
     // memory hierarchy going through memory. The copy cannot escape,
     // so the compiler needs no aliasing proofs against the ring
     // stores.
+    // The step core is a no-alloc region: it runs between captures on
+    // the bench thread (onBlock path) and inside the fused replay
+    // loop, where any heap traffic would shift later capture
+    // addresses (swan/internal/contracts.hh; docs/lint.md).
+    SWAN_NOALLOC_BEGIN("CoreModel::stepBlock");
     StepState st = io;
     const uint32_t robSize = uint32_t(m.robRing_.size());
     const int decodeWidth = m.cfg_.decodeWidth;
@@ -368,6 +373,7 @@ CoreModel::stepBlock(CoreModel &m, StepState &io, uint64_t *fu_frontier,
             st.lastSeenId = ins[n - 1].id;
     }
     io = st;
+    SWAN_NOALLOC_END();
 }
 
 void
@@ -583,6 +589,15 @@ replayWith(const trace::PackedTrace &trace,
         boundary = payload->nextBoundary(0);
     }
 
+    // From here to the end of the traversal the engine is heap-free —
+    // the setup above (prototype table, lanes) took any allocations
+    // it needed, and benches interleave replay with capture on one
+    // thread, so heap traffic here would shift the addresses later
+    // captures record. Statically checked by swan-lint; dynamically
+    // by AllocGuard under -DSWAN_ALLOC_GUARD=ON. Payload callbacks
+    // are foreign code and run under SWAN_NOALLOC_PAUSE — the
+    // contract binds the engine, not the payload.
+    SWAN_NOALLOC_BEGIN("sim::replay");
     constexpr size_t kBatch = 4 * trace::PackedTrace::kBlockInstrs;
     CoreModel::StepIn batch[kBatch];
     trace::PackedTrace::Cursor cur(trace);
@@ -598,6 +613,7 @@ replayWith(const trace::PackedTrace &trace,
                 const uint64_t room = boundary > pos ? boundary - pos : 1;
                 cap = size_t(std::min<uint64_t>(cap, room));
             }
+            SWAN_NOALLOC_PAUSE();
             clamp = payload->elemClamp();
         }
         size_t nb = 0;
@@ -663,13 +679,20 @@ replayWith(const trace::PackedTrace &trace,
                 // architectural state, then reload it.
                 for (size_t i = 0; i < nm; ++i)
                     lanes[i].model->st_ = lanes[i].st;
-                payload->atBoundary(pos, models);
+                {
+                    SWAN_NOALLOC_PAUSE();
+                    payload->atBoundary(pos, models);
+                }
                 for (size_t i = 0; i < nm; ++i)
                     lanes[i].st = lanes[i].model->st_;
-                boundary = payload->nextBoundary(pos);
+                {
+                    SWAN_NOALLOC_PAUSE();
+                    boundary = payload->nextBoundary(pos);
+                }
             }
         }
     }
+    SWAN_NOALLOC_END();
     for (size_t i = 0; i < nm; ++i)
         lanes[i].model->st_ = lanes[i].st;
     if constexpr (HasObserver)

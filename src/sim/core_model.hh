@@ -20,6 +20,7 @@
 
 #include "sim/cache.hh"
 #include "sim/configs.hh"
+#include "swan/internal/contracts.hh"
 #include "trace/instr.hh"
 #include "trace/packed.hh"
 #include "trace/recorder.hh"
@@ -166,8 +167,11 @@ void replayWith(const trace::PackedTrace &trace,
                 ReplayObserver *payload);
 } // namespace detail
 
-/** Incremental trace-driven core model. */
-class CoreModel : public trace::Sink
+/** Incremental trace-driven core model. Capture-phase type: replay
+ *  drivers allocate it while benches interleave capture and
+ *  simulation — its malloc size class is pinned in
+ *  include/swan/internal/layout.hh. */
+class SWAN_CAPTURE_TYPE CoreModel : public trace::Sink
 {
   public:
     explicit CoreModel(const CoreConfig &cfg);
@@ -347,7 +351,7 @@ class CoreModel : public trace::Sink
      * addresses and the cache models are address-sensitive (see
      * sweep/scheduler.cc).
      */
-    struct StepState
+    struct SWAN_CAPTURE_TYPE StepState
     {
         uint64_t n = 0;           //!< instructions consumed (all passes)
         uint64_t idOffset = 0;    //!< re-bases per-pass instruction ids
@@ -363,6 +367,14 @@ class CoreModel : public trace::Sink
         uint32_t robIdx = 0;      //!< n % robSize, maintained incrementally
     };
 
+  public:
+    /** sizeof(StepState), exported so the centralized layout pin
+     *  (include/swan/internal/layout.hh) can assert on a private
+     *  nested type. The SoA lane arrays the fused loop copies per
+     *  configuration are sized by this. */
+    static constexpr size_t kStepStateBytes = sizeof(StepState);
+
+  private:
     CoreConfig cfg_;
     MemHierarchy mem_;
     StepState st_;

@@ -31,6 +31,7 @@
 #include <unordered_map>
 
 #include "core/runner.hh"
+#include "swan/internal/contracts.hh"
 #include "sweep/grid.hh"
 #include "trace/packed.hh"
 
@@ -59,8 +60,9 @@ uint64_t fnvMix64(uint64_t h, uint64_t v);
  */
 bool parseByteCount(const char *s, uint64_t *out);
 
-/** Identity of one experiment point's result. */
-struct CacheKey
+/** Identity of one experiment point's result. Capture-phase type —
+ *  size pinned in swan/internal/layout.hh. */
+struct SWAN_CAPTURE_TYPE CacheKey
 {
     std::string kernel;     //!< qualified name, e.g. "ZL/adler32"
     core::Impl impl = core::Impl::Neon;

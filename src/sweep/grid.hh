@@ -21,6 +21,7 @@
 #include "core/runner.hh"
 #include "sim/configs.hh"
 #include "sim/faults.hh"
+#include "swan/internal/contracts.hh"
 
 namespace swan::sweep
 {
@@ -62,8 +63,9 @@ struct SweepSpec
     int warmupPasses = 1;
 };
 
-/** One fully-resolved experiment point of the flattened grid. */
-struct SweepPoint
+/** One fully-resolved experiment point of the flattened grid.
+ *  Capture-phase type — size pinned in swan/internal/layout.hh. */
+struct SWAN_CAPTURE_TYPE SweepPoint
 {
     size_t index = 0;           //!< position in the expanded grid
     const core::KernelSpec *spec = nullptr;

@@ -1,0 +1,52 @@
+// Fixture: every class of allocation-capable construct the `noalloc`
+// check must catch inside a SWAN_NOALLOC region, plus marker-balance
+// errors. Never compiled — lint fodder for tests/test_lint.cc.
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+void hot(std::vector<int> &v)
+{
+    SWAN_NOALLOC_BEGIN("fixture::hot");
+    int *p = new int[8];            // new-expression
+    void *q = std::malloc(32);      // malloc-family call
+    v.push_back(1);                 // container growth
+    auto s = std::make_unique<int>(3); // smart-pointer allocation
+    std::string t = std::to_string(42); // string allocation
+    if (!p)
+        throw 1;                    // throw allocates the exception
+    std::free(q);                   // malloc-family call (free)
+    SWAN_NOALLOC_END();
+}
+
+void placement_ok(void *slot)
+{
+    SWAN_NOALLOC_BEGIN("fixture::placement");
+    // Placement new does NOT allocate — must not be flagged.
+    int *p = new (slot) int(7);
+    (void)p;
+    SWAN_NOALLOC_END();
+}
+
+void paused(std::vector<int> &v)
+{
+    SWAN_NOALLOC_BEGIN("fixture::paused");
+    { SWAN_NOALLOC_PAUSE(); v.push_back(2); } // same-line pause: ok
+    SWAN_NOALLOC_END();
+}
+
+void never_closed()
+{
+    SWAN_NOALLOC_BEGIN("fixture::leaky"); // BEGIN without END: flagged
+}
+
+void never_opened()
+{
+    SWAN_NOALLOC_END(); // END without BEGIN: flagged
+}
+
+void cold(std::vector<int> &v)
+{
+    v.push_back(3); // outside any region: not flagged
+}

@@ -1,0 +1,10 @@
+// Fixture: a suppression with no reason is itself a finding — the
+// exception may be fine, but an undocumented exception is not part of
+// any contract. Never compiled — lint fodder for tests/test_lint.cc.
+#include <cstdlib>
+
+int bad()
+{
+    // swan-lint: allow(nondet)
+    return rand();
+}

@@ -1,0 +1,26 @@
+// Fixture: a file the linter must pass with ZERO findings — a real
+// nondet hit silenced by a documented suppression, plus prose and
+// string literals that mention banned constructs. (The reasonless-
+// suppression case lives in bare_suppression.cc.)
+#include <ctime>
+#include <string>
+#include <vector>
+
+// Comments may discuss malloc(), rand() and steady_clock::now()
+// freely; the linter strips them before matching.
+
+long watchdog_deadline()
+{
+    // swan-lint: allow(nondet) watchdog deadline only; never feeds results
+    return time(nullptr) + 30;
+}
+
+std::string banner()
+{
+    return "usage: do not call rand() or time() in hot paths";
+}
+
+void warm_path(std::vector<int> &v)
+{
+    v.push_back(1); // outside any SWAN_NOALLOC region: fine
+}

@@ -1,0 +1,4 @@
+// Fixture layout header with no pins — paired with missing_pin.cc so
+// the `layout-pin` check reports the tagged-but-unpinned type. A pin
+// for a type no fixture tags exercises the stale-pin direction.
+SWAN_PIN(fx::Ghost, 16)

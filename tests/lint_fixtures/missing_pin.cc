@@ -1,0 +1,20 @@
+// Fixture: a SWAN_CAPTURE_TYPE-tagged type with no pin in the layout
+// header — the `layout-pin` check (run with --layout-header pointing
+// at empty_layout.hh). Never compiled — lint fodder.
+#include <cstdint>
+
+namespace fx
+{
+
+struct SWAN_CAPTURE_TYPE Unpinned
+{
+    uint64_t a = 0;
+    uint32_t b = 0;
+};
+
+struct Untagged // no tag, no pin: fine
+{
+    int c = 0;
+};
+
+} // namespace fx

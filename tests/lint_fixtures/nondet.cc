@@ -1,0 +1,24 @@
+// Fixture: nondeterminism sources — the `nondet` check. Never
+// compiled — lint fodder for tests/test_lint.cc.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+unsigned bad()
+{
+    unsigned x = rand();                       // libc PRNG: flagged
+    x ^= static_cast<unsigned>(time(nullptr)); // wall clock: flagged
+    std::random_device rd;                     // entropy: flagged
+    auto t = std::chrono::steady_clock::now(); // chrono clock: flagged
+    (void)t;
+    return x + rd();
+}
+
+unsigned fine(unsigned seed)
+{
+    // Seeded engine: deterministic, must not be flagged. The comment
+    // mentioning rand() and time() must not be flagged either.
+    std::mt19937 gen(seed);
+    return gen();
+}

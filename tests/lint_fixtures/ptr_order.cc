@@ -1,0 +1,13 @@
+// Fixture: ordered containers keyed on pointers — the `ptr-order`
+// check. Never compiled — lint fodder for tests/test_lint.cc.
+#include <map>
+#include <set>
+#include <string>
+
+struct Node;
+
+std::map<Node *, int> g_rank;       // pointer key: flagged
+std::set<const Node *> g_live;      // pointer key: flagged
+
+std::map<std::string, Node *> g_byName; // pointer VALUE: fine
+std::set<long> g_ids;                   // value key: fine

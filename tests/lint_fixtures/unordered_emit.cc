@@ -1,0 +1,31 @@
+// Fixture: iteration over unordered containers — the `unordered-iter`
+// check. Never compiled — lint fodder for tests/test_lint.cc.
+#include <cstdio>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+void emit(const std::unordered_map<int, int> &)
+{
+}
+
+void bad()
+{
+    std::unordered_map<int, long> counts;
+    std::unordered_set<int> seen;
+    for (const auto &kv : counts)           // range-for: flagged
+        std::printf("%d\n", kv.first);
+    for (auto it = seen.begin(); it != seen.end(); ++it) // flagged
+        std::printf("%d\n", *it);
+}
+
+void fine()
+{
+    std::unordered_map<int, long> counts;
+    std::vector<int> order;
+    counts.clear();                         // mutation: not flagged
+    (void)counts.size();                    // query: not flagged
+    (void)counts.count(3);                  // point lookup: not flagged
+    for (int k : order)                     // ordered container: fine
+        (void)counts.find(k);
+}

@@ -206,7 +206,16 @@ TEST_F(BackendFixture, HungShardIsKilledByWatchdogAndRecovered)
     sc.backend = sweep::Backend::Sharded;
     sc.jobs = 1;
     sc.shards = 2;
+    // TSan slows a healthy shard by an order of magnitude; a deadline
+    // tuned for native builds would kill one that is merely slow, not
+    // hung, and the premature kill can race that shard's publish. The
+    // seeded hang is eternal, so a longer deadline only costs wall
+    // time.
+#if defined(__SANITIZE_THREAD__)
+    sc.shardTimeoutMs = 10000;
+#else
     sc.shardTimeoutMs = 1500;
+#endif
     sc.cache = &cache;
     const auto out = render(sweep::runSweep(points_, sc));
     ASSERT_EQ(::unsetenv("SWAN_SHARD_TEST_HANG"), 0);

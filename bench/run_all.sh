@@ -78,10 +78,13 @@ rm -rf "$SHARD_T" "$SHARD_S"
 echo "sharded output byte-identical"
 
 # Replay-engine perf gate: the fused decode->step engine must hold
-# >= 1.3x over block-delivery replay at N=3 configs (>= 1.2x on the
-# saturation corpus; enforced here on optimized builds; CI runs the
-# smoke report-only by presetting SWAN_PERF_ENFORCE=0 — noisy shared
-# runners).
+# >= 1.3x over block-delivery replay at N=3 configs and >= 1.5x at
+# N=4 (half a lane block), with no regression at N=1 (>= 1.0x) and
+# >= 1.2x on the saturation corpus. Enforced here on optimized
+# builds; CI runs the smoke report-only by presetting
+# SWAN_PERF_ENFORCE=0 — noisy shared runners. The emitted JSON
+# records the dispatched decode/step kernels so a gate failure can
+# be attributed to the code or to running on non-AVX2 hardware.
 echo "== perf_smoke (BENCH_trace_replay.json, BENCH_sim_replay.json) =="
 SWAN_PERF_ENFORCE="${SWAN_PERF_ENFORCE:-1}" "$BUILD_DIR/perf_smoke" \
     "$BUILD_DIR/BENCH_trace_replay.json" "$BUILD_DIR/BENCH_sim_replay.json"

@@ -84,6 +84,17 @@ SWAN_PIN(swan::sweep::CacheKey, 64);
 // lane arrays and batch sizing are tuned to this footprint.
 SWAN_PIN_VALUE(StepState, swan::sim::CoreModel::kStepStateBytes, 80);
 
+// One decoded record as the batch decode kernels emit it; the fused
+// driver's L1-resident decode buffers (and the batch kernels' store
+// layout) are sized by it.
+SWAN_PIN(swan::trace::PackedTrace::Decoded, 56);
+
+// One vector of configuration lanes in the fused replay engine
+// (8 x StepState + 8 x per-FU frontier + model/step-fn tables).
+// Replays wider than 8 configurations heap a dense block array while
+// benches interleave capture and simulation.
+SWAN_PIN_VALUE(LaneBlock, swan::sim::CoreModel::kLaneBlockBytes, 1280);
+
 // CoreModel is allocated transiently by replay drivers that
 // interleave with capture on one thread; the contract is its malloc
 // size class (the seed's 1312-byte layout), not the exact size.

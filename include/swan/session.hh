@@ -103,6 +103,17 @@ struct SessionOptions
     uint64_t shardTimeoutMs = 0;
 
     /**
+     * Units per sharded claim: consecutive work units of a sharded run
+     * share one atomic claim lockfile, whose token folds the member
+     * unit tokens — fewer filesystem round-trips when the grid has
+     * many small units (e.g. a slow networked cache directory).
+     * 1 (default) claims per unit under the unit's own token, keeping
+     * claim filenames identical to previous releases. Results are
+     * byte-identical for any value. [env: SWAN_SHARD_BATCH]
+     */
+    int shardBatch = 1;
+
+    /**
      * Default fault-scenario axis for Experiments run through this
      * session (each `scenario[:key=value]...` string is one sweep-axis
      * value — see swan/faults.hh and `swan sweep --faults=help`).
@@ -179,6 +190,12 @@ struct SessionOptions
         return *this;
     }
     SessionOptions &
+    withShardBatch(int n)
+    {
+        shardBatch = n;
+        return *this;
+    }
+    SessionOptions &
     withFaults(std::vector<std::string> scenarios)
     {
         faults = std::move(scenarios);
@@ -219,7 +236,7 @@ class Session
 
     /**
      * The SWAN_* environment overlaid on the library defaults:
-     * SWAN_JOBS, SWAN_SHARDS, SWAN_SHARD_TIMEOUT_MS,
+     * SWAN_JOBS, SWAN_SHARDS, SWAN_SHARD_TIMEOUT_MS, SWAN_SHARD_BATCH,
      * SWAN_TRACE_MEMO_BYTES, SWAN_SWEEP_CACHE_DIR,
      * SWAN_SWEEP_CACHE_MAX_BYTES, SWAN_METRICS. Unset,
      * unparsable or (for SWAN_JOBS / SWAN_SHARDS) non-positive values

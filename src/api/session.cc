@@ -49,6 +49,7 @@ Session::envDefaults()
     if (uint64_t ms = 0;
         sweep::parseByteCount(std::getenv("SWAN_SHARD_TIMEOUT_MS"), &ms))
         o.shardTimeoutMs = ms;
+    o.shardBatch = envInt("SWAN_SHARD_BATCH", o.shardBatch);
     o.traceMemoBytes = sweep::SchedulerConfig::envTraceMemoBytes();
     o.cacheDir = sweep::ResultCache::envDiskDir();
     o.cacheMaxBytes = sweep::ResultCache::envMaxDiskBytes();
@@ -102,6 +103,7 @@ Session::schedulerConfig() const
     sc.warmupPasses = opts_.warmupPasses;
     sc.traceMemoBytes = opts_.traceMemoBytes;
     sc.shardTimeoutMs = opts_.shardTimeoutMs;
+    sc.shardBatch = opts_.shardBatch;
     return sc;
 }
 

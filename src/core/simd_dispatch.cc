@@ -1,0 +1,97 @@
+#include "swan/internal/simd_dispatch.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace swan::detail
+{
+
+namespace
+{
+
+/** Best level the hardware (and this build) can run. */
+SimdLevel
+detectLevel()
+{
+#if defined(SWAN_SIMD_OFF)
+    return SimdLevel::Scalar;
+#elif defined(__aarch64__)
+    return SimdLevel::Neon; // NEON is architecturally baseline
+#elif defined(__x86_64__) && defined(__GNUC__)
+    if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("bmi2"))
+        return SimdLevel::Avx2;
+    return SimdLevel::Swar;
+#else
+    return SimdLevel::Swar;
+#endif
+}
+
+SimdDispatch
+select()
+{
+    SimdDispatch d{};
+    const SimdLevel best = detectLevel();
+    SimdLevel level = best;
+    d.forced = false;
+#if defined(SWAN_SIMD_OFF)
+    // Build-time gate wins over everything, including the env.
+    d.forced = true;
+#else
+    // Runtime override: every level is bit-identical in output, so
+    // forcing one down is always safe (used by the determinism matrix
+    // and A/B benching). Asking for more than the hardware has
+    // degrades to the best available.
+    if (const char *env = std::getenv("SWAN_SIMD")) {
+        if (!std::strcmp(env, "scalar")) {
+            level = SimdLevel::Scalar;
+            d.forced = true;
+        } else if (!std::strcmp(env, "swar")) {
+            level = best == SimdLevel::Scalar ? best : SimdLevel::Swar;
+            d.forced = true;
+        } else if (!std::strcmp(env, "native")) {
+            level = best;
+        }
+    }
+#endif
+    d.level = level;
+
+#if defined(__aarch64__)
+    d.isa = "aarch64+neon";
+#elif defined(__x86_64__)
+    d.isa = best == SimdLevel::Avx2 ? "x86-64+avx2+bmi2" : "x86-64";
+#else
+    d.isa = "generic";
+#endif
+
+    switch (level) {
+    case SimdLevel::Avx2:
+        d.decodeKernel = "batch-pext-avx2";
+        d.stepKernel = "slot-scan-avx2";
+        break;
+    case SimdLevel::Neon:
+        d.decodeKernel = "batch-neon";
+        d.stepKernel = "slot-scan-scalar";
+        break;
+    case SimdLevel::Swar:
+        d.decodeKernel = "batch-swar";
+        d.stepKernel = "slot-scan-scalar";
+        break;
+    case SimdLevel::Scalar:
+    default:
+        d.decodeKernel = "scalar-ctz";
+        d.stepKernel = "slot-scan-scalar";
+        break;
+    }
+    return d;
+}
+
+} // namespace
+
+const SimdDispatch &
+simdDispatch() noexcept
+{
+    static const SimdDispatch d = select();
+    return d;
+}
+
+} // namespace swan::detail

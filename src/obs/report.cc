@@ -5,6 +5,8 @@
 #include <fstream>
 #include <map>
 
+#include "swan/internal/simd_dispatch.hh"
+
 namespace swan::obs
 {
 
@@ -113,6 +115,13 @@ writeReportJson(std::ostream &os, const RunReport &rep)
        << ", \"jobs\": " << rep.meta.jobs
        << ", \"shards\": " << rep.meta.shards << ", \"backend\": \""
        << rep.meta.backend << "\"},\n";
+    // The replay engine's runtime ISA dispatch: which decode/step
+    // kernels this run actually executed (matches `swan version`).
+    const detail::SimdDispatch &simd = detail::simdDispatch();
+    os << "  \"simd\": {\"isa\": \"" << simd.isa << "\", \"decode\": \""
+       << simd.decodeKernel << "\", \"step\": \"" << simd.stepKernel
+       << "\", \"forced\": " << (simd.forced ? "true" : "false")
+       << "},\n";
     os << "  \"wall_ns\": " << rep.wallNs << ",\n";
     os << "  \"dropped_spans\": " << rep.droppedSpans << ",\n";
     os << "  \"corrupt_obsnaps\": " << rep.corruptSnapshots << ",\n";

@@ -2,12 +2,17 @@
 
 #include "obs/telemetry.hh"
 #include "sim/power.hh"
+#include "swan/internal/simd_dispatch.hh"
 
 #include <algorithm>
 #include <cstddef>
 #include <cstring>
 #include <memory>
 #include <stdexcept>
+
+#if defined(__x86_64__) && !defined(SWAN_SIMD_OFF)
+#include <immintrin.h>
+#endif
 
 namespace swan::sim
 {
@@ -28,6 +33,87 @@ mispredictInterval(const CoreConfig &cfg)
 {
     return uint64_t(1.0 / std::max(cfg.branchMispredictRate, 1e-6));
 }
+
+#if defined(__x86_64__) && !defined(SWAN_SIMD_OFF)
+
+/** Whether the runtime dispatch selected the AVX2 issue-slot scan. */
+inline bool
+slotScanAvx2()
+{
+    static const bool on = swan::detail::simdDispatch().level ==
+                           swan::detail::SimdLevel::Avx2;
+    return on;
+}
+
+/**
+ * AVX2 single-occupancy issue-slot scan: find the first cycle >= @p c
+ * whose stamped slot is free. Four 16-byte slots ({uint64 cycle,
+ * uint8 used, pad}; @p ring is the raw ring bytes, @p slot_mask its
+ * index mask) load as two 256-bit vectors per step; unpacking splits
+ * them into a cycle vector and a used vector in the permuted lane
+ * order {0,2,1,3}, a stale stamp (cycle != expected) reads as used=0
+ * exactly like the scalar probe, and a 16-entry table maps the free
+ * mask back to the first free offset in true cycle order — so the
+ * returned cycle is bit-identical to the scalar scan, four cycles per
+ * compare instead of one. Windows straddling the ring seam step
+ * scalar. Compiled with a target attribute: callers must check
+ * slotScanAvx2() first.
+ */
+__attribute__((target("avx2"))) uint64_t
+scanSlots4(const unsigned char *ring, uint64_t c, uint64_t slot_mask,
+           uint8_t limit)
+{
+    // First free offset, in cycle order, for each free mask whose bits
+    // are in lane order {c+0, c+2, c+1, c+3}; 4 = whole window full.
+    static const uint8_t kFirst[16] = {4, 0, 2, 0, 1, 0, 1, 0,
+                                       3, 0, 2, 0, 1, 0, 1, 0};
+    const __m256i vlimit = _mm256_set1_epi64x(int64_t(limit));
+    const __m256i vbyte = _mm256_set1_epi64x(0xff);
+    const __m256i vperm = _mm256_setr_epi64x(0, 2, 1, 3);
+    const __m256i vones = _mm256_set1_epi64x(-1);
+    while (true) {
+        const uint64_t idx = c & slot_mask;
+        if (__builtin_expect(idx + 4 > slot_mask + 1, 0)) {
+            // The 4-slot window straddles the ring seam: probe the
+            // seam scalar, exactly like the portable loop.
+            for (uint64_t k = 0; k < 4; ++k) {
+                const unsigned char *s =
+                    ring + ((c + k) & slot_mask) * 16;
+                uint64_t cyc;
+                std::memcpy(&cyc, s, 8);
+                const uint8_t used = cyc == c + k ? s[8] : 0;
+                if (used < limit)
+                    return c + k;
+            }
+            c += 4;
+            continue;
+        }
+        const __m256i a = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(ring + idx * 16));
+        const __m256i b = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(ring + idx * 16 + 32));
+        // Per 128-bit half, unpack interleaves a/b: cycles and used
+        // land in lane order {0, 2, 1, 3}.
+        const __m256i cycles = _mm256_unpacklo_epi64(a, b);
+        const __m256i used =
+            _mm256_and_si256(_mm256_unpackhi_epi64(a, b), vbyte);
+        const __m256i expect =
+            _mm256_add_epi64(_mm256_set1_epi64x(int64_t(c)), vperm);
+        const __m256i stamped = _mm256_cmpeq_epi64(cycles, expect);
+        const __m256i below = _mm256_cmpgt_epi64(vlimit, used);
+        // free = stale stamp (reads as used=0 < limit) or used < limit.
+        const __m256i free_ = _mm256_or_si256(
+            below, _mm256_xor_si256(stamped, vones));
+        const int m =
+            _mm256_movemask_pd(_mm256_castsi256_pd(free_));
+        const uint64_t off = kFirst[m];
+        if (off < 4)
+            return c + off;
+        c += 4;
+    }
+}
+
+#endif // __x86_64__ && !SWAN_SIMD_OFF
 
 } // namespace
 
@@ -57,12 +143,30 @@ CoreModel::findIssueSlot(uint8_t fu, uint64_t ready, int occupancy,
     // backlog (up to a ROB's worth of cycles) per instruction.
     uint64_t c = std::max(ready, frontier);
     if (occupancy == 1) {
-        while (true) {
-            const auto &slot = ring[c & (kSlots - 1)];
-            const uint8_t used = slot.cycle == c ? slot.used : 0;
-            if (used < limit)
-                break;
-            ++c;
+        // Scalar probe of the start cycle first: an unsaturated pool
+        // answers here, and the vectorized scan below only earns its
+        // setup once at least one full cycle must be skipped.
+        const auto &first = ring[c & (kSlots - 1)];
+        if ((first.cycle == c ? first.used : 0) >= limit) {
+#if defined(__x86_64__) && !defined(SWAN_SIMD_OFF)
+            static_assert(sizeof(IssueSlot) == 16,
+                          "scanSlots4 hardcodes the slot stride");
+            if (slotScanAvx2()) {
+                c = scanSlots4(
+                    reinterpret_cast<const unsigned char *>(ring), c + 1,
+                    kSlots - 1, limit);
+            } else
+#endif
+            {
+                ++c;
+                while (true) {
+                    const auto &slot = ring[c & (kSlots - 1)];
+                    const uint8_t used = slot.cycle == c ? slot.used : 0;
+                    if (used < limit)
+                        break;
+                    ++c;
+                }
+            }
         }
         // The scan proved [start, c) full; when it started at the
         // frontier, everything below c is now known full.
@@ -503,28 +607,10 @@ replayWith(const trace::PackedTrace &trace,
     if (models.empty())
         return;
 
-    /**
-     * One configuration's working set in the fused loop: the model,
-     * its step function (the in-order/OoO table entry), its StepState
-     * lifted out of the model for the traversal, and the per-FU issue
-     * frontier — persistent across the whole pass, which is exactly
-     * what the Sink-delivery path cannot offer (it has nowhere to
-     * keep cross-call scratch without growing every model). Local to
-     * this friend function so it can name CoreModel's private types.
-     */
-    struct Lane
-    {
-        CoreModel *model;
-        CoreModel::StepBlockFn fnChecked; //!< restart check per instr
-        CoreModel::StepBlockFn fnMono;    //!< batch proven monotone
-        CoreModel::StepState st;
-        uint64_t frontier[size_t(Fu::NumFus)];
-    };
-
     // Hoist the per-descriptor shape work out of the loop: one StepIn
     // prototype per deduplicated descriptor (class/FU predicates,
     // unpipelined occupancy, latency), built once per traversal. Both
-    // this table and the model lanes live on the stack for every
+    // this table and the lane blocks live on the stack for every
     // realistic span — the replay path then makes no heap allocation,
     // which benches that interleave capture and simulation on one
     // thread rely on (the cache models are address-sensitive; see
@@ -544,27 +630,35 @@ replayWith(const trace::PackedTrace &trace,
         proto[i] = CoreModel::stepInFor(shape);
     }
 
-    constexpr size_t kStackLanes = 8;
+    // Configurations advance as vector lanes: each LaneBlock carries
+    // up to kLanes configurations' step states, issue frontiers and
+    // step-function table entries field-major (sim/core_model.hh), so
+    // the per-batch lane walk touches one contiguous state span —
+    // persistent across the whole pass, which is exactly what the
+    // Sink-delivery path cannot offer (it has nowhere to keep
+    // cross-call scratch without growing every model).
+    constexpr size_t kBL = CoreModel::LaneBlock::kLanes;
     const size_t nm = models.size();
-    Lane stackLanes[kStackLanes];
-    std::vector<Lane> heapLanes;
-    Lane *lanes = stackLanes;
-    if (nm > kStackLanes) {
-        heapLanes.resize(nm);
-        lanes = heapLanes.data();
+    CoreModel::LaneBlock stackBlock;
+    std::vector<CoreModel::LaneBlock> heapBlocks;
+    CoreModel::LaneBlock *blocks = &stackBlock;
+    if (nm > kBL) {
+        heapBlocks.resize((nm + kBL - 1) / kBL);
+        blocks = heapBlocks.data();
     }
     for (size_t i = 0; i < nm; ++i) {
-        Lane &l = lanes[i];
-        l.model = models[i];
-        if (l.model->cfg_.outOfOrder) {
-            l.fnChecked = &CoreModel::stepBlock<true, true>;
-            l.fnMono = &CoreModel::stepBlock<true, false>;
+        CoreModel::LaneBlock &b = blocks[i / kBL];
+        const size_t s = i % kBL;
+        b.model[s] = models[i];
+        if (models[i]->cfg_.outOfOrder) {
+            b.fnChecked[s] = &CoreModel::stepBlock<true, true>;
+            b.fnMono[s] = &CoreModel::stepBlock<true, false>;
         } else {
-            l.fnChecked = &CoreModel::stepBlock<false, true>;
-            l.fnMono = &CoreModel::stepBlock<false, false>;
+            b.fnChecked[s] = &CoreModel::stepBlock<false, true>;
+            b.fnMono[s] = &CoreModel::stepBlock<false, false>;
         }
-        l.st = l.model->st_;
-        std::fill(std::begin(l.frontier), std::end(l.frontier), 0);
+        b.st[s] = models[i]->st_;
+        std::memset(b.frontier[s], 0, sizeof(b.frontier[s]));
     }
 
     // One decode, N models: each record is decoded into registers and
@@ -599,9 +693,14 @@ replayWith(const trace::PackedTrace &trace,
     // contract binds the engine, not the payload.
     SWAN_NOALLOC_BEGIN("sim::replay");
     constexpr size_t kBatch = 4 * trace::PackedTrace::kBlockInstrs;
+    // Decode sub-batch: the batch kernels (Cursor::nextBatch) fill an
+    // L1-resident Decoded span which the merge loop folds with the
+    // prototype table into StepIn operands. Capture-phase scratch:
+    // sized by the Decoded layout pin.
+    constexpr size_t kDecodeChunk = 128;
     CoreModel::StepIn batch[kBatch];
+    trace::PackedTrace::Decoded dbuf[kDecodeChunk];
     trace::PackedTrace::Cursor cur(trace);
-    trace::PackedTrace::Decoded d;
     while (true) {
         size_t cap = kBatch;
         [[maybe_unused]] uint32_t clamp = 0;
@@ -619,56 +718,73 @@ replayWith(const trace::PackedTrace &trace,
         size_t nb = 0;
         uint64_t prevId = 0;
         bool mono = true;
-        while (nb < cap && cur.next(d)) {
-            // Identity fields from the decoder's registers; the shape
-            // tail (size/stride/occupancy/flags) is one 16-byte copy
-            // from the descriptor prototype.
-            CoreModel::StepIn &in = batch[nb++];
-            in.id = d.id;
-            in.dep0 = d.dep0;
-            in.dep1 = d.dep1;
-            in.dep2 = d.dep2;
-            in.addr = d.addr;
-            in.addr2 = d.addr2;
-            std::memcpy(&in.size, &proto[d.desc].size,
-                        sizeof(CoreModel::StepIn) -
-                            offsetof(CoreModel::StepIn, size));
-            if constexpr (HasObserver) {
-                // Firstfault-style partial progress: truncate a
-                // multi-element access to a prefix of its lanes,
-                // keeping the per-element footprint and stride
-                // invariant (addr2 is re-derived so the implied
-                // stride survives the element-count change).
-                if (clamp && (in.flags & CoreModel::kFlagMulti) &&
-                    uint32_t(in.elems) > clamp) {
-                    const uint32_t oldElems = in.elems;
-                    const uint32_t elemBytes =
-                        std::max<uint32_t>(in.size / oldElems, 1);
-                    if (in.elemStride == 0 && oldElems > 1) {
-                        const int64_t stride =
-                            (int64_t(in.addr2) - int64_t(in.addr)) /
-                            int64_t(oldElems - 1);
-                        in.addr2 = uint64_t(int64_t(in.addr) +
-                                            stride * int64_t(clamp - 1));
+        while (nb < cap) {
+            // Batch decode straight into the Decoded span — the
+            // runtime-dispatched kernel amortizes bounds checks and
+            // keeps the decode recurrence in registers across the
+            // whole chunk (trace/packed_batch.cc).
+            const size_t got = cur.nextBatch(
+                dbuf, std::min(cap - nb, kDecodeChunk));
+            if (got == 0)
+                break;
+            for (size_t j = 0; j < got; ++j) {
+                // Identity fields land as one 48-byte copy — Decoded
+                // leads with StepIn's identity prefix in the same
+                // order — and the shape tail (size/stride/occupancy/
+                // flags) is one 16-byte copy from the descriptor
+                // prototype.
+                const trace::PackedTrace::Decoded &d = dbuf[j];
+                CoreModel::StepIn &in = batch[nb++];
+                static_assert(
+                    offsetof(CoreModel::StepIn, size) == 48 &&
+                        offsetof(trace::PackedTrace::Decoded, desc) ==
+                            48,
+                    "the merge copies Decoded's identity prefix "
+                    "straight into StepIn");
+                std::memcpy(&in, &d, offsetof(CoreModel::StepIn, size));
+                std::memcpy(&in.size, &proto[d.desc].size,
+                            sizeof(CoreModel::StepIn) -
+                                offsetof(CoreModel::StepIn, size));
+                if constexpr (HasObserver) {
+                    // Firstfault-style partial progress: truncate a
+                    // multi-element access to a prefix of its lanes,
+                    // keeping the per-element footprint and stride
+                    // invariant (addr2 is re-derived so the implied
+                    // stride survives the element-count change).
+                    if (clamp && (in.flags & CoreModel::kFlagMulti) &&
+                        uint32_t(in.elems) > clamp) {
+                        const uint32_t oldElems = in.elems;
+                        const uint32_t elemBytes =
+                            std::max<uint32_t>(in.size / oldElems, 1);
+                        if (in.elemStride == 0 && oldElems > 1) {
+                            const int64_t stride =
+                                (int64_t(in.addr2) - int64_t(in.addr)) /
+                                int64_t(oldElems - 1);
+                            in.addr2 =
+                                uint64_t(int64_t(in.addr) +
+                                         stride * int64_t(clamp - 1));
+                        }
+                        in.elems = uint8_t(clamp);
+                        in.size = elemBytes * clamp;
                     }
-                    in.elems = uint8_t(clamp);
-                    in.size = elemBytes * clamp;
                 }
+                mono = mono && d.id > prevId;
+                prevId = d.id;
             }
-            mono = mono && d.id > prevId;
-            prevId = d.id;
         }
         if (nb == 0)
             break;
         for (size_t i = 0; i < nm; ++i) {
-            Lane &l = lanes[i];
+            CoreModel::LaneBlock &b = blocks[i / kBL];
+            const size_t s = i % kBL;
             // A batch with strictly increasing ids that start above
             // the lane's last seen id cannot contain a pass restart:
             // the per-instruction check is dead, so run the
             // instantiation without it.
-            const bool noRestart = mono && batch[0].id > l.st.lastSeenId;
-            (noRestart ? l.fnMono : l.fnChecked)(*l.model, l.st,
-                                                 l.frontier, batch, nb);
+            const bool noRestart =
+                mono && batch[0].id > b.st[s].lastSeenId;
+            (noRestart ? b.fnMono[s] : b.fnChecked[s])(
+                *b.model[s], b.st[s], b.frontier[s], batch, nb);
         }
         if constexpr (HasObserver) {
             pos += nb;
@@ -678,13 +794,15 @@ replayWith(const trace::PackedTrace &trace,
                 // models so the payload sees (and may perturb)
                 // architectural state, then reload it.
                 for (size_t i = 0; i < nm; ++i)
-                    lanes[i].model->st_ = lanes[i].st;
+                    blocks[i / kBL].model[i % kBL]->st_ =
+                        blocks[i / kBL].st[i % kBL];
                 {
                     SWAN_NOALLOC_PAUSE();
                     payload->atBoundary(pos, models);
                 }
                 for (size_t i = 0; i < nm; ++i)
-                    lanes[i].st = lanes[i].model->st_;
+                    blocks[i / kBL].st[i % kBL] =
+                        blocks[i / kBL].model[i % kBL]->st_;
                 {
                     SWAN_NOALLOC_PAUSE();
                     boundary = payload->nextBoundary(pos);
@@ -694,7 +812,7 @@ replayWith(const trace::PackedTrace &trace,
     }
     SWAN_NOALLOC_END();
     for (size_t i = 0; i < nm; ++i)
-        lanes[i].model->st_ = lanes[i].st;
+        blocks[i / kBL].model[i % kBL]->st_ = blocks[i / kBL].st[i % kBL];
     if constexpr (HasObserver)
         payload->end(pos, models);
     if (!cur.ok())

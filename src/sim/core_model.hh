@@ -367,12 +367,41 @@ class SWAN_CAPTURE_TYPE CoreModel : public trace::Sink
         uint32_t robIdx = 0;      //!< n % robSize, maintained incrementally
     };
 
+    /**
+     * One vector of configuration lanes in the fused replay engine:
+     * the per-lane step state, issue frontiers, models and step
+     * functions of up to kLanes configurations, field-major. The
+     * engine advances every lane of a block over the same decoded
+     * batch, so the hot per-lane recurrences (640 bytes of StepState,
+     * 448 bytes of frontier hints) are one contiguous span instead of
+     * N scattered 160-byte records — the lane loop walks adjacent
+     * cache lines regardless of where the models themselves live.
+     * Capture-phase type: replays > kLanes configurations heap a
+     * dense block array while benches interleave capture and
+     * simulation, so its size is pinned
+     * (include/swan/internal/layout.hh).
+     */
+    struct SWAN_CAPTURE_TYPE LaneBlock
+    {
+        /** Lanes per block; replay() spans this wide on the stack. */
+        static constexpr size_t kLanes = 8;
+
+        StepState st[kLanes];
+        uint64_t frontier[kLanes][size_t(trace::Fu::NumFus)];
+        CoreModel *model[kLanes];
+        StepBlockFn fnChecked[kLanes]; //!< restart check per instr
+        StepBlockFn fnMono[kLanes];    //!< batch proven monotone
+    };
+
   public:
     /** sizeof(StepState), exported so the centralized layout pin
      *  (include/swan/internal/layout.hh) can assert on a private
      *  nested type. The SoA lane arrays the fused loop copies per
      *  configuration are sized by this. */
     static constexpr size_t kStepStateBytes = sizeof(StepState);
+
+    /** sizeof(LaneBlock), exported for the same layout pin. */
+    static constexpr size_t kLaneBlockBytes = sizeof(LaneBlock);
 
   private:
     CoreConfig cfg_;

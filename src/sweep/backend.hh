@@ -36,7 +36,12 @@
  * directory (open with O_CREAT|O_EXCL — the lockfile analogue of the
  * cache tier's write-then-rename stores) and writing its pid and
  * shard index into it; losing the race means another shard owns the
- * unit. Finished units
+ * unit. With claim batching (`batch` > 1) consecutive units form one
+ * claim whose token is the FNV fold of the member unit tokens — one
+ * lockfile (and one filesystem round-trip) covers the whole batch,
+ * and the winning shard executes every member unit; batch == 1 keeps
+ * the raw unit token, so default claim filenames are unchanged.
+ * Finished units
  * land in the shared directory as ordinary checksummed `.swr` cache
  * entries, which the parent merges back deterministically after every
  * child has exited. Units that were claimed but never stored (a
@@ -198,8 +203,16 @@ class ShardedBackend final : public ExecutionBackend
   public:
     /** @param shards worker processes (clamped to [1, kMaxShards]).
      *  @param timeout_ms watchdog deadline: kill shards that make no
-     *         observable progress for this long; 0 = wait forever. */
-    explicit ShardedBackend(int shards, uint64_t timeout_ms = 0);
+     *         observable progress for this long; 0 = wait forever.
+     *  @param batch units per claim (clamped to >= 1): consecutive
+     *         units share one lockfile whose token folds the member
+     *         unit tokens, amortizing the claim round-trip when units
+     *         are small relative to filesystem latency. 1 (default)
+     *         claims per unit under the unit's own token, preserving
+     *         claim filenames. Results are byte-identical for any
+     *         value (see the claim protocol above). */
+    explicit ShardedBackend(int shards, uint64_t timeout_ms = 0,
+                            int batch = 1);
 
     void run(const BackendJob &job) override;
 
@@ -208,6 +221,7 @@ class ShardedBackend final : public ExecutionBackend
   private:
     int shards_;
     uint64_t timeoutMs_;
+    int batch_;
 };
 
 } // namespace swan::sweep

@@ -37,6 +37,7 @@
 #include "sweep/backend.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -44,7 +45,9 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/telemetry.hh"
@@ -63,8 +66,9 @@
 namespace swan::sweep
 {
 
-ShardedBackend::ShardedBackend(int shards, uint64_t timeout_ms)
-    : shards_(std::clamp(shards, 1, kMaxShards)), timeoutMs_(timeout_ms)
+ShardedBackend::ShardedBackend(int shards, uint64_t timeout_ms, int batch)
+    : shards_(std::clamp(shards, 1, kMaxShards)), timeoutMs_(timeout_ms),
+      batch_(std::max(batch, 1))
 {
 }
 
@@ -204,25 +208,81 @@ cleanStaleClaims(const std::string &dir)
     return swept;
 }
 
+/**
+ * Claim identity of batch @p b under @p batch units per claim: the
+ * unit's own token when batching is off (claim filenames unchanged
+ * from per-unit runs), otherwise the FNV fold of the member unit
+ * tokens — content-stable like the members, and distinct from any raw
+ * unit token's filename only by value, so per-unit and batched runs
+ * of the same grid never alias each other's claims.
+ */
+uint64_t
+batchToken(const BackendJob &job, size_t batch, size_t b)
+{
+    const size_t lo = b * batch;
+    if (batch == 1)
+        return job.token(job.arg, lo);
+    const size_t hi = std::min(job.units, lo + batch);
+    uint64_t t = kFnv64Seed;
+    for (size_t u = lo; u < hi; ++u)
+        t = fnvMix64(t, job.token(job.arg, u));
+    return t;
+}
+
+/** Per-batch claim resolution states (ClaimCtx::batchState). */
+enum : uint8_t
+{
+    kBatchNew = 0,       //!< nobody in this process has tried yet
+    kBatchResolving = 1, //!< one worker is mid-claim (two syscalls)
+    kBatchWon = 2,       //!< this process owns the batch
+    kBatchLost = 3,      //!< another shard owns the batch
+};
+
 struct ClaimCtx
 {
     const BackendJob *job;
     const char *dir;
     uint64_t run;
     int shard;
+    size_t batch;                     //!< units per claim (>= 1)
+    std::atomic<uint8_t> *batchState; //!< one slot per batch
 };
 
-/** Claim-gated unit executor: first process to create the unit's
- *  claim file simulates it; everyone else skips. */
+/**
+ * Claim-gated unit executor: the first process to create the batch's
+ * claim file simulates all of its units; everyone else skips them.
+ * The claim verdict is resolved once per process and cached in
+ * batchState — a lost open(O_CREAT|O_EXCL) cannot distinguish "another
+ * shard owns it" from "another worker thread of THIS process just won
+ * it", so exactly one worker performs the open and the rest read the
+ * cached verdict (yielding through the two-syscall resolving window).
+ */
 void
 claimedExecute(void *arg, size_t u)
 {
     const auto *c = static_cast<const ClaimCtx *>(arg);
-    char path[3584];
-    if (!claimPath(path, sizeof path, c->dir, c->run,
-                   c->job->token(c->job->arg, u)))
-        return;
-    if (!tryClaim(path, c->shard))
+    std::atomic<uint8_t> &st = c->batchState[u / c->batch];
+    uint8_t s = st.load(std::memory_order_acquire);
+    if (s == kBatchNew) {
+        uint8_t expect = kBatchNew;
+        if (st.compare_exchange_strong(expect, kBatchResolving,
+                                       std::memory_order_acq_rel)) {
+            char path[3584];
+            const bool won =
+                claimPath(path, sizeof path, c->dir, c->run,
+                          batchToken(*c->job, c->batch, u / c->batch)) &&
+                tryClaim(path, c->shard);
+            s = won ? kBatchWon : kBatchLost;
+            st.store(s, std::memory_order_release);
+        } else {
+            s = expect;
+        }
+    }
+    while (s == kBatchResolving) {
+        std::this_thread::yield();
+        s = st.load(std::memory_order_acquire);
+    }
+    if (s != kBatchWon)
         return;
     c->job->execute(c->job->arg, u);
 }
@@ -321,23 +381,26 @@ shareDirSignature(const std::string &dir)
  */
 int
 childMain(const BackendJob &job, uint64_t run, const char *dir,
-          int shard, long parent_pid, const CacheStats &before)
+          int shard, size_t batch, long parent_pid,
+          const CacheStats &before)
 {
     // Tag this process (and its telemetry records) as shard `shard`;
     // also fences the fork-inherited span buffer so the snapshot
     // below exports only what this child recorded.
     obs::Telemetry::setShard(shard);
 
+    const size_t nBatches = (job.units + batch - 1) / batch;
+
     // Test hook (tests/test_sweep_backend.cc): the named shard claims
-    // one unit and dies without executing or recording anything,
+    // one batch and dies without executing or recording anything,
     // exactly like a mid-simulation crash — the parent's recovery
-    // path must re-execute the claimed unit.
+    // path must re-execute every claimed unit.
     if (const char *crash = std::getenv("SWAN_SHARD_TEST_CRASH");
         crash && std::atoi(crash) == shard) {
-        for (size_t u = 0; u < job.units; ++u) {
+        for (size_t b = 0; b < nBatches; ++b) {
             char path[3584];
             if (claimPath(path, sizeof path, dir, run,
-                          job.token(job.arg, u)) &&
+                          batchToken(job, batch, b)) &&
                 tryClaim(path, shard))
                 break;
         }
@@ -345,16 +408,16 @@ childMain(const BackendJob &job, uint64_t run, const char *dir,
     }
 
     // Test hook, sibling of the crash hook above: the named shard
-    // claims one unit and then wedges — alive but making no progress,
+    // claims one batch and then wedges — alive but making no progress,
     // the failure mode waitpid alone can never resolve. The parent's
-    // deadline watchdog must SIGKILL it and recover the claimed unit
+    // deadline watchdog must SIGKILL it and recover the claimed units
     // through the ordinary crash path.
     if (const char *hang = std::getenv("SWAN_SHARD_TEST_HANG");
         hang && std::atoi(hang) == shard) {
-        for (size_t u = 0; u < job.units; ++u) {
+        for (size_t b = 0; b < nBatches; ++b) {
             char path[3584];
             if (claimPath(path, sizeof path, dir, run,
-                          job.token(job.arg, u)) &&
+                          batchToken(job, batch, b)) &&
                 tryClaim(path, shard))
                 break;
         }
@@ -364,9 +427,13 @@ childMain(const BackendJob &job, uint64_t run, const char *dir,
 
     {
         // One envelope span per shard child, so even a shard that
-        // loses every claim race is visible in the trace.
+        // loses every claim race is visible in the trace. The claim
+        // verdict cache allocates in the child, post-fork — the
+        // parent's capture-phase heap is already sealed.
         obs::Span life(obs::Phase::Shard, uint64_t(job.units));
-        ClaimCtx ctx{&job, dir, run, shard};
+        std::unique_ptr<std::atomic<uint8_t>[]> verdicts(
+            new std::atomic<uint8_t>[nBatches]());
+        ClaimCtx ctx{&job, dir, run, shard, batch, verdicts.get()};
         BackendJob sub = job;
         sub.arg = &ctx;
         sub.execute = &claimedExecute;
@@ -410,7 +477,11 @@ ShardedBackend::run(const BackendJob &job)
         job.shareCache->absorbStats(d);
     }
 
-    const int shards = int(std::min<size_t>(size_t(shards_), job.units));
+    // More shards than claims cannot win anything: clamp the fleet to
+    // the batch count, not the unit count.
+    const size_t batch = size_t(batch_);
+    const size_t nBatches = (job.units + batch - 1) / batch;
+    const int shards = int(std::min<size_t>(size_t(shards_), nBatches));
     const CacheStats before = job.shareCache->stats();
     const long parentPid = static_cast<long>(::getpid());
     pid_t pids[kMaxShards];
@@ -419,7 +490,7 @@ ShardedBackend::run(const BackendJob &job)
         if (pid == 0) {
             // Child: straight to _exit — never unwind into the
             // parent's stack, atexit handlers or stdio buffers.
-            ::_exit(childMain(job, run, dir.c_str(), s, parentPid,
+            ::_exit(childMain(job, run, dir.c_str(), s, batch, parentPid,
                               before));
         }
         // fork() failure leaves a negative pid: the units that shard
@@ -522,7 +593,7 @@ ShardedBackend::run(const BackendJob &job)
             char path[3584];
             int shard = -1;
             if (claimPath(path, sizeof path, dir.c_str(), run,
-                          job.token(job.arg, u)))
+                          batchToken(job, batch, u / batch)))
                 shard = readClaimShard(path);
             if (!job.serve(job.arg, u, shard))
                 missing.push_back(u);
@@ -551,10 +622,10 @@ ShardedBackend::run(const BackendJob &job)
 
     // Release this run's claims (idempotent against a concurrent
     // identical run's parent doing the same).
-    for (size_t u = 0; u < job.units; ++u) {
+    for (size_t b = 0; b < nBatches; ++b) {
         char path[3584];
         if (claimPath(path, sizeof path, dir.c_str(), run,
-                      job.token(job.arg, u)))
+                      batchToken(job, batch, b)))
             ::unlink(path);
     }
 }

@@ -646,7 +646,8 @@ runSweep(const std::vector<SweepPoint> &points, const SchedulerConfig &cfg)
             break;
           }
           case Backend::Sharded: {
-            ShardedBackend backend(cfg.shards, cfg.shardTimeoutMs);
+            ShardedBackend backend(cfg.shards, cfg.shardTimeoutMs,
+                                   cfg.shardBatch);
             backend.run(job);
             break;
           }

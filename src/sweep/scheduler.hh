@@ -129,6 +129,17 @@ struct SchedulerConfig
     uint64_t shardTimeoutMs = 0;
 
     /**
+     * Units per sharded claim: consecutive work units share one claim
+     * lockfile (token = FNV fold of the member unit tokens),
+     * amortizing the filesystem round-trip when units are small.
+     * 1 = one claim per unit (default; preserves claim filenames).
+     * Results are byte-identical for any value. Session policy:
+     * SWAN_SHARD_BATCH is read by swan::Session::envDefaults, never
+     * here.
+     */
+    int shardBatch = 1;
+
+    /**
      * Stream every finished row, strictly in point-index order, as
      * results land (cache hits first, then each computed/merged point
      * as soon as every lower-indexed point is done). Invoked from

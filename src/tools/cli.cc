@@ -9,6 +9,7 @@
 // command goes through the same include/swan/ surface an out-of-tree
 // embedding would use (the sweep forms through Session/Experiment).
 #include "swan/faults.hh"
+#include "swan/internal/simd_dispatch.hh"
 #include "swan/swan.hh"
 
 namespace swan::tools
@@ -69,6 +70,12 @@ sweep grid flags (cartesian product of the axes):
                                make no observable progress for N ms
                                and recover their units bit-identically
                                (0 = wait forever, the default)
+  --shard-batch N              units per sharded claim (default 1):
+                               N consecutive work units share one
+                               atomic claim lockfile, amortizing the
+                               filesystem round-trip on grids with
+                               many small units; byte-identical
+                               output for any value
   --format table|csv|jsonl     report format (default table)
   --progress                   stream one line per finished row to
                                stderr, in deterministic point order,
@@ -93,6 +100,7 @@ environment (defaults only; explicit flags win — docs/api.md):
   SWAN_JOBS                    default worker threads for sweeps
   SWAN_SHARDS                  default worker processes for sweeps
   SWAN_SHARD_TIMEOUT_MS        default --shard-timeout-ms
+  SWAN_SHARD_BATCH             default --shard-batch
   SWAN_SWEEP_CACHE_DIR         default --cache-dir
   SWAN_SWEEP_CACHE_MAX_BYTES   default --cache-max-bytes
   SWAN_METRICS                 default --metrics-out stem
@@ -147,6 +155,8 @@ struct Parsed
     bool jobsSet = false;
     int shards = 1;
     bool shardsSet = false;
+    int shardBatch = 1;
+    bool shardBatchSet = false;
     std::string format = "table";
     std::string cacheDir;
     uint64_t cacheMaxBytes = 0;
@@ -332,6 +342,17 @@ parse(const std::vector<std::string> &args, std::ostream &err)
                 return std::nullopt;
             }
             p.shardsSet = true;
+        } else if (a == "--shard-batch") {
+            const auto *v = value();
+            if (!v)
+                return std::nullopt;
+            char *end = nullptr;
+            p.shardBatch = int(std::strtol(v->c_str(), &end, 10));
+            if (end == v->c_str() || *end != '\0' || p.shardBatch < 1) {
+                err << "swan: --shard-batch must be a number >= 1\n";
+                return std::nullopt;
+            }
+            p.shardBatchSet = true;
         } else if (a == "--cache-max-bytes") {
             const auto *v = value();
             if (!v)
@@ -398,6 +419,8 @@ sessionFor(const Parsed &p)
         opts.shards = p.shards;
     if (p.shardTimeoutSet)
         opts.shardTimeoutMs = p.shardTimeoutMs;
+    if (p.shardBatchSet)
+        opts.shardBatch = p.shardBatch;
     if (!p.faultList.empty())
         opts.faults = p.faultList;
     if (!p.cacheDir.empty())
@@ -778,7 +801,14 @@ runCli(const std::vector<std::string> &args, std::ostream &out,
     }
     if (p->command == "version" || p->command == "--version" ||
         p->command == "-V") {
-        out << "swan " << versionString() << "\n";
+        // The replay engine's runtime ISA dispatch, so "which kernels
+        // will this host actually run" is one command away (the same
+        // strings land in every run report — obs/report.cc).
+        const auto &d = detail::simdDispatch();
+        out << "swan " << versionString() << "\n"
+            << "simd: isa=" << d.isa << " decode=" << d.decodeKernel
+            << " step=" << d.stepKernel
+            << (d.forced ? " (forced via SWAN_SIMD)" : "") << "\n";
         return 0;
     }
     if (p->command == "list")

@@ -46,6 +46,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "swan/internal/contracts.hh"
 #include "trace/instr.hh"
 #include "trace/recorder.hh"
 
@@ -257,15 +258,32 @@ class PackedTrace
      * One decoded record's identity fields. The shape fields live in
      * the descriptor side table (see descCount()/expandDesc()); the
      * fused replay engine keeps a per-descriptor prototype instead of
-     * re-expanding them per instruction.
+     * re-expanding them per instruction. Capture-phase layout pin: the
+     * fused driver's decode-batch buffers are sized by this struct
+     * (include/swan/internal/layout.hh).
      */
-    struct Decoded
+    struct SWAN_CAPTURE_TYPE Decoded
     {
         uint64_t id;
         uint64_t dep0, dep1, dep2;
         uint64_t addr;
         uint64_t addr2;
         uint32_t desc;      //!< descriptor index, < descCount()
+    };
+
+    /**
+     * Which batch-decode kernel family Cursor::nextBatch runs. Every
+     * implementation is bit-identical in output and cursor state
+     * transitions (including ok() checked-decode semantics); the
+     * choice is pure throughput. Auto defers to the process-wide
+     * runtime ISA dispatch (swan/internal/simd_dispatch.hh).
+     */
+    enum class DecodeImpl : uint8_t
+    {
+        Auto,   //!< runtime-dispatched best available
+        Scalar, //!< guaranteed fallback: a loop over next(Decoded&)
+        Swar,   //!< portable 64-bit SWAR batch kernel
+        Native, //!< AVX2+BMI2 / NEON; degrades to Swar if unavailable
     };
 
     /** Incremental block decoder (checked: see ok()). */
@@ -283,11 +301,29 @@ class PackedTrace
 
         /**
          * Decode exactly one record into registers (no Instr
-         * materialization) — the fused replay engine's entry point.
+         * materialization) — the scalar endpoint every batch kernel
+         * falls back to.
          * @return false at end of trace, or when the stream is
          * malformed (check ok() to tell the two apart).
          */
         bool next(Decoded &out);
+
+        /**
+         * Decode up to @p max records into @p out with the
+         * runtime-dispatched batch kernel — the fused replay engine's
+         * entry point. Cursor state (position, delta bases, ok())
+         * advances exactly as @p max calls of next(Decoded&) would;
+         * the batch kernels only amortize bounds checks and keep the
+         * decode recurrence in registers across the whole batch.
+         * @return the number decoded; 0 at end of trace or on a
+         * malformed stream (check ok() to tell the two apart).
+         */
+        size_t nextBatch(Decoded *out, size_t max);
+
+        /** nextBatch() forcing a specific kernel family (tests and
+         *  benches; Native degrades to Swar when the hardware lacks
+         *  it). */
+        size_t nextBatch(Decoded *out, size_t max, DecodeImpl impl);
 
         /** Rewind to the first instruction. */
         void reset();
@@ -304,6 +340,22 @@ class PackedTrace
         bool ok() const;
 
       private:
+        /** Shared body of the SWAR and pext batch kernels: the Fold
+         *  policy abstracts multi-byte varint bit extraction (fold7
+         *  vs BMI2 pext). Defined in trace/packed_batch_impl.hh and
+         *  instantiated per kernel translation unit (the AVX2 one is
+         *  compiled with its own ISA flags). */
+        template <class Fold> size_t nextBatchImpl(Decoded *out, size_t max);
+        /** The guaranteed-available fallback: a next(Decoded&) loop. */
+        size_t nextBatchScalar(Decoded *out, size_t max);
+        /** Portable 64-bit SWAR batch kernel (packed_batch.cc). */
+        size_t nextBatchSwar(Decoded *out, size_t max);
+        /** Best native kernel this build carries: AVX2+BMI2 pext on
+         *  x86-64 (packed_batch_avx2.cc), NEON on AArch64, else an
+         *  alias of the SWAR kernel. Call only via nextBatch — the
+         *  x86 variant requires runtime AVX2/BMI2 support. */
+        size_t nextBatchNative(Decoded *out, size_t max);
+
         const PackedTrace *trace_ = nullptr;
         const uint8_t *p_ = nullptr;        //!< main stream position
         const uint8_t *end_ = nullptr;

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * AVX2+BMI2 batch varint-decode kernel. This translation unit is the
+ * only one in the library compiled with -mavx2 -mbmi2 (see
+ * CMakeLists.txt), so the BMI2 pext intrinsic compiles as a plain
+ * instruction and the compiler may use VEX encodings freely — which
+ * is exactly why nothing here may run unless the runtime dispatch
+ * (swan/internal/simd_dispatch.hh) verified AVX2+BMI2 support.
+ * Callers reach this kernel only through Cursor::nextBatch.
+ *
+ * The kernel is the shared batch body (trace/packed_batch_impl.hh)
+ * instantiated with a pext fold: extracting the 7-bit payload groups
+ * of a masked varint word is a single _pext_u64 against
+ * 0x7f7f7f7f7f7f7f7f, replacing the three-step SWAR cascade —
+ * bit-identical by construction (pext gathers exactly the bits the
+ * cascade folds, in the same order).
+ */
+
+#if defined(__x86_64__) && !defined(SWAN_SIMD_OFF)
+
+#include <immintrin.h>
+
+#include "trace/packed_batch_impl.hh"
+
+namespace swan::trace
+{
+
+namespace
+{
+
+/** BMI2 fold policy: one pext gathers all 7-bit payload groups. */
+struct PextFold
+{
+    static inline uint64_t
+    fold(uint64_t masked_word)
+    {
+        return _pext_u64(masked_word, 0x7f7f7f7f7f7f7f7full);
+    }
+};
+
+} // namespace
+
+size_t
+PackedTrace::Cursor::nextBatchNative(Decoded *out, size_t max)
+{
+    return nextBatchImpl<PextFold>(out, max);
+}
+
+} // namespace swan::trace
+
+#endif // __x86_64__ && !SWAN_SIMD_OFF

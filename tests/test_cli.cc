@@ -58,14 +58,23 @@ TEST(CliUsage, HelpSucceeds)
     EXPECT_NE(r.out.find("commands:"), std::string::npos);
 }
 
-TEST(CliUsage, VersionPrintsLibraryVersion)
+TEST(CliUsage, VersionPrintsLibraryVersionAndSimdKernels)
 {
     for (const char *spelling : {"version", "--version", "-V"}) {
         auto r = cli({spelling});
         EXPECT_EQ(r.code, 0) << spelling;
-        EXPECT_EQ(r.out, std::string("swan ") + swan::versionString() +
-                             "\n")
+        // Line 1: the library version. Line 2: what the runtime ISA
+        // dispatcher actually selected — the one-command answer to
+        // "which decode/step kernels is this host running?".
+        const auto nl = r.out.find('\n');
+        ASSERT_NE(nl, std::string::npos) << spelling;
+        EXPECT_EQ(r.out.substr(0, nl),
+                  std::string("swan ") + swan::versionString())
             << spelling;
+        const auto simd = r.out.substr(nl + 1);
+        EXPECT_EQ(simd.compare(0, 10, "simd: isa="), 0) << spelling;
+        EXPECT_NE(simd.find(" decode="), std::string::npos) << spelling;
+        EXPECT_NE(simd.find(" step="), std::string::npos) << spelling;
     }
 }
 

@@ -243,6 +243,192 @@ TEST(FusedReplay, MatchesOnARealKernelTrace)
                      runOnInstr(instrs, sim::silverConfig(), 1));
 }
 
+TEST(FusedReplay, ConfigGroupsCrossTheLaneBlockBoundary)
+{
+    // The lane-block engine packs up to 8 configurations per SoA block
+    // (CoreModel::kLaneBlockBytes) and heap-allocates a block array
+    // beyond that: N = 1..8 exercises every partial-block width, 9 and
+    // 12 the multi-block path. Every width must reproduce the
+    // single-config result bit for bit.
+    const auto instrs = randomTrace(2500, 131);
+    const auto packed = PackedTrace::pack(instrs);
+    std::vector<sim::CoreConfig> all = fourCores();
+    for (int w = 2; w <= 9; ++w)
+        all.push_back(sim::scalabilityConfig(w, 2 + w % 3));
+    ASSERT_EQ(all.size(), 12u);
+
+    std::vector<sim::SimResult> singles;
+    for (const auto &cfg : all)
+        singles.push_back(runOnInstr(instrs, cfg, 1));
+
+    for (size_t n : {size_t(1), size_t(2), size_t(5), size_t(7),
+                     size_t(8), size_t(9), size_t(12)}) {
+        const std::vector<sim::CoreConfig> cfgs(all.begin(),
+                                                all.begin() + long(n));
+        const auto fused = runFused(packed, cfgs, 1);
+        ASSERT_EQ(fused.size(), n);
+        for (size_t i = 0; i < n; ++i)
+            expectSameResult(fused[i], singles[i]);
+    }
+}
+
+TEST(FusedReplay, MidStreamRestartsAcrossLaneCounts)
+{
+    // Id restarts force the checked (non-monotone) step function for
+    // the affected batches; the selection is per decode batch and must
+    // not leak between lanes or widths.
+    auto instrs = randomTrace(1200, 137);
+    const auto b = randomTrace(800, 138);
+    instrs.insert(instrs.end(), b.begin(), b.end());
+    const auto c = randomTrace(400, 139);
+    instrs.insert(instrs.end(), c.begin(), c.end());
+    const auto packed = PackedTrace::pack(instrs);
+
+    std::vector<sim::CoreConfig> all = fourCores();
+    for (int w = 2; w <= 5; ++w)
+        all.push_back(sim::scalabilityConfig(w, 4));
+    for (size_t n : {size_t(1), size_t(3), size_t(8)}) {
+        const std::vector<sim::CoreConfig> cfgs(all.begin(),
+                                                all.begin() + long(n));
+        const auto fused = runFused(packed, cfgs, 1);
+        for (size_t i = 0; i < n; ++i)
+            expectSameResult(fused[i], runOnInstr(instrs, cfgs[i], 1));
+    }
+}
+
+namespace
+{
+
+/**
+ * A perturbing payload: control every `stride` instructions, rotating
+ * DRAM latency at each boundary and clamping multi-element progress on
+ * alternating batches. Deterministic in the traversal position only,
+ * so two traversals of one trace perturb identically no matter how
+ * many models ride along.
+ */
+struct PulsePayload final : sim::ReplayObserver
+{
+    uint64_t stride;
+    uint64_t boundaries = 0;
+
+    explicit PulsePayload(uint64_t s) : stride(s) {}
+
+    uint64_t
+    nextBoundary(uint64_t pos) override
+    {
+        return pos + stride;
+    }
+
+    void
+    atBoundary(uint64_t pos,
+               std::span<sim::CoreModel *const> models) override
+    {
+        ++boundaries;
+        for (auto *m : models)
+            setDramLatency(*m, 120 + (pos / stride) % 7 * 30);
+    }
+
+    uint32_t
+    elemClamp() const override
+    {
+        return boundaries % 2 ? 2 : 0;
+    }
+};
+
+/** Warmup observer-free, then one measured pass with a fresh payload. */
+std::vector<sim::SimResult>
+runFusedObserved(const PackedTrace &packed,
+                 const std::vector<sim::CoreConfig> &cfgs,
+                 uint64_t stride)
+{
+    std::vector<std::unique_ptr<sim::CoreModel>> models;
+    std::vector<sim::CoreModel *> ptrs;
+    for (const auto &c : cfgs) {
+        models.push_back(std::make_unique<sim::CoreModel>(c));
+        ptrs.push_back(models.back().get());
+    }
+    const std::span<sim::CoreModel *const> span(ptrs.data(), ptrs.size());
+    sim::replay(packed, span);
+    for (auto &m : models)
+        m->beginMeasurement();
+    PulsePayload payload(stride);
+    sim::replay(packed, span, payload);
+    std::vector<sim::SimResult> out;
+    for (auto &m : models)
+        out.push_back(m->finish());
+    return out;
+}
+
+} // namespace
+
+TEST(FusedReplay, ObserverSeamIsLaneCountInvariant)
+{
+    // A perturbing payload is a function of traversal position only:
+    // replaying N models together under one payload must equal N
+    // single-model replays under N fresh payloads, for any lane count
+    // (batches never cross a payload boundary, whatever the width).
+    const auto instrs = randomTrace(3000, 149);
+    const auto packed = PackedTrace::pack(instrs);
+    std::vector<sim::CoreConfig> all = fourCores();
+    for (int w = 2; w <= 6; ++w)
+        all.push_back(sim::scalabilityConfig(w, 2));
+
+    for (const uint64_t stride : {uint64_t(257), uint64_t(1000)}) {
+        std::vector<sim::SimResult> singles;
+        for (const auto &cfg : all)
+            singles.push_back(
+                runFusedObserved(packed, {cfg}, stride)[0]);
+        for (size_t n : {size_t(3), size_t(8), size_t(9)}) {
+            const std::vector<sim::CoreConfig> cfgs(
+                all.begin(), all.begin() + long(n));
+            const auto got = runFusedObserved(packed, cfgs, stride);
+            ASSERT_EQ(got.size(), n);
+            for (size_t i = 0; i < n; ++i)
+                expectSameResult(got[i], singles[i]);
+        }
+    }
+}
+
+TEST(FusedReplay, PassiveObserverChangesNothing)
+{
+    // A payload that only watches must leave results bit-identical to
+    // the observer-free engine.
+    struct Watcher final : sim::ReplayObserver
+    {
+        uint64_t seen = 0;
+        uint64_t
+        nextBoundary(uint64_t pos) override
+        {
+            return pos + 100;
+        }
+        void
+        atBoundary(uint64_t, std::span<sim::CoreModel *const>) override
+        {
+            ++seen;
+        }
+    };
+    const auto instrs = randomTrace(2000, 151);
+    const auto packed = PackedTrace::pack(instrs);
+    const auto cfgs = fourCores();
+    const auto plain = runFused(packed, cfgs, 1);
+
+    std::vector<std::unique_ptr<sim::CoreModel>> models;
+    std::vector<sim::CoreModel *> ptrs;
+    for (const auto &c : cfgs) {
+        models.push_back(std::make_unique<sim::CoreModel>(c));
+        ptrs.push_back(models.back().get());
+    }
+    const std::span<sim::CoreModel *const> span(ptrs.data(), ptrs.size());
+    sim::replay(packed, span);
+    for (auto &m : models)
+        m->beginMeasurement();
+    Watcher w;
+    sim::replay(packed, span, w);
+    EXPECT_GT(w.seen, 0u);
+    for (size_t i = 0; i < cfgs.size(); ++i)
+        expectSameResult(plain[i], models[i]->finish());
+}
+
 TEST(FusedReplay, EmptySpanAndEmptyTraceAreNoOps)
 {
     const auto packed = PackedTrace::pack(randomTrace(100, 113));

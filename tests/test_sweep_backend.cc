@@ -96,7 +96,7 @@ class BackendFixture : public ::testing::Test
 
     std::string
     runWith(sweep::Backend backend, int jobs, int shards,
-            sweep::CacheStats *stats = nullptr)
+            sweep::CacheStats *stats = nullptr, int shardBatch = 1)
     {
         dropResults();
         sweep::ResultCache cache(dir_.string());
@@ -104,6 +104,7 @@ class BackendFixture : public ::testing::Test
         sc.backend = backend;
         sc.jobs = jobs;
         sc.shards = shards;
+        sc.shardBatch = shardBatch;
         sc.cache = &cache;
         const auto out = render(sweep::runSweep(points_, sc));
         EXPECT_EQ(cache.stats().traceHits, 6u)
@@ -186,6 +187,40 @@ TEST_F(BackendFixture, CrashedShardUnitsAreReExecutedByTheParent)
     EXPECT_EQ(reference, out);
     // Every point was still simulated and stored exactly once
     // (surviving shard + parent recovery).
+    EXPECT_EQ(stats.stores, points_.size());
+}
+
+TEST_F(BackendFixture, BatchedClaimsProduceByteIdenticalOutput)
+{
+    // Claim batching changes lockfile granularity only, never results:
+    // every {batch x shards x jobs} combination must render the exact
+    // bytes of the serial inline run — including a batch larger than
+    // the whole grid (one claim for everything) and one that divides
+    // the 6 units unevenly.
+    const std::string reference = runWith(sweep::Backend::Inline, 1, 1);
+    ASSERT_FALSE(reference.empty());
+    for (int batch : {2, 4, 100})
+        for (int shards : {2, 3})
+            EXPECT_EQ(reference, runWith(sweep::Backend::Sharded, 2,
+                                         shards, nullptr, batch))
+                << "batch=" << batch << " shards=" << shards;
+}
+
+TEST_F(BackendFixture, CrashedShardLosesItsWholeBatch)
+{
+    // With batch = 3, the crash-hook shard claims one whole batch and
+    // dies: the parent must detect every member unit missing and
+    // re-execute all of them, byte-identically.
+    const std::string reference = runWith(sweep::Backend::Inline, 1, 1);
+    ASSERT_EQ(::setenv("SWAN_SHARD_TEST_CRASH", "0", 1), 0);
+    sweep::CacheStats stats;
+    const auto out = runWith(sweep::Backend::Sharded, 1, 2, &stats, 3);
+    ASSERT_EQ(::unsetenv("SWAN_SHARD_TEST_CRASH"), 0);
+
+    EXPECT_EQ(reference, out);
+    // The dead shard owned a full 3-unit batch; the surviving shard
+    // and the parent's recovery still store every point exactly once.
+    EXPECT_GE(stats.recoveredUnits, 3u);
     EXPECT_EQ(stats.stores, points_.size());
 }
 

@@ -491,6 +491,183 @@ TEST(PackedTraceChecked, FuzzedStreamBytesNeverCrashTheDecoder)
     }
 }
 
+namespace
+{
+
+constexpr PackedTrace::DecodeImpl kAllImpls[] = {
+    PackedTrace::DecodeImpl::Auto,
+    PackedTrace::DecodeImpl::Scalar,
+    PackedTrace::DecodeImpl::Swar,
+    PackedTrace::DecodeImpl::Native,
+};
+
+const char *
+implName(PackedTrace::DecodeImpl impl)
+{
+    switch (impl) {
+      case PackedTrace::DecodeImpl::Auto: return "auto";
+      case PackedTrace::DecodeImpl::Scalar: return "scalar";
+      case PackedTrace::DecodeImpl::Swar: return "swar";
+      case PackedTrace::DecodeImpl::Native: return "native";
+    }
+    return "?";
+}
+
+/** Drain @p t through nextBatch(impl) in @p batchSize chunks. */
+std::vector<PackedTrace::Decoded>
+decodeAll(const PackedTrace &t, PackedTrace::DecodeImpl impl,
+          size_t batchSize, bool *ok)
+{
+    PackedTrace::Cursor cur(t);
+    std::vector<PackedTrace::Decoded> out;
+    std::vector<PackedTrace::Decoded> buf(batchSize);
+    size_t k;
+    while ((k = cur.nextBatch(buf.data(), batchSize, impl)) != 0)
+        out.insert(out.end(), buf.begin(), buf.begin() + k);
+    *ok = cur.ok();
+    return out;
+}
+
+void
+expectSameDecoded(const std::vector<PackedTrace::Decoded> &ref,
+                  const std::vector<PackedTrace::Decoded> &got,
+                  PackedTrace::DecodeImpl impl, size_t batchSize)
+{
+    ASSERT_EQ(ref.size(), got.size())
+        << implName(impl) << " bs=" << batchSize;
+    for (size_t i = 0; i < ref.size(); ++i) {
+        const auto &a = ref[i];
+        const auto &b = got[i];
+        ASSERT_TRUE(a.id == b.id && a.dep0 == b.dep0 && a.dep1 == b.dep1 &&
+                    a.dep2 == b.dep2 && a.addr == b.addr &&
+                    a.addr2 == b.addr2 && a.desc == b.desc)
+            << implName(impl) << " bs=" << batchSize << " record " << i;
+    }
+}
+
+} // namespace
+
+TEST(PackedTraceBatch, EveryImplMatchesTheCheckedCursor)
+{
+    for (uint32_t seed : {1u, 42u, 77u}) {
+        for (size_t n : {size_t(0), size_t(1), size_t(257), size_t(6000)}) {
+            const auto instrs = randomTrace(n, seed);
+            const auto packed = PackedTrace::pack(instrs);
+
+            std::vector<PackedTrace::Decoded> ref;
+            {
+                PackedTrace::Cursor cur(packed);
+                PackedTrace::Decoded d;
+                while (cur.next(d))
+                    ref.push_back(d);
+                ASSERT_TRUE(cur.ok());
+                ASSERT_EQ(ref.size(), n);
+            }
+
+            for (const auto impl : kAllImpls)
+                for (size_t bs : {size_t(1), size_t(13), size_t(128),
+                                  size_t(100000)}) {
+                    bool ok = false;
+                    const auto got = decodeAll(packed, impl, bs, &ok);
+                    EXPECT_TRUE(ok)
+                        << implName(impl) << " bs=" << bs << " n=" << n;
+                    expectSameDecoded(ref, got, impl, bs);
+                }
+        }
+    }
+}
+
+TEST(PackedTraceBatch, EveryImplMatchesOnARealKernelTrace)
+{
+    const auto *spec = core::Registry::instance().find("ZL/adler32");
+    ASSERT_NE(spec, nullptr);
+    auto w = spec->make(core::Options());
+    const auto instrs = core::Runner::capture(*w, core::Impl::Neon, 128);
+    ASSERT_FALSE(instrs.empty());
+    const auto packed = PackedTrace::pack(instrs);
+
+    std::vector<PackedTrace::Decoded> ref;
+    PackedTrace::Cursor cur(packed);
+    PackedTrace::Decoded d;
+    while (cur.next(d))
+        ref.push_back(d);
+    ASSERT_TRUE(cur.ok());
+
+    for (const auto impl : kAllImpls) {
+        bool ok = false;
+        const auto got = decodeAll(packed, impl, 128, &ok);
+        EXPECT_TRUE(ok) << implName(impl);
+        expectSameDecoded(ref, got, impl, 128);
+    }
+}
+
+TEST(PackedTraceBatch, DamagedStreamsGetTheSameVerdictFromEveryImpl)
+{
+    // Truncations and random bit flips through the batch kernels: every
+    // implementation must terminate in bounds and agree with the
+    // checked per-record cursor on the decoded prefix AND the ok()
+    // verdict — the vector kernels may not turn malformed input into
+    // records (or silence) the scalar decoder would not.
+    const auto instrs = randomTrace(900, 71);
+    const auto packed = PackedTrace::pack(instrs);
+    std::string blob;
+    packed.appendPayload(&blob);
+    RawHeader h;
+    std::memcpy(&h, blob.data(), sizeof h);
+    const size_t descBytes = size_t(h.descCount) * h.descSize;
+    const std::string body = blob.substr(sizeof h);
+
+    std::vector<std::string> crafted;
+    for (size_t k = 1; k <= std::min<uint64_t>(16, h.mainLen); ++k) {
+        RawHeader th = h;
+        th.mainLen = h.mainLen - k;
+        std::string tbody = body.substr(0, descBytes + size_t(th.mainLen));
+        tbody += body.substr(descBytes + size_t(h.mainLen));
+        crafted.push_back(craftPayload(th, tbody));
+    }
+    std::mt19937_64 rng(73);
+    for (int round = 0; round < 48; ++round) {
+        std::string fuzzed = body;
+        const int flips = 1 + int(rng() % 4);
+        for (int f = 0; f < flips; ++f) {
+            const size_t at =
+                descBytes + size_t(rng() % (fuzzed.size() - descBytes));
+            fuzzed[at] =
+                char(uint8_t(fuzzed[at]) ^ uint8_t(1 + rng() % 255));
+        }
+        crafted.push_back(craftPayload(h, fuzzed));
+    }
+
+    for (size_t c = 0; c < crafted.size(); ++c) {
+        PackedTrace t;
+        if (!PackedTrace::parsePayload(
+                reinterpret_cast<const uint8_t *>(crafted[c].data()),
+                crafted[c].size(), &t))
+            continue; // structural reject: nothing reaches the decoders
+
+        bool refOk = false;
+        std::vector<PackedTrace::Decoded> ref;
+        {
+            PackedTrace::Cursor r(t);
+            PackedTrace::Decoded d;
+            while (r.next(d)) {
+                ASSERT_LT(d.desc, t.descCount());
+                ref.push_back(d);
+            }
+            refOk = r.ok();
+        }
+
+        for (const auto impl : kAllImpls)
+            for (size_t bs : {size_t(7), size_t(128)}) {
+                bool ok = false;
+                const auto got = decodeAll(t, impl, bs, &ok);
+                EXPECT_EQ(refOk, ok)
+                    << implName(impl) << " bs=" << bs << " case " << c;
+                expectSameDecoded(ref, got, impl, bs);
+            }
+    }
+}
+
 TEST(PackedTrace, ReleaseStorageEmptiesTheTrace)
 {
     const auto instrs = randomTrace(500, 5);

@@ -45,7 +45,8 @@ import os
 import re
 import sys
 
-REQUIRED_PINNED = ("SweepPoint", "CacheKey", "StepState", "CoreModel")
+REQUIRED_PINNED = ("SweepPoint", "CacheKey", "StepState", "CoreModel",
+                   "Decoded", "LaneBlock")
 
 LINT_DIRS = ("src", "include")  # library scope, relative to the root
 

@@ -89,9 +89,23 @@ struct SessionOptions
     std::string cacheDir;
 
     /** Size cap for the on-disk cache directory: after every store the
-     *  least-recently-used entries are pruned until the tier fits.
-     *  0 = unbounded. [env: SWAN_SWEEP_CACHE_MAX_BYTES] */
+     *  coldest entries (hotness, then first-lookup order — never file
+     *  mtimes) are pruned until the tier fits. 0 = unbounded.
+     *  [env: SWAN_SWEEP_CACHE_MAX_BYTES] */
     uint64_t cacheMaxBytes = 0;
+
+    /** Far/shared cache tier (T2) directory — the slow, durable tier a
+     *  sweep service shares across hosts. Probed after the local disk
+     *  tier; hits are write-through-promoted into cacheDir, stores
+     *  write through (parent process only in sharded runs). Empty = no
+     *  far tier. See docs/cache.md. [env: SWAN_CACHE_FAR_DIR] */
+    std::string farCacheDir;
+
+    /** Byte cap for the in-RAM result memo (T0): over the cap, the
+     *  coldest results are dropped (they remain on disk). 0 =
+     *  unbounded, the pre-tiering behavior. Byte-identical results for
+     *  any value. [env: SWAN_CACHE_RAM_BYTES] */
+    uint64_t cacheRamMaxBytes = 0;
 
     /**
      * Sharded-run deadline watchdog: kill shard processes that make no
@@ -181,6 +195,18 @@ struct SessionOptions
     withCacheMaxBytes(uint64_t n)
     {
         cacheMaxBytes = n;
+        return *this;
+    }
+    SessionOptions &
+    withFarCacheDir(std::string dir)
+    {
+        farCacheDir = std::move(dir);
+        return *this;
+    }
+    SessionOptions &
+    withCacheRamMaxBytes(uint64_t n)
+    {
+        cacheRamMaxBytes = n;
         return *this;
     }
     SessionOptions &

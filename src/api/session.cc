@@ -31,8 +31,14 @@ envInt(const char *name, int fallback)
 } // namespace
 
 Session::Session(SessionOptions opts)
-    : opts_(std::move(opts)), cache_(opts_.cacheDir, opts_.cacheMaxBytes)
+    : opts_(std::move(opts)),
+      cache_(opts_.cacheDir, opts_.cacheMaxBytes, opts_.farCacheDir,
+             opts_.cacheRamMaxBytes)
 {
+    // One byte knob for both in-RAM trace memos: the capture-phase
+    // spill budget and the cache's pinned-trace tier (T0) answer to
+    // SWAN_TRACE_MEMO_BYTES together.
+    cache_.setRamTraceBudget(opts_.traceMemoBytes);
 }
 
 SessionOptions
@@ -53,6 +59,8 @@ Session::envDefaults()
     o.traceMemoBytes = sweep::SchedulerConfig::envTraceMemoBytes();
     o.cacheDir = sweep::ResultCache::envDiskDir();
     o.cacheMaxBytes = sweep::ResultCache::envMaxDiskBytes();
+    o.farCacheDir = sweep::ResultCache::envFarDir();
+    o.cacheRamMaxBytes = sweep::ResultCache::envRamMaxBytes();
     o.workload = core::Options::fromEnv();
     if (const char *v = std::getenv("SWAN_METRICS"); v && *v)
         o.metricsOut = v;

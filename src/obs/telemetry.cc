@@ -66,6 +66,10 @@ name(Phase p)
         return "merge";
       case Phase::Recovery:
         return "recovery";
+      case Phase::Promote:
+        return "promote";
+      case Phase::Demote:
+        return "demote";
     }
     return "unknown";
 }

@@ -60,9 +60,11 @@ enum class Phase : uint8_t
     Shard,       //!< one shard child process, fork to _exit
     Merge,       //!< parent-side merge of shard-published units
     Recovery,    //!< parent re-execution of units a dead shard left
+    Promote,     //!< cache tier promotion (far->disk copy, RAM pin)
+    Demote,      //!< cache tier demotion (cold-first eviction)
 };
 
-constexpr size_t kPhaseCount = size_t(Phase::Recovery) + 1;
+constexpr size_t kPhaseCount = size_t(Phase::Demote) + 1;
 
 /** Lower-case stable phase name ("grid_expand", "replay", ...). */
 std::string_view name(Phase p);

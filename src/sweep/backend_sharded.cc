@@ -192,12 +192,17 @@ cleanStaleClaims(const std::string &dir)
         if (pid > 0) {
             stale = ::kill(pid_t(pid), 0) != 0 && errno == ESRCH;
         } else {
+            // No owner pid readable: fall back to an age check. The
+            // one sanctioned wall-clock read near the cache tiers — it
+            // arbitrates foreign garbage files, never entry placement,
+            // so no result or eviction order depends on it.
             std::error_code mec;
+            // swan-lint: allow(nondet) stale-claim age check, not eviction policy
             const auto mtime = std::filesystem::last_write_time(p, mec);
-            stale = !mec &&
-                    std::filesystem::file_time_type::clock::now() -
-                            mtime >
-                        kMidWriteGrace;
+            // swan-lint: allow(nondet) stale-claim age check, not eviction policy
+            const auto now = std::filesystem::file_time_type::clock::now();
+            const auto age = now - mtime;
+            stale = !mec && age > kMidWriteGrace;
         }
         if (stale) {
             std::error_code rec;
@@ -298,7 +303,14 @@ statsDelta(const CacheStats &now, const CacheStats &before)
     d.traceHits = now.traceHits - before.traceHits;
     d.traceMisses = now.traceMisses - before.traceMisses;
     d.traceStores = now.traceStores - before.traceStores;
+    d.traceRamHits = now.traceRamHits - before.traceRamHits;
     d.evictions = now.evictions - before.evictions;
+    d.farHits = now.farHits - before.farHits;
+    d.farMisses = now.farMisses - before.farMisses;
+    d.farStores = now.farStores - before.farStores;
+    d.farPromotions = now.farPromotions - before.farPromotions;
+    d.ramPromotions = now.ramPromotions - before.ramPromotions;
+    d.ramDemotions = now.ramDemotions - before.ramDemotions;
     d.corruptEntriesQuarantined =
         now.corruptEntriesQuarantined - before.corruptEntriesQuarantined;
     return d;
@@ -307,10 +319,11 @@ statsDelta(const CacheStats &now, const CacheStats &before)
 void
 writeStats(const char *path, long parent_pid, const CacheStats &d)
 {
-    char buf[512];
+    char buf[768];
     const int w = std::snprintf(
         buf, sizeof buf,
-        "pid %ld\n%llu %llu %llu %llu %llu %llu %llu %llu %llu\n",
+        "pid %ld\n%llu %llu %llu %llu %llu %llu %llu %llu %llu"
+        " %llu %llu %llu %llu %llu %llu %llu\n",
         parent_pid, static_cast<unsigned long long>(d.hits),
         static_cast<unsigned long long>(d.diskHits),
         static_cast<unsigned long long>(d.misses),
@@ -319,7 +332,14 @@ writeStats(const char *path, long parent_pid, const CacheStats &d)
         static_cast<unsigned long long>(d.traceMisses),
         static_cast<unsigned long long>(d.traceStores),
         static_cast<unsigned long long>(d.evictions),
-        static_cast<unsigned long long>(d.corruptEntriesQuarantined));
+        static_cast<unsigned long long>(d.corruptEntriesQuarantined),
+        static_cast<unsigned long long>(d.traceRamHits),
+        static_cast<unsigned long long>(d.farHits),
+        static_cast<unsigned long long>(d.farMisses),
+        static_cast<unsigned long long>(d.farStores),
+        static_cast<unsigned long long>(d.farPromotions),
+        static_cast<unsigned long long>(d.ramPromotions),
+        static_cast<unsigned long long>(d.ramDemotions));
     if (w <= 0 || size_t(w) >= sizeof buf)
         return;
     const int fd = ::open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
@@ -341,6 +361,14 @@ readStats(const char *path, CacheStats *out)
     if (!(in >> d.hits >> d.diskHits >> d.misses >> d.stores >>
           d.traceHits >> d.traceMisses >> d.traceStores >> d.evictions >>
           d.corruptEntriesQuarantined))
+        return false;
+    // Tier-transition counters, appended after the original nine. The
+    // writer and reader always belong to the same run (stats files are
+    // scoped by run token and parent pid), so their absence means a
+    // truncated file, not an old format.
+    if (!(in >> d.traceRamHits >> d.farHits >> d.farMisses >>
+          d.farStores >> d.farPromotions >> d.ramPromotions >>
+          d.ramDemotions))
         return false;
     *out = d;
     return true;
@@ -388,6 +416,11 @@ childMain(const BackendJob &job, uint64_t run, const char *dir,
     // also fences the fork-inherited span buffer so the snapshot
     // below exports only what this child recorded.
     obs::Telemetry::setShard(shard);
+
+    // Shards publish to the shared local tier only; the parent syncs
+    // the far tier once per merged unit (scheduler.cc) so a slow
+    // shared directory sees one writer per entry, not a racing fleet.
+    ResultCache::setFarPublishEnabled(false);
 
     const size_t nBatches = (job.units + batch - 1) / batch;
 

@@ -1,12 +1,22 @@
 #include "sweep/cache.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string_view>
+#include <vector>
+
+#include "obs/telemetry.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/stat.h>
+#define SWAN_CACHE_HAVE_POSIX 1
+#endif
 
 namespace swan::sweep
 {
@@ -74,18 +84,67 @@ f64str(double v)
 }
 
 /**
- * Refresh an entry's LRU stamp (file mtime) after a disk hit, so the
- * size-cap pruner removes least-recently-*used* entries, not merely
- * least-recently-written ones. Best-effort: a failed touch only makes
- * the entry look older than it is.
+ * Parse the leading 16-hex-digit stem of a cache entry file name back
+ * into its key hash, the join between on-disk entries and the in-RAM
+ * hotness table. False for foreign names (which then carry hotness 0
+ * and age out first).
  */
-void
-touchEntry(const std::filesystem::path &path)
+bool
+parseStemHash(const std::string &name, uint64_t *out)
 {
-    std::error_code ec;
-    std::filesystem::last_write_time(
-        path, std::filesystem::file_time_type::clock::now(), ec);
+    if (name.size() < 16)
+        return false;
+    uint64_t h = 0;
+    for (int i = 0; i < 16; ++i) {
+        const char c = name[i];
+        uint64_t d = 0;
+        if (c >= '0' && c <= '9')
+            d = uint64_t(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            d = uint64_t(c - 'a') + 10;
+        else
+            return false;
+        h = (h << 4) | d;
+    }
+    *out = h;
+    return true;
 }
+
+/**
+ * Stable per-entry cost of the T0 result memo. An estimate, not an
+ * accounting of true heap bytes: the point is a platform-independent
+ * figure so a given RAM cap evicts the same entries everywhere.
+ */
+uint64_t
+entryRamCost(const CacheKey &key, const core::KernelRun &run)
+{
+    return sizeof(CacheKey) + sizeof(core::KernelRun) +
+           key.kernel.size() + run.sim.config.size() + 64;
+}
+
+/** Deterministic strict order on full keys — the last eviction
+ *  tiebreak, reached only under a 64-bit hash collision. */
+bool
+keyLess(const CacheKey &a, const CacheKey &b)
+{
+    if (a.kernel != b.kernel)
+        return a.kernel < b.kernel;
+    if (a.impl != b.impl)
+        return int(a.impl) < int(b.impl);
+    if (a.vecBits != b.vecBits)
+        return a.vecBits < b.vecBits;
+    if (a.configFp != b.configFp)
+        return a.configFp < b.configFp;
+    if (a.optionsFp != b.optionsFp)
+        return a.optionsFp < b.optionsFp;
+    if (a.warmupPasses != b.warmupPasses)
+        return a.warmupPasses < b.warmupPasses;
+    return a.faultFp < b.faultFp;
+}
+
+/** Process-wide far-publish gate (see the header): shard children
+ *  flip it off right after fork, before any cache traffic. */
+std::atomic<bool> g_farPublish{true};
 
 } // namespace
 
@@ -220,8 +279,10 @@ traceKeyFor(const SweepPoint &point)
     return k;
 }
 
-ResultCache::ResultCache(std::string disk_dir, uint64_t max_disk_bytes)
-    : diskDir_(std::move(disk_dir)), maxDiskBytes_(max_disk_bytes)
+ResultCache::ResultCache(std::string disk_dir, uint64_t max_disk_bytes,
+                         std::string far_dir, uint64_t ram_max_bytes)
+    : diskDir_(std::move(disk_dir)), farDir_(std::move(far_dir)),
+      maxDiskBytes_(max_disk_bytes), ramMaxBytes_(ram_max_bytes)
 {
     if (!diskDir_.empty()) {
         std::error_code ec;
@@ -229,12 +290,25 @@ ResultCache::ResultCache(std::string disk_dir, uint64_t max_disk_bytes)
         if (ec)
             diskDir_.clear(); // unusable directory: memory-only
     }
+    if (!farDir_.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(farDir_, ec);
+        if (ec)
+            farDir_.clear(); // unusable far tier: two-tier cache
+    }
 }
 
 std::string
 ResultCache::envDiskDir()
 {
     const char *v = std::getenv("SWAN_SWEEP_CACHE_DIR");
+    return v ? std::string(v) : std::string();
+}
+
+std::string
+ResultCache::envFarDir()
+{
+    const char *v = std::getenv("SWAN_CACHE_FAR_DIR");
     return v ? std::string(v) : std::string();
 }
 
@@ -259,11 +333,93 @@ ResultCache::envMaxDiskBytes()
     return n;
 }
 
+uint64_t
+ResultCache::envRamMaxBytes()
+{
+    uint64_t n = 0;
+    parseByteCount(std::getenv("SWAN_CACHE_RAM_BYTES"), &n);
+    return n;
+}
+
+void
+ResultCache::setFarPublishEnabled(bool on)
+{
+    g_farPublish.store(on, std::memory_order_relaxed);
+}
+
+bool
+ResultCache::farPublishEnabled()
+{
+    return g_farPublish.load(std::memory_order_relaxed);
+}
+
+uint32_t
+ResultCache::noteLookupLocked(uint64_t key_hash)
+{
+    ++lookupSeq_;
+    Hot &hp = hot_[key_hash];
+    if (hp.seq == 0)
+        hp.seq = lookupSeq_; // first-lookup order: the eviction tiebreak
+    if (hp.count != UINT32_MAX)
+        ++hp.count;
+    if (lookupSeq_ % kDecayPeriod == 0) {
+        // Halve every counter so popularity ages out as a function of
+        // traffic, never wall-clock. The traversal order of hot_ is
+        // unspecified, but uniform halving is order-independent.
+        for (auto &kv : hot_)
+            kv.second.count >>= 1;
+    }
+    return hp.count;
+}
+
+uint32_t
+ResultCache::hotnessLocked(uint64_t key_hash) const
+{
+    const auto it = hot_.find(key_hash);
+    return it == hot_.end() ? 0 : it->second.count;
+}
+
+uint64_t
+ResultCache::seqLocked(uint64_t key_hash) const
+{
+    const auto it = hot_.find(key_hash);
+    return it == hot_.end() ? 0 : it->second.seq;
+}
+
+bool
+ResultCache::entryExists(const std::string &dir, uint64_t stem_hash,
+                         const char *ext)
+{
+#ifdef SWAN_CACHE_HAVE_POSIX
+    // Stack-built path + ::stat, because this is the far tier's
+    // *absence* probe and it runs on the capture thread: a miss must
+    // leave the heap exactly as a far-disabled run would (only a hit
+    // — which ends the capture story for its group — may allocate).
+    char path[3072];
+    const int n =
+        std::snprintf(path, sizeof path, "%s/%016llx%s", dir.c_str(),
+                      static_cast<unsigned long long>(stem_hash), ext);
+    if (n > 0 && size_t(n) < sizeof path) {
+        struct stat st;
+        return ::stat(path, &st) == 0;
+    }
+#endif
+    // Non-POSIX (or an absurdly long directory): correctness keeps
+    // working, the heap-silence guarantee is POSIX-only.
+    std::error_code ec;
+    return std::filesystem::exists(
+        std::filesystem::path(dir) / (hex64(stem_hash) + ext), ec);
+}
+
 bool
 ResultCache::lookup(const CacheKey &key, core::KernelRun *out)
 {
+    const uint64_t h = key.hash();
     {
         std::lock_guard<std::mutex> lock(mu_);
+        // Hotness is charged per user-visible lookup, whichever tier
+        // answers (or none): placement reflects demand, not luck.
+        noteLookupLocked(h);
         auto it = map_.find(key);
         if (it != map_.end()) {
             *out = it->second;
@@ -271,24 +427,70 @@ ResultCache::lookup(const CacheKey &key, core::KernelRun *out)
             return true;
         }
     }
+    const std::string name = key.hex() + ".swr";
     if (!diskDir_.empty()) {
-        const auto path =
-            std::filesystem::path(diskDir_) / (key.hex() + ".swr");
-        switch (loadDisk(key, out)) {
+        switch (loadDisk(diskDir_, key, out)) {
         case DiskLoad::Hit: {
-            touchEntry(path);
             std::lock_guard<std::mutex> lock(mu_);
-            map_.emplace(key, *out);
+            if (map_.emplace(key, *out).second)
+                ramBytesEst_ += entryRamCost(key, *out);
             ++stats_.diskHits;
+            // No RAM pruning here: lookups run on the capture thread,
+            // and an eviction's free() would make the RAM cap a
+            // capture-heap knob. The memo may transiently overshoot
+            // until the next store() (strictly post-capture) prunes.
             return true;
         }
         case DiskLoad::Corrupt: {
             std::lock_guard<std::mutex> lock(mu_);
-            quarantineEntry(path.string());
+            quarantineEntry(
+                (std::filesystem::path(diskDir_) / name).string());
             break;
         }
         case DiskLoad::Miss:
             break;
+        }
+    }
+    if (!farDir_.empty()) {
+        if (!entryExists(farDir_, h, ".swr")) {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++stats_.farMisses;
+        } else {
+            switch (loadDisk(farDir_, key, out)) {
+            case DiskLoad::Hit: {
+                // Write-through promotion: a far hit lands in T1 so
+                // the next process on this host pays local latency.
+                uint64_t copied = 0;
+                if (!diskDir_.empty()) {
+                    obs::Span span(obs::Phase::Promote);
+                    copied = copyEntry(farDir_, diskDir_, name);
+                    span.addArg(copied);
+                }
+                {
+                    std::lock_guard<std::mutex> lock(mu_);
+                    if (map_.emplace(key, *out).second)
+                        ramBytesEst_ += entryRamCost(key, *out);
+                    ++stats_.farHits;
+                    if (copied)
+                        ++stats_.farPromotions;
+                }
+                if (copied)
+                    pruneDisk(copied);
+                return true;
+            }
+            case DiskLoad::Corrupt: {
+                std::lock_guard<std::mutex> lock(mu_);
+                quarantineEntry(
+                    (std::filesystem::path(farDir_) / name).string());
+                ++stats_.farMisses;
+                break;
+            }
+            case DiskLoad::Miss: {
+                std::lock_guard<std::mutex> lock(mu_);
+                ++stats_.farMisses;
+                break;
+            }
+            }
         }
     }
     std::lock_guard<std::mutex> lock(mu_);
@@ -301,11 +503,28 @@ ResultCache::store(const CacheKey &key, const core::KernelRun &run)
 {
     {
         std::lock_guard<std::mutex> lock(mu_);
-        map_.insert_or_assign(key, run);
+        if (map_.insert_or_assign(key, run).second)
+            ramBytesEst_ += entryRamCost(key, run);
         ++stats_.stores;
+        // The only place the RAM cap evicts: store() runs strictly
+        // post-capture (phase 2 / the publish path), so the frees
+        // cannot shift the capture heap.
+        pruneRamLocked();
+    }
+    uint64_t wrote = 0;
+    if (!diskDir_.empty())
+        wrote = storeDisk(diskDir_, key, run);
+    if (!farDir_.empty() && farPublishEnabled()) {
+        obs::Span pub(obs::Phase::Publish);
+        const uint64_t farWrote = storeDisk(farDir_, key, run);
+        pub.addArg(farWrote);
+        if (farWrote) {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++stats_.farStores;
+        }
     }
     if (!diskDir_.empty())
-        pruneDisk(storeDisk(key, run));
+        pruneDisk(wrote);
 }
 
 bool
@@ -319,21 +538,42 @@ ResultCache::lookupQuiet(const CacheKey &key, core::KernelRun *out)
             return true;
         }
     }
+    const std::string name = key.hex() + ".swr";
     if (!diskDir_.empty()) {
-        switch (loadDisk(key, out)) {
+        switch (loadDisk(diskDir_, key, out)) {
         case DiskLoad::Hit: {
             std::lock_guard<std::mutex> lock(mu_);
-            map_.emplace(key, *out);
+            if (map_.emplace(key, *out).second)
+                ramBytesEst_ += entryRamCost(key, *out);
             return true;
         }
         case DiskLoad::Corrupt: {
             // Quiet about hit/miss traffic, not about damage: a
             // corrupt entry is quarantined (and counted) on whichever
             // path finds it first.
-            const auto path =
-                std::filesystem::path(diskDir_) / (key.hex() + ".swr");
             std::lock_guard<std::mutex> lock(mu_);
-            quarantineEntry(path.string());
+            quarantineEntry(
+                (std::filesystem::path(diskDir_) / name).string());
+            break;
+        }
+        case DiskLoad::Miss:
+            break;
+        }
+    }
+    // Far probe without counters, hotness or promotion: merge traffic
+    // must neither masquerade as cache demand nor move entries around.
+    if (!farDir_.empty() && entryExists(farDir_, key.hash(), ".swr")) {
+        switch (loadDisk(farDir_, key, out)) {
+        case DiskLoad::Hit: {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (map_.emplace(key, *out).second)
+                ramBytesEst_ += entryRamCost(key, *out);
+            return true;
+        }
+        case DiskLoad::Corrupt: {
+            std::lock_guard<std::mutex> lock(mu_);
+            quarantineEntry(
+                (std::filesystem::path(farDir_) / name).string());
             break;
         }
         case DiskLoad::Miss:
@@ -341,6 +581,33 @@ ResultCache::lookupQuiet(const CacheKey &key, core::KernelRun *out)
         }
     }
     return false;
+}
+
+void
+ResultCache::publishFar(const CacheKey &key)
+{
+    publishFarFile(key.hex() + ".swr");
+}
+
+void
+ResultCache::publishFarFile(const std::string &name)
+{
+    if (farDir_.empty() || diskDir_.empty() || !farPublishEnabled())
+        return;
+    std::error_code ec;
+    if (std::filesystem::exists(std::filesystem::path(farDir_) / name,
+                                ec))
+        return; // T2 already converged for this entry
+    if (!std::filesystem::exists(std::filesystem::path(diskDir_) / name,
+                                 ec))
+        return; // nothing local to publish (evicted or never stored)
+    obs::Span pub(obs::Phase::Publish);
+    const uint64_t copied = copyEntry(diskDir_, farDir_, name);
+    pub.addArg(copied);
+    if (copied) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.farStores;
+    }
 }
 
 void
@@ -354,7 +621,14 @@ ResultCache::absorbStats(const CacheStats &delta)
     stats_.traceHits += delta.traceHits;
     stats_.traceMisses += delta.traceMisses;
     stats_.traceStores += delta.traceStores;
+    stats_.traceRamHits += delta.traceRamHits;
     stats_.evictions += delta.evictions;
+    stats_.farHits += delta.farHits;
+    stats_.farMisses += delta.farMisses;
+    stats_.farStores += delta.farStores;
+    stats_.farPromotions += delta.farPromotions;
+    stats_.ramPromotions += delta.ramPromotions;
+    stats_.ramDemotions += delta.ramDemotions;
     stats_.corruptEntriesQuarantined += delta.corruptEntriesQuarantined;
     stats_.staleClaimsSwept += delta.staleClaimsSwept;
     stats_.recoveredUnits += delta.recoveredUnits;
@@ -387,6 +661,27 @@ ResultCache::resetStats()
     stats_ = CacheStats{};
 }
 
+uint32_t
+ResultCache::hotness(uint64_t key_hash) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return hotnessLocked(key_hash);
+}
+
+void
+ResultCache::setRamTraceBudget(uint64_t bytes)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ramTraceBudget_ = bytes;
+}
+
+void
+ResultCache::setRamTraceServe(bool on)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ramServe_ = on;
+}
+
 namespace
 {
 
@@ -417,103 +712,13 @@ readRaw(const std::string &buf, size_t *at, T *v)
     return true;
 }
 
-} // namespace
-
-bool
-ResultCache::lookupTrace(const TraceKey &key, trace::PackedTrace *out,
-                         trace::MixStats *mix)
+/** Serialize one packed-trace entry into `<dir>/<stem>.swtp`
+ *  (write-then-rename). Shared by the T1 store and the post-capture
+ *  far publish. @return bytes written, 0 on failure. */
+uint64_t
+writeTraceBlob(const std::string &dir_s, const TraceKey &key,
+               const trace::PackedTrace &t, const trace::MixStats &mix)
 {
-    const auto miss = [this] {
-        std::lock_guard<std::mutex> lock(mu_);
-        ++stats_.traceMisses;
-        return false;
-    };
-    if (diskDir_.empty())
-        return miss();
-    const auto path =
-        std::filesystem::path(diskDir_) / (key.hex() + ".swtp");
-    // Structural damage (bad magic, truncation, checksum failure in
-    // the payload) quarantines the entry so the next lookup does not
-    // pay another full validation pass on the same bad bytes; a
-    // well-formed foreign entry stays a plain miss.
-    const auto corrupt = [this, &path] {
-        std::lock_guard<std::mutex> lock(mu_);
-        quarantineEntry(path.string());
-        ++stats_.traceMisses;
-        return false;
-    };
-    // Single sized read: a trace blob can be tens of MB, so avoid the
-    // ostringstream route's extra full copies.
-    std::error_code ec;
-    const auto size = std::filesystem::file_size(path, ec);
-    if (ec)
-        return miss();
-    std::string buf(size, '\0');
-    {
-        std::ifstream in(path, std::ios::binary);
-        if (!in || !in.read(buf.data(), std::streamsize(size)))
-            return miss();
-    }
-
-    size_t at = 0;
-    char magic[4];
-    uint32_t version = 0;
-    if (!readRaw(buf, &at, &magic) ||
-        std::memcmp(magic, kTraceMagic, 4) != 0 ||
-        !readRaw(buf, &at, &version) || version != kTraceTierVersion)
-        return corrupt();
-    // Whole-blob checksum: any damaged byte after this field — key
-    // echo, counters or payload — reads as corruption, never as data.
-    uint64_t want = 0;
-    if (!readRaw(buf, &at, &want))
-        return corrupt();
-    Fnv blobSum;
-    blobSum.bytes(buf.data() + at, buf.size() - at);
-    if (blobSum.h != want)
-        return corrupt();
-    // Key echo: a hash collision or stale rename must read as a miss.
-    uint32_t kernelLen = 0;
-    if (!readRaw(buf, &at, &kernelLen) || buf.size() - at < kernelLen)
-        return corrupt();
-    TraceKey seen;
-    seen.kernel.assign(buf.data() + at, kernelLen);
-    at += kernelLen;
-    int32_t impl = -1;
-    if (!readRaw(buf, &at, &impl) || !readRaw(buf, &at, &seen.vecBits) ||
-        !readRaw(buf, &at, &seen.optionsFp))
-        return corrupt();
-    seen.impl = core::Impl(impl);
-    if (!(seen == key))
-        return miss();
-    // Mix counter snapshot, so a warm hit skips a full trace decode.
-    uint32_t mixLen = 0;
-    if (!readRaw(buf, &at, &mixLen) ||
-        (buf.size() - at) / sizeof(uint64_t) < mixLen)
-        return corrupt();
-    std::vector<uint64_t> counters(mixLen);
-    for (auto &v : counters)
-        if (!readRaw(buf, &at, &v))
-            return corrupt();
-    trace::MixStats seenMix;
-    if (!trace::MixStats::fromCounters(counters, &seenMix))
-        return corrupt();
-    if (!trace::PackedTrace::parsePayload(
-            reinterpret_cast<const uint8_t *>(buf.data()) + at,
-            buf.size() - at, out))
-        return corrupt();
-    *mix = seenMix;
-    touchEntry(path);
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.traceHits;
-    return true;
-}
-
-void
-ResultCache::storeTrace(const TraceKey &key, const trace::PackedTrace &t,
-                        const trace::MixStats &mix)
-{
-    if (diskDir_.empty())
-        return;
     const auto counters = mix.counters();
     std::string blob;
     blob.reserve(t.byteSize() + key.kernel.size() +
@@ -538,29 +743,401 @@ ResultCache::storeTrace(const TraceKey &key, const trace::PackedTrace &t,
         std::memcpy(blob.data() + sumAt, &blobSum.h, sizeof blobSum.h);
     }
 
-    const auto dir = std::filesystem::path(diskDir_);
+    const auto dir = std::filesystem::path(dir_s);
     const auto path = dir / (key.hex() + ".swtp");
     // Write-then-rename so concurrent readers never see a torn entry.
     const auto tmp = dir / (key.hex() + ".swtp.tmp");
     {
         std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
         if (!os)
-            return;
+            return 0;
         os.write(blob.data(), std::streamsize(blob.size()));
         if (!os)
-            return;
+            return 0;
     }
     std::error_code ec;
     std::filesystem::rename(tmp, path, ec);
     if (ec) {
         std::filesystem::remove(tmp, ec);
-        return;
+        return 0;
     }
+    return blob.size();
+}
+
+} // namespace
+
+bool
+ResultCache::lookupTrace(const TraceKey &key, trace::PackedTrace *out,
+                         trace::MixStats *mix)
+{
+    const uint64_t h = key.hash();
+    uint32_t hot = 0;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        hot = noteLookupLocked(h);
+        if (ramServe_) {
+            // T0: serve the pinned copy. Runs on the capture thread,
+            // hence the no-alloc bracket: clone() is mmap + memcpy and
+            // MixStats is POD, so a RAM hit is heap-silent.
+            for (RamTrace &slot : ramTraces_) {
+                if (!slot.used || slot.keyHash != h)
+                    continue;
+                SWAN_NOALLOC_BEGIN("cache T0 pinned-trace serve");
+                const bool match =
+                    std::strncmp(slot.kernel, key.kernel.c_str(),
+                                 sizeof slot.kernel) == 0 &&
+                    slot.impl == int32_t(key.impl) &&
+                    slot.vecBits == key.vecBits &&
+                    slot.optionsFp == key.optionsFp;
+                if (match) {
+                    *out = slot.trace.clone();
+                    *mix = slot.mix;
+                }
+                SWAN_NOALLOC_END();
+                if (match) {
+                    ++stats_.traceRamHits;
+                    return true;
+                }
+                // Key-echo mismatch under a hash collision: fall
+                // through to the durable tiers, like on-disk foreign
+                // entries.
+            }
+        }
+    }
+    const std::string name = key.hex() + ".swtp";
+    if (!diskDir_.empty()) {
+        switch (loadTraceFrom(diskDir_, key, out, mix)) {
+        case DiskLoad::Hit: {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++stats_.traceHits;
+            maybePinTraceLocked(key, hot, *out, *mix);
+            return true;
+        }
+        case DiskLoad::Corrupt: {
+            std::lock_guard<std::mutex> lock(mu_);
+            quarantineEntry(
+                (std::filesystem::path(diskDir_) / name).string());
+            break;
+        }
+        case DiskLoad::Miss:
+            break;
+        }
+    }
+    if (!farDir_.empty()) {
+        if (!entryExists(farDir_, h, ".swtp")) {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++stats_.farMisses;
+        } else {
+            switch (loadTraceFrom(farDir_, key, out, mix)) {
+            case DiskLoad::Hit: {
+                uint64_t copied = 0;
+                if (!diskDir_.empty()) {
+                    obs::Span span(obs::Phase::Promote);
+                    copied = copyEntry(farDir_, diskDir_, name);
+                    span.addArg(copied);
+                }
+                {
+                    std::lock_guard<std::mutex> lock(mu_);
+                    ++stats_.farHits;
+                    if (copied)
+                        ++stats_.farPromotions;
+                    maybePinTraceLocked(key, hot, *out, *mix);
+                }
+                if (copied)
+                    pruneDisk(copied);
+                return true;
+            }
+            case DiskLoad::Corrupt: {
+                std::lock_guard<std::mutex> lock(mu_);
+                quarantineEntry(
+                    (std::filesystem::path(farDir_) / name).string());
+                ++stats_.farMisses;
+                break;
+            }
+            case DiskLoad::Miss: {
+                std::lock_guard<std::mutex> lock(mu_);
+                ++stats_.farMisses;
+                break;
+            }
+            }
+        }
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.traceMisses;
+    return false;
+}
+
+ResultCache::DiskLoad
+ResultCache::loadTraceFrom(const std::string &dir, const TraceKey &key,
+                           trace::PackedTrace *out,
+                           trace::MixStats *mix)
+{
+    const auto path =
+        std::filesystem::path(dir) / (key.hex() + ".swtp");
+    // Single sized read: a trace blob can be tens of MB, so avoid the
+    // ostringstream route's extra full copies.
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(path, ec);
+    if (ec)
+        return DiskLoad::Miss;
+    std::string buf(size, '\0');
+    {
+        std::ifstream in(path, std::ios::binary);
+        if (!in || !in.read(buf.data(), std::streamsize(size)))
+            return DiskLoad::Miss; // unreadable: cannot judge the bytes
+    }
+
+    size_t at = 0;
+    char magic[4];
+    uint32_t version = 0;
+    if (!readRaw(buf, &at, &magic) ||
+        std::memcmp(magic, kTraceMagic, 4) != 0 ||
+        !readRaw(buf, &at, &version) || version != kTraceTierVersion)
+        return DiskLoad::Corrupt;
+    // Whole-blob checksum: any damaged byte after this field — key
+    // echo, counters or payload — reads as corruption, never as data.
+    uint64_t want = 0;
+    if (!readRaw(buf, &at, &want))
+        return DiskLoad::Corrupt;
+    Fnv blobSum;
+    blobSum.bytes(buf.data() + at, buf.size() - at);
+    if (blobSum.h != want)
+        return DiskLoad::Corrupt;
+    // Key echo: a hash collision or stale rename must read as a miss.
+    uint32_t kernelLen = 0;
+    if (!readRaw(buf, &at, &kernelLen) || buf.size() - at < kernelLen)
+        return DiskLoad::Corrupt;
+    TraceKey seen;
+    seen.kernel.assign(buf.data() + at, kernelLen);
+    at += kernelLen;
+    int32_t impl = -1;
+    if (!readRaw(buf, &at, &impl) || !readRaw(buf, &at, &seen.vecBits) ||
+        !readRaw(buf, &at, &seen.optionsFp))
+        return DiskLoad::Corrupt;
+    seen.impl = core::Impl(impl);
+    if (!(seen == key))
+        return DiskLoad::Miss;
+    // Mix counter snapshot, so a warm hit skips a full trace decode.
+    uint32_t mixLen = 0;
+    if (!readRaw(buf, &at, &mixLen) ||
+        (buf.size() - at) / sizeof(uint64_t) < mixLen)
+        return DiskLoad::Corrupt;
+    std::vector<uint64_t> counters(mixLen);
+    for (auto &v : counters)
+        if (!readRaw(buf, &at, &v))
+            return DiskLoad::Corrupt;
+    trace::MixStats seenMix;
+    if (!trace::MixStats::fromCounters(counters, &seenMix))
+        return DiskLoad::Corrupt;
+    if (!trace::PackedTrace::parsePayload(
+            reinterpret_cast<const uint8_t *>(buf.data()) + at,
+            buf.size() - at, out))
+        return DiskLoad::Corrupt;
+    *mix = seenMix;
+    return DiskLoad::Hit;
+}
+
+void
+ResultCache::storeTrace(const TraceKey &key, const trace::PackedTrace &t,
+                        const trace::MixStats &mix)
+{
+    if (diskDir_.empty())
+        return;
+    // T1 only — never the far tier: storeTrace runs inside the capture
+    // window (phase 1c), where a slow far write would also have to
+    // allocate. The scheduler publishes captured traces to T2 strictly
+    // post-capture via publishTraceFar().
+    const uint64_t wrote = writeTraceBlob(diskDir_, key, t, mix);
+    if (!wrote)
+        return;
     {
         std::lock_guard<std::mutex> lock(mu_);
         ++stats_.traceStores;
     }
-    pruneDisk(blob.size());
+    pruneDisk(wrote);
+}
+
+void
+ResultCache::publishTraceFar(const TraceKey &key,
+                             const trace::PackedTrace *t,
+                             const trace::MixStats &mix)
+{
+    if (farDir_.empty() || !farPublishEnabled())
+        return;
+    const std::string name = key.hex() + ".swtp";
+    std::error_code ec;
+    if (std::filesystem::exists(std::filesystem::path(farDir_) / name,
+                                ec))
+        return;
+    if (!diskDir_.empty() &&
+        std::filesystem::exists(std::filesystem::path(diskDir_) / name,
+                                ec)) {
+        obs::Span pub(obs::Phase::Publish);
+        const uint64_t copied = copyEntry(diskDir_, farDir_, name);
+        pub.addArg(copied);
+        if (copied) {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++stats_.farStores;
+        }
+        return;
+    }
+    if (!t || t->byteSize() == 0)
+        return; // spilled with no durable copy: nothing to publish
+    obs::Span pub(obs::Phase::Publish);
+    const uint64_t wrote = writeTraceBlob(farDir_, key, *t, mix);
+    pub.addArg(wrote);
+    if (wrote) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.farStores;
+    }
+}
+
+bool
+ResultCache::traceAvailable(const TraceKey &key) const
+{
+    // Durable tiers only, deliberately: whether a trace is *pinned* in
+    // T0 depends on the byte budget, and this probe gates behavior
+    // (the scheduler's T0-serve decision) that must be identical
+    // across budget values.
+    const uint64_t h = key.hash();
+    if (!diskDir_.empty() && entryExists(diskDir_, h, ".swtp"))
+        return true;
+    if (!farDir_.empty() && entryExists(farDir_, h, ".swtp"))
+        return true;
+    return false;
+}
+
+void
+ResultCache::maybePinTraceLocked(const TraceKey &key, uint32_t hot_count,
+                                 const trace::PackedTrace &t,
+                                 const trace::MixStats &mix)
+{
+    // Runs on the capture thread: everything below is mmap + POD (no
+    // malloc), because whether a pin happens depends on the byte
+    // budget, and a budget-dependent allocation would break the
+    // cross-budget byte-identity contract.
+    if (hot_count < kPinHits)
+        return;
+    const uint64_t bytes = t.byteSize();
+    if (bytes == 0)
+        return;
+    if (ramTraceBudget_ && bytes > ramTraceBudget_)
+        return; // can never fit, even with every slot evicted
+    if (key.kernel.size() >= sizeof ramTraces_[0].kernel)
+        return; // no room for the full key echo: never pin
+    for (const RamTrace &slot : ramTraces_)
+        if (slot.used && slot.keyHash == key.hash())
+            return; // already pinned
+    const uint64_t keyHash = key.hash();
+    const uint64_t mySeq = seqLocked(keyHash);
+    for (;;) {
+        RamTrace *freeSlot = nullptr;
+        for (RamTrace &slot : ramTraces_)
+            if (!slot.used) {
+                freeSlot = &slot;
+                break;
+            }
+        const bool overBudget =
+            ramTraceBudget_ && ramTraceBytes_ + bytes > ramTraceBudget_;
+        if (freeSlot && !overBudget) {
+            obs::Span span(obs::Phase::Promote, bytes);
+            freeSlot->keyHash = keyHash;
+            freeSlot->bytes = bytes;
+            freeSlot->trace = t.clone();
+            freeSlot->mix = mix;
+            std::memset(freeSlot->kernel, 0, sizeof freeSlot->kernel);
+            std::memcpy(freeSlot->kernel, key.kernel.data(),
+                        key.kernel.size());
+            freeSlot->impl = int32_t(key.impl);
+            freeSlot->vecBits = key.vecBits;
+            freeSlot->optionsFp = key.optionsFp;
+            freeSlot->used = true;
+            ramTraceBytes_ += bytes;
+            ++stats_.ramPromotions;
+            return;
+        }
+        // Slot or budget pressure: evict the coldest pin, but only if
+        // it is strictly colder than the candidate — a warm memo never
+        // churns for an equally-warm newcomer.
+        RamTrace *victim = nullptr;
+        uint32_t vHot = 0;
+        uint64_t vSeq = 0;
+        for (RamTrace &slot : ramTraces_) {
+            if (!slot.used)
+                continue;
+            const uint32_t sh = hotnessLocked(slot.keyHash);
+            const uint64_t ss = seqLocked(slot.keyHash);
+            const bool colderThanVictim =
+                !victim || sh < vHot || (sh == vHot && ss < vSeq) ||
+                (sh == vHot && ss == vSeq &&
+                 slot.keyHash < victim->keyHash);
+            if (colderThanVictim) {
+                victim = &slot;
+                vHot = sh;
+                vSeq = ss;
+            }
+        }
+        if (!victim)
+            return;
+        const bool colderThanUs =
+            vHot < hot_count || (vHot == hot_count && vSeq < mySeq);
+        if (!colderThanUs)
+            return;
+        obs::Span span(obs::Phase::Demote, victim->bytes);
+        ramTraceBytes_ -= std::min(ramTraceBytes_, victim->bytes);
+        victim->trace = trace::PackedTrace(); // munmap, not free()
+        victim->used = false;
+        victim->keyHash = 0;
+        victim->bytes = 0;
+        ++stats_.ramDemotions;
+    }
+}
+
+void
+ResultCache::pruneRamLocked()
+{
+    if (!ramMaxBytes_)
+        return;
+    while (ramBytesEst_ > ramMaxBytes_ && map_.size() > 1) {
+        // Victim = the coldest entry, found by a min-reduction over
+        // the unordered map: the strict total order on (hotness,
+        // first-lookup seq, hash, key) makes the winner independent of
+        // traversal order.
+        auto victim = map_.end();
+        uint32_t vHot = 0;
+        uint64_t vSeq = 0;
+        uint64_t vHash = 0;
+        for (auto it = map_.begin(); it != map_.end(); ++it) {
+            const uint64_t hsh = it->first.hash();
+            const uint32_t hc = hotnessLocked(hsh);
+            const uint64_t sq = seqLocked(hsh);
+            bool colder = false;
+            if (victim == map_.end())
+                colder = true;
+            else if (hc != vHot)
+                colder = hc < vHot;
+            else if (sq != vSeq)
+                colder = sq < vSeq;
+            else if (hsh != vHash)
+                colder = hsh < vHash;
+            else
+                colder = keyLess(it->first, victim->first);
+            if (colder) {
+                victim = it;
+                vHot = hc;
+                vSeq = sq;
+                vHash = hsh;
+            }
+        }
+        if (victim == map_.end())
+            return;
+        const uint64_t cost =
+            entryRamCost(victim->first, victim->second);
+        obs::Span span(obs::Phase::Demote, cost);
+        ramBytesEst_ -= std::min(ramBytesEst_, cost);
+        map_.erase(victim);
+        ++stats_.ramDemotions;
+    }
 }
 
 namespace
@@ -568,8 +1145,8 @@ namespace
 
 /** True for the pruner's unit of accounting: .swr results, .swtp
  *  packed traces, and .quarantined corpses (never served, but they
- *  hold disk and age out under the same LRU cap). Temporaries (.tmp)
- *  and foreign files are ignored. */
+ *  hold disk and age out under the same cold-first cap). Temporaries
+ *  (.tmp) and foreign files are ignored. */
 bool
 isCacheEntry(const std::filesystem::path &p)
 {
@@ -600,6 +1177,45 @@ ResultCache::diskBytes() const
     return total;
 }
 
+uint64_t
+ResultCache::copyEntry(const std::string &src_dir,
+                       const std::string &dst_dir,
+                       const std::string &name)
+{
+    const auto src = std::filesystem::path(src_dir) / name;
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(src, ec);
+    if (ec)
+        return 0;
+    std::string buf(size, '\0');
+    {
+        std::ifstream in(src, std::ios::binary);
+        if (!in || !in.read(buf.data(), std::streamsize(size)))
+            return 0;
+    }
+    const auto dst = std::filesystem::path(dst_dir) / name;
+    // Write-then-rename, like every tier write: a reader (or a
+    // concurrent promoter racing on the same entry) sees the old
+    // state or the new one, never a torn copy.
+    const auto tmp = std::filesystem::path(dst_dir) / (name + ".tmp");
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os)
+            return 0;
+        os.write(buf.data(), std::streamsize(buf.size()));
+        if (!os) {
+            std::filesystem::remove(tmp, ec);
+            return 0;
+        }
+    }
+    std::filesystem::rename(tmp, dst, ec);
+    if (ec) {
+        std::filesystem::remove(tmp, ec);
+        return 0;
+    }
+    return uint64_t(buf.size());
+}
+
 void
 ResultCache::pruneDisk(uint64_t stored_bytes)
 {
@@ -624,9 +1240,10 @@ ResultCache::pruneDisk(uint64_t stored_bytes)
 
     struct Entry
     {
-        std::filesystem::file_time_type mtime;
-        std::string name;
+        uint32_t hot = 0;
+        uint64_t seq = 0;
         uint64_t size = 0;
+        std::string name;
     };
     std::vector<Entry> entries;
     uint64_t total = 0;
@@ -643,12 +1260,23 @@ ResultCache::pruneDisk(uint64_t stored_bytes)
         e.size = std::filesystem::file_size(p, fec);
         if (fec)
             continue;
-        e.mtime = std::filesystem::last_write_time(p, fec);
-        if (fec)
-            continue;
         e.name = p.filename().string();
         total += e.size;
         entries.push_back(std::move(e));
+    }
+    {
+        // Join each entry to its hotness/first-lookup record via the
+        // file-name stem. Foreign stems stay (0, 0): entries this
+        // process has no demand signal for age out first, in name
+        // order.
+        std::lock_guard<std::mutex> lock(mu_);
+        for (Entry &e : entries) {
+            uint64_t stem = 0;
+            if (parseStemHash(e.name, &stem)) {
+                e.hot = hotnessLocked(stem);
+                e.seq = seqLocked(stem);
+            }
+        }
     }
     // Resync the estimate. Stores racing with the scan bumped
     // diskTotal_ past `baseline`; re-apply that delta on top of the
@@ -665,17 +1293,23 @@ ResultCache::pruneDisk(uint64_t stored_bytes)
         return;
     }
 
-    // Oldest first; mtime ties (coarse filesystem clocks) broken by
-    // name so a given directory state always prunes the same way.
+    // Coldest first: (hotness, first-lookup order, name). A pure
+    // function of the lookup history — never file mtimes, whose
+    // coarse, filesystem-dependent clocks would make two runs of the
+    // same command prune different entries (and whose reads the
+    // nondet lint now rejects in this file).
     std::sort(entries.begin(), entries.end(),
               [](const Entry &a, const Entry &b) {
-                  if (a.mtime != b.mtime)
-                      return a.mtime < b.mtime;
+                  if (a.hot != b.hot)
+                      return a.hot < b.hot;
+                  if (a.seq != b.seq)
+                      return a.seq < b.seq;
                   return a.name < b.name;
               });
 
     const auto dir = std::filesystem::path(diskDir_);
     uint64_t evicted = 0;
+    obs::Span span(obs::Phase::Demote);
     for (const auto &e : entries) {
         if (total <= maxDiskBytes_)
             break;
@@ -685,18 +1319,75 @@ ResultCache::pruneDisk(uint64_t stored_bytes)
         if (std::filesystem::remove(dir / e.name, rec) && !rec) {
             total -= e.size;
             ++evicted;
+            span.addArg(e.size);
         }
     }
+    span.close();
     resync(total);
     std::lock_guard<std::mutex> lock(mu_);
     stats_.evictions += evicted;
 }
 
+std::string
+ResultCache::placementMap() const
+{
+    struct Rec
+    {
+        bool mem = false;
+        bool disk = false;
+        bool far = false;
+        bool trace = false;
+    };
+    std::map<std::string, Rec> recs;
+    const auto scan = [&recs](const std::string &dir, bool is_far) {
+        if (dir.empty())
+            return;
+        std::error_code ec;
+        for (std::filesystem::directory_iterator it(dir, ec), end;
+             !ec && it != end; it.increment(ec)) {
+            const auto &p = it->path();
+            const auto ext = p.extension();
+            if (ext != ".swr" && ext != ".swtp")
+                continue;
+            Rec &r = recs[p.stem().string()];
+            if (is_far)
+                r.far = true;
+            else
+                r.disk = true;
+            if (ext == ".swtp")
+                r.trace = true;
+        }
+    };
+    scan(diskDir_, false);
+    scan(farDir_, true);
+    std::ostringstream os;
+    std::lock_guard<std::mutex> lock(mu_);
+    // Fold the in-memory result tier in. Iterating the unordered map
+    // only inserts into the ordered `recs`, so the rendered output is
+    // independent of traversal order.
+    for (const auto &kv : map_)
+        recs[kv.first.hex()].mem = true;
+    for (const auto &kv : recs) {
+        uint64_t stem = 0;
+        uint32_t hotc = 0;
+        if (parseStemHash(kv.first, &stem))
+            hotc = hotnessLocked(stem);
+        os << kv.first << ' '
+           << (kv.second.trace ? "trace" : "result")
+           << " mem=" << (kv.second.mem ? 1 : 0)
+           << " disk=" << (kv.second.disk ? 1 : 0)
+           << " far=" << (kv.second.far ? 1 : 0) << " hot=" << hotc
+           << '\n';
+    }
+    return os.str();
+}
+
 ResultCache::DiskLoad
-ResultCache::loadDisk(const CacheKey &key, core::KernelRun *out)
+ResultCache::loadDisk(const std::string &dir, const CacheKey &key,
+                      core::KernelRun *out)
 {
     const auto path =
-        std::filesystem::path(diskDir_) / (key.hex() + ".swr");
+        std::filesystem::path(dir) / (key.hex() + ".swr");
     std::error_code ec;
     const auto fsize = std::filesystem::file_size(path, ec);
     if (ec)
@@ -833,9 +1524,10 @@ ResultCache::loadDisk(const CacheKey &key, core::KernelRun *out)
 }
 
 uint64_t
-ResultCache::storeDisk(const CacheKey &key, const core::KernelRun &run)
+ResultCache::storeDisk(const std::string &dir_s, const CacheKey &key,
+                       const core::KernelRun &run)
 {
-    const auto dir = std::filesystem::path(diskDir_);
+    const auto dir = std::filesystem::path(dir_s);
     const auto path = dir / (key.hex() + ".swr");
     // Write-then-rename so concurrent readers never see a torn entry.
     const auto tmp = dir / (key.hex() + ".tmp");

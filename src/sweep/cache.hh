@@ -1,13 +1,31 @@
 /**
  * @file
- * Sweep result cache. An experiment point is keyed by (kernel
- * qualified name, implementation, vector width, core-config
- * fingerprint, working-set fingerprint, warm-up passes), and a
- * finished KernelRun is served to any later point with the same key
- * without re-simulation — across benches in one process (in-memory
- * tier) and across processes (optional on-disk tier, enabled by a
- * cache directory, e.g. SWAN_SWEEP_CACHE_DIR). Hit/miss counters are
- * surfaced in sweep reports.
+ * Sweep result cache — a unified three-tier hierarchy. An experiment
+ * point is keyed by (kernel qualified name, implementation, vector
+ * width, core-config fingerprint, working-set fingerprint, warm-up
+ * passes), and a finished KernelRun is served to any later point with
+ * the same key without re-simulation:
+ *
+ *   T0  RAM      in-process result map + a fixed-slot pinned-trace
+ *                memo (hot packed traces held decoded-ready in
+ *                anonymous mmap, budgeted in bytes)
+ *   T1  disk     one `.swr` / `.swtp` file per key in the local cache
+ *                directory (SWAN_SWEEP_CACHE_DIR)
+ *   T2  far      an optional shared/far directory (SWAN_CACHE_FAR_DIR)
+ *                — the slow, durable tier a sweep service would share
+ *                across hosts. Far hits are write-through-promoted to
+ *                T1; stores write through to T2 (parent process only).
+ *
+ * Placement is driven by per-entry *hotness*: a decayed access count
+ * bumped only by lookup traffic (never by wall-clock or file mtimes),
+ * held in a side table keyed by the 64-bit key hash so CacheKey itself
+ * never grows. Entries promote upward on their Nth hit (hot packed
+ * traces are pinned in RAM up to the byte budget) and every capped
+ * tier evicts cold-first: eviction order is (hotness asc, first-lookup
+ * order asc, name asc) — a pure function of the lookup history, so a
+ * given directory state and lookup sequence always prunes the same way
+ * on every platform. See docs/cache.md for the tier diagram and the
+ * full promotion/demotion policy.
  *
  * Precision of the contract: capture and simulation are deterministic
  * given the key *and* the process's heap layout at capture time —
@@ -18,8 +36,12 @@
  * remaining points, which can shift their absolute cycle counts by
  * ~0.1% relative to a fully cold run. Every stored result is a valid
  * simulation of its point; byte-identity is guaranteed across --jobs
- * values, across reruns of the same command against the same cache
- * state, and between a cold run and a fully warm replay of it.
+ * values, backends, shard counts, memo budgets and far-dir on/off,
+ * across reruns of the same command against the same cache state, and
+ * between a cold run and a fully warm replay of it. The promotion
+ * machinery honors the same rule: pinned traces live in anonymous
+ * mmap (invisible to malloc) and the RAM-memo bookkeeping is
+ * fixed-slot, so tier transitions never perturb the capture heap.
  */
 
 #ifndef SWAN_SWEEP_CACHE_HH
@@ -34,6 +56,7 @@
 #include "swan/internal/contracts.hh"
 #include "sweep/grid.hh"
 #include "trace/packed.hh"
+#include "trace/stats.hh"
 
 namespace swan::sweep
 {
@@ -79,7 +102,8 @@ struct SWAN_CAPTURE_TYPE CacheKey
      * was padding after warmupPasses: memory-tier nodes are allocated
      * while a sweep is still capturing, so sizeof(CacheKey) must not
      * grow (the same capture-time heap-layout contract as
-     * SweepPoint::faultId).
+     * SweepPoint::faultId). Tier/hotness state lives in side tables
+     * keyed by hash() for the same reason.
      */
     uint32_t faultFp = 0;
 
@@ -126,25 +150,41 @@ TraceKey traceKeyFor(const SweepPoint &point);
 /** Aggregate counters for one cache over its lifetime. */
 struct CacheStats
 {
-    uint64_t hits = 0;       //!< served from the in-process map
-    uint64_t diskHits = 0;   //!< served from the on-disk tier
+    uint64_t hits = 0;       //!< served from the in-process map (T0)
+    uint64_t diskHits = 0;   //!< served from the local disk tier (T1)
     uint64_t misses = 0;     //!< absent everywhere; caller simulates
     uint64_t stores = 0;     //!< results inserted
 
-    // Packed-trace tier (disk only; the scheduler's memo is the
-    // in-memory tier).
+    // Packed-trace tier.
     uint64_t traceHits = 0;   //!< capture skipped, trace read off disk
     uint64_t traceMisses = 0; //!< caller captures (and stores)
     uint64_t traceStores = 0; //!< packed traces written
+    /** Traces served from the T0 pinned-trace memo (no disk read, no
+     *  payload re-validation — the hot-traffic fast path). */
+    uint64_t traceRamHits = 0;
 
-    /** On-disk entries pruned by the size cap (LRU, .swr + .swtp). */
+    /** T1 entries pruned by the size cap (cold-first, .swr + .swtp) —
+     *  the disk tier's demotions. */
     uint64_t evictions = 0;
+
+    // Tier-transition traffic (see docs/cache.md).
+    uint64_t farHits = 0;       //!< served from the far tier (T2)
+    uint64_t farMisses = 0;     //!< probes that reached T2 and missed
+    uint64_t farStores = 0;     //!< entries published to T2
+    /** T2 hits write-through-promoted into the local disk tier. */
+    uint64_t farPromotions = 0;
+    /** Entries promoted into RAM: packed traces pinned on their Nth
+     *  hit under the T0 byte budget. */
+    uint64_t ramPromotions = 0;
+    /** T0 evictions: pinned traces unpinned (budget pressure) and
+     *  result-memo entries dropped under the RAM cap, cold-first. */
+    uint64_t ramDemotions = 0;
 
     /** Structurally corrupt on-disk entries (bad magic, truncation,
      *  checksum mismatch) renamed to `<name>.quarantined` and served
-     *  as misses. A wrong-but-well-formed entry (key echo mismatch
-     *  under a hash collision) stays a plain miss — quarantine is for
-     *  damaged bytes, not foreign entries. */
+     *  as misses — local and far tier combined. A wrong-but-well-formed
+     *  entry (key echo mismatch under a hash collision) stays a plain
+     *  miss — quarantine is for damaged bytes, not foreign entries. */
     uint64_t corruptEntriesQuarantined = 0;
 
     // Sharded-backend bookkeeping (parent-side; zero for in-process
@@ -158,34 +198,52 @@ struct CacheStats
      *  shard died before publishing (crash recovery). */
     uint64_t recoveredUnits = 0;
 
-    uint64_t total() const { return hits + diskHits + misses; }
+    uint64_t total() const { return hits + diskHits + farHits + misses; }
 };
 
 /**
- * Two-tier result cache: a mutex-guarded in-process map, plus an
- * optional on-disk tier of one small versioned text file per key.
- * Disk entries are validated against the full key (not just its hash)
- * and ignored on any mismatch or parse error, so a stale or corrupt
- * cache directory degrades to a miss, never to a wrong result.
- * Structurally damaged entries (truncation, checksum mismatch, bad
- * magic) are additionally renamed to `<name>.quarantined` — counted in
- * CacheStats::corruptEntriesQuarantined — so a bad sector cannot cost
- * a validation pass on every future lookup of that key.
+ * The three-tier result cache (see the file comment for the tier
+ * diagram). Disk and far entries are validated against the full key
+ * (not just its hash) and ignored on any mismatch or parse error, so a
+ * stale or corrupt cache directory degrades to a miss, never to a
+ * wrong result. Structurally damaged entries (truncation, checksum
+ * mismatch, bad magic) are additionally renamed to `<name>.quarantined`
+ * — counted in CacheStats::corruptEntriesQuarantined — so a bad sector
+ * cannot cost a validation pass on every future lookup of that key.
  */
 class ResultCache
 {
   public:
+    /** Hits after which a packed trace is pinned into the T0 memo. */
+    static constexpr uint32_t kPinHits = 2;
+    /** Lookup count between hotness decays (every counter halves),
+     *  so stale popularity ages out as a function of traffic, not
+     *  time. */
+    static constexpr uint64_t kDecayPeriod = 1024;
+    /** Fixed slot count of the T0 pinned-trace memo. Fixed so pin and
+     *  unpin never touch malloc (the capture-heap contract). */
+    static constexpr size_t kRamTraceSlots = 32;
+
     /**
-     * @param disk_dir       On-disk tier directory; empty = memory only.
-     * @param max_disk_bytes Size cap for the on-disk tier: after every
-     *        store, least-recently-used entries (result .swr and
-     *        packed-trace .swtp files; LRU stamp = file mtime, bumped
-     *        on every disk hit, ties broken by file name so pruning is
-     *        deterministic) are removed until the tier fits.
-     *        0 = unbounded.
+     * @param disk_dir       Local disk tier (T1) directory; empty =
+     *        no durable local tier.
+     * @param max_disk_bytes Size cap for the T1 tier: after every
+     *        store, the coldest entries (result .swr and packed-trace
+     *        .swtp files, ordered by hotness, then first-lookup order,
+     *        then file name — never mtime) are removed until the tier
+     *        fits. 0 = unbounded.
+     * @param far_dir        Far/shared tier (T2) directory; empty =
+     *        no far tier. Lookups probe it after T1 and promote hits
+     *        into T1; stores write through to it (unless far
+     *        publishing is disabled, e.g. in shard children).
+     * @param ram_max_bytes  Byte cap for the T0 in-RAM result memo
+     *        (estimate-based; cold-first eviction). 0 = unbounded,
+     *        the pre-tiering behavior.
      */
     explicit ResultCache(std::string disk_dir = {},
-                         uint64_t max_disk_bytes = 0);
+                         uint64_t max_disk_bytes = 0,
+                         std::string far_dir = {},
+                         uint64_t ram_max_bytes = 0);
 
     /** SWAN_SWEEP_CACHE_DIR, or empty when unset. */
     static std::string envDiskDir();
@@ -193,24 +251,52 @@ class ResultCache
     /** SWAN_SWEEP_CACHE_MAX_BYTES, or 0 when unset/unparsable. */
     static uint64_t envMaxDiskBytes();
 
+    /** SWAN_CACHE_FAR_DIR, or empty when unset. */
+    static std::string envFarDir();
+
+    /** SWAN_CACHE_RAM_BYTES, or 0 (unbounded) when unset/unparsable. */
+    static uint64_t envRamMaxBytes();
+
     /** Memory-only unless SWAN_SWEEP_CACHE_DIR names a directory;
-     *  capped when SWAN_SWEEP_CACHE_MAX_BYTES is set. */
+     *  capped when SWAN_SWEEP_CACHE_MAX_BYTES is set; far tier when
+     *  SWAN_CACHE_FAR_DIR names a directory. */
     static ResultCache fromEnv()
     {
-        return ResultCache(envDiskDir(), envMaxDiskBytes());
+        return ResultCache(envDiskDir(), envMaxDiskBytes(), envFarDir(),
+                           envRamMaxBytes());
     }
+
+    /**
+     * Process-wide far-publish gate. Shard children flip it off after
+     * fork: shards publish to the shared local tier (T1) only, and the
+     * parent syncs the far tier once per merged unit via publishFar()
+     * — one writer per entry instead of a fleet racing over a slow
+     * shared directory. Defaults to enabled.
+     */
+    static void setFarPublishEnabled(bool on);
+    static bool farPublishEnabled();
 
     bool lookup(const CacheKey &key, core::KernelRun *out);
     void store(const CacheKey &key, const core::KernelRun &run);
 
     /**
-     * lookup() without touching the hit/miss counters (or the LRU
-     * mtime stamp): the sharded backend's parent-side merge reads
-     * results the very same run just computed in a shard child, which
-     * must not masquerade as cache traffic in the run's reported
-     * stats. Fills the in-memory tier on a disk read like lookup().
+     * lookup() without touching the hit/miss counters or the hotness
+     * table: the sharded backend's parent-side merge reads results the
+     * very same run just computed in a shard child, which must not
+     * masquerade as cache traffic in the run's reported stats (or
+     * heat entries the user never re-requested). Fills the in-memory
+     * tier on a disk read like lookup().
      */
     bool lookupQuiet(const CacheKey &key, core::KernelRun *out);
+
+    /**
+     * Copy @p key's T1 entry (result and/or packed trace) into the far
+     * tier if the far tier lacks it. The sharded parent calls this per
+     * merged unit so T2 converges even though shard children never
+     * write it. No-op without a far tier, when far publishing is
+     * disabled, or when T2 already has the entry.
+     */
+    void publishFar(const CacheKey &key);
 
     /**
      * Add @p delta to this cache's counters. The sharded backend
@@ -221,25 +307,84 @@ class ResultCache
     void absorbStats(const CacheStats &delta);
 
     /**
-     * Packed-trace tier: serve a previously captured trace off disk so
-     * warm reruns skip capture too (one `<keyhash>.swtp` binary file
-     * per trace, checksummed and key-verified; any mismatch degrades
-     * to a miss). The entry carries the trace's MixStats counter
-     * snapshot so a warm hit does not have to decode the whole trace
-     * just to recount it. Disk-only — the scheduler's trace memo is
-     * the in-memory tier — so both are no-ops without a cache
-     * directory.
+     * Packed-trace tier: serve a previously captured trace so warm
+     * reruns skip capture too. Probes the T0 pinned-trace memo first
+     * (malloc-free: the pinned copy is cloned mmap-to-mmap), then the
+     * local `.swtp` tier, then the far tier (checksummed and
+     * key-verified everywhere; any mismatch degrades to a miss). On
+     * the Nth hit the trace is pinned into T0 up to the byte budget
+     * (setRamTraceBudget). The entry carries the trace's MixStats
+     * counter snapshot so a warm hit does not have to decode the whole
+     * trace just to recount it.
      */
     bool lookupTrace(const TraceKey &key, trace::PackedTrace *out,
                      trace::MixStats *mix);
     void storeTrace(const TraceKey &key, const trace::PackedTrace &t,
                     const trace::MixStats &mix);
 
+    /** Byte budget for the T0 pinned-trace memo (0 = unbounded). The
+     *  scheduler passes its SWAN_TRACE_MEMO_BYTES budget so RAM
+     *  pinning and the capture memo answer to one knob. */
+    void setRamTraceBudget(uint64_t bytes);
+
+    /**
+     * Gate for *serving* from the T0 pinned-trace memo (pinning stays
+     * on either way). The scheduler disables it for the capture phase
+     * of a sweep that will run at least one capture: a T0 hit skips
+     * the disk read's allocations, so whether a trace is pinned —
+     * which depends on the byte budget — would otherwise shift the
+     * heap layout later captures see, breaking byte-identity across
+     * budget values. When every pending group's trace is already
+     * durable (traceAvailable), no capture can follow and T0 serving
+     * is safe. Defaults to enabled.
+     */
+    void setRamTraceServe(bool on);
+
+    /**
+     * True when @p key's packed trace exists in a *durable* tier
+     * (T1/T2 file present) — without reading, validating or counting
+     * anything. The scheduler's pre-capture scan: if every pending
+     * trace is available, the sweep runs zero captures and T0 serving
+     * can stay on. T0 pin state is deliberately ignored: pinning
+     * depends on the byte budget, and this answer gates behavior that
+     * must be identical across budget values.
+     */
+    bool traceAvailable(const TraceKey &key) const;
+
+    /**
+     * Publish @p key's packed trace to the far tier: copy the T1
+     * `.swtp` if present, else serialize @p t (may be null: then a
+     * spilled-and-evicted trace is simply not published). Called by
+     * the scheduler strictly after the capture phase — far stores
+     * allocate freely, so they must never run inside storeTrace()
+     * during phase 1c. No-op without a far tier or when far publishing
+     * is disabled.
+     */
+    void publishTraceFar(const TraceKey &key,
+                         const trace::PackedTrace *t,
+                         const trace::MixStats &mix);
+
     const std::string &diskDir() const { return diskDir_; }
+    const std::string &farDir() const { return farDir_; }
     uint64_t maxDiskBytes() const { return maxDiskBytes_; }
 
     /** Bytes currently held by the on-disk tier (.swr + .swtp). */
     uint64_t diskBytes() const;
+
+    /** Current decayed hotness of a key hash (tests/introspection). */
+    uint32_t hotness(uint64_t key_hash) const;
+
+    /**
+     * Deterministic text snapshot of where every entry lives: one
+     * `<stem> <kind> mem=<0|1> disk=<0|1> far=<0|1> hot=<n>` line per
+     * known entry, sorted by stem. Durable placement only — T0
+     * *pinned-trace* state is deliberately excluded because pinning
+     * depends on the byte budget, and the placement of entries must be
+     * identical across budget values (the determinism matrix in
+     * tests/test_cache_tiers.cc diffs this string across backend ×
+     * jobs × shards × budget).
+     */
+    std::string placementMap() const;
 
     CacheStats stats() const;
     void resetStats();
@@ -248,6 +393,32 @@ class ResultCache
     struct KeyHash
     {
         size_t operator()(const CacheKey &k) const { return k.hash(); }
+    };
+
+    /** Hotness-table entry: decayed access count plus first-lookup
+     *  sequence number (the insertion-order eviction tiebreak). */
+    struct Hot
+    {
+        uint32_t count = 0;
+        uint64_t seq = 0;
+    };
+
+    /** One T0 pinned-trace slot. Fixed-size POD + mmap-backed trace:
+     *  pin/unpin never touches malloc. Beyond the key hash the slot
+     *  echoes the TraceKey's fields (kernel name in a fixed buffer —
+     *  longer names simply never pin) so a hash collision degrades to
+     *  a miss, mirroring the on-disk key-echo validation. */
+    struct RamTrace
+    {
+        uint64_t keyHash = 0;
+        uint64_t bytes = 0;
+        trace::PackedTrace trace;
+        trace::MixStats mix;
+        char kernel[64] = {0};
+        int32_t impl = 0;
+        int32_t vecBits = 0;
+        uint64_t optionsFp = 0;
+        bool used = false;
     };
 
     /** Disk-tier lookup outcome: Corrupt means the entry's bytes are
@@ -259,9 +430,43 @@ class ResultCache
         Corrupt,
     };
 
-    DiskLoad loadDisk(const CacheKey &key, core::KernelRun *out);
+    /** Bump @p key_hash's hotness (assigning its first-lookup seq on
+     *  first sight) and run the periodic decay. Called with mu_ held,
+     *  on counted lookups only. @return the post-bump count. */
+    uint32_t noteLookupLocked(uint64_t key_hash);
+    uint32_t hotnessLocked(uint64_t key_hash) const;
+    uint64_t seqLocked(uint64_t key_hash) const;
+
+    DiskLoad loadDisk(const std::string &dir, const CacheKey &key,
+                      core::KernelRun *out);
     /** @return bytes written (0 on failure), for the pruner's total. */
-    uint64_t storeDisk(const CacheKey &key, const core::KernelRun &run);
+    uint64_t storeDisk(const std::string &dir, const CacheKey &key,
+                       const core::KernelRun &run);
+
+    DiskLoad loadTraceFrom(const std::string &dir, const TraceKey &key,
+                           trace::PackedTrace *out,
+                           trace::MixStats *mix);
+
+    /** Copy one validated entry file between tiers (write-then-rename;
+     *  the promotion/publish primitive). @return bytes copied, 0 on
+     *  failure. */
+    uint64_t copyEntry(const std::string &src_dir,
+                       const std::string &dst_dir,
+                       const std::string &name);
+
+    /** Copy `name` from T1 to T2 if T2 lacks it; bumps farStores.
+     *  Shared tail of publishFar()/publishTraceFar(). */
+    void publishFarFile(const std::string &name);
+
+    /**
+     * Existence probe for `<dir>/<stem><ext>` that never touches the
+     * heap on POSIX (stack-built path + ::stat): the far tier is
+     * probed on the capture thread, and a *miss* there must leave the
+     * heap exactly as a far-disabled build would — only a hit (which
+     * ends the capture sequence for that group) may allocate.
+     */
+    static bool entryExists(const std::string &dir, uint64_t stem_hash,
+                            const char *ext);
 
     /** Rename a damaged entry to `<path>.quarantined` so it is never
      *  re-served (still budget-counted and prunable); counts it only
@@ -269,20 +474,41 @@ class ResultCache
     void quarantineEntry(const std::string &path);
 
     /**
-     * Enforce maxDiskBytes_ by deleting LRU entries; no-op uncapped.
-     * Keeps a running byte total so the common under-cap store costs
-     * one counter update, not a directory walk; the walk (and the
-     * resync with entries other processes wrote) happens only when the
+     * Enforce maxDiskBytes_ by deleting the coldest entries (hotness,
+     * then first-lookup order, then name); no-op uncapped. Keeps a
+     * running byte total so the common under-cap store costs one
+     * counter update, not a directory walk; the walk (and the resync
+     * with entries other processes wrote) happens only when the
      * running total crosses the cap.
      */
     void pruneDisk(uint64_t stored_bytes);
 
+    /** Enforce ramMaxBytes_ on the result memo, cold-first. Called
+     *  with mu_ held after insertions. */
+    void pruneRamLocked();
+
+    /** Pin @p t into a T0 slot if it earned it (post-bump hotness >=
+     *  kPinHits), evicting strictly-colder pins to fit the byte
+     *  budget. Called with mu_ held; mmap-only (no malloc). */
+    void maybePinTraceLocked(const TraceKey &key, uint32_t hot_count,
+                             const trace::PackedTrace &t,
+                             const trace::MixStats &mix);
+
     std::string diskDir_;
+    std::string farDir_;
     uint64_t maxDiskBytes_ = 0;
+    uint64_t ramMaxBytes_ = 0;
+    uint64_t ramTraceBudget_ = 0;
     mutable std::mutex mu_;
     uint64_t diskTotal_ = 0;      //!< running on-disk byte estimate
     bool diskTotalKnown_ = false; //!< diskTotal_ seeded by a full scan
     std::unordered_map<CacheKey, core::KernelRun, KeyHash> map_;
+    uint64_t ramBytesEst_ = 0;    //!< result-memo byte estimate
+    std::unordered_map<uint64_t, Hot> hot_;
+    uint64_t lookupSeq_ = 0;      //!< counted lookups so far
+    RamTrace ramTraces_[kRamTraceSlots];
+    uint64_t ramTraceBytes_ = 0;  //!< pinned bytes across the slots
+    bool ramServe_ = true;        //!< T0 trace serving gate
     CacheStats stats_;
 };
 

@@ -72,6 +72,7 @@ struct TraceGroup
     std::vector<size_t> points;         //!< point indices, ascending
     std::vector<sim::CoreConfig> configs; //!< parallel to points
     bool spilled = false; //!< storage evicted; reload from spill file
+    bool captured = false; //!< freshly captured (not served warm)
 };
 
 /** Capture identity: which points may share one trace. */
@@ -429,6 +430,7 @@ runSweep(const std::vector<SweepPoint> &points, const SchedulerConfig &cfg)
         }
         if (cfg.cache)
             cfg.cache->storeTrace(traceKeyFor(p), *g.trace, g.mix);
+        g.captured = true;
     };
 
     // Spill one group's packed bytes and release the mmap storage.
@@ -483,6 +485,24 @@ runSweep(const std::vector<SweepPoint> &points, const SchedulerConfig &cfg)
     // holds again. Peak trace memory is ~budget + one trace. A spill
     // failure (disk full) keeps the trace in memory: results stay
     // correct, only the cap degrades.
+    // T0 pinned-trace serving is enabled only when this sweep will run
+    // zero captures: a RAM hit skips the disk read's allocations, and
+    // whether a trace is pinned depends on the byte budget — if any
+    // capture followed a RAM hit, the budget would leak into the
+    // capture-time heap layout. Probe the durable tiers for every
+    // pending group first (heap-silent stat calls, cache.hh) and serve
+    // from RAM only in the all-warm case, where no capture can follow.
+    if (cfg.cache) {
+        bool allWarm = true;
+        for (const TraceGroup &g : groups)
+            if (!cfg.cache->traceAvailable(
+                    traceKeyFor(points[g.points.front()]))) {
+                allWarm = false;
+                break;
+            }
+        cfg.cache->setRamTraceServe(allWarm);
+    }
+
     const uint64_t budget = cfg.traceMemoBytes;
     uint64_t liveBytes = 0;
     size_t spillCursor = 0;
@@ -502,6 +522,28 @@ runSweep(const std::vector<SweepPoint> &points, const SchedulerConfig &cfg)
     // backend choice, shard bookkeeping and the merge may allocate
     // freely without touching the capture-time heap layout, which is
     // why no backend state exists any earlier (see sweep/backend.hh).
+
+    if (cfg.cache) {
+        // Captures are done; T0 serving is unconditionally safe again
+        // for whoever probes the cache next.
+        cfg.cache->setRamTraceServe(true);
+        // Publish freshly captured traces to the far tier. Deferred to
+        // here because a far write allocates (and is slow), so it must
+        // never run inside storeTrace() during phase 1c. Warm groups
+        // were never captured: their far copies already exist or are
+        // promoted on demand. A spilled group publishes via its T1
+        // file (publishTraceFar falls back to the in-memory payload
+        // only when one exists).
+        if (!cfg.cache->farDir().empty())
+            for (TraceGroup &g : groups) {
+                if (!g.captured)
+                    continue;
+                const SweepPoint &p = points[g.points.front()];
+                cfg.cache->publishTraceFar(
+                    traceKeyFor(p), g.trace ? g.trace.get() : nullptr,
+                    g.mix);
+            }
+    }
 
     // Engage row streaming (allocates — post-capture on purpose) and
     // drain the leading cache hits.
@@ -536,7 +578,12 @@ runSweep(const std::vector<SweepPoint> &points, const SchedulerConfig &cfg)
                 (tmp / ("swan-shards-" + std::to_string(processToken()) +
                         "-" + std::to_string(shardRunSeq++)))
                     .string();
-            privateShare.emplace(privateShareDir);
+            // The transport cache inherits the session's far tier so
+            // the parent-side merge can still sync T2 (shard children
+            // never publish far; see ResultCache::setFarPublishEnabled).
+            privateShare.emplace(privateShareDir, uint64_t(0),
+                                 cfg.cache ? cfg.cache->farDir()
+                                           : std::string());
         }
         if (privateShare && !privateShare->diskDir().empty()) {
             storeCache = &*privateShare;
@@ -607,6 +654,9 @@ runSweep(const std::vector<SweepPoint> &points, const SchedulerConfig &cfg)
             r.cacheHit = false; // simulated by this run, in a child
             if (cfg.cache && cfg.cache != storeCache)
                 cfg.cache->store(keys[j], r.run);
+            // One far writer per entry: children publish to the shared
+            // T1 only, the parent syncs T2 here, once per merged unit.
+            storeCache->publishFar(keys[j]);
         }
         for (size_t idx : g.points)
             rowComplete(idx, uint16_t(4 + std::max(shard, -1)));
@@ -670,11 +720,14 @@ runSweep(const std::vector<SweepPoint> &points, const SchedulerConfig &cfg)
         if (cfg.cache) {
             const CacheStats ps = privateShare->stats();
             if (ps.staleClaimsSwept || ps.recoveredUnits ||
-                ps.corruptEntriesQuarantined) {
+                ps.corruptEntriesQuarantined || ps.farStores) {
                 CacheStats d;
                 d.staleClaimsSwept = ps.staleClaimsSwept;
                 d.recoveredUnits = ps.recoveredUnits;
                 d.corruptEntriesQuarantined = ps.corruptEntriesQuarantined;
+                // Far publishes the parent merge made through the
+                // transport cache belong to the session's story too.
+                d.farStores = ps.farStores;
                 cfg.cache->absorbStats(d);
             }
         }

@@ -92,9 +92,15 @@ sweep grid flags (cartesian product of the axes):
                                (also honors SWAN_SWEEP_CACHE_DIR);
                                hit/miss counters go to stderr
   --cache-max-bytes N          size cap for the on-disk cache: after
-                               every store, least-recently-used entries
-                               are pruned until the cache fits
-                               (0 = unbounded)
+                               every store, the coldest entries (by
+                               lookup hotness, then first-lookup order
+                               — never file mtimes) are pruned until
+                               the cache fits (0 = unbounded)
+  --cache-far-dir DIR          far/shared cache tier probed after the
+                               local one; hits promote into
+                               --cache-dir, stores write through
+                               (also honors SWAN_CACHE_FAR_DIR;
+                               docs/cache.md)
 
 environment (defaults only; explicit flags win — docs/api.md):
   SWAN_JOBS                    default worker threads for sweeps
@@ -103,6 +109,10 @@ environment (defaults only; explicit flags win — docs/api.md):
   SWAN_SHARD_BATCH             default --shard-batch
   SWAN_SWEEP_CACHE_DIR         default --cache-dir
   SWAN_SWEEP_CACHE_MAX_BYTES   default --cache-max-bytes
+  SWAN_CACHE_FAR_DIR           default --cache-far-dir
+  SWAN_CACHE_RAM_BYTES         byte cap for the in-RAM result memo;
+                               coldest results drop first, results
+                               byte-identical for any value
   SWAN_METRICS                 default --metrics-out stem
   SWAN_TRACE_MEMO_BYTES        cap the sweep's in-memory packed-trace
                                memo; over-budget traces spill to disk
@@ -159,6 +169,7 @@ struct Parsed
     bool shardBatchSet = false;
     std::string format = "table";
     std::string cacheDir;
+    std::string cacheFarDir;
     uint64_t cacheMaxBytes = 0;
     bool cacheMaxBytesSet = false;
     bool progress = false;
@@ -378,6 +389,11 @@ parse(const std::vector<std::string> &args, std::ostream &err)
             if (!v)
                 return std::nullopt;
             p.cacheDir = *v;
+        } else if (a == "--cache-far-dir") {
+            const auto *v = value();
+            if (!v)
+                return std::nullopt;
+            p.cacheFarDir = *v;
         } else if (a == "--progress") {
             p.progress = true;
         } else if (a == "--metrics-out") {
@@ -425,6 +441,8 @@ sessionFor(const Parsed &p)
         opts.faults = p.faultList;
     if (!p.cacheDir.empty())
         opts.cacheDir = p.cacheDir;
+    if (!p.cacheFarDir.empty())
+        opts.farCacheDir = p.cacheFarDir;
     if (p.cacheMaxBytesSet)
         opts.cacheMaxBytes = p.cacheMaxBytes;
     if (!p.metricsOut.empty())

@@ -255,6 +255,14 @@ class PackedTrace
     void releaseStorage();
 
     /**
+     * Deep copy. A fresh anonymous-mmap buffer plus a memcpy — no
+     * malloc on POSIX, so the sweep cache's T0 pinned-trace memo can
+     * pin and serve traces without perturbing the capture heap (the
+     * class is otherwise move-only precisely to keep copies explicit).
+     */
+    PackedTrace clone() const;
+
+    /**
      * One decoded record's identity fields. The shape fields live in
      * the descriptor side table (see descCount()/expandDesc()); the
      * fused replay engine keeps a per-descriptor prototype instead of

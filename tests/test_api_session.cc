@@ -3,11 +3,11 @@
  * Tests of the swan::Session façade (swan/session.hh): option
  * precedence (explicit > environment > built-in default), environment
  * parsing robustness, the scheduler configuration a session implies,
- * and the on-disk cache size cap (deterministic LRU pruning) the
- * session plumbs through to sweep::ResultCache.
+ * and the on-disk cache size cap (deterministic coldest-first pruning
+ * by lookup hotness — see docs/cache.md) the session plumbs through to
+ * sweep::ResultCache.
  */
 
-#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <string>
@@ -186,7 +186,7 @@ TEST(ApiSession, CacheDirAndCapArePlumbedThrough)
     std::filesystem::remove_all(dir);
 }
 
-TEST(ApiSession, DiskCapPrunesOldestEntriesFirst)
+TEST(ApiSession, DiskCapPrunesColdestEntriesFirst)
 {
     namespace fs = std::filesystem;
     const auto dir = tempDir("prune");
@@ -203,32 +203,36 @@ TEST(ApiSession, DiskCapPrunesOldestEntriesFirst)
 
     const uint64_t cap = 2 * entryBytes + entryBytes / 2;
     sweep::ResultCache cache(dir, cap);
+    core::KernelRun got;
+    // The scheduler's shape: every point is looked up before its store,
+    // so each key carries a hotness record. K/a is looked up twice —
+    // the hottest; K/b and K/c tie at one lookup each, and K/b saw its
+    // first lookup earlier.
+    EXPECT_FALSE(cache.lookup(keyNamed("K/a"), &got));
+    EXPECT_FALSE(cache.lookup(keyNamed("K/b"), &got));
     cache.store(keyNamed("K/a"), runWithCycles(11));
     cache.store(keyNamed("K/b"), runWithCycles(22));
     EXPECT_EQ(cache.stats().evictions, 0u);
+    EXPECT_TRUE(cache.lookup(keyNamed("K/a"), &got));
 
-    // Make the LRU order unambiguous whatever the filesystem clock
-    // granularity: K/a is clearly the oldest.
-    const auto now = fs::file_time_type::clock::now();
-    fs::last_write_time(fs::path(dir) / (keyNamed("K/a").hex() + ".swr"),
-                        now - std::chrono::hours(2));
-    fs::last_write_time(fs::path(dir) / (keyNamed("K/b").hex() + ".swr"),
-                        now - std::chrono::hours(1));
-
+    EXPECT_FALSE(cache.lookup(keyNamed("K/c"), &got));
     cache.store(keyNamed("K/c"), runWithCycles(33));
 
+    // Coldest-first, tie on first-lookup order: K/b goes. Mtimes never
+    // enter the decision — the timestamps a copy or a slow filesystem
+    // clock would assign cannot reorder eviction.
     EXPECT_LE(cache.diskBytes(), cap);
     EXPECT_EQ(cache.stats().evictions, 1u);
-    EXPECT_FALSE(
-        fs::exists(fs::path(dir) / (keyNamed("K/a").hex() + ".swr")));
     EXPECT_TRUE(
+        fs::exists(fs::path(dir) / (keyNamed("K/a").hex() + ".swr")));
+    EXPECT_FALSE(
         fs::exists(fs::path(dir) / (keyNamed("K/b").hex() + ".swr")));
     EXPECT_TRUE(
         fs::exists(fs::path(dir) / (keyNamed("K/c").hex() + ".swr")));
     std::filesystem::remove_all(dir);
 }
 
-TEST(ApiSession, DiskHitRefreshesLruStamp)
+TEST(ApiSession, DiskHitHeatsEntryAgainstEviction)
 {
     namespace fs = std::filesystem;
     const auto dir = tempDir("lru");
@@ -246,21 +250,17 @@ TEST(ApiSession, DiskHitRefreshesLruStamp)
     writer.store(keyNamed("K/a"), runWithCycles(11));
     writer.store(keyNamed("K/b"), runWithCycles(22));
 
-    // Back-date both, then take a disk hit on K/a from a fresh cache
-    // (its in-memory tier is empty): the hit must bump K/a's stamp so
-    // K/b becomes the eviction victim.
-    const auto now = fs::file_time_type::clock::now();
-    fs::last_write_time(fs::path(dir) / (keyNamed("K/a").hex() + ".swr"),
-                        now - std::chrono::hours(2));
-    fs::last_write_time(fs::path(dir) / (keyNamed("K/b").hex() + ".swr"),
-                        now - std::chrono::hours(1));
-
+    // A fresh cache (empty memory tier, no lookup history): a disk hit
+    // on K/a is demand evidence and must protect it, exactly as the
+    // old LRU's stamp refresh did — but recorded in the lookup
+    // sequence, not in the file's mtime.
     sweep::ResultCache reader(dir, cap);
     core::KernelRun got;
     ASSERT_TRUE(reader.lookup(keyNamed("K/a"), &got));
     EXPECT_EQ(got.sim.cycles, 11u);
     EXPECT_EQ(reader.stats().diskHits, 1u);
 
+    EXPECT_FALSE(reader.lookup(keyNamed("K/c"), &got));
     reader.store(keyNamed("K/c"), runWithCycles(33));
     EXPECT_TRUE(
         fs::exists(fs::path(dir) / (keyNamed("K/a").hex() + ".swr")));

@@ -1,0 +1,481 @@
+/**
+ * @file
+ * Tests of the three-tier cache hierarchy (sweep/cache.hh): far-tier
+ * write-through and promotion, the shard-side far-publish gate,
+ * deterministic cold-first pruning (stable even for entries written in
+ * the same second — mtimes never enter the decision), RAM pinning of
+ * hot packed traces, fleet stats absorption, and the determinism
+ * matrix: one grid replayed across backend x jobs x shards x
+ * memo-budget x far on/off must emit byte-identical results and leave
+ * identical durable placement.
+ */
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <sys/wait.h>
+#include <unistd.h>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/registry.hh"
+#include "core/runner.hh"
+#include "sweep/cache.hh"
+#include "sweep/emit.hh"
+#include "sweep/scheduler.hh"
+#include "trace/stats.hh"
+
+using namespace swan;
+
+namespace
+{
+
+std::string
+tempDir(const char *tag)
+{
+    const auto d = std::filesystem::temp_directory_path() /
+                   (std::string("swan_cache_tiers_") + tag + "_" +
+                    std::to_string(::getpid()));
+    std::filesystem::remove_all(d);
+    return d.string();
+}
+
+sweep::SweepSpec
+adlerSpec()
+{
+    sweep::SweepSpec spec;
+    spec.kernels.names = {"ZL/adler32"};
+    spec.workingSets = {"tiny"};
+    return spec;
+}
+
+core::KernelRun
+runWithCycles(uint64_t cycles)
+{
+    core::KernelRun r;
+    r.sim.cycles = cycles;
+    r.sim.instrs = 100;
+    return r;
+}
+
+sweep::CacheKey
+keyNamed(const std::string &kernel)
+{
+    sweep::CacheKey k;
+    k.kernel = kernel;
+    k.configFp = 0x1234;
+    k.optionsFp = 0x5678;
+    return k;
+}
+
+/** Restore the process-wide far-publish gate whatever the test does. */
+struct FarPublishGuard
+{
+    ~FarPublishGuard() { sweep::ResultCache::setFarPublishEnabled(true); }
+};
+
+} // namespace
+
+TEST(CacheTiers, StoreWritesThroughToFarTier)
+{
+    namespace fs = std::filesystem;
+    const auto local = tempDir("wt_local");
+    const auto far = tempDir("wt_far");
+    const auto key = keyNamed("K/wt");
+
+    sweep::ResultCache cache(local, 0, far);
+    core::KernelRun got;
+    EXPECT_FALSE(cache.lookup(key, &got));
+    cache.store(key, runWithCycles(7));
+
+    EXPECT_TRUE(fs::exists(fs::path(local) / (key.hex() + ".swr")));
+    EXPECT_TRUE(fs::exists(fs::path(far) / (key.hex() + ".swr")));
+    EXPECT_EQ(cache.stats().farStores, 1u);
+    // The miss probed T2 before giving up.
+    EXPECT_EQ(cache.stats().farMisses, 1u);
+
+    fs::remove_all(local);
+    fs::remove_all(far);
+}
+
+TEST(CacheTiers, FarHitIsPromotedIntoLocalDisk)
+{
+    namespace fs = std::filesystem;
+    const auto seedDir = tempDir("promo_seed");
+    const auto far = tempDir("promo_far");
+    const auto local = tempDir("promo_local");
+    const auto key = keyNamed("K/promo");
+
+    {
+        sweep::ResultCache seeder(seedDir, 0, far);
+        seeder.store(key, runWithCycles(42));
+    }
+    fs::remove_all(seedDir);
+
+    // A host with a cold local tier: the far hit must serve the result
+    // AND leave a local copy (write-through promotion), so the next
+    // process on this host never pays the far round-trip again.
+    sweep::ResultCache cache(local, 0, far);
+    core::KernelRun got;
+    ASSERT_TRUE(cache.lookup(key, &got));
+    EXPECT_EQ(got.sim.cycles, 42u);
+    EXPECT_EQ(cache.stats().farHits, 1u);
+    EXPECT_EQ(cache.stats().farPromotions, 1u);
+    EXPECT_EQ(cache.stats().diskHits, 0u);
+    EXPECT_TRUE(fs::exists(fs::path(local) / (key.hex() + ".swr")));
+
+    sweep::ResultCache next(local, 0, far);
+    ASSERT_TRUE(next.lookup(key, &got));
+    EXPECT_EQ(next.stats().diskHits, 1u);
+    EXPECT_EQ(next.stats().farHits, 0u);
+
+    fs::remove_all(local);
+    fs::remove_all(far);
+}
+
+TEST(CacheTiers, FarPublishGateBlocksStoresUntilPublishFar)
+{
+    namespace fs = std::filesystem;
+    const auto local = tempDir("gate_local");
+    const auto far = tempDir("gate_far");
+    const auto key = keyNamed("K/gate");
+    FarPublishGuard guard;
+
+    // A shard child's view: far publishing off, stores reach T1 only.
+    sweep::ResultCache::setFarPublishEnabled(false);
+    sweep::ResultCache cache(local, 0, far);
+    cache.store(key, runWithCycles(5));
+    EXPECT_TRUE(fs::exists(fs::path(local) / (key.hex() + ".swr")));
+    EXPECT_FALSE(fs::exists(fs::path(far) / (key.hex() + ".swr")));
+    EXPECT_EQ(cache.stats().farStores, 0u);
+
+    // The parent's view: one publishFar per merged entry syncs T2.
+    sweep::ResultCache::setFarPublishEnabled(true);
+    cache.publishFar(key);
+    EXPECT_TRUE(fs::exists(fs::path(far) / (key.hex() + ".swr")));
+    EXPECT_EQ(cache.stats().farStores, 1u);
+
+    // Already published: no second write.
+    cache.publishFar(key);
+    EXPECT_EQ(cache.stats().farStores, 1u);
+
+    fs::remove_all(local);
+    fs::remove_all(far);
+}
+
+TEST(CacheTiers, SameSecondEntriesEvictInStableOrder)
+{
+    namespace fs = std::filesystem;
+
+    // Two entries written within one mtime granule (enforced with an
+    // explicit identical timestamp) plus a cap that forces one out:
+    // the victim must be the same on every run of the same sequence —
+    // the old mtime-LRU tie was filesystem roulette here.
+    const auto runOnce = [](const std::string &dir, uint64_t cap) {
+        sweep::ResultCache cache(dir, cap);
+        cache.store(keyNamed("K/tie-a"), runWithCycles(1));
+        cache.store(keyNamed("K/tie-b"), runWithCycles(2));
+        const auto stamp = fs::last_write_time(
+            fs::path(dir) / (keyNamed("K/tie-a").hex() + ".swr"));
+        fs::last_write_time(
+            fs::path(dir) / (keyNamed("K/tie-b").hex() + ".swr"), stamp);
+        core::KernelRun got;
+        EXPECT_FALSE(cache.lookup(keyNamed("K/tie-c"), &got));
+        cache.store(keyNamed("K/tie-c"), runWithCycles(3));
+        EXPECT_EQ(cache.stats().evictions, 1u);
+        std::vector<std::string> left;
+        for (const auto &e : fs::directory_iterator(dir))
+            if (e.path().extension() == ".swr")
+                left.push_back(e.path().filename().string());
+        std::sort(left.begin(), left.end());
+        return left;
+    };
+
+    uint64_t entryBytes = 0;
+    const auto probeDir = tempDir("tie_probe");
+    {
+        sweep::ResultCache probe(probeDir);
+        probe.store(keyNamed("K/probe"), runWithCycles(1));
+        entryBytes = probe.diskBytes();
+        ASSERT_GT(entryBytes, 0u);
+    }
+    fs::remove_all(probeDir);
+    const uint64_t cap = 2 * entryBytes + entryBytes / 2;
+
+    const auto dirA = tempDir("tie_a");
+    const auto dirB = tempDir("tie_b");
+    const auto first = runOnce(dirA, cap);
+    const auto second = runOnce(dirB, cap);
+    ASSERT_EQ(first.size(), 2u);
+    EXPECT_EQ(first, second);
+    // Neither tied entry has lookup history, so the name tiebreak
+    // picks the victim; K/tie-c was looked up and must survive.
+    EXPECT_NE(std::find(first.begin(), first.end(),
+                        keyNamed("K/tie-c").hex() + ".swr"),
+              first.end());
+    fs::remove_all(dirA);
+    fs::remove_all(dirB);
+}
+
+TEST(CacheTiers, HotTraceIsPinnedIntoRamAndServedFromIt)
+{
+    const auto dir = tempDir("pin");
+    const auto *spec = core::Registry::instance().find("ZL/adler32");
+    ASSERT_NE(spec, nullptr);
+    auto w = spec->make(core::Options());
+    const auto instrs = core::Runner::capture(*w, core::Impl::Neon, 128);
+    ASSERT_FALSE(instrs.empty());
+    const auto packed = trace::PackedTrace::pack(instrs);
+    trace::MixStats mix;
+    mix.addTrace(instrs);
+
+    sweep::TraceKey key;
+    key.kernel = "ZL/adler32";
+
+    sweep::ResultCache cache(dir);
+    cache.setRamTraceBudget(64ull << 20);
+    cache.storeTrace(key, packed, mix);
+    EXPECT_EQ(cache.stats().traceStores, 1u);
+
+    trace::PackedTrace got;
+    trace::MixStats gotMix;
+    // First hit: disk, below the pin threshold (kPinHits = 2).
+    ASSERT_TRUE(cache.lookupTrace(key, &got, &gotMix));
+    EXPECT_EQ(cache.stats().traceHits, 1u);
+    EXPECT_EQ(cache.stats().ramPromotions, 0u);
+    // Second hit earns the pin.
+    ASSERT_TRUE(cache.lookupTrace(key, &got, &gotMix));
+    EXPECT_EQ(cache.stats().ramPromotions, 1u);
+    EXPECT_EQ(cache.stats().traceRamHits, 0u);
+    // Third hit is served from T0: same bytes, no disk read.
+    ASSERT_TRUE(cache.lookupTrace(key, &got, &gotMix));
+    EXPECT_EQ(cache.stats().traceRamHits, 1u);
+    EXPECT_EQ(cache.stats().traceHits, 2u);
+    EXPECT_EQ(got.byteSize(), packed.byteSize());
+    EXPECT_EQ(gotMix.total(), mix.total());
+
+    // With T0 serving gated off (capture-phase rule), the same lookup
+    // falls back to the disk tier.
+    cache.setRamTraceServe(false);
+    ASSERT_TRUE(cache.lookupTrace(key, &got, &gotMix));
+    EXPECT_EQ(cache.stats().traceRamHits, 1u);
+    EXPECT_EQ(cache.stats().traceHits, 3u);
+    cache.setRamTraceServe(true);
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(CacheTiers, UndersizedTraceBudgetNeverPins)
+{
+    const auto dir = tempDir("nopin");
+    const auto *spec = core::Registry::instance().find("ZL/adler32");
+    ASSERT_NE(spec, nullptr);
+    auto w = spec->make(core::Options());
+    const auto instrs = core::Runner::capture(*w, core::Impl::Neon, 128);
+    const auto packed = trace::PackedTrace::pack(instrs);
+    trace::MixStats mix;
+    mix.addTrace(instrs);
+
+    sweep::TraceKey key;
+    key.kernel = "ZL/adler32";
+
+    sweep::ResultCache cache(dir);
+    cache.setRamTraceBudget(1); // smaller than any real trace
+    cache.storeTrace(key, packed, mix);
+    trace::PackedTrace got;
+    trace::MixStats gotMix;
+    for (int i = 0; i < 4; ++i)
+        ASSERT_TRUE(cache.lookupTrace(key, &got, &gotMix));
+    EXPECT_EQ(cache.stats().ramPromotions, 0u);
+    EXPECT_EQ(cache.stats().traceRamHits, 0u);
+    EXPECT_EQ(cache.stats().traceHits, 4u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(CacheTiers, AbsorbStatsCarriesTierCounters)
+{
+    sweep::ResultCache cache;
+    sweep::CacheStats d;
+    d.traceRamHits = 1;
+    d.farHits = 2;
+    d.farMisses = 3;
+    d.farStores = 4;
+    d.farPromotions = 5;
+    d.ramPromotions = 6;
+    d.ramDemotions = 7;
+    cache.absorbStats(d);
+    const auto s = cache.stats();
+    EXPECT_EQ(s.traceRamHits, 1u);
+    EXPECT_EQ(s.farHits, 2u);
+    EXPECT_EQ(s.farMisses, 3u);
+    EXPECT_EQ(s.farStores, 4u);
+    EXPECT_EQ(s.farPromotions, 5u);
+    EXPECT_EQ(s.ramPromotions, 6u);
+    EXPECT_EQ(s.ramDemotions, 7u);
+}
+
+TEST(CacheTiers, DeterminismMatrixEmitsIdenticalBytesAndPlacement)
+{
+    namespace fs = std::filesystem;
+    std::string err;
+    sweep::SweepSpec spec = adlerSpec();
+    spec.impls = {core::Impl::Scalar, core::Impl::Neon};
+    spec.configs = {"prime", "silver"};
+    auto points = sweep::expand(spec, &err);
+    ASSERT_EQ(points.size(), 4u) << err;
+
+    struct Leg
+    {
+        uint64_t budget;
+        int jobs;
+        int shards;
+        bool far;
+    };
+    const Leg legs[] = {
+        {0, 1, 1, true},       // uncapped memo, serial
+        {0, 8, 1, true},       // uncapped memo, threaded
+        {0, 2, 3, true},       // uncapped memo, sharded fleet
+        {1, 1, 1, true},       // tiny memo: every trace spills
+        {1, 2, 3, true},       // tiny memo under sharding
+        {1u << 16, 8, 1, true},// mid memo, threaded
+        {0, 1, 1, false},      // no far tier at all
+    };
+
+    // Every leg runs in a forked child, so each starts from the same
+    // heap image (capture records real buffer addresses; a prior leg's
+    // allocator history is warm-heap noise the contract scopes out —
+    // fresh processes of the same command are byte-identical, and fork
+    // gives every leg exactly that).
+    const char *kSep = "\n--SWAN-LEG-SEP--\n";
+    const auto runLeg = [&](const Leg &leg, const std::string &local,
+                            const std::string &far,
+                            const std::string &outPath) {
+        const pid_t pid = ::fork();
+        if (pid < 0)
+            return false;
+        if (pid == 0) {
+            std::ostringstream cold, warm;
+            uint64_t warmMisses = ~0ull;
+            std::string placement;
+            {
+                sweep::ResultCache cache(local, 0,
+                                         leg.far ? far : std::string());
+                sweep::SchedulerConfig sc;
+                sc.cache = &cache;
+                sc.jobs = leg.jobs;
+                sc.shards = leg.shards;
+                sc.traceMemoBytes = leg.budget;
+                sweep::emitResults(cold, sweep::runSweep(points, sc),
+                                   sweep::Format::JsonLines);
+            }
+            {
+                // Fresh cache on the same directories: the warm run
+                // must be served entirely from the durable tiers.
+                sweep::ResultCache cache(local, 0,
+                                         leg.far ? far : std::string());
+                sweep::SchedulerConfig sc;
+                sc.cache = &cache;
+                sc.jobs = leg.jobs;
+                sc.shards = leg.shards;
+                sc.traceMemoBytes = leg.budget;
+                sweep::emitResults(warm, sweep::runSweep(points, sc),
+                                   sweep::Format::JsonLines);
+                warmMisses = cache.stats().misses;
+                placement = cache.placementMap();
+            }
+            {
+                std::ofstream os(outPath, std::ios::binary);
+                os << cold.str() << kSep << warm.str() << kSep
+                   << placement << kSep << warmMisses << "\n";
+            }
+            std::_Exit(0);
+        }
+        int st = 0;
+        return ::waitpid(pid, &st, 0) == pid && WIFEXITED(st) &&
+               WEXITSTATUS(st) == 0;
+    };
+
+    const size_t nLegs = sizeof legs / sizeof legs[0];
+    std::vector<std::string> locals, fars, outs;
+    for (size_t i = 0; i < nLegs; ++i) {
+        locals.push_back(tempDir(("mx_l" + std::to_string(i)).c_str()));
+        fars.push_back(tempDir(("mx_f" + std::to_string(i)).c_str()));
+        outs.push_back(tempDir(("mx_o" + std::to_string(i)).c_str()));
+    }
+    // Fork every leg before reading any result: the parent allocates
+    // nothing between forks, so all legs inherit one heap image.
+    std::vector<bool> ok(nLegs, false);
+    for (size_t i = 0; i < nLegs; ++i)
+        ok[i] = runLeg(legs[i], locals[i], fars[i], outs[i]);
+
+    std::string coldRef, warmRef, placementRef;
+    int tag = 0;
+    for (const Leg &leg : legs) {
+        const size_t i = size_t(tag);
+        const auto &local = locals[i];
+        const auto &far = fars[i];
+        const auto &outPath = outs[i];
+        ++tag;
+
+        ASSERT_TRUE(ok[i]) << "leg " << tag;
+        std::string blob;
+        {
+            std::ifstream is(outPath, std::ios::binary);
+            std::ostringstream ss;
+            ss << is.rdbuf();
+            blob = ss.str();
+        }
+        const auto cut1 = blob.find(kSep);
+        ASSERT_NE(cut1, std::string::npos) << "leg " << tag;
+        const auto cut2 = blob.find(kSep, cut1 + 1);
+        ASSERT_NE(cut2, std::string::npos) << "leg " << tag;
+        const auto cut3 = blob.find(kSep, cut2 + 1);
+        ASSERT_NE(cut3, std::string::npos) << "leg " << tag;
+        const size_t sep = std::string(kSep).size();
+        const std::string cold = blob.substr(0, cut1);
+        const std::string warm =
+            blob.substr(cut1 + sep, cut2 - cut1 - sep);
+        const std::string placement =
+            blob.substr(cut2 + sep, cut3 - cut2 - sep);
+        EXPECT_EQ(blob.substr(cut3 + sep), "0\n")
+            << "leg " << tag << " recomputed a warm point";
+
+        EXPECT_EQ(cold, warm) << "leg " << tag;
+        if (coldRef.empty()) {
+            coldRef = cold;
+            warmRef = warm;
+        } else {
+            EXPECT_EQ(cold, coldRef) << "leg " << tag;
+            EXPECT_EQ(warm, warmRef) << "leg " << tag;
+        }
+        if (leg.far) {
+            if (placementRef.empty())
+                placementRef = placement;
+            else
+                EXPECT_EQ(placement, placementRef) << "leg " << tag;
+        }
+
+        fs::remove_all(local);
+        fs::remove_all(far);
+        fs::remove_all(outPath);
+    }
+    ASSERT_FALSE(coldRef.empty());
+    EXPECT_EQ(coldRef, warmRef);
+    ASSERT_FALSE(placementRef.empty());
+    // Every entry of the far-enabled placement lives in both durable
+    // tiers after the cold run published it.
+    std::istringstream lines(placementRef);
+    std::string line;
+    size_t entries = 0;
+    while (std::getline(lines, line)) {
+        ++entries;
+        EXPECT_NE(line.find(" disk=1"), std::string::npos) << line;
+        EXPECT_NE(line.find(" far=1"), std::string::npos) << line;
+    }
+    // 4 results + 2 captured traces (Scalar and Neon share per-impl
+    // traces across the two core configs).
+    EXPECT_EQ(entries, 6u) << placementRef;
+}

@@ -135,6 +135,21 @@ TEST(SwanLint, NondetFixtureFires)
     EXPECT_NE(r.out.find("chrono clock read"), std::string::npos);
 }
 
+TEST(SwanLint, NondetMtimeEvictionFires)
+{
+    const auto r = runLint("--checks nondet --files " +
+                           fixture("nondet_mtime.cc"));
+    EXPECT_EQ(r.exitCode, 1) << r.out;
+    // The last_write_time() read and the file_time_type::clock::now()
+    // call in the eviction loop; a plain file_time_type value and the
+    // comments naming the calls stay silent.
+    EXPECT_EQ(countOccurrences(r.out, "[nondet]"), 2u) << r.out;
+    EXPECT_NE(r.out.find("file mtime read/write"), std::string::npos)
+        << r.out;
+    EXPECT_NE(r.out.find("filesystem clock read"), std::string::npos)
+        << r.out;
+}
+
 TEST(SwanLint, PtrOrderFixtureFires)
 {
     const auto r =

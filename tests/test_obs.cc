@@ -313,6 +313,45 @@ TEST(ObsReport, JsonAndChromeTraceSerializeEveryShard)
     EXPECT_NE(c.find("\"ts\": 0.000"), std::string::npos);
 }
 
+TEST(ObsReport, CacheObjectCarriesTierCounters)
+{
+    // The run-report "cache" object is the machine-readable face of
+    // the tier counters (docs/cache.md): CI greps these exact
+    // `"key": value` spellings, so the shape is pinned here.
+    sweep::CacheStats cache;
+    cache.traceRamHits = 1;
+    cache.farHits = 2;
+    cache.farMisses = 3;
+    cache.farStores = 4;
+    cache.farPromotions = 5;
+    cache.ramPromotions = 6;
+    cache.ramDemotions = 7;
+    cache.corruptEntriesQuarantined = 8;
+    const auto report = obs::buildReport(std::vector<obs::SpanRec>{},
+                                         obs::RunMeta{}, 0, cache);
+    std::ostringstream js;
+    obs::writeReportJson(js, report);
+    const std::string j = js.str();
+    EXPECT_NE(j.find("\"trace_ram_hits\": 1"), std::string::npos) << j;
+    EXPECT_NE(j.find("\"far_hits\": 2"), std::string::npos) << j;
+    EXPECT_NE(j.find("\"far_misses\": 3"), std::string::npos) << j;
+    EXPECT_NE(j.find("\"far_stores\": 4"), std::string::npos) << j;
+    EXPECT_NE(j.find("\"disk_promotions\": 5"), std::string::npos) << j;
+    EXPECT_NE(j.find("\"ram_promotions\": 6"), std::string::npos) << j;
+    EXPECT_NE(j.find("\"ram_demotions\": 7"), std::string::npos) << j;
+    EXPECT_NE(j.find("\"corrupt_quarantined\": 8"), std::string::npos)
+        << j;
+    // The human-readable summary spells out the same traffic.
+    const auto s = sweep::cacheSummary(cache);
+    EXPECT_NE(s.find("far: 2 hits, 3 misses, 4 stored"),
+              std::string::npos)
+        << s;
+    EXPECT_NE(s.find("tiering: 5 promoted to disk, 6 pinned in RAM, "
+                     "7 RAM demotions"),
+              std::string::npos)
+        << s;
+}
+
 TEST_F(ObsFixture, CollectorFeedsSinksAndReleases)
 {
     const auto dir = std::filesystem::temp_directory_path() /

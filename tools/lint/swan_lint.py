@@ -16,9 +16,11 @@ compile_commands.json:
   unordered-iter  iteration over std::unordered_{map,set}: hash-table
                   order is libstdc++-internal and must never feed an
                   emitter, a cache file order, or a stats merge.
-  nondet          nondeterminism sources (libc PRNGs, wall clocks)
-                  outside src/obs/ — telemetry may read clocks; results
-                  must be a pure function of the grid.
+  nondet          nondeterminism sources (libc PRNGs, wall clocks,
+                  file mtimes / the filesystem clock) outside src/obs/
+                  — telemetry may read clocks; results and cache
+                  eviction order must be a pure function of the grid
+                  and its lookup history.
   ptr-order       ordered containers keyed on pointers: ASLR makes the
                   iteration order a fresh coin flip per run.
   layout-pin      every SWAN_CAPTURE_TYPE-tagged type has a size pin in
@@ -160,6 +162,14 @@ NONDET_PATTERNS = [
     (re.compile(r"\b(?:system_clock|steady_clock|"
                 r"high_resolution_clock)::now\b"),
      "chrono clock read"),
+    # Cache eviction must order entries by lookup history, never by
+    # file timestamps: mtimes move with the wall clock, rsync/cp -p,
+    # and filesystem granularity, so an mtime-keyed policy decides
+    # differently run to run.
+    (re.compile(r"\blast_write_time\s*\("),
+     "file mtime read/write"),
+    (re.compile(r"\b(?:file_time_type::clock|file_clock)\b"),
+     "filesystem clock read"),
 ]
 
 UNORDERED_DECL_RE = re.compile(
